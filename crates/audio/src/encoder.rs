@@ -1,0 +1,311 @@
+//! The audio encoder: frame stacking + projection into the LLM hidden space,
+//! plus the encoder cost profiles used by the Fig. 1 reproduction.
+//!
+//! In an LLM-based ASR system the audio encoder (Conformer / Whisper encoder)
+//! compresses the acoustic frame sequence and projects it into the decoder's
+//! hidden dimension so it can be prefix-filled alongside the text prompt.  The
+//! encoder here performs the same two stages — temporal stacking/downsampling
+//! and a deterministic linear projection — and carries a parameter/latency
+//! profile so the paper's encoder-vs-decoder comparison (Fig. 1) can be
+//! regenerated.
+
+use serde::{Deserialize, Serialize};
+
+use crate::features::LogMelSpectrogram;
+
+/// Cost profile of an audio encoder: parameter count and per-second-of-audio
+/// compute latency.
+///
+/// # Example
+///
+/// ```
+/// use specasr_audio::EncoderProfile;
+///
+/// let whisper = EncoderProfile::whisper_medium_encoder();
+/// assert!(whisper.parameters() < 1_000_000_000);
+/// assert!(whisper.latency_ms_for_audio(10.0) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncoderProfile {
+    name: String,
+    parameters: u64,
+    latency_ms_per_audio_second: f64,
+    fixed_overhead_ms: f64,
+}
+
+impl EncoderProfile {
+    /// Creates a custom encoder profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latency coefficient is negative.
+    pub fn new(
+        name: impl Into<String>,
+        parameters: u64,
+        latency_ms_per_audio_second: f64,
+        fixed_overhead_ms: f64,
+    ) -> Self {
+        assert!(latency_ms_per_audio_second >= 0.0 && fixed_overhead_ms >= 0.0);
+        EncoderProfile {
+            name: name.into(),
+            parameters,
+            latency_ms_per_audio_second,
+            fixed_overhead_ms,
+        }
+    }
+
+    /// Whisper tiny.en encoder (≈ 8 M parameters).
+    pub fn whisper_tiny_encoder() -> Self {
+        EncoderProfile::new("whisper-tiny.en-encoder", 8_000_000, 0.9, 1.0)
+    }
+
+    /// Whisper medium.en encoder (≈ 300 M parameters).
+    pub fn whisper_medium_encoder() -> Self {
+        EncoderProfile::new("whisper-medium.en-encoder", 307_000_000, 3.2, 2.5)
+    }
+
+    /// A Conformer-style encoder of the size used by BESTOW-class models
+    /// (≈ 110 M parameters).
+    pub fn conformer_large() -> Self {
+        EncoderProfile::new("conformer-large-encoder", 110_000_000, 1.8, 1.5)
+    }
+
+    /// Human-readable profile name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Parameter count.
+    pub fn parameters(&self) -> u64 {
+        self.parameters
+    }
+
+    /// Encoder latency (ms) for `audio_seconds` of input audio.
+    pub fn latency_ms_for_audio(&self, audio_seconds: f64) -> f64 {
+        self.fixed_overhead_ms + self.latency_ms_per_audio_second * audio_seconds.max(0.0)
+    }
+}
+
+/// Audio embeddings produced by the encoder: `frames × hidden_dim` vectors in
+/// the LLM hidden space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AudioEmbedding {
+    vectors: Vec<Vec<f64>>,
+    hidden_dim: usize,
+}
+
+impl AudioEmbedding {
+    /// Number of embedded (downsampled) frames.
+    pub fn frame_count(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Hidden dimension of each embedding vector.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Returns embedded frame `index`, if in range.
+    pub fn frame(&self, index: usize) -> Option<&[f64]> {
+        self.vectors.get(index).map(Vec::as_slice)
+    }
+
+    /// Iterates over embedding vectors in time order.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.vectors.iter().map(Vec::as_slice)
+    }
+}
+
+/// The audio encoder: stacks `stack_factor` consecutive mel frames and
+/// projects them into `hidden_dim` dimensions with a fixed deterministic
+/// projection.
+///
+/// # Example
+///
+/// ```
+/// use specasr_audio::{AudioEncoder, Corpus, FeatureConfig, FeatureExtractor, Split, Waveform};
+///
+/// let corpus = Corpus::librispeech_like(5, 1);
+/// let wave = Waveform::synthesize(&corpus.split(Split::TestClean)[0]);
+/// let mel = FeatureExtractor::new(FeatureConfig::tiny()).extract(&wave);
+/// let encoder = AudioEncoder::new(4, 32);
+/// let embedding = encoder.encode(&mel);
+/// assert_eq!(embedding.hidden_dim(), 32);
+/// assert!(embedding.frame_count() <= mel.frame_count() / 4 + 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AudioEncoder {
+    stack_factor: usize,
+    hidden_dim: usize,
+    profile: EncoderProfile,
+}
+
+impl AudioEncoder {
+    /// Creates an encoder with the given temporal stacking factor and hidden
+    /// dimension, using the Whisper-medium encoder cost profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stack_factor` or `hidden_dim` is zero.
+    pub fn new(stack_factor: usize, hidden_dim: usize) -> Self {
+        AudioEncoder::with_profile(stack_factor, hidden_dim, EncoderProfile::whisper_medium_encoder())
+    }
+
+    /// Creates an encoder with an explicit cost profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stack_factor` or `hidden_dim` is zero.
+    pub fn with_profile(stack_factor: usize, hidden_dim: usize, profile: EncoderProfile) -> Self {
+        assert!(stack_factor > 0, "stack factor must be positive");
+        assert!(hidden_dim > 0, "hidden dimension must be positive");
+        AudioEncoder {
+            stack_factor,
+            hidden_dim,
+            profile,
+        }
+    }
+
+    /// The temporal stacking (downsampling) factor.
+    pub fn stack_factor(&self) -> usize {
+        self.stack_factor
+    }
+
+    /// The output hidden dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// The encoder cost profile.
+    pub fn profile(&self) -> &EncoderProfile {
+        &self.profile
+    }
+
+    /// Number of embedded frames produced for `mel_frames` input frames.
+    pub fn output_frames(&self, mel_frames: usize) -> usize {
+        mel_frames / self.stack_factor
+    }
+
+    /// Encodes a log-mel spectrogram into audio embeddings.
+    ///
+    /// Stage 1 stacks `stack_factor` consecutive frames; stage 2 applies a
+    /// fixed sinusoidal projection into the hidden dimension (a stand-in for
+    /// the learned projection layer; the downstream simulation only requires
+    /// determinism and dimensional correctness).
+    pub fn encode(&self, mel: &LogMelSpectrogram) -> AudioEmbedding {
+        let stacked_dim = mel.mel_channels() * self.stack_factor;
+        let frames = self.output_frames(mel.frame_count());
+        let mut vectors = Vec::with_capacity(frames);
+        for out_frame in 0..frames {
+            // Stage 1: stack consecutive frames.
+            let mut stacked = Vec::with_capacity(stacked_dim);
+            for k in 0..self.stack_factor {
+                let frame = mel
+                    .frame(out_frame * self.stack_factor + k)
+                    .expect("frame index is within the downsampled range");
+                stacked.extend_from_slice(frame);
+            }
+            // Stage 2: fixed projection into the hidden dimension.
+            let mut projected = vec![0.0f64; self.hidden_dim];
+            for (j, value) in stacked.iter().enumerate() {
+                for (h, out) in projected.iter_mut().enumerate() {
+                    *out += value * projection_weight(j, h, stacked_dim, self.hidden_dim);
+                }
+            }
+            let norm = (stacked_dim as f64).sqrt();
+            for out in &mut projected {
+                *out /= norm;
+            }
+            vectors.push(projected);
+        }
+        AudioEmbedding {
+            vectors,
+            hidden_dim: self.hidden_dim,
+        }
+    }
+
+    /// Encoder latency (ms) for processing `audio_seconds` of audio.
+    pub fn latency_ms(&self, audio_seconds: f64) -> f64 {
+        self.profile.latency_ms_for_audio(audio_seconds)
+    }
+}
+
+/// Deterministic pseudo-random projection weight for input index `j` and
+/// output index `h`.
+fn projection_weight(j: usize, h: usize, in_dim: usize, out_dim: usize) -> f64 {
+    let phase = (j as f64 + 1.0) * (h as f64 + 1.0) / (in_dim as f64 + out_dim as f64);
+    (std::f64::consts::TAU * phase).sin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, Split};
+    use crate::features::{FeatureConfig, FeatureExtractor};
+    use crate::waveform::Waveform;
+
+    fn sample_mel() -> LogMelSpectrogram {
+        let corpus = Corpus::librispeech_like(13, 1);
+        let wave = Waveform::synthesize(&corpus.split(Split::TestClean)[0]);
+        FeatureExtractor::new(FeatureConfig::tiny()).extract(&wave)
+    }
+
+    #[test]
+    fn downsampling_matches_stack_factor() {
+        let mel = sample_mel();
+        for factor in [1usize, 2, 4, 8] {
+            let encoder = AudioEncoder::new(factor, 16);
+            let embedding = encoder.encode(&mel);
+            assert_eq!(embedding.frame_count(), mel.frame_count() / factor);
+            assert_eq!(encoder.output_frames(mel.frame_count()), embedding.frame_count());
+        }
+    }
+
+    #[test]
+    fn embeddings_have_hidden_dim_and_are_finite() {
+        let mel = sample_mel();
+        let encoder = AudioEncoder::new(4, 24);
+        let embedding = encoder.encode(&mel);
+        for frame in embedding.iter() {
+            assert_eq!(frame.len(), 24);
+            assert!(frame.iter().all(|v| v.is_finite()));
+        }
+        assert_eq!(embedding.frame(embedding.frame_count()), None);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let mel = sample_mel();
+        let encoder = AudioEncoder::new(2, 8);
+        assert_eq!(encoder.encode(&mel), encoder.encode(&mel));
+    }
+
+    #[test]
+    fn encoder_latency_scales_with_audio_length() {
+        let encoder = AudioEncoder::new(4, 32);
+        assert!(encoder.latency_ms(10.0) > encoder.latency_ms(1.0));
+        assert!(encoder.latency_ms(0.0) >= 0.0);
+    }
+
+    #[test]
+    fn encoder_profiles_are_ordered_by_size() {
+        let tiny = EncoderProfile::whisper_tiny_encoder();
+        let conformer = EncoderProfile::conformer_large();
+        let medium = EncoderProfile::whisper_medium_encoder();
+        assert!(tiny.parameters() < conformer.parameters());
+        assert!(conformer.parameters() < medium.parameters());
+        assert!(tiny.latency_ms_for_audio(10.0) < medium.latency_ms_for_audio(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "stack factor")]
+    fn zero_stack_factor_panics() {
+        AudioEncoder::new(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden dimension")]
+    fn zero_hidden_dim_panics() {
+        AudioEncoder::new(2, 0);
+    }
+}

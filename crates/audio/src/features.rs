@@ -1,0 +1,383 @@
+//! Log-mel feature extraction: the Whisper-style ASR front end.
+//!
+//! The pipeline is the textbook one — pre-emphasis, framing, Hann windowing,
+//! a (naive) DFT power spectrum, a triangular mel filterbank, and a log
+//! compression.  Frame counts are what matter downstream (they determine the
+//! audio-encoder cost in Fig. 1), but the numerical path is implemented in
+//! full so the encoder consumes real spectral features.
+
+use serde::{Deserialize, Serialize};
+
+use crate::waveform::Waveform;
+
+/// Configuration of the feature extractor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Frame length in milliseconds (Whisper uses 25 ms).
+    pub frame_length_ms: f64,
+    /// Frame hop in milliseconds (Whisper uses 10 ms).
+    pub frame_hop_ms: f64,
+    /// Number of mel filterbank channels (Whisper uses 80).
+    pub mel_channels: usize,
+    /// Pre-emphasis coefficient applied before framing.
+    pub pre_emphasis: f64,
+    /// Number of DFT bins used for the power spectrum.
+    pub dft_bins: usize,
+}
+
+impl FeatureConfig {
+    /// The Whisper-style 25 ms / 10 ms / 80-channel configuration.
+    pub fn whisper_like() -> Self {
+        FeatureConfig {
+            frame_length_ms: 25.0,
+            frame_hop_ms: 10.0,
+            mel_channels: 80,
+            pre_emphasis: 0.97,
+            dft_bins: 128,
+        }
+    }
+
+    /// A reduced configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        FeatureConfig {
+            frame_length_ms: 25.0,
+            frame_hop_ms: 10.0,
+            mel_channels: 16,
+            pre_emphasis: 0.97,
+            dft_bins: 32,
+        }
+    }
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig::whisper_like()
+    }
+}
+
+/// A log-mel spectrogram: `frames × mel_channels` features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogMelSpectrogram {
+    frames: Vec<Vec<f64>>,
+    mel_channels: usize,
+    frame_hop_ms: f64,
+}
+
+impl LogMelSpectrogram {
+    /// Number of frames.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of mel channels per frame.
+    pub fn mel_channels(&self) -> usize {
+        self.mel_channels
+    }
+
+    /// Frame hop in milliseconds (needed to convert frames back to seconds).
+    pub fn frame_hop_ms(&self) -> f64 {
+        self.frame_hop_ms
+    }
+
+    /// Returns frame `index`, if in range.
+    pub fn frame(&self, index: usize) -> Option<&[f64]> {
+        self.frames.get(index).map(Vec::as_slice)
+    }
+
+    /// Iterates over frames in time order.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.frames.iter().map(Vec::as_slice)
+    }
+
+    /// Mean log-mel energy across the whole spectrogram, a cheap scalar proxy
+    /// for signal level used in tests and diagnostics.
+    pub fn mean_energy(&self) -> f64 {
+        let total: f64 = self.frames.iter().flat_map(|f| f.iter()).sum();
+        let count = self.frames.len() * self.mel_channels.max(1);
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+/// Extracts [`LogMelSpectrogram`]s from [`Waveform`]s.
+///
+/// # Example
+///
+/// ```
+/// use specasr_audio::{Corpus, FeatureConfig, FeatureExtractor, Split, Waveform};
+///
+/// let corpus = Corpus::librispeech_like(2, 1);
+/// let wave = Waveform::synthesize(&corpus.split(Split::DevClean)[0]);
+/// let extractor = FeatureExtractor::new(FeatureConfig::tiny());
+/// let mel = extractor.extract(&wave);
+/// assert!(mel.frame_count() > 0);
+/// assert_eq!(mel.mel_channels(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    config: FeatureConfig,
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero mel channels, zero DFT bins, or a
+    /// non-positive frame geometry.
+    pub fn new(config: FeatureConfig) -> Self {
+        assert!(config.mel_channels > 0, "at least one mel channel is required");
+        assert!(config.dft_bins > 1, "at least two DFT bins are required");
+        assert!(config.frame_length_ms > 0.0 && config.frame_hop_ms > 0.0);
+        FeatureExtractor { config }
+    }
+
+    /// The extractor configuration.
+    pub fn config(&self) -> &FeatureConfig {
+        &self.config
+    }
+
+    /// Number of frames a waveform of `duration_seconds` will produce.
+    pub fn frames_for_duration(&self, duration_seconds: f64) -> usize {
+        if duration_seconds <= 0.0 {
+            return 0;
+        }
+        let hop_s = self.config.frame_hop_ms / 1000.0;
+        (duration_seconds / hop_s).floor().max(0.0) as usize
+    }
+
+    /// Extracts the log-mel spectrogram of `waveform`.
+    pub fn extract(&self, waveform: &Waveform) -> LogMelSpectrogram {
+        let sample_rate = waveform.sample_rate() as f64;
+        let frame_len = ((self.config.frame_length_ms / 1000.0) * sample_rate).round() as usize;
+        let frame_hop = ((self.config.frame_hop_ms / 1000.0) * sample_rate).round() as usize;
+        let samples = pre_emphasize(waveform.samples(), self.config.pre_emphasis);
+
+        let mut frames = Vec::new();
+        if frame_len == 0 || frame_hop == 0 {
+            return LogMelSpectrogram {
+                frames,
+                mel_channels: self.config.mel_channels,
+                frame_hop_ms: self.config.frame_hop_ms,
+            };
+        }
+        let window = hann_window(frame_len);
+        let filterbank = mel_filterbank(
+            self.config.mel_channels,
+            self.config.dft_bins,
+            sample_rate,
+        );
+        let mut start = 0;
+        while start + frame_len <= samples.len() {
+            let mut frame: Vec<f64> = samples[start..start + frame_len]
+                .iter()
+                .zip(window.iter())
+                .map(|(s, w)| s * w)
+                .collect();
+            // Zero-pad or truncate to the DFT analysis length.
+            frame.resize(self.config.dft_bins * 2, 0.0);
+            let power = power_spectrum(&frame, self.config.dft_bins);
+            let mel: Vec<f64> = filterbank
+                .iter()
+                .map(|filter| {
+                    let energy: f64 = filter.iter().zip(power.iter()).map(|(f, p)| f * p).sum();
+                    (energy + 1e-10).ln()
+                })
+                .collect();
+            frames.push(mel);
+            start += frame_hop;
+        }
+        LogMelSpectrogram {
+            frames,
+            mel_channels: self.config.mel_channels,
+            frame_hop_ms: self.config.frame_hop_ms,
+        }
+    }
+}
+
+impl Default for FeatureExtractor {
+    fn default() -> Self {
+        FeatureExtractor::new(FeatureConfig::default())
+    }
+}
+
+/// Applies the first-order pre-emphasis filter `y[n] = x[n] - a·x[n-1]`.
+fn pre_emphasize(samples: &[f32], coefficient: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(samples.len());
+    let mut previous = 0.0f64;
+    for &s in samples {
+        let s = s as f64;
+        out.push(s - coefficient * previous);
+        previous = s;
+    }
+    out
+}
+
+/// The Hann window of length `n`.
+fn hann_window(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 0.5 * (1.0 - (std::f64::consts::TAU * i as f64 / n as f64).cos()))
+        .collect()
+}
+
+/// Naive DFT power spectrum over `bins` frequency bins.
+fn power_spectrum(frame: &[f64], bins: usize) -> Vec<f64> {
+    let n = frame.len();
+    (0..bins)
+        .map(|k| {
+            let mut real = 0.0;
+            let mut imag = 0.0;
+            for (i, &x) in frame.iter().enumerate() {
+                let angle = std::f64::consts::TAU * k as f64 * i as f64 / n as f64;
+                real += x * angle.cos();
+                imag -= x * angle.sin();
+            }
+            (real * real + imag * imag) / n as f64
+        })
+        .collect()
+}
+
+/// Converts a frequency in Hz to the mel scale.
+fn hz_to_mel(hz: f64) -> f64 {
+    2595.0 * (1.0 + hz / 700.0).log10()
+}
+
+/// Converts a mel-scale value back to Hz.
+fn mel_to_hz(mel: f64) -> f64 {
+    700.0 * (10f64.powf(mel / 2595.0) - 1.0)
+}
+
+/// Builds a triangular mel filterbank of `channels` filters over `bins`
+/// linear-frequency bins covering 0..sample_rate/2.
+fn mel_filterbank(channels: usize, bins: usize, sample_rate: f64) -> Vec<Vec<f64>> {
+    let max_mel = hz_to_mel(sample_rate / 2.0);
+    let centers: Vec<f64> = (0..channels + 2)
+        .map(|i| mel_to_hz(max_mel * i as f64 / (channels + 1) as f64))
+        .collect();
+    let bin_hz = |bin: usize| bin as f64 * (sample_rate / 2.0) / bins as f64;
+    (0..channels)
+        .map(|c| {
+            let (lo, mid, hi) = (centers[c], centers[c + 1], centers[c + 2]);
+            (0..bins)
+                .map(|b| {
+                    let f = bin_hz(b);
+                    if f <= lo || f >= hi {
+                        0.0
+                    } else if f <= mid {
+                        (f - lo) / (mid - lo).max(1e-9)
+                    } else {
+                        (hi - f) / (hi - mid).max(1e-9)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, Split};
+
+    fn sample_wave() -> Waveform {
+        let corpus = Corpus::librispeech_like(77, 1);
+        Waveform::synthesize(&corpus.split(Split::TestClean)[0])
+    }
+
+    #[test]
+    fn frame_count_matches_duration_prediction() {
+        let wave = sample_wave();
+        let extractor = FeatureExtractor::new(FeatureConfig::tiny());
+        let mel = extractor.extract(&wave);
+        let predicted = extractor.frames_for_duration(wave.duration_seconds());
+        let diff = (mel.frame_count() as i64 - predicted as i64).abs();
+        assert!(diff <= 3, "frame count {} vs predicted {}", mel.frame_count(), predicted);
+    }
+
+    #[test]
+    fn every_frame_has_mel_channels() {
+        let extractor = FeatureExtractor::new(FeatureConfig::tiny());
+        let mel = extractor.extract(&sample_wave());
+        for frame in mel.iter() {
+            assert_eq!(frame.len(), 16);
+            assert!(frame.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn silence_has_lower_energy_than_speech() {
+        let extractor = FeatureExtractor::new(FeatureConfig::tiny());
+        let speech = extractor.extract(&sample_wave());
+        let silence = extractor.extract(&Waveform::from_samples(vec![0.0; 16_000], 16_000));
+        assert!(speech.mean_energy() > silence.mean_energy());
+    }
+
+    #[test]
+    fn hann_window_is_symmetric_and_bounded() {
+        // This is the periodic Hann window (denominator n), symmetric around
+        // n/2: w[i] == w[n - i] for i >= 1.
+        let w = hann_window(64);
+        assert_eq!(w.len(), 64);
+        for (i, &value) in w.iter().enumerate().skip(1) {
+            assert!((value - w[64 - i]).abs() < 1e-9 || 64 - i == 64);
+            assert!((0.0..=1.0).contains(&value));
+        }
+        assert!(w[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_spectrum_detects_dominant_frequency() {
+        // A pure 1 kHz tone at 16 kHz sampled into 256 points: bin resolution
+        // is 16 000 / 512 = 31.25 Hz per DFT index over 256 bins covering the
+        // full rate; the peak must be near k = 1000/ (16000/256) = 16.
+        let n = 256;
+        let tone: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * 1000.0 * i as f64 / 16_000.0).sin())
+            .collect();
+        let spectrum = power_spectrum(&tone, 64);
+        let peak = spectrum
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        assert!((14..=18).contains(&peak), "peak at bin {peak}");
+    }
+
+    #[test]
+    fn mel_scale_round_trips() {
+        for hz in [100.0, 440.0, 1000.0, 4000.0, 7999.0] {
+            assert!((mel_to_hz(hz_to_mel(hz)) - hz).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn filterbank_rows_are_nonnegative_and_peak_once() {
+        let fb = mel_filterbank(8, 32, 16_000.0);
+        assert_eq!(fb.len(), 8);
+        for row in &fb {
+            assert_eq!(row.len(), 32);
+            assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn empty_waveform_yields_no_frames() {
+        let extractor = FeatureExtractor::new(FeatureConfig::tiny());
+        let mel = extractor.extract(&Waveform::from_samples(vec![], 16_000));
+        assert_eq!(mel.frame_count(), 0);
+        assert_eq!(extractor.frames_for_duration(0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mel channel")]
+    fn zero_mel_channels_panics() {
+        FeatureExtractor::new(FeatureConfig {
+            mel_channels: 0,
+            ..FeatureConfig::tiny()
+        });
+    }
+}

@@ -1,0 +1,220 @@
+//! Formant-style waveform synthesis for generated utterances.
+//!
+//! The feature pipeline ([`crate::features`]) and the audio encoder operate on
+//! raw samples, so the corpus needs actual waveforms.  Each word is rendered
+//! as a short "syllable" of mixed sinusoids whose formant frequencies are
+//! derived deterministically from the word text; the split's acoustic
+//! difficulty is injected as additive noise, so noisy splits produce visibly
+//! noisier spectrograms.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::corpus::Utterance;
+
+/// Default sample rate, matching the 16 kHz LibriSpeech recordings.
+pub const DEFAULT_SAMPLE_RATE: u32 = 16_000;
+
+/// A mono waveform with its sample rate.
+///
+/// # Example
+///
+/// ```
+/// use specasr_audio::{Corpus, Split, Waveform};
+///
+/// let corpus = Corpus::librispeech_like(3, 2);
+/// let wave = Waveform::synthesize(&corpus.split(Split::TestClean)[0]);
+/// assert_eq!(wave.sample_rate(), 16_000);
+/// assert!(wave.len() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Waveform {
+    samples: Vec<f32>,
+    sample_rate: u32,
+}
+
+impl Waveform {
+    /// Wraps raw samples at a given sample rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is zero.
+    pub fn from_samples(samples: Vec<f32>, sample_rate: u32) -> Self {
+        assert!(sample_rate > 0, "sample rate must be positive");
+        Waveform { samples, sample_rate }
+    }
+
+    /// Synthesises a waveform for `utterance` at the default 16 kHz rate.
+    pub fn synthesize(utterance: &Utterance) -> Self {
+        Waveform::synthesize_at(utterance, DEFAULT_SAMPLE_RATE)
+    }
+
+    /// Synthesises a waveform for `utterance` at `sample_rate` Hz.
+    ///
+    /// The word timeline divides the utterance duration evenly among words;
+    /// each word contributes three formant sinusoids plus difficulty-scaled
+    /// noise, with a short raised-cosine onset/offset to avoid clicks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is zero.
+    pub fn synthesize_at(utterance: &Utterance, sample_rate: u32) -> Self {
+        assert!(sample_rate > 0, "sample rate must be positive");
+        let total_samples =
+            (utterance.duration_seconds() * sample_rate as f64).round().max(1.0) as usize;
+        let mut samples = vec![0.0f32; total_samples];
+        let words = utterance.words();
+        if words.is_empty() {
+            return Waveform::from_samples(samples, sample_rate);
+        }
+        let samples_per_word = total_samples / words.len();
+        let mut rng = ChaCha8Rng::seed_from_u64(utterance.id().value() ^ WAVE_NOISE_SEED);
+        for (w, word) in words.iter().enumerate() {
+            let start = w * samples_per_word;
+            let end = if w + 1 == words.len() {
+                total_samples
+            } else {
+                start + samples_per_word
+            };
+            let difficulty = utterance.word_difficulties()[w];
+            let formants = word_formants(word);
+            let span = (end - start).max(1);
+            for (i, sample) in samples[start..end].iter_mut().enumerate() {
+                let t = i as f64 / sample_rate as f64;
+                // Raised-cosine envelope over the word duration.
+                let envelope =
+                    0.5 * (1.0 - (std::f64::consts::TAU * i as f64 / span as f64).cos());
+                let mut value = 0.0f64;
+                for (k, &f) in formants.iter().enumerate() {
+                    let amplitude = 0.5 / (k as f64 + 1.0);
+                    value += amplitude * (std::f64::consts::TAU * f * t).sin();
+                }
+                let noise = (rng.gen::<f64>() * 2.0 - 1.0) * difficulty * 0.6;
+                *sample = ((value * envelope + noise) * 0.5) as f32;
+            }
+        }
+        Waveform::from_samples(samples, sample_rate)
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[f32] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if the waveform holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The sample rate in Hz.
+    pub fn sample_rate(&self) -> u32 {
+        self.sample_rate
+    }
+
+    /// Duration in seconds.
+    pub fn duration_seconds(&self) -> f64 {
+        self.samples.len() as f64 / self.sample_rate as f64
+    }
+
+    /// Root-mean-square energy of the waveform.
+    pub fn rms(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let sum_sq: f64 = self.samples.iter().map(|&s| (s as f64) * (s as f64)).sum();
+        (sum_sq / self.samples.len() as f64).sqrt()
+    }
+}
+
+/// Deterministically derives three formant frequencies (Hz) from a word.
+fn word_formants(word: &str) -> [f64; 3] {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in word.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    let f1 = 250.0 + (hash % 500) as f64; // 250–750 Hz
+    let f2 = 900.0 + ((hash >> 16) % 1200) as f64; // 0.9–2.1 kHz
+    let f3 = 2200.0 + ((hash >> 32) % 1200) as f64; // 2.2–3.4 kHz
+    [f1, f2, f3]
+}
+
+/// Seed offset that decorrelates waveform noise from the other per-utterance
+/// random streams (difficulty, speaking rate).
+const WAVE_NOISE_SEED: u64 = 0x57a7_e5ee_d000_0001;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, Split};
+
+    fn sample_utterance() -> Utterance {
+        Corpus::librispeech_like(21, 2).split(Split::TestClean)[0].clone()
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let utt = sample_utterance();
+        assert_eq!(Waveform::synthesize(&utt), Waveform::synthesize(&utt));
+    }
+
+    #[test]
+    fn duration_matches_utterance() {
+        let utt = sample_utterance();
+        let wave = Waveform::synthesize(&utt);
+        assert!((wave.duration_seconds() - utt.duration_seconds()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn samples_are_bounded() {
+        let utt = sample_utterance();
+        let wave = Waveform::synthesize(&utt);
+        for &s in wave.samples() {
+            assert!(s.abs() <= 1.5, "sample {s} out of expected dynamic range");
+        }
+        assert!(wave.rms() > 0.0);
+    }
+
+    #[test]
+    fn noisy_split_has_more_energy_variation() {
+        let corpus = Corpus::librispeech_like(33, 12);
+        let clean_rms: f64 = corpus.split(Split::TestClean).iter()
+            .map(|u| Waveform::synthesize(u).rms()).sum::<f64>() / 12.0;
+        let other_rms: f64 = corpus.split(Split::TestOther).iter()
+            .map(|u| Waveform::synthesize(u).rms()).sum::<f64>() / 12.0;
+        // Additive noise raises total energy on the noisy split.
+        assert!(other_rms > clean_rms * 0.9);
+    }
+
+    #[test]
+    fn formants_are_in_speech_band() {
+        for word in ["the", "recognition", "zzz", "a"] {
+            let [f1, f2, f3] = word_formants(word);
+            assert!((200.0..800.0).contains(&f1));
+            assert!((800.0..2200.0).contains(&f2));
+            assert!((2100.0..3500.0).contains(&f3));
+        }
+    }
+
+    #[test]
+    fn custom_sample_rate_scales_sample_count() {
+        let utt = sample_utterance();
+        let full = Waveform::synthesize_at(&utt, 16_000);
+        let half = Waveform::synthesize_at(&utt, 8_000);
+        let ratio = full.len() as f64 / half.len() as f64;
+        assert!((ratio - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate must be positive")]
+    fn zero_sample_rate_panics() {
+        Waveform::from_samples(vec![0.0], 0);
+    }
+}

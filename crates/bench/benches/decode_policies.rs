@@ -1,0 +1,114 @@
+//! Criterion wall-clock benchmarks of the decoding policies themselves
+//! (implementation throughput, complementary to the simulated-latency
+//! figures): one group per paper experiment family.
+//!
+//! * `tab02/*` — the ablation rows (Whisper pair, test-clean utterance);
+//! * `fig11/*` — the Fig. 11 policies under the Vicuna-13B latency profile;
+//! * `fig07/*` — baseline speculative decoding across prediction lengths;
+//! * `substrate/*` — tokenizer, WER, and tree-mask building blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specasr::{AdaptiveConfig, Policy, SparseTreeConfig, SpeculativeConfig};
+use specasr_audio::Split;
+use specasr_bench::ExperimentContext;
+use specasr_metrics::wer_between;
+use specasr_models::ModelProfile;
+use specasr_runtime::{NodeOrigin, TokenTree, TreeAttentionMask};
+use specasr_tokenizer::TokenId;
+
+fn bench_tab02_policies(c: &mut Criterion) {
+    let context = ExperimentContext::with_size(2);
+    let (draft, target) = context.whisper_pair();
+    let utterance = &context.corpus.split(Split::TestClean)[0];
+    let audio = context.binding.bind(utterance);
+
+    let mut group = c.benchmark_group("tab02");
+    group.sample_size(20);
+    for (label, policy) in [
+        ("baseline_spec_8_1", Policy::Speculative(SpeculativeConfig::short_single())),
+        ("asp", Policy::AdaptiveSingleSequence(AdaptiveConfig::without_recycling())),
+        ("asp_recycle", Policy::AdaptiveSingleSequence(AdaptiveConfig::paper())),
+        ("tsp", Policy::TwoPassSparseTree(SparseTreeConfig::paper())),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| policy.decode(&draft, &target, &audio))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig11_policies(c: &mut Criterion) {
+    let context = ExperimentContext::with_size(2);
+    let (draft, target) = context.llm_pair(&ModelProfile::vicuna_13b());
+    let utterance = &context.corpus.split(Split::TestOther)[0];
+    let audio = context.binding.bind(utterance);
+
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(20);
+    for policy in [
+        Policy::Autoregressive,
+        Policy::Speculative(SpeculativeConfig::long_single()),
+        Policy::AdaptiveSingleSequence(AdaptiveConfig::paper()),
+        Policy::TwoPassSparseTree(SparseTreeConfig::paper()),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(policy.name()), |b| {
+            b.iter(|| policy.decode(&draft, &target, &audio))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig07_prediction_lengths(c: &mut Criterion) {
+    let context = ExperimentContext::with_size(2);
+    let (draft, target) = context.whisper_pair();
+    let utterance = &context.corpus.split(Split::TestClean)[1];
+    let audio = context.binding.bind(utterance);
+
+    let mut group = c.benchmark_group("fig07");
+    group.sample_size(20);
+    for length in [4usize, 8, 16, 24] {
+        let policy = Policy::Speculative(SpeculativeConfig::new(length, 1));
+        group.bench_with_input(BenchmarkId::from_parameter(length), &policy, |b, policy| {
+            b.iter(|| policy.decode(&draft, &target, &audio))
+        });
+    }
+    group.finish();
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let context = ExperimentContext::with_size(2);
+    let utterance = &context.corpus.split(Split::DevClean)[0];
+    let transcript = utterance.transcript().to_owned();
+    let tokenizer = context.binding.tokenizer().clone();
+
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(30);
+    group.bench_function("tokenizer_encode", |b| {
+        b.iter(|| tokenizer.encode(&transcript).expect("encode"))
+    });
+    let hypothesis = format!("{} extra words", transcript);
+    group.bench_function("wer_alignment", |b| {
+        b.iter(|| wer_between(&transcript, &hypothesis))
+    });
+    group.bench_function("tree_mask_64_nodes", |b| {
+        b.iter(|| {
+            let mut tree = TokenTree::new();
+            let mut tip = tree.push_root(TokenId::new(10), 0.9, NodeOrigin::Trunk);
+            for i in 0..63u32 {
+                let origin = if i % 7 == 0 { NodeOrigin::Branch } else { NodeOrigin::Trunk };
+                tip = tree.push_child(tip, TokenId::new(11 + i), 0.8, origin);
+            }
+            TreeAttentionMask::from_tree(&tree)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tab02_policies,
+    bench_fig11_policies,
+    bench_fig07_prediction_lengths,
+    bench_substrates
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Extra ablations called out in DESIGN.md §5 (beyond the paper's figures):
+//! sparse-tree branch width (top-k), maximum prediction length, and recycling
+//! on/off at a fixed policy, all on test-clean with the Whisper pair.
+
+use specasr::{AdaptiveConfig, Policy, SparseTreeConfig};
+use specasr_audio::Split;
+use specasr_bench::{emit, run_policy_on_split, ExperimentContext};
+use specasr_metrics::{ExperimentRecord, ReportRow};
+
+fn main() {
+    let context = ExperimentContext::standard();
+    let (draft, target) = context.whisper_pair();
+    let split = Split::TestClean;
+
+    // (1) Sparse-tree branch width.
+    let mut widths = ExperimentRecord::new(
+        "ablation_topk",
+        "Sparse-tree branch width (top-k) sweep on test-clean",
+    );
+    for top_k in 2..=4usize {
+        let run = run_policy_on_split(
+            &context,
+            &draft,
+            &target,
+            split,
+            Policy::TwoPassSparseTree(SparseTreeConfig::paper().with_top_k(top_k)),
+        );
+        widths.push_row(
+            ReportRow::new(format!("top-{top_k}"))
+                .with("decode_ms_per_10s", run.per_10s().decode_ms())
+                .with("draft_ms_per_10s", run.per_10s().draft_ms)
+                .with("target_ms_per_10s", run.per_10s().target_ms)
+                .with("accepted_per_round", run.stats.accepted_per_round()),
+        );
+    }
+    emit(&widths);
+
+    // (2) Maximum prediction length.
+    let mut lengths = ExperimentRecord::new(
+        "ablation_max_length",
+        "Maximum prediction length sweep for adaptive single-sequence prediction",
+    );
+    for max_length in [8usize, 16, 24, 32] {
+        let run = run_policy_on_split(
+            &context,
+            &draft,
+            &target,
+            split,
+            Policy::AdaptiveSingleSequence(AdaptiveConfig::paper().with_max_length(max_length)),
+        );
+        lengths.push_row(
+            ReportRow::new(format!("max length {max_length}"))
+                .with("decode_ms_per_10s", run.per_10s().decode_ms())
+                .with("rounds", run.stats.rounds as f64)
+                .with("acceptance_ratio", run.stats.acceptance_ratio()),
+        );
+    }
+    emit(&lengths);
+
+    // (3) Recycling on/off.
+    let mut recycling = ExperimentRecord::new(
+        "ablation_recycling",
+        "Draft sequence recycling on/off at fixed adaptive configuration",
+    );
+    for (label, config) in [
+        ("recycling off", AdaptiveConfig::without_recycling()),
+        ("recycling on", AdaptiveConfig::paper()),
+    ] {
+        let run = run_policy_on_split(
+            &context,
+            &draft,
+            &target,
+            split,
+            Policy::AdaptiveSingleSequence(config),
+        );
+        recycling.push_row(
+            ReportRow::new(label)
+                .with("draft_ms_per_10s", run.per_10s().draft_ms)
+                .with("target_ms_per_10s", run.per_10s().target_ms)
+                .with("decode_ms_per_10s", run.per_10s().decode_ms())
+                .with("recycled_tokens", run.stats.recycled_tokens as f64)
+                .with("draft_steps", run.stats.draft_steps as f64),
+        );
+    }
+    emit(&recycling);
+}

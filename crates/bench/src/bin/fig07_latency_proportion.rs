@@ -1,0 +1,51 @@
+//! Fig. 7 — share of decoding latency contributed by draft prediction vs
+//! target verification, as the prediction length and the draft/target size
+//! ratio vary (LibriSpeech test-clean).
+//!
+//! Longer drafts shift the bottleneck towards the draft model; larger target
+//! models shift it back towards verification — Observation 3 of the paper,
+//! and the reason SpecASR needs both ASP and TSP.
+
+use specasr::{Policy, SpeculativeConfig};
+use specasr_audio::Split;
+use specasr_bench::{emit, run_policy_on_split, ExperimentContext};
+use specasr_metrics::{ExperimentRecord, ReportRow};
+use specasr_models::ModelProfile;
+
+fn main() {
+    let context = ExperimentContext::standard();
+    let pairs = [
+        ("tiny→medium", None),
+        ("tinyllama→llama-7b", Some(ModelProfile::llama_7b())),
+        ("tinyllama→vicuna-13b", Some(ModelProfile::vicuna_13b())),
+    ];
+    let mut record = ExperimentRecord::new(
+        "fig07",
+        "Draft vs target share of decoding latency on test-clean",
+    );
+
+    for (pair_label, llm) in pairs {
+        let (draft, target) = match &llm {
+            None => context.whisper_pair(),
+            Some(profile) => context.llm_pair(profile),
+        };
+        for prediction_length in [2usize, 4, 8, 16, 24] {
+            let run = run_policy_on_split(
+                &context,
+                &draft,
+                &target,
+                Split::TestClean,
+                Policy::Speculative(SpeculativeConfig::new(prediction_length, 1)),
+            );
+            let total = run.latency.decode_ms();
+            record.push_row(
+                ReportRow::new(format!("{pair_label}, length {prediction_length}"))
+                    .with("draft_share", run.latency.draft_ms / total)
+                    .with("target_share", run.latency.target_ms / total)
+                    .with("decode_ms_per_10s", run.per_10s().decode_ms()),
+            );
+        }
+    }
+    emit(&record);
+    println!("shape check: the draft share grows with the prediction length and shrinks as the target model gets larger.");
+}

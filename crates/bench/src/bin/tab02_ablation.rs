@@ -1,0 +1,51 @@
+//! Tab. II — ablation study: average decoding latency per 10 s of audio on
+//! LibriSpeech test-clean under the Whisper tiny.en → medium.en pair, adding
+//! the SpecASR techniques one at a time.
+//!
+//! Paper reference values (ms per 10 s): baseline speculative 231/254/486,
+//! + adaptive single-sequence 236/191/427, + draft recycling 189/200/389,
+//! + two-pass sparse-tree 245/123/368.  The reproduction is expected to match
+//! the *ordering and the direction of every delta*, not the absolute numbers.
+
+use specasr::{AdaptiveConfig, Policy, SparseTreeConfig, SpeculativeConfig};
+use specasr_audio::Split;
+use specasr_bench::{emit, run_policy_on_split, ExperimentContext};
+use specasr_metrics::{ExperimentRecord, ReportRow};
+
+fn main() {
+    let context = ExperimentContext::standard();
+    let (draft, target) = context.whisper_pair();
+    let rows = [
+        ("baseline speculative", Policy::Speculative(SpeculativeConfig::short_single())),
+        (
+            "+ adaptive single-sequence prediction",
+            Policy::AdaptiveSingleSequence(AdaptiveConfig::without_recycling()),
+        ),
+        (
+            "+ draft sequence recycling",
+            Policy::AdaptiveSingleSequence(AdaptiveConfig::paper()),
+        ),
+        (
+            "+ two-pass sparse-tree prediction",
+            Policy::TwoPassSparseTree(SparseTreeConfig::paper()),
+        ),
+    ];
+
+    let mut record = ExperimentRecord::new(
+        "tab02",
+        "Ablation: decoding latency per 10 s of audio on test-clean (Whisper tiny.en → medium.en)",
+    );
+    for (label, policy) in rows {
+        let run = run_policy_on_split(&context, &draft, &target, Split::TestClean, policy);
+        let per_10s = run.per_10s();
+        record.push_row(
+            ReportRow::new(label)
+                .with("draft_ms", per_10s.draft_ms)
+                .with("target_ms", per_10s.target_ms)
+                .with("total_ms", per_10s.decode_ms())
+                .with("wer_percent", run.wer.wer() * 100.0),
+        );
+    }
+    emit(&record);
+    println!("shape check: total decreases monotonically; ASP cuts target time, recycling cuts draft time, TSP cuts target time the most.");
+}

@@ -1,0 +1,226 @@
+//! Shared harness for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` reproduces one figure or table of the paper:
+//! it builds an [`ExperimentContext`], sweeps the relevant configurations
+//! with [`run_policy_on_split`], prints the rows/series the paper reports,
+//! and writes a JSON record under `target/experiments/` via [`emit`].
+//!
+//! Run all of them with `scripts`-free cargo commands, e.g.:
+//!
+//! ```text
+//! cargo run -p specasr-bench --release --bin fig11_speedup_comparison
+//! cargo run -p specasr-bench --release --bin tab02_ablation
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use specasr::{DecodeStats, Policy};
+use specasr_audio::{Corpus, Split};
+use specasr_metrics::{wer_between, ExperimentRecord, WerMeasurement};
+use specasr_models::{
+    LatencyBreakdown, ModelProfile, SimulatedAsrModel, TokenizerBinding,
+};
+
+/// Default number of utterances generated per split for the harness binaries.
+pub const DEFAULT_UTTERANCES_PER_SPLIT: usize = 24;
+
+/// Base seed shared by every experiment so the whole evaluation is
+/// reproducible end to end.
+pub const EXPERIMENT_SEED: u64 = 2025_0610;
+
+/// Corpus + tokenizer shared by one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// The synthetic LibriSpeech-like corpus.
+    pub corpus: Corpus,
+    /// Tokenizer binding trained on the corpus.
+    pub binding: TokenizerBinding,
+    /// The seed everything was derived from.
+    pub seed: u64,
+}
+
+impl ExperimentContext {
+    /// Builds the standard experiment context.
+    pub fn standard() -> Self {
+        ExperimentContext::with_size(DEFAULT_UTTERANCES_PER_SPLIT)
+    }
+
+    /// Builds a context with a custom number of utterances per split.
+    pub fn with_size(utterances_per_split: usize) -> Self {
+        let seed = EXPERIMENT_SEED;
+        let corpus = Corpus::librispeech_like(seed, utterances_per_split);
+        let binding = TokenizerBinding::for_corpus(&corpus);
+        ExperimentContext {
+            corpus,
+            binding,
+            seed,
+        }
+    }
+
+    /// The Whisper tiny.en → medium.en pair the paper records trajectories
+    /// with.
+    pub fn whisper_pair(&self) -> (SimulatedAsrModel, SimulatedAsrModel) {
+        let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), self.seed ^ 0x71);
+        let draft = SimulatedAsrModel::draft_paired(
+            ModelProfile::whisper_tiny_en(),
+            self.seed ^ 0x72,
+            &target,
+        );
+        (draft, target)
+    }
+
+    /// The TinyLlama → `llm_target` replay pair used for Fig. 11: token
+    /// decisions follow the Whisper-pair behaviour while latency follows the
+    /// LLM profiles, exactly as the paper's replay methodology does.
+    pub fn llm_pair(&self, llm_target: &ModelProfile) -> (SimulatedAsrModel, SimulatedAsrModel) {
+        let target = SimulatedAsrModel::target(
+            ModelProfile::whisper_medium_en().with_latency(llm_target.latency().clone()),
+            self.seed ^ 0x71,
+        );
+        let draft = SimulatedAsrModel::draft_paired(
+            ModelProfile::whisper_tiny_en()
+                .with_latency(ModelProfile::tiny_llama_1b().latency().clone()),
+            self.seed ^ 0x72,
+            &target,
+        );
+        (draft, target)
+    }
+}
+
+/// Pooled results of decoding one split with one policy.
+#[derive(Debug, Clone, Default)]
+pub struct SplitRun {
+    /// Accumulated simulated latency.
+    pub latency: LatencyBreakdown,
+    /// Pooled round statistics.
+    pub stats: DecodeStats,
+    /// Pooled word-error-rate counts against the reference transcripts.
+    pub wer: WerMeasurement,
+    /// Total audio seconds decoded.
+    pub audio_seconds: f64,
+    /// Total output tokens produced.
+    pub output_tokens: usize,
+}
+
+impl SplitRun {
+    /// Decoder latency normalised per 10 s of audio (the unit of Tab. II).
+    pub fn per_10s(&self) -> LatencyBreakdown {
+        if self.audio_seconds <= 0.0 {
+            return LatencyBreakdown::default();
+        }
+        self.latency.scaled(10.0 / self.audio_seconds)
+    }
+
+    /// Speedup of this run relative to `reference` (decoder time only).
+    pub fn speedup_over(&self, reference: &SplitRun) -> f64 {
+        if self.latency.decode_ms() <= 0.0 {
+            return 0.0;
+        }
+        reference.latency.decode_ms() / self.latency.decode_ms()
+    }
+}
+
+/// Decodes every utterance of `split` with `policy` and pools the results.
+pub fn run_policy_on_split(
+    context: &ExperimentContext,
+    draft: &SimulatedAsrModel,
+    target: &SimulatedAsrModel,
+    split: Split,
+    policy: Policy,
+) -> SplitRun {
+    let mut run = SplitRun::default();
+    for utterance in context.corpus.split(split) {
+        let audio = context.binding.bind(utterance);
+        let outcome = policy.decode(draft, target, &audio);
+        run.latency.accumulate(&outcome.latency());
+        run.stats.merge(&outcome.stats);
+        run.audio_seconds += utterance.duration_seconds();
+        run.output_tokens += outcome.tokens.len();
+        let hypothesis = context
+            .binding
+            .tokenizer()
+            .decode(&outcome.tokens)
+            .expect("transcript tokens decode");
+        run.wer
+            .accumulate(&wer_between(utterance.transcript(), &hypothesis));
+    }
+    run
+}
+
+/// The directory experiment JSON records are written to.
+pub fn experiments_dir() -> PathBuf {
+    let target_dir = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned());
+    PathBuf::from(target_dir).join("experiments")
+}
+
+/// Prints an experiment record as a table and writes its JSON file.
+pub fn emit(record: &ExperimentRecord) {
+    println!("{}", record.to_table());
+    match record.write_json(experiments_dir()) {
+        Ok(path) => println!("(json record written to {})", path.display()),
+        Err(error) => eprintln!("warning: could not write JSON record: {error}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specasr::SpeculativeConfig;
+
+    #[test]
+    fn context_is_reproducible() {
+        let a = ExperimentContext::with_size(2);
+        let b = ExperimentContext::with_size(2);
+        assert_eq!(a.corpus, b.corpus);
+        assert_eq!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn split_runs_pool_latency_and_wer() {
+        let context = ExperimentContext::with_size(2);
+        let (draft, target) = context.whisper_pair();
+        let run = run_policy_on_split(
+            &context,
+            &draft,
+            &target,
+            Split::TestClean,
+            Policy::Speculative(SpeculativeConfig::short_single()),
+        );
+        assert!(run.audio_seconds > 0.0);
+        assert!(run.latency.decode_ms() > 0.0);
+        assert!(run.output_tokens > 0);
+        assert!(run.per_10s().decode_ms() > 0.0);
+        assert!(run.wer.wer() < 0.5);
+    }
+
+    #[test]
+    fn speedup_is_relative_to_the_reference() {
+        let context = ExperimentContext::with_size(2);
+        let (draft, target) = context.whisper_pair();
+        let ar = run_policy_on_split(&context, &draft, &target, Split::TestClean, Policy::Autoregressive);
+        let spec = run_policy_on_split(
+            &context,
+            &draft,
+            &target,
+            Split::TestClean,
+            Policy::Speculative(SpeculativeConfig::short_single()),
+        );
+        assert!(spec.speedup_over(&ar) > 1.0);
+        assert!((ar.speedup_over(&ar) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn llm_pair_changes_latency_but_not_decisions() {
+        let context = ExperimentContext::with_size(1);
+        let (wd, wt) = context.whisper_pair();
+        let (ld, lt) = context.llm_pair(&ModelProfile::vicuna_13b());
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        let whisper = run_policy_on_split(&context, &wd, &wt, Split::DevClean, policy);
+        let llm = run_policy_on_split(&context, &ld, &lt, Split::DevClean, policy);
+        assert_eq!(whisper.output_tokens, llm.output_tokens);
+        assert!(llm.latency.decode_ms() > whisper.latency.decode_ms());
+    }
+}

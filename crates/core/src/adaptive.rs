@@ -1,0 +1,263 @@
+//! Adaptive single-sequence prediction (ASP) with draft sequence recycling —
+//! the first two SpecASR techniques.
+//!
+//! The draft model speculates a *long* sequence (up to 24 tokens) but
+//! truncates early whenever the normalised top-1 logit of a drafted token
+//! falls below the truncation threshold: a low logit is strongly correlated
+//! with verification failure, so drafting past it would mostly be wasted.
+//! When verification rejects a suffix, the rejected tokens are retained and
+//! merged back into the next round's draft ([`crate::RecycleBuffer`]),
+//! which removes most of the regeneration cost.
+
+use specasr_models::{AsrDecoderModel, DecodeClock, UtteranceTokens};
+use specasr_runtime::KvCache;
+use specasr_tokenizer::TokenId;
+
+use crate::config::AdaptiveConfig;
+use crate::outcome::DecodeOutcome;
+use crate::recycle::{run_draft_phase, RecycleBuffer};
+use crate::round::commit_round;
+use crate::stats::{DecodeStats, RoundRecord};
+use crate::verify::verify_sequence;
+
+/// SpecASR's adaptive single-sequence decoder.
+///
+/// # Example
+///
+/// ```
+/// use specasr::{AdaptiveConfig, AdaptiveDecoder};
+/// use specasr_audio::{Corpus, Split};
+/// use specasr_models::{AsrDecoderModel, ModelProfile, SimulatedAsrModel, TokenizerBinding};
+///
+/// let corpus = Corpus::librispeech_like(1, 1);
+/// let binding = TokenizerBinding::for_corpus(&corpus);
+/// let audio = binding.bind(&corpus.split(Split::TestClean)[0]);
+/// let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 7);
+/// let draft = SimulatedAsrModel::draft_paired(ModelProfile::whisper_tiny_en(), 8, &target);
+///
+/// let outcome = AdaptiveDecoder::new(AdaptiveConfig::paper()).decode(&draft, &target, &audio);
+/// assert_eq!(outcome.tokens, target.greedy_transcript(&audio)); // lossless
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveDecoder {
+    config: AdaptiveConfig,
+}
+
+impl AdaptiveDecoder {
+    /// Creates a decoder with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`AdaptiveConfig::validate`]).
+    pub fn new(config: AdaptiveConfig) -> Self {
+        config.validate();
+        AdaptiveDecoder { config }
+    }
+
+    /// The decoder configuration.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    /// Decodes `audio`, drafting with `draft` and verifying with `target`.
+    pub fn decode<D, T>(&self, draft: &D, target: &T, audio: &UtteranceTokens) -> DecodeOutcome
+    where
+        D: AsrDecoderModel + ?Sized,
+        T: AsrDecoderModel + ?Sized,
+    {
+        let mut clock = DecodeClock::new();
+        let mut stats = DecodeStats::new();
+        let mut draft_cache = KvCache::new();
+        let mut target_cache = KvCache::new();
+        draft_cache.prefill(audio.prefill_tokens());
+        target_cache.prefill(audio.prefill_tokens());
+
+        let cap = audio.len() * 2 + 16;
+        let mut tokens: Vec<TokenId> = Vec::with_capacity(audio.len() + 1);
+        let mut recycle = RecycleBuffer::new();
+        let mut finished = false;
+
+        while !finished {
+            // Draft phase: adaptive-length speculation, merging the recycled
+            // suffix from the previous round when enabled.
+            let retained: &[TokenId] = if self.config.recycling {
+                recycle.tokens()
+            } else {
+                &[]
+            };
+            let phase = run_draft_phase(
+                draft,
+                audio,
+                &tokens,
+                retained,
+                self.config.max_prediction_length,
+                self.config.truncation_threshold,
+                true,
+                self.config.merge_offset,
+                &mut clock,
+            );
+            let draft_tokens = phase.token_ids();
+
+            // Verify phase: one target pass over the draft sequence.
+            let verification = verify_sequence(target, audio, &tokens, &draft_tokens);
+            clock.charge_target(target.profile().latency(), draft_tokens.len().max(1));
+
+            // Retain the rejected suffix for the next round.
+            recycle = if verification.all_accepted {
+                RecycleBuffer::new()
+            } else {
+                RecycleBuffer::from_rejected(&draft_tokens, verification.accepted_len())
+            };
+
+            // KV bookkeeping.
+            draft_cache.append(draft_tokens.len());
+            target_cache.append(draft_tokens.len());
+            finished = commit_round(
+                &mut tokens,
+                &verification.accepted,
+                verification.correction,
+                audio.eos(),
+                cap,
+                &mut stats,
+            );
+            let committed = audio.prefill_tokens() + tokens.len();
+            draft_cache.rollback_to(committed.min(draft_cache.len()));
+            target_cache.rollback_to(committed.min(target_cache.len()));
+
+            stats.record_round(RoundRecord {
+                predicted: draft_tokens.len(),
+                accepted: verification.accepted_len(),
+                draft_steps: phase.steps,
+                tree_size: draft_tokens.len(),
+                recycled: phase.recycled,
+                truncated: phase.truncated,
+            });
+            if stats.rounds >= cap {
+                break;
+            }
+        }
+
+        DecodeOutcome {
+            tokens,
+            stats,
+            clock,
+            draft_cache,
+            target_cache,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SpeculativeConfig;
+    use crate::speculative::SpeculativeDecoder;
+    use specasr_audio::{Corpus, Split};
+    use specasr_models::{ModelProfile, SimulatedAsrModel, TokenizerBinding};
+
+    fn setup(split: Split) -> (SimulatedAsrModel, SimulatedAsrModel, Vec<UtteranceTokens>) {
+        let corpus = Corpus::librispeech_like(31, 8);
+        let binding = TokenizerBinding::for_corpus(&corpus);
+        let audio = binding.bind_all(corpus.split(split));
+        let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 7);
+        let draft = SimulatedAsrModel::draft_paired(ModelProfile::whisper_tiny_en(), 8, &target);
+        (draft, target, audio)
+    }
+
+    #[test]
+    fn adaptive_decoding_is_lossless() {
+        let (draft, target, audio) = setup(Split::TestOther);
+        for config in [AdaptiveConfig::paper(), AdaptiveConfig::without_recycling()] {
+            let decoder = AdaptiveDecoder::new(config);
+            for utt in &audio {
+                assert_eq!(
+                    decoder.decode(&draft, &target, utt).tokens,
+                    target.greedy_transcript(utt)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_prediction_needs_fewer_rounds_than_the_baseline() {
+        let (draft, target, audio) = setup(Split::TestClean);
+        let baseline = SpeculativeDecoder::new(SpeculativeConfig::short_single());
+        let adaptive = AdaptiveDecoder::new(AdaptiveConfig::without_recycling());
+        let mut baseline_rounds = 0usize;
+        let mut adaptive_rounds = 0usize;
+        for utt in &audio {
+            baseline_rounds += baseline.decode(&draft, &target, utt).stats.rounds;
+            adaptive_rounds += adaptive.decode(&draft, &target, utt).stats.rounds;
+        }
+        assert!(
+            adaptive_rounds < baseline_rounds,
+            "adaptive rounds ({adaptive_rounds}) should undercut baseline rounds ({baseline_rounds})"
+        );
+    }
+
+    #[test]
+    fn adaptive_prediction_improves_the_acceptance_ratio() {
+        let (draft, target, audio) = setup(Split::TestClean);
+        let baseline = SpeculativeDecoder::new(SpeculativeConfig::long_single());
+        let adaptive = AdaptiveDecoder::new(AdaptiveConfig::without_recycling());
+        let mut baseline_stats = DecodeStats::new();
+        let mut adaptive_stats = DecodeStats::new();
+        for utt in &audio {
+            baseline_stats.merge(&baseline.decode(&draft, &target, utt).stats);
+            adaptive_stats.merge(&adaptive.decode(&draft, &target, utt).stats);
+        }
+        assert!(
+            adaptive_stats.acceptance_ratio() > baseline_stats.acceptance_ratio(),
+            "adaptive acceptance ({:.3}) should exceed baseline acceptance ({:.3})",
+            adaptive_stats.acceptance_ratio(),
+            baseline_stats.acceptance_ratio()
+        );
+        assert!(adaptive_stats.truncations > 0, "the threshold should fire on noisy audio");
+    }
+
+    #[test]
+    fn recycling_reduces_draft_latency() {
+        let (draft, target, audio) = setup(Split::TestOther);
+        let without = AdaptiveDecoder::new(AdaptiveConfig::without_recycling());
+        let with = AdaptiveDecoder::new(AdaptiveConfig::paper());
+        let mut draft_ms_without = 0.0;
+        let mut draft_ms_with = 0.0;
+        let mut recycled = 0usize;
+        for utt in &audio {
+            draft_ms_without += without.decode(&draft, &target, utt).latency().draft_ms;
+            let outcome = with.decode(&draft, &target, utt);
+            draft_ms_with += outcome.latency().draft_ms;
+            recycled += outcome.stats.recycled_tokens;
+        }
+        assert!(recycled > 0, "recycling should adopt at least some tokens on noisy audio");
+        assert!(
+            draft_ms_with < draft_ms_without,
+            "recycling draft time ({draft_ms_with:.1} ms) should undercut non-recycling ({draft_ms_without:.1} ms)"
+        );
+    }
+
+    #[test]
+    fn extreme_thresholds_behave_sensibly() {
+        let (draft, target, audio) = setup(Split::TestClean);
+        let utt = &audio[0];
+        // Threshold 0: never truncate → behaves like fixed length-24 drafting.
+        let never = AdaptiveDecoder::new(AdaptiveConfig::paper().with_threshold(0.0))
+            .decode(&draft, &target, utt);
+        assert_eq!(never.stats.truncations, 0);
+        // Threshold 1: truncate after every token → degenerates towards
+        // one-token drafts but stays lossless.
+        let always = AdaptiveDecoder::new(AdaptiveConfig::paper().with_threshold(1.0))
+            .decode(&draft, &target, utt);
+        assert_eq!(always.tokens, target.greedy_transcript(utt));
+        assert!(always.stats.rounds >= never.stats.rounds);
+    }
+
+    #[test]
+    fn draft_steps_match_clock_passes() {
+        let (draft, target, audio) = setup(Split::DevOther);
+        let outcome = AdaptiveDecoder::new(AdaptiveConfig::paper()).decode(&draft, &target, &audio[0]);
+        assert_eq!(outcome.stats.draft_steps as u64, outcome.clock.draft_passes());
+        assert_eq!(outcome.stats.rounds as u64, outcome.clock.target_passes());
+    }
+}

@@ -1,0 +1,136 @@
+//! Plain autoregressive decoding with the target model (the paper's first
+//! baseline and the reference output every speculative policy must match).
+
+use specasr_models::{AsrDecoderModel, DecodeClock, UtteranceTokens};
+use specasr_runtime::KvCache;
+
+use crate::outcome::DecodeOutcome;
+use crate::stats::{DecodeStats, RoundRecord};
+
+/// Decodes with the target model only, one forward pass per output token.
+///
+/// # Example
+///
+/// ```
+/// use specasr::AutoregressiveDecoder;
+/// use specasr_audio::{Corpus, Split};
+/// use specasr_models::{ModelProfile, SimulatedAsrModel, TokenizerBinding};
+///
+/// let corpus = Corpus::librispeech_like(1, 1);
+/// let binding = TokenizerBinding::for_corpus(&corpus);
+/// let audio = binding.bind(&corpus.split(Split::TestClean)[0]);
+/// let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 7);
+///
+/// let outcome = AutoregressiveDecoder::new().decode(&target, &audio);
+/// assert_eq!(outcome.stats.rounds, outcome.tokens.len() + 1); // one pass per token + EOS
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AutoregressiveDecoder;
+
+impl AutoregressiveDecoder {
+    /// Creates the decoder.
+    pub fn new() -> Self {
+        AutoregressiveDecoder
+    }
+
+    /// Decodes `audio` with `target`.
+    ///
+    /// Latency accounting: one target forward pass (of one token) per emitted
+    /// token, including the final pass that emits EOS.  Prefill is tracked in
+    /// the KV cache but not charged to the clock, so that policy comparisons
+    /// isolate the decoding cost exactly as the paper's figures do.
+    pub fn decode<M>(&self, target: &M, audio: &UtteranceTokens) -> DecodeOutcome
+    where
+        M: AsrDecoderModel + ?Sized,
+    {
+        let mut clock = DecodeClock::new();
+        let mut stats = DecodeStats::new();
+        let mut target_cache = KvCache::new();
+        target_cache.prefill(audio.prefill_tokens());
+
+        let cap = audio.len() * 2 + 16;
+        let mut tokens = Vec::with_capacity(audio.len() + 1);
+        loop {
+            let next = target.greedy_token(audio, &tokens);
+            clock.charge_target(target.profile().latency(), 1);
+            target_cache.append(1);
+            stats.record_round(RoundRecord {
+                predicted: 0,
+                accepted: 0,
+                draft_steps: 0,
+                tree_size: 1,
+                recycled: 0,
+                truncated: false,
+            });
+            stats.record_correction();
+            if next == audio.eos() || tokens.len() >= cap {
+                break;
+            }
+            tokens.push(next);
+        }
+
+        DecodeOutcome {
+            tokens,
+            stats,
+            clock,
+            draft_cache: KvCache::new(),
+            target_cache,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specasr_audio::{Corpus, Split};
+    use specasr_models::{ModelProfile, SimulatedAsrModel, TokenizerBinding};
+
+    fn setup() -> (SimulatedAsrModel, Vec<UtteranceTokens>) {
+        let corpus = Corpus::librispeech_like(19, 4);
+        let binding = TokenizerBinding::for_corpus(&corpus);
+        let audio = binding.bind_all(corpus.split(Split::TestClean));
+        let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 7);
+        (target, audio)
+    }
+
+    #[test]
+    fn output_matches_the_target_greedy_transcript() {
+        let (target, audio) = setup();
+        for utt in &audio {
+            let outcome = AutoregressiveDecoder::new().decode(&target, utt);
+            assert_eq!(outcome.tokens, target.greedy_transcript(utt));
+        }
+    }
+
+    #[test]
+    fn one_target_pass_per_token_plus_eos() {
+        let (target, audio) = setup();
+        let outcome = AutoregressiveDecoder::new().decode(&target, &audio[0]);
+        assert_eq!(outcome.clock.target_passes() as usize, outcome.tokens.len() + 1);
+        assert_eq!(outcome.clock.draft_passes(), 0);
+        assert_eq!(outcome.stats.rounds, outcome.tokens.len() + 1);
+        assert_eq!(outcome.stats.correction_tokens, outcome.tokens.len() + 1);
+    }
+
+    #[test]
+    fn latency_is_linear_in_output_length() {
+        let (target, audio) = setup();
+        let per_pass = target.profile().latency().forward_pass_ms(1);
+        let outcome = AutoregressiveDecoder::new().decode(&target, &audio[1]);
+        let expected = per_pass * (outcome.tokens.len() + 1) as f64;
+        assert!((outcome.clock.breakdown().target_ms - expected).abs() < 1e-9);
+        assert_eq!(outcome.clock.breakdown().draft_ms, 0.0);
+    }
+
+    #[test]
+    fn kv_cache_tracks_prefill_and_generation() {
+        let (target, audio) = setup();
+        let outcome = AutoregressiveDecoder::new().decode(&target, &audio[2]);
+        assert_eq!(outcome.target_cache.prefill_len(), audio[2].prefill_tokens());
+        assert_eq!(
+            outcome.target_cache.generated_len(),
+            outcome.tokens.len() + 1
+        );
+        assert!(outcome.draft_cache.is_empty());
+    }
+}

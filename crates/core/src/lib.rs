@@ -1,0 +1,81 @@
+//! SpecASR: speculative decoding policies specialised for LLM-based ASR.
+//!
+//! This crate is the paper's primary contribution: a family of decoding
+//! policies that accelerate the LLM decoder of an ASR system without changing
+//! its output (lossless acceleration).  Every policy is written against the
+//! [`specasr_models::AsrDecoderModel`] trait, so the simulated models used in
+//! this reproduction and a real neural backend are interchangeable.
+//!
+//! # Policies
+//!
+//! * [`AutoregressiveDecoder`] — the target model decodes one token per
+//!   forward pass (the paper's first baseline),
+//! * [`SpeculativeDecoder`] — classic draft-then-verify speculative decoding
+//!   with a fixed prediction length and optional beams (the `(8, 1)`,
+//!   `(16, 1)`, `(8, 2)` baselines),
+//! * [`AdaptiveDecoder`] — SpecASR's **adaptive single-sequence prediction**:
+//!   draft up to 24 tokens but truncate early when the normalised top-1 logit
+//!   falls below a threshold, with optional **draft sequence recycling** of
+//!   rejected suffixes,
+//! * [`SparseTreeDecoder`] — SpecASR's **two-pass sparse-tree prediction**:
+//!   a greedy main trunk plus sparse top-k side branches at uncertain
+//!   positions, verified in one pass with a 2-D tree attention mask.
+//!
+//! The [`Policy`] enum names each configuration and dispatches to the right
+//! decoder, which is what the benchmark harness sweeps over.
+//!
+//! # Losslessness
+//!
+//! Every policy produces exactly the target model's greedy transcription.
+//! This invariant is enforced by unit, integration, and property-based tests
+//! (`tests/` at the workspace root), and is the reason speculative decoding
+//! may be compared at *iso-accuracy* in the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use specasr::{AdaptiveConfig, AdaptiveDecoder, AutoregressiveDecoder};
+//! use specasr_audio::{Corpus, Split};
+//! use specasr_models::{ModelProfile, SimulatedAsrModel, TokenizerBinding};
+//!
+//! let corpus = Corpus::librispeech_like(1, 1);
+//! let binding = TokenizerBinding::for_corpus(&corpus);
+//! let audio = binding.bind(&corpus.split(Split::TestClean)[0]);
+//!
+//! let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 7);
+//! let draft = SimulatedAsrModel::draft_paired(ModelProfile::whisper_tiny_en(), 8, &target);
+//!
+//! let reference = AutoregressiveDecoder::new().decode(&target, &audio);
+//! let accelerated = AdaptiveDecoder::new(AdaptiveConfig::default()).decode(&draft, &target, &audio);
+//!
+//! assert_eq!(reference.tokens, accelerated.tokens); // lossless
+//! assert!(accelerated.clock.breakdown().decode_ms() < reference.clock.breakdown().decode_ms());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+mod autoregressive;
+mod config;
+mod outcome;
+mod pipeline;
+mod policy;
+mod recycle;
+mod round;
+mod sparse_tree;
+mod speculative;
+mod stats;
+mod verify;
+
+pub use adaptive::AdaptiveDecoder;
+pub use autoregressive::AutoregressiveDecoder;
+pub use config::{AdaptiveConfig, SparseTreeConfig, SpeculativeConfig};
+pub use outcome::DecodeOutcome;
+pub use pipeline::{AsrPipeline, PipelineOutput};
+pub use policy::{FeatureRow, Policy, Rating};
+pub use recycle::RecycleBuffer;
+pub use sparse_tree::SparseTreeDecoder;
+pub use speculative::SpeculativeDecoder;
+pub use stats::{DecodeStats, RoundRecord};
+pub use verify::{verify_sequence, verify_tree, SequenceVerification, TreeVerification};

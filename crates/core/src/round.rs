@@ -1,0 +1,86 @@
+//! Shared commit logic for one speculative round.
+
+use specasr_tokenizer::TokenId;
+
+use crate::stats::DecodeStats;
+
+/// Appends the accepted draft tokens and the target's correction token to the
+/// committed transcript, handling EOS and the safety cap.
+///
+/// Returns `true` when decoding is finished (EOS reached or cap hit).
+///
+/// Accepted draft tokens equal the target's own greedy choices by
+/// construction (that is what "accepted" means), so appending them preserves
+/// the lossless-decoding invariant.
+pub(crate) fn commit_round(
+    tokens: &mut Vec<TokenId>,
+    accepted: &[TokenId],
+    correction: TokenId,
+    eos: TokenId,
+    cap: usize,
+    stats: &mut DecodeStats,
+) -> bool {
+    for &token in accepted {
+        if token == eos {
+            return true;
+        }
+        tokens.push(token);
+        if tokens.len() >= cap {
+            return true;
+        }
+    }
+    stats.record_correction();
+    if correction == eos {
+        return true;
+    }
+    tokens.push(correction);
+    tokens.len() >= cap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(raw: u32) -> TokenId {
+        TokenId::new(raw)
+    }
+
+    #[test]
+    fn appends_accepted_then_correction() {
+        let mut tokens = vec![t(1)];
+        let mut stats = DecodeStats::new();
+        let finished = commit_round(&mut tokens, &[t(2), t(3)], t(4), t(0), 100, &mut stats);
+        assert!(!finished);
+        assert_eq!(tokens, vec![t(1), t(2), t(3), t(4)]);
+        assert_eq!(stats.correction_tokens, 1);
+    }
+
+    #[test]
+    fn eos_in_accepted_stops_without_the_correction() {
+        let mut tokens = vec![];
+        let mut stats = DecodeStats::new();
+        let finished = commit_round(&mut tokens, &[t(2), t(0), t(3)], t(4), t(0), 100, &mut stats);
+        assert!(finished);
+        assert_eq!(tokens, vec![t(2)]);
+        assert_eq!(stats.correction_tokens, 0);
+    }
+
+    #[test]
+    fn eos_correction_stops_after_accepted() {
+        let mut tokens = vec![];
+        let mut stats = DecodeStats::new();
+        let finished = commit_round(&mut tokens, &[t(2)], t(0), t(0), 100, &mut stats);
+        assert!(finished);
+        assert_eq!(tokens, vec![t(2)]);
+        assert_eq!(stats.correction_tokens, 1);
+    }
+
+    #[test]
+    fn cap_stops_decoding() {
+        let mut tokens = vec![];
+        let mut stats = DecodeStats::new();
+        let finished = commit_round(&mut tokens, &[t(2), t(3), t(4)], t(5), t(0), 2, &mut stats);
+        assert!(finished);
+        assert_eq!(tokens.len(), 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! Fixed-bin histograms for acceptance-ratio and rank distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[lo, hi]` with equally sized bins.
+///
+/// Values outside the range are clamped into the first/last bin, so the
+/// histogram always accounts for every observation (acceptance ratios of
+/// exactly 1.0 land in the last bin).
+///
+/// # Example
+///
+/// ```
+/// use specasr_metrics::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 1.0, 4);
+/// for v in [0.1, 0.3, 0.9, 1.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bin_counts()[3], 2);
+/// assert!((h.mean() - 0.575).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi]` with `bins` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "at least one bin is required");
+        assert!(hi > lo, "the histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        let bins = self.counts.len();
+        let span = self.hi - self.lo;
+        let normalised = ((value - self.lo) / span).clamp(0.0, 1.0);
+        let mut bin = (normalised * bins as f64).floor() as usize;
+        if bin >= bins {
+            bin = bins - 1;
+        }
+        self.counts[bin] += 1;
+        self.total += 1;
+        self.sum += value;
+    }
+
+    /// Records many observations.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw per-bin counts.
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Per-bin fractions of the total (all zeros if nothing was recorded).
+    pub fn bin_fractions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// The `(lower, upper)` bounds of bin `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn bin_range(&self, index: usize) -> (f64, f64) {
+        assert!(index < self.counts.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + width * index as f64, self.lo + width * (index + 1) as f64)
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded observations (0 if none).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_the_right_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.record(0.05);
+        h.record(0.55);
+        h.record(0.95);
+        assert_eq!(h.bin_counts()[0], 1);
+        assert_eq!(h.bin_counts()[5], 1);
+        assert_eq!(h.bin_counts()[9], 1);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-3.0);
+        h.record(7.0);
+        h.record(1.0);
+        assert_eq!(h.bin_counts()[0], 1);
+        assert_eq!(h.bin_counts()[3], 2);
+    }
+
+    #[test]
+    fn fractions_sum_to_one_when_nonempty() {
+        let mut h = Histogram::new(0.0, 24.0, 6);
+        h.record_all([1.0, 5.0, 9.0, 13.0, 20.0, 23.9]);
+        let total: f64 = h.bin_fractions().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.bin_fractions().iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn bin_ranges_partition_the_interval() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.bin_range(0), (0.0, 0.25));
+        assert_eq!(h.bin_range(3), (0.75, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_range_panics() {
+        Histogram::new(1.0, 0.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin index out of range")]
+    fn bad_bin_index_panics() {
+        Histogram::new(0.0, 1.0, 3).bin_range(3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn every_observation_is_counted(values in proptest::collection::vec(-2.0f64..3.0, 0..200)) {
+            let mut h = Histogram::new(0.0, 1.0, 8);
+            h.record_all(values.iter().copied());
+            prop_assert_eq!(h.count(), values.len() as u64);
+            prop_assert_eq!(h.bin_counts().iter().sum::<u64>(), values.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Word error rate (WER) and Levenshtein alignment counts.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts from aligning a hypothesis against a reference.
+///
+/// WER = (S + D + I) / N, where N is the number of reference words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WerMeasurement {
+    /// Substituted words.
+    pub substitutions: usize,
+    /// Deleted words (present in the reference, missing from the hypothesis).
+    pub deletions: usize,
+    /// Inserted words (absent from the reference, present in the hypothesis).
+    pub insertions: usize,
+    /// Number of words in the reference.
+    pub reference_words: usize,
+}
+
+impl WerMeasurement {
+    /// Total edit operations.
+    pub fn errors(&self) -> usize {
+        self.substitutions + self.deletions + self.insertions
+    }
+
+    /// Word error rate.  An empty reference with a non-empty hypothesis
+    /// reports a WER equal to the number of insertions; an empty/empty pair
+    /// reports 0.
+    pub fn wer(&self) -> f64 {
+        if self.reference_words == 0 {
+            return self.errors() as f64;
+        }
+        self.errors() as f64 / self.reference_words as f64
+    }
+
+    /// Merges the counts of another measurement (corpus-level WER is computed
+    /// by pooling counts, not by averaging per-utterance rates).
+    pub fn accumulate(&mut self, other: &WerMeasurement) {
+        self.substitutions += other.substitutions;
+        self.deletions += other.deletions;
+        self.insertions += other.insertions;
+        self.reference_words += other.reference_words;
+    }
+}
+
+/// Computes the WER alignment between two word sequences.
+///
+/// # Example
+///
+/// ```
+/// use specasr_metrics::wer::wer_words;
+///
+/// let reference = ["a", "b", "c"];
+/// let hypothesis = ["a", "x", "c", "d"];
+/// let measurement = wer_words(&reference, &hypothesis);
+/// assert_eq!(measurement.substitutions, 1);
+/// assert_eq!(measurement.insertions, 1);
+/// assert_eq!(measurement.deletions, 0);
+/// ```
+pub fn wer_words<R, H>(reference: &[R], hypothesis: &[H]) -> WerMeasurement
+where
+    R: AsRef<str>,
+    H: AsRef<str>,
+{
+    align(
+        &reference.iter().map(|w| w.as_ref()).collect::<Vec<_>>(),
+        &hypothesis.iter().map(|w| w.as_ref()).collect::<Vec<_>>(),
+    )
+}
+
+/// Computes the WER alignment between two whitespace-separated transcripts.
+pub fn wer_between(reference: &str, hypothesis: &str) -> WerMeasurement {
+    align(
+        &reference.split_whitespace().collect::<Vec<_>>(),
+        &hypothesis.split_whitespace().collect::<Vec<_>>(),
+    )
+}
+
+/// Classic dynamic-programming Levenshtein alignment with backtrace to count
+/// substitutions, deletions, and insertions separately.
+fn align(reference: &[&str], hypothesis: &[&str]) -> WerMeasurement {
+    let n = reference.len();
+    let m = hypothesis.len();
+    // cost[i][j]: minimal edits aligning reference[..i] to hypothesis[..j].
+    let mut cost = vec![vec![0usize; m + 1]; n + 1];
+    for (i, row) in cost.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for j in 0..=m {
+        cost[0][j] = j;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let substitution_cost = if reference[i - 1] == hypothesis[j - 1] { 0 } else { 1 };
+            cost[i][j] = (cost[i - 1][j - 1] + substitution_cost)
+                .min(cost[i - 1][j] + 1)
+                .min(cost[i][j - 1] + 1);
+        }
+    }
+
+    // Backtrace.
+    let mut substitutions = 0usize;
+    let mut deletions = 0usize;
+    let mut insertions = 0usize;
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        if i > 0 && j > 0 {
+            let substitution_cost = if reference[i - 1] == hypothesis[j - 1] { 0 } else { 1 };
+            if cost[i][j] == cost[i - 1][j - 1] + substitution_cost {
+                if substitution_cost == 1 {
+                    substitutions += 1;
+                }
+                i -= 1;
+                j -= 1;
+                continue;
+            }
+        }
+        if i > 0 && cost[i][j] == cost[i - 1][j] + 1 {
+            deletions += 1;
+            i -= 1;
+        } else {
+            insertions += 1;
+            j -= 1;
+        }
+    }
+
+    WerMeasurement {
+        substitutions,
+        deletions,
+        insertions,
+        reference_words: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_transcripts_have_zero_wer() {
+        let m = wer_between("hello world again", "hello world again");
+        assert_eq!(m.errors(), 0);
+        assert_eq!(m.wer(), 0.0);
+        assert_eq!(m.reference_words, 3);
+    }
+
+    #[test]
+    fn single_substitution() {
+        let m = wer_between("the cat sat", "the dog sat");
+        assert_eq!(m.substitutions, 1);
+        assert_eq!(m.deletions, 0);
+        assert_eq!(m.insertions, 0);
+        assert!((m.wer() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deletions_and_insertions_are_separated() {
+        let deletion = wer_between("a b c d", "a b d");
+        assert_eq!(deletion.deletions, 1);
+        assert_eq!(deletion.insertions, 0);
+
+        let insertion = wer_between("a b d", "a b c d");
+        assert_eq!(insertion.insertions, 1);
+        assert_eq!(insertion.deletions, 0);
+    }
+
+    #[test]
+    fn empty_reference_counts_insertions() {
+        let m = wer_between("", "one two");
+        assert_eq!(m.insertions, 2);
+        assert_eq!(m.reference_words, 0);
+        assert_eq!(m.wer(), 2.0);
+
+        let empty = wer_between("", "");
+        assert_eq!(empty.wer(), 0.0);
+    }
+
+    #[test]
+    fn empty_hypothesis_counts_deletions() {
+        let m = wer_between("one two three", "");
+        assert_eq!(m.deletions, 3);
+        assert_eq!(m.wer(), 1.0);
+    }
+
+    #[test]
+    fn total_errors_equal_edit_distance() {
+        let m = wer_between("speech recognition is fun", "speech wreck a nation is fun");
+        // Levenshtein distance between the word sequences is 3
+        // (one substitution + two insertions).
+        assert_eq!(m.errors(), 3);
+    }
+
+    #[test]
+    fn accumulate_pools_counts() {
+        let mut total = WerMeasurement::default();
+        total.accumulate(&wer_between("a b", "a c"));
+        total.accumulate(&wer_between("x y z", "x y z"));
+        assert_eq!(total.reference_words, 5);
+        assert_eq!(total.substitutions, 1);
+        assert!((total.wer() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn word_slice_api_matches_string_api() {
+        let a = wer_words(&["a", "b", "c"], &["a", "c"]);
+        let b = wer_between("a b c", "a c");
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn words() -> impl Strategy<Value = Vec<String>> {
+        proptest::collection::vec(
+            prop::sample::select(vec!["a", "b", "c", "d", "e"]).prop_map(str::to_owned),
+            0..12,
+        )
+    }
+
+    proptest! {
+        /// WER metric properties: identity is 0; errors are bounded by the
+        /// larger sequence length; symmetry of the underlying edit distance.
+        #[test]
+        fn wer_properties(reference in words(), hypothesis in words()) {
+            let identity = wer_words(&reference, &reference);
+            prop_assert_eq!(identity.errors(), 0);
+
+            let forward = wer_words(&reference, &hypothesis);
+            let backward = wer_words(&hypothesis, &reference);
+            prop_assert_eq!(forward.errors(), backward.errors());
+            prop_assert!(forward.errors() <= reference.len().max(hypothesis.len()));
+            prop_assert!(
+                forward.errors() >= reference.len().abs_diff(hypothesis.len())
+            );
+            // Substitutions + deletions cannot exceed the reference length.
+            prop_assert!(forward.substitutions + forward.deletions <= reference.len());
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The non-audio-conditioned "text task" model pair used in Fig. 5b.
+//!
+//! For a pure text-generation task there is no audio signal anchoring the
+//! draft and target models to the same output, so (a) the draft's top-k
+//! candidates contain the target's token less often than in ASR, and (b) once
+//! the decoded prefix diverges from the target's trajectory the downstream
+//! draws are perturbed instead of re-aligning.  [`TextTaskModel`] wraps the
+//! simulated ASR model with audio conditioning switched off and a lower
+//! draft/target agreement profile.
+
+use serde::{Deserialize, Serialize};
+use specasr_tokenizer::TokenId;
+
+use crate::binding::UtteranceTokens;
+use crate::logits::TokenLogits;
+use crate::profiles::{AccuracyProfile, ModelProfile};
+use crate::simulated::SimulatedAsrModel;
+use crate::traits::AsrDecoderModel;
+
+/// Agreement statistics of a text-task draft model: noticeably below the
+/// audio-conditioned ASR values (compare Fig. 5b of the paper).
+fn text_task_accuracy(base: &AccuracyProfile) -> AccuracyProfile {
+    AccuracyProfile {
+        base_error: base.base_error,
+        difficulty_slope: base.difficulty_slope,
+        agreement_base: 0.80,
+        agreement_slope: 0.50,
+        runner_up_probability: 0.40,
+    }
+}
+
+/// A draft or target model behaving like a text-task LLM (no audio
+/// conditioning).
+///
+/// # Example
+///
+/// ```
+/// use specasr_audio::{Corpus, Split};
+/// use specasr_models::{AsrDecoderModel, ModelProfile, TextTaskModel, TokenizerBinding};
+///
+/// let corpus = Corpus::librispeech_like(2, 1);
+/// let binding = TokenizerBinding::for_corpus(&corpus);
+/// let prompt = binding.bind(&corpus.split(Split::DevClean)[0]);
+///
+/// let target = TextTaskModel::target(ModelProfile::llama_7b(), 1);
+/// let draft = TextTaskModel::draft_paired(ModelProfile::tiny_llama_1b(), 2, &target);
+/// assert!(!draft.greedy_transcript(&prompt).is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TextTaskModel {
+    inner: SimulatedAsrModel,
+}
+
+impl TextTaskModel {
+    /// Creates a text-task target model.
+    pub fn target(profile: ModelProfile, seed: u64) -> Self {
+        TextTaskModel {
+            inner: SimulatedAsrModel::target(profile, seed).without_audio_conditioning(),
+        }
+    }
+
+    /// Creates a text-task draft model paired with `target`.
+    pub fn draft_paired(profile: ModelProfile, seed: u64, target: &TextTaskModel) -> Self {
+        let accuracy = text_task_accuracy(profile.accuracy());
+        let profile = profile.with_accuracy(accuracy);
+        TextTaskModel {
+            inner: SimulatedAsrModel::draft_paired(profile, seed, &target.inner)
+                .without_audio_conditioning(),
+        }
+    }
+
+    /// Access to the underlying simulated model (e.g. to query its role).
+    pub fn as_simulated(&self) -> &SimulatedAsrModel {
+        &self.inner
+    }
+}
+
+impl AsrDecoderModel for TextTaskModel {
+    fn profile(&self) -> &ModelProfile {
+        self.inner.profile()
+    }
+
+    fn next_logits(&self, audio: &UtteranceTokens, prefix: &[TokenId]) -> TokenLogits {
+        self.inner.next_logits(audio, prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::TokenizerBinding;
+    use specasr_audio::{Corpus, Split};
+
+    fn prompts() -> Vec<UtteranceTokens> {
+        let corpus = Corpus::librispeech_like(55, 12);
+        let binding = TokenizerBinding::for_corpus(&corpus);
+        binding.bind_all(corpus.split(Split::TestOther))
+    }
+
+    /// Fraction of positions along the target trajectory where the draft's
+    /// top-1 token matches the target's emission (speculative acceptance).
+    fn top1_acceptance<M: AsrDecoderModel>(draft: &M, target: &M, prompts: &[UtteranceTokens]) -> f64 {
+        let mut matches = 0usize;
+        let mut total = 0usize;
+        for prompt in prompts {
+            let trajectory = target.greedy_transcript(prompt);
+            for p in 0..trajectory.len() {
+                total += 1;
+                if draft.greedy_token(prompt, &trajectory[..p]) == trajectory[p] {
+                    matches += 1;
+                }
+            }
+        }
+        matches as f64 / total.max(1) as f64
+    }
+
+    #[test]
+    fn text_task_models_are_not_audio_conditioned() {
+        let target = TextTaskModel::target(ModelProfile::llama_7b(), 3);
+        let draft = TextTaskModel::draft_paired(ModelProfile::tiny_llama_1b(), 4, &target);
+        assert!(!draft.as_simulated().is_audio_conditioned());
+        assert!(!target.as_simulated().is_audio_conditioned());
+    }
+
+    #[test]
+    fn asr_acceptance_exceeds_text_acceptance() {
+        let prompts = prompts();
+
+        let asr_target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 3);
+        let asr_draft =
+            SimulatedAsrModel::draft_paired(ModelProfile::whisper_tiny_en(), 4, &asr_target);
+        let asr = top1_acceptance(&asr_draft, &asr_target, &prompts);
+
+        let text_target = TextTaskModel::target(ModelProfile::llama_7b(), 3);
+        let text_draft =
+            TextTaskModel::draft_paired(ModelProfile::tiny_llama_1b(), 4, &text_target);
+        let text = top1_acceptance(&text_draft, &text_target, &prompts);
+
+        assert!(
+            asr > text + 0.03,
+            "ASR acceptance ({asr}) should exceed text-task acceptance ({text})"
+        );
+    }
+
+    #[test]
+    fn prefix_corruption_perturbs_text_but_not_asr() {
+        let prompts = prompts();
+
+        let asr_target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 3);
+        let asr_draft =
+            SimulatedAsrModel::draft_paired(ModelProfile::whisper_tiny_en(), 4, &asr_target);
+        let text_target = TextTaskModel::target(ModelProfile::llama_7b(), 3);
+        let text_draft =
+            TextTaskModel::draft_paired(ModelProfile::tiny_llama_1b(), 4, &text_target);
+
+        let mut text_changed = 0usize;
+        for prompt in &prompts {
+            let trajectory = asr_target.greedy_transcript(prompt);
+            if trajectory.len() < 6 {
+                continue;
+            }
+            let clean: Vec<TokenId> = trajectory[..5].to_vec();
+            let mut corrupted = clean.clone();
+            corrupted[2] = TokenId::new(corrupted[2].value() + 1);
+
+            // The audio-conditioned draft ignores the corruption entirely.
+            assert_eq!(
+                asr_draft.next_logits(prompt, &clean),
+                asr_draft.next_logits(prompt, &corrupted)
+            );
+            // The text-task draft's distribution is context dependent.
+            if text_draft.next_logits(prompt, &clean) != text_draft.next_logits(prompt, &corrupted)
+            {
+                text_changed += 1;
+            }
+        }
+        assert!(
+            text_changed > 0,
+            "prefix corruption should perturb the text-task draft for at least one prompt"
+        );
+    }
+
+    #[test]
+    fn text_task_decode_is_deterministic_and_terminates() {
+        let prompts = prompts();
+        let target = TextTaskModel::target(ModelProfile::llama_7b(), 5);
+        for prompt in prompts.iter().take(3) {
+            let a = target.greedy_transcript(prompt);
+            let b = target.greedy_transcript(prompt);
+            assert_eq!(a, b);
+            assert!(a.len() <= prompt.len() * 2 + 16);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Flattening a token tree into one target-model verification batch.
+//!
+//! The target model verifies all candidate branches of the draft token tree
+//! in a single forward pass.  A [`VerificationBatch`] carries everything that
+//! pass needs: the flattened node order, the root path (prefix continuation)
+//! of every node, and the 2-D attention mask.
+
+use serde::{Deserialize, Serialize};
+use specasr_tokenizer::TokenId;
+
+use crate::mask::TreeAttentionMask;
+use crate::tree::{NodeId, TokenTree};
+
+/// The flattened view of a draft token tree handed to the target model.
+///
+/// # Example
+///
+/// ```
+/// use specasr_runtime::{NodeOrigin, TokenTree, VerificationBatch};
+/// use specasr_tokenizer::TokenId;
+///
+/// let mut tree = TokenTree::new();
+/// let a = tree.push_root(TokenId::new(1), 0.9, NodeOrigin::Trunk);
+/// tree.push_child(a, TokenId::new(2), 0.8, NodeOrigin::Trunk);
+/// let batch = VerificationBatch::from_tree(&tree);
+/// assert_eq!(batch.len(), 2);
+/// assert_eq!(batch.path_of(batch.nodes()[1]), &[TokenId::new(1), TokenId::new(2)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerificationBatch {
+    nodes: Vec<NodeId>,
+    paths: Vec<Vec<TokenId>>,
+    mask: TreeAttentionMask,
+}
+
+impl VerificationBatch {
+    /// Flattens `tree` in topological (insertion) order.
+    pub fn from_tree(tree: &TokenTree) -> Self {
+        let nodes = tree.node_ids();
+        let paths = nodes.iter().map(|&id| tree.path_tokens(id)).collect();
+        VerificationBatch {
+            nodes,
+            paths,
+            mask: TreeAttentionMask::from_tree(tree),
+        }
+    }
+
+    /// Number of draft tokens the target will process in this pass.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the batch is empty (nothing to verify).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The flattened node order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The root path (committed-prefix continuation) of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of this batch.
+    pub fn path_of(&self, node: NodeId) -> &[TokenId] {
+        let position = self
+            .nodes
+            .iter()
+            .position(|&n| n == node)
+            .expect("node is part of this batch");
+        &self.paths[position]
+    }
+
+    /// Iterates over `(node, path)` pairs in flattened order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &[TokenId])> {
+        self.nodes
+            .iter()
+            .copied()
+            .zip(self.paths.iter().map(Vec::as_slice))
+    }
+
+    /// The 2-D tree attention mask of the batch.
+    pub fn mask(&self) -> &TreeAttentionMask {
+        &self.mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NodeOrigin;
+
+    fn t(raw: u32) -> TokenId {
+        TokenId::new(raw)
+    }
+
+    fn sample_tree() -> TokenTree {
+        let mut tree = TokenTree::new();
+        let n1 = tree.push_root(t(1), 0.9, NodeOrigin::Trunk);
+        let n2 = tree.push_child(n1, t(2), 0.8, NodeOrigin::Trunk);
+        tree.push_child(n2, t(3), 0.7, NodeOrigin::Trunk);
+        let n4 = tree.push_child(n1, t(4), 0.2, NodeOrigin::Branch);
+        tree.push_child(n4, t(5), 0.6, NodeOrigin::Recycled);
+        tree
+    }
+
+    #[test]
+    fn batch_preserves_tree_size_and_order() {
+        let tree = sample_tree();
+        let batch = VerificationBatch::from_tree(&tree);
+        assert_eq!(batch.len(), tree.len());
+        assert!(!batch.is_empty());
+        for (i, (node, _)) in batch.iter().enumerate() {
+            assert_eq!(node.index(), i);
+        }
+    }
+
+    #[test]
+    fn paths_match_the_tree() {
+        let tree = sample_tree();
+        let batch = VerificationBatch::from_tree(&tree);
+        for (node, path) in batch.iter() {
+            assert_eq!(path, tree.path_tokens(node).as_slice());
+        }
+        assert_eq!(
+            batch.path_of(NodeId::from_index(4)),
+            &[t(1), t(4), t(5)]
+        );
+    }
+
+    #[test]
+    fn mask_is_consistent() {
+        let tree = sample_tree();
+        let batch = VerificationBatch::from_tree(&tree);
+        assert!(batch.mask().is_consistent_with(&tree));
+        assert_eq!(batch.mask().size(), batch.len());
+    }
+
+    #[test]
+    fn empty_tree_gives_empty_batch() {
+        let batch = VerificationBatch::from_tree(&TokenTree::new());
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "part of this batch")]
+    fn path_of_unknown_node_panics() {
+        let tree = sample_tree();
+        let batch = VerificationBatch::from_tree(&tree);
+        batch.path_of(NodeId::from_index(99));
+    }
+}

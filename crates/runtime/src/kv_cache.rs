@@ -1,0 +1,210 @@
+//! KV-cache position bookkeeping with speculative rollback.
+//!
+//! The simulation does not store key/value tensors — the simulated models are
+//! pure functions of the prefix — but the *bookkeeping* of a KV cache is still
+//! part of the system being reproduced: speculative decoding appends draft
+//! positions optimistically and must roll the cache back to the last accepted
+//! position when verification rejects a suffix.  Tracking this explicitly lets
+//! the test suite assert that every policy leaves both models' caches in a
+//! consistent state after every round.
+
+use serde::{Deserialize, Serialize};
+
+/// Position bookkeeping of one model's KV cache.
+///
+/// # Example
+///
+/// ```
+/// use specasr_runtime::KvCache;
+///
+/// let mut cache = KvCache::new();
+/// cache.prefill(100);
+/// cache.append(8);
+/// assert_eq!(cache.len(), 108);
+/// cache.rollback_to(103);
+/// assert_eq!(cache.len(), 103);
+/// assert_eq!(cache.generated_len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct KvCache {
+    prefill_len: usize,
+    total_len: usize,
+    peak_len: usize,
+    rollbacks: usize,
+    positions_discarded: usize,
+}
+
+impl KvCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        KvCache::default()
+    }
+
+    /// Records the prefill of `tokens` context positions (audio embeddings
+    /// plus prompt).  May only be called on an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache already holds positions.
+    pub fn prefill(&mut self, tokens: usize) {
+        assert_eq!(self.total_len, 0, "prefill must happen on an empty cache");
+        self.prefill_len = tokens;
+        self.total_len = tokens;
+        self.peak_len = self.peak_len.max(tokens);
+    }
+
+    /// Appends `tokens` generated positions.
+    pub fn append(&mut self, tokens: usize) {
+        self.total_len += tokens;
+        self.peak_len = self.peak_len.max(self.total_len);
+    }
+
+    /// Rolls the cache back to `len` total positions, discarding everything
+    /// after it (used when speculative tokens are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is larger than the current length or smaller than the
+    /// prefill length (the audio context is never rolled back).
+    pub fn rollback_to(&mut self, len: usize) {
+        assert!(len <= self.total_len, "cannot roll forward");
+        assert!(
+            len >= self.prefill_len,
+            "cannot roll back past the prefilled context"
+        );
+        self.positions_discarded += self.total_len - len;
+        if len < self.total_len {
+            self.rollbacks += 1;
+        }
+        self.total_len = len;
+    }
+
+    /// Total cached positions (prefill + generated).
+    pub fn len(&self) -> usize {
+        self.total_len
+    }
+
+    /// Returns `true` if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.total_len == 0
+    }
+
+    /// Number of prefilled context positions.
+    pub fn prefill_len(&self) -> usize {
+        self.prefill_len
+    }
+
+    /// Number of generated (post-prefill) positions currently cached.
+    pub fn generated_len(&self) -> usize {
+        self.total_len - self.prefill_len
+    }
+
+    /// Largest number of positions ever held (peak memory proxy).
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Number of rollback events.
+    pub fn rollbacks(&self) -> usize {
+        self.rollbacks
+    }
+
+    /// Total positions discarded across all rollbacks (wasted cache writes).
+    pub fn positions_discarded(&self) -> usize {
+        self.positions_discarded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefill_then_append_tracks_lengths() {
+        let mut cache = KvCache::new();
+        assert!(cache.is_empty());
+        cache.prefill(50);
+        cache.append(10);
+        cache.append(5);
+        assert_eq!(cache.len(), 65);
+        assert_eq!(cache.prefill_len(), 50);
+        assert_eq!(cache.generated_len(), 15);
+        assert_eq!(cache.peak_len(), 65);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn rollback_discards_and_counts() {
+        let mut cache = KvCache::new();
+        cache.prefill(10);
+        cache.append(20);
+        cache.rollback_to(15);
+        assert_eq!(cache.len(), 15);
+        assert_eq!(cache.rollbacks(), 1);
+        assert_eq!(cache.positions_discarded(), 15);
+        assert_eq!(cache.peak_len(), 30);
+        // Rolling back to the current length is a no-op, not a rollback event.
+        cache.rollback_to(15);
+        assert_eq!(cache.rollbacks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot roll forward")]
+    fn rollforward_panics() {
+        let mut cache = KvCache::new();
+        cache.prefill(5);
+        cache.rollback_to(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "past the prefilled context")]
+    fn rollback_past_prefill_panics() {
+        let mut cache = KvCache::new();
+        cache.prefill(5);
+        cache.append(3);
+        cache.rollback_to(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cache")]
+    fn double_prefill_panics() {
+        let mut cache = KvCache::new();
+        cache.prefill(5);
+        cache.prefill(5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Applying any valid sequence of appends and rollbacks keeps the
+        /// invariants: prefill ≤ len ≤ peak, and discarded = appended − kept.
+        #[test]
+        fn cache_invariants_hold(
+            prefill in 0usize..200,
+            ops in proptest::collection::vec((0usize..2, 1usize..30), 0..40),
+        ) {
+            let mut cache = KvCache::new();
+            cache.prefill(prefill);
+            let mut appended = 0usize;
+            for (kind, amount) in ops {
+                if kind == 0 {
+                    cache.append(amount);
+                    appended += amount;
+                } else {
+                    let target = prefill + (cache.generated_len().saturating_sub(amount));
+                    cache.rollback_to(target);
+                }
+                prop_assert!(cache.len() >= cache.prefill_len());
+                prop_assert!(cache.len() <= cache.peak_len());
+            }
+            prop_assert_eq!(
+                cache.positions_discarded(),
+                appended - cache.generated_len()
+            );
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Deterministic frequency-based subword vocabulary construction.
+//!
+//! The builder implements a simplified byte-pair-encoding procedure: the seed
+//! alphabet is the set of characters observed in the corpus (with a
+//! word-boundary marker on word-initial characters) and the most frequent
+//! adjacent pair is merged repeatedly until the target vocabulary size is
+//! reached.  Ties are broken lexicographically so the result is a pure
+//! function of the corpus and configuration.
+
+use std::collections::HashMap;
+
+use crate::vocab::{Vocabulary, WORD_BOUNDARY};
+
+/// Builder for a [`Vocabulary`] learned from a text corpus.
+///
+/// # Example
+///
+/// ```
+/// use specasr_tokenizer::VocabularyBuilder;
+///
+/// let vocab = VocabularyBuilder::new()
+///     .target_size(120)
+///     .min_pair_frequency(2)
+///     .build_from_corpus(["low lower lowest", "new newer newest"]);
+/// assert!(vocab.len() <= 120);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VocabularyBuilder {
+    target_size: usize,
+    min_pair_frequency: usize,
+    lowercase: bool,
+}
+
+impl VocabularyBuilder {
+    /// Creates a builder with the default configuration
+    /// (`target_size = 1024`, `min_pair_frequency = 2`, lowercasing on).
+    pub fn new() -> Self {
+        VocabularyBuilder {
+            target_size: 1024,
+            min_pair_frequency: 2,
+            lowercase: true,
+        }
+    }
+
+    /// Sets the maximum vocabulary size (including special tokens).
+    pub fn target_size(mut self, size: usize) -> Self {
+        self.target_size = size;
+        self
+    }
+
+    /// Sets the minimum frequency an adjacent pair must reach to be merged.
+    pub fn min_pair_frequency(mut self, frequency: usize) -> Self {
+        self.min_pair_frequency = frequency.max(1);
+        self
+    }
+
+    /// Controls whether the corpus is lowercased before learning pieces.
+    pub fn lowercase(mut self, lowercase: bool) -> Self {
+        self.lowercase = lowercase;
+        self
+    }
+
+    /// Learns a vocabulary from the given corpus lines.
+    ///
+    /// The procedure is deterministic: identical corpora and configurations
+    /// always produce identical vocabularies.
+    pub fn build_from_corpus<I, S>(&self, corpus: I) -> Vocabulary
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        // 1. Count word frequencies.
+        let mut word_counts: HashMap<String, usize> = HashMap::new();
+        for line in corpus {
+            let line = if self.lowercase {
+                line.as_ref().to_lowercase()
+            } else {
+                line.as_ref().to_owned()
+            };
+            for word in line.split_whitespace() {
+                *word_counts.entry(word.to_owned()).or_insert(0) += 1;
+            }
+        }
+
+        // 2. Represent each word as a sequence of pieces, starting from
+        //    characters with a word-boundary marker on the first character.
+        let mut words: Vec<(Vec<String>, usize)> = word_counts
+            .into_iter()
+            .map(|(word, count)| (segment_characters(&word), count))
+            .collect();
+        // Deterministic ordering independent of HashMap iteration order.
+        words.sort_by(|a, b| a.0.cmp(&b.0));
+
+        // 3. Collect the seed alphabet.
+        let mut pieces: Vec<String> = Vec::new();
+        let mut seen: HashMap<String, ()> = HashMap::new();
+        for (segments, _) in &words {
+            for segment in segments {
+                if seen.insert(segment.clone(), ()).is_none() {
+                    pieces.push(segment.clone());
+                }
+            }
+        }
+        pieces.sort();
+
+        // 4. Iteratively merge the most frequent adjacent pair.
+        let special_count = crate::SpecialToken::ALL.len();
+        while pieces.len() + special_count < self.target_size {
+            let Some((left, right, frequency)) = most_frequent_pair(&words) else {
+                break;
+            };
+            if frequency < self.min_pair_frequency {
+                break;
+            }
+            let merged = format!("{left}{right}");
+            if seen.insert(merged.clone(), ()).is_none() {
+                pieces.push(merged.clone());
+            }
+            apply_merge(&mut words, &left, &right, &merged);
+        }
+
+        Vocabulary::with_pieces(pieces)
+    }
+}
+
+impl Default for VocabularyBuilder {
+    fn default() -> Self {
+        VocabularyBuilder::new()
+    }
+}
+
+/// Splits a word into single-character pieces, marking the first character
+/// with the word-boundary marker.
+fn segment_characters(word: &str) -> Vec<String> {
+    let mut segments = Vec::new();
+    for (i, ch) in word.chars().enumerate() {
+        if i == 0 {
+            segments.push(format!("{WORD_BOUNDARY}{ch}"));
+        } else {
+            segments.push(ch.to_string());
+        }
+    }
+    segments
+}
+
+/// Finds the most frequent adjacent piece pair across all words.
+///
+/// Ties are broken by lexicographic order of `(left, right)` so the merge
+/// sequence is deterministic.
+fn most_frequent_pair(words: &[(Vec<String>, usize)]) -> Option<(String, String, usize)> {
+    let mut counts: HashMap<(String, String), usize> = HashMap::new();
+    for (segments, count) in words {
+        for window in segments.windows(2) {
+            let key = (window[0].clone(), window[1].clone());
+            *counts.entry(key).or_insert(0) += count;
+        }
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+        .map(|((left, right), frequency)| (left, right, frequency))
+}
+
+/// Replaces every adjacent `(left, right)` occurrence with the merged piece.
+fn apply_merge(words: &mut [(Vec<String>, usize)], left: &str, right: &str, merged: &str) {
+    for (segments, _) in words.iter_mut() {
+        let mut output: Vec<String> = Vec::with_capacity(segments.len());
+        let mut i = 0;
+        while i < segments.len() {
+            if i + 1 < segments.len() && segments[i] == left && segments[i + 1] == right {
+                output.push(merged.to_owned());
+                i += 2;
+            } else {
+                output.push(segments[i].clone());
+                i += 1;
+            }
+        }
+        *segments = output;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpecialToken;
+
+    #[test]
+    fn builds_deterministically() {
+        let corpus = ["the cat sat on the mat", "the cat ran"];
+        let a = VocabularyBuilder::new().target_size(64).build_from_corpus(corpus);
+        let b = VocabularyBuilder::new().target_size(64).build_from_corpus(corpus);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn target_size_stops_merges_beyond_seed_alphabet() {
+        // The seed alphabet (one piece per observed character position kind)
+        // is a floor on the vocabulary size; the target size only limits how
+        // many *merged* multi-character pieces are added on top of it.
+        let corpus = ["aaa bbb ccc ddd eee fff ggg hhh iii jjj"];
+        let vocab = VocabularyBuilder::new()
+            .target_size(16)
+            .min_pair_frequency(1)
+            .build_from_corpus(corpus);
+        let longest = vocab
+            .iter()
+            .filter(|(id, _)| !vocab.is_special(*id))
+            .map(|(_, piece)| piece.trim_start_matches(WORD_BOUNDARY).chars().count())
+            .max()
+            .unwrap_or(0);
+        assert_eq!(longest, 1, "no merges should be applied when the seed exceeds the target");
+
+        let generous = VocabularyBuilder::new()
+            .target_size(64)
+            .min_pair_frequency(1)
+            .build_from_corpus(corpus);
+        assert!(generous.len() <= 64);
+        assert!(generous.len() > vocab.len(), "a generous target should allow merges");
+    }
+
+    #[test]
+    fn seed_alphabet_covers_corpus_characters() {
+        let corpus = ["xyzzy plugh"];
+        let vocab = VocabularyBuilder::new()
+            .target_size(1000)
+            .build_from_corpus(corpus);
+        for ch in "xyzplugh".chars() {
+            let single = ch.to_string();
+            let word_initial = format!("{WORD_BOUNDARY}{ch}");
+            assert!(
+                vocab.id_of(&single).is_some() || vocab.id_of(&word_initial).is_some(),
+                "character {ch:?} is not covered"
+            );
+        }
+    }
+
+    #[test]
+    fn merges_frequent_words_into_single_pieces() {
+        let corpus = vec!["hello hello hello hello hello world"; 8];
+        let vocab = VocabularyBuilder::new()
+            .target_size(512)
+            .build_from_corpus(corpus);
+        assert!(
+            vocab.id_of(&format!("{WORD_BOUNDARY}hello")).is_some(),
+            "frequent word should become a single piece"
+        );
+    }
+
+    #[test]
+    fn lowercase_flag_controls_casing() {
+        let corpus = ["HELLO HELLO HELLO HELLO"];
+        let lower = VocabularyBuilder::new()
+            .target_size(256)
+            .build_from_corpus(corpus);
+        let cased = VocabularyBuilder::new()
+            .lowercase(false)
+            .target_size(256)
+            .build_from_corpus(corpus);
+        assert!(lower.id_of(&format!("{WORD_BOUNDARY}hello")).is_some());
+        assert!(cased.id_of(&format!("{WORD_BOUNDARY}HELLO")).is_some());
+    }
+
+    #[test]
+    fn empty_corpus_yields_only_specials() {
+        let vocab = VocabularyBuilder::new().build_from_corpus(Vec::<&str>::new());
+        assert_eq!(vocab.len(), SpecialToken::ALL.len());
+        assert!(vocab.is_empty());
+    }
+
+    #[test]
+    fn min_pair_frequency_limits_merges() {
+        let corpus = ["ab ab cd"];
+        let strict = VocabularyBuilder::new()
+            .target_size(1000)
+            .min_pair_frequency(5)
+            .build_from_corpus(corpus);
+        let relaxed = VocabularyBuilder::new()
+            .target_size(1000)
+            .min_pair_frequency(1)
+            .build_from_corpus(corpus);
+        assert!(strict.len() <= relaxed.len());
+    }
+}

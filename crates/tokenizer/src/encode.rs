@@ -1,0 +1,352 @@
+//! Greedy longest-match encoding and lossless decoding.
+
+use std::sync::Arc;
+
+use crate::error::TokenizeError;
+use crate::vocab::{SpecialToken, TokenId, Vocabulary, WORD_BOUNDARY};
+
+/// Encoder/decoder over a shared [`Vocabulary`].
+///
+/// Encoding uses greedy longest-match over the vocabulary pieces; characters
+/// that cannot be covered fall back to the `<unk>` token, so encoding never
+/// fails for well-formed UTF-8 input (an error variant exists only for the
+/// strict API, [`Tokenizer::encode_strict`]).
+///
+/// The tokenizer is cheap to clone: the vocabulary is reference-counted.
+///
+/// # Example
+///
+/// ```
+/// use specasr_tokenizer::{Tokenizer, VocabularyBuilder};
+///
+/// # fn main() -> Result<(), specasr_tokenizer::TokenizeError> {
+/// let vocab = VocabularyBuilder::new()
+///     .target_size(300)
+///     .build_from_corpus(["speech recognition is audio conditioned"]);
+/// let tok = Tokenizer::new(vocab);
+/// let ids = tok.encode("speech recognition")?;
+/// assert_eq!(tok.decode(&ids)?, "speech recognition");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    vocab: Arc<Vocabulary>,
+    max_piece_chars: usize,
+    lowercase: bool,
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer over `vocab`.
+    pub fn new(vocab: Vocabulary) -> Self {
+        let max_piece_chars = vocab
+            .iter()
+            .map(|(_, piece)| piece.chars().count())
+            .max()
+            .unwrap_or(1);
+        Tokenizer {
+            vocab: Arc::new(vocab),
+            max_piece_chars,
+            lowercase: true,
+        }
+    }
+
+    /// Disables input lowercasing (the default matches
+    /// [`crate::VocabularyBuilder`]'s default of lowercasing).
+    pub fn preserve_case(mut self) -> Self {
+        self.lowercase = false;
+        self
+    }
+
+    /// Returns the underlying vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Number of entries in the vocabulary.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Id of the beginning-of-sequence token.
+    pub fn bos(&self) -> TokenId {
+        self.vocab.special(SpecialToken::Bos)
+    }
+
+    /// Id of the end-of-sequence token.
+    pub fn eos(&self) -> TokenId {
+        self.vocab.special(SpecialToken::Eos)
+    }
+
+    /// Id of the padding token.
+    pub fn pad(&self) -> TokenId {
+        self.vocab.special(SpecialToken::Pad)
+    }
+
+    /// Id of the unknown token.
+    pub fn unk(&self) -> TokenId {
+        self.vocab.special(SpecialToken::Unk)
+    }
+
+    /// Encodes `text` into token ids, mapping uncoverable characters to
+    /// `<unk>`.
+    ///
+    /// # Errors
+    ///
+    /// This lenient variant never returns an error for valid UTF-8 input; the
+    /// `Result` return type exists for signature symmetry with
+    /// [`Tokenizer::decode`] and future vocabulary-free configurations.
+    pub fn encode(&self, text: &str) -> Result<Vec<TokenId>, TokenizeError> {
+        Ok(self.encode_impl(text, false)?)
+    }
+
+    /// Encodes `text`, returning an error on the first character that cannot
+    /// be covered by the vocabulary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenizeError::UncoverableInput`] if a character has no
+    /// covering piece (not even as a single character).
+    pub fn encode_strict(&self, text: &str) -> Result<Vec<TokenId>, TokenizeError> {
+        self.encode_impl(text, true)
+    }
+
+    fn encode_impl(&self, text: &str, strict: bool) -> Result<Vec<TokenId>, TokenizeError> {
+        let text = if self.lowercase {
+            text.to_lowercase()
+        } else {
+            text.to_owned()
+        };
+        let mut ids = Vec::new();
+        for word in text.split_whitespace() {
+            self.encode_word(word, strict, &mut ids)?;
+        }
+        Ok(ids)
+    }
+
+    /// Encodes a single whitespace-free word using greedy longest match.
+    fn encode_word(
+        &self,
+        word: &str,
+        strict: bool,
+        out: &mut Vec<TokenId>,
+    ) -> Result<(), TokenizeError> {
+        // Work on the marked form: word-initial pieces carry the boundary marker.
+        let marked: Vec<char> = std::iter::once(WORD_BOUNDARY).chain(word.chars()).collect();
+        let mut start = 0;
+        while start < marked.len() {
+            // The boundary marker alone is not a piece; skip it if stranded.
+            let remaining = marked.len() - start;
+            let mut matched: Option<(usize, TokenId)> = None;
+            let max_len = remaining.min(self.max_piece_chars);
+            for len in (1..=max_len).rev() {
+                let candidate: String = marked[start..start + len].iter().collect();
+                if let Some(id) = self.vocab.id_of(&candidate) {
+                    matched = Some((len, id));
+                    break;
+                }
+            }
+            match matched {
+                Some((len, id)) => {
+                    out.push(id);
+                    start += len;
+                }
+                None => {
+                    let ch = marked[start];
+                    if ch == WORD_BOUNDARY {
+                        // No word-initial piece matched; retry the word body
+                        // without the marker.
+                        start += 1;
+                        continue;
+                    }
+                    if strict {
+                        return Err(TokenizeError::UncoverableInput {
+                            character: ch,
+                            offset: start.saturating_sub(1),
+                        });
+                    }
+                    out.push(self.unk());
+                    start += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes token ids back into text.
+    ///
+    /// Special tokens are skipped; word-boundary markers become single spaces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenizeError::UnknownTokenId`] if any id is outside the
+    /// vocabulary.
+    pub fn decode(&self, ids: &[TokenId]) -> Result<String, TokenizeError> {
+        let mut text = String::new();
+        for &id in ids {
+            let piece = self
+                .vocab
+                .piece(id)
+                .ok_or(TokenizeError::UnknownTokenId { id })?;
+            if self.vocab.is_special(id) {
+                continue;
+            }
+            for ch in piece.chars() {
+                if ch == WORD_BOUNDARY {
+                    if !text.is_empty() {
+                        text.push(' ');
+                    }
+                } else {
+                    text.push(ch);
+                }
+            }
+        }
+        Ok(text)
+    }
+
+    /// Decodes token ids into whitespace-separated words.
+    ///
+    /// Convenience wrapper over [`Tokenizer::decode`] used by the WER metric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenizeError::UnknownTokenId`] if any id is outside the
+    /// vocabulary.
+    pub fn decode_words(&self, ids: &[TokenId]) -> Result<Vec<String>, TokenizeError> {
+        Ok(self
+            .decode(ids)?
+            .split_whitespace()
+            .map(str::to_owned)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VocabularyBuilder;
+
+    fn sample_tokenizer() -> Tokenizer {
+        let corpus = [
+            "the quick brown fox jumps over the lazy dog",
+            "speech recognition with large language models",
+            "speculative decoding accelerates autoregressive inference",
+            "audio conditioned generation keeps draft and target aligned",
+        ];
+        let vocab = VocabularyBuilder::new()
+            .target_size(400)
+            .min_pair_frequency(1)
+            .build_from_corpus(corpus);
+        Tokenizer::new(vocab)
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let tok = sample_tokenizer();
+        let text = "the quick brown fox";
+        let ids = tok.encode(text).expect("encode");
+        assert_eq!(tok.decode(&ids).expect("decode"), text);
+    }
+
+    #[test]
+    fn round_trip_normalises_whitespace_and_case() {
+        let tok = sample_tokenizer();
+        let ids = tok.encode("  The   QUICK fox ").expect("encode");
+        assert_eq!(tok.decode(&ids).expect("decode"), "the quick fox");
+    }
+
+    #[test]
+    fn unknown_characters_map_to_unk() {
+        let tok = sample_tokenizer();
+        let ids = tok.encode("fox 模型").expect("encode");
+        assert!(ids.contains(&tok.unk()));
+    }
+
+    #[test]
+    fn strict_encoding_rejects_unknown_characters() {
+        let tok = sample_tokenizer();
+        let err = tok.encode_strict("模型").expect_err("should fail");
+        assert!(matches!(err, TokenizeError::UncoverableInput { .. }));
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_ids() {
+        let tok = sample_tokenizer();
+        let err = tok.decode(&[TokenId::new(u32::MAX)]).expect_err("should fail");
+        assert!(matches!(err, TokenizeError::UnknownTokenId { .. }));
+    }
+
+    #[test]
+    fn specials_are_skipped_when_decoding() {
+        let tok = sample_tokenizer();
+        let mut ids = vec![tok.bos()];
+        ids.extend(tok.encode("lazy dog").expect("encode"));
+        ids.push(tok.eos());
+        assert_eq!(tok.decode(&ids).expect("decode"), "lazy dog");
+    }
+
+    #[test]
+    fn decode_words_splits_on_boundaries() {
+        let tok = sample_tokenizer();
+        let ids = tok.encode("speech recognition models").expect("encode");
+        let words = tok.decode_words(&ids).expect("decode");
+        assert_eq!(words, vec!["speech", "recognition", "models"]);
+    }
+
+    #[test]
+    fn empty_input_encodes_to_empty() {
+        let tok = sample_tokenizer();
+        assert!(tok.encode("").expect("encode").is_empty());
+        assert_eq!(tok.decode(&[]).expect("decode"), "");
+    }
+
+    #[test]
+    fn tokenizer_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tokenizer>();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::VocabularyBuilder;
+    use proptest::prelude::*;
+
+    fn word_strategy() -> impl Strategy<Value = String> {
+        proptest::collection::vec(prop::sample::select(vec!['a', 'b', 'c', 'd', 'e']), 1..8)
+            .prop_map(|chars| chars.into_iter().collect())
+    }
+
+    fn sentence_strategy() -> impl Strategy<Value = String> {
+        proptest::collection::vec(word_strategy(), 1..12).prop_map(|words| words.join(" "))
+    }
+
+    proptest! {
+        /// Any sentence drawn from the training alphabet round-trips exactly.
+        #[test]
+        fn round_trip_over_training_alphabet(sentence in sentence_strategy()) {
+            // Every alphabet letter must appear both word-initially and in an
+            // interior position so the seed alphabet covers all encodings.
+            let vocab = VocabularyBuilder::new()
+                .target_size(200)
+                .min_pair_frequency(1)
+                .build_from_corpus(["abcde eabcd deabc cdeab bcdea a b c d e"]);
+            let tok = Tokenizer::new(vocab);
+            let ids = tok.encode(&sentence).expect("encode");
+            prop_assert_eq!(tok.decode(&ids).expect("decode"), sentence);
+        }
+
+        /// Encoding never produces ids outside the vocabulary.
+        #[test]
+        fn encoded_ids_are_in_range(sentence in sentence_strategy()) {
+            let vocab = VocabularyBuilder::new()
+                .target_size(64)
+                .build_from_corpus(["a b c d e"]);
+            let tok = Tokenizer::new(vocab);
+            for id in tok.encode(&sentence).expect("encode") {
+                prop_assert!(id.index() < tok.vocab_size());
+            }
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Vocabulary: the id ↔ subword-piece table shared by every model in the
+//! workspace.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a single vocabulary entry.
+///
+/// `TokenId` is a newtype over `u32` so that token indices cannot be confused
+/// with positions, ranks, or other integers flowing through the decoding
+/// pipeline.
+///
+/// # Example
+///
+/// ```
+/// use specasr_tokenizer::TokenId;
+///
+/// let id = TokenId::new(42);
+/// assert_eq!(id.value(), 42);
+/// assert_eq!(u32::from(id), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TokenId(u32);
+
+impl TokenId {
+    /// Creates a token id from its raw index.
+    pub const fn new(raw: u32) -> Self {
+        TokenId(raw)
+    }
+
+    /// Returns the raw index of this token id.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the raw index as a `usize`, convenient for table lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<TokenId> for u32 {
+    fn from(id: TokenId) -> Self {
+        id.0
+    }
+}
+
+impl From<u32> for TokenId {
+    fn from(raw: u32) -> Self {
+        TokenId(raw)
+    }
+}
+
+/// The special (non-text) tokens every model in the workspace understands.
+///
+/// # Example
+///
+/// ```
+/// use specasr_tokenizer::{SpecialToken, Vocabulary};
+///
+/// let vocab = Vocabulary::with_pieces(["hello"]);
+/// assert_eq!(vocab.piece(vocab.special(SpecialToken::Bos)), Some("<bos>"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpecialToken {
+    /// Beginning-of-sequence marker, prepended to every decode.
+    Bos,
+    /// End-of-sequence marker, terminates autoregressive decoding.
+    Eos,
+    /// Padding token used when batching sequences of unequal length.
+    Pad,
+    /// Unknown-piece fallback emitted for characters outside the vocabulary.
+    Unk,
+}
+
+impl SpecialToken {
+    /// All special tokens in their canonical (id) order.
+    pub const ALL: [SpecialToken; 4] = [
+        SpecialToken::Bos,
+        SpecialToken::Eos,
+        SpecialToken::Pad,
+        SpecialToken::Unk,
+    ];
+
+    /// The textual surface form used for this special token.
+    pub const fn piece(self) -> &'static str {
+        match self {
+            SpecialToken::Bos => "<bos>",
+            SpecialToken::Eos => "<eos>",
+            SpecialToken::Pad => "<pad>",
+            SpecialToken::Unk => "<unk>",
+        }
+    }
+}
+
+impl fmt::Display for SpecialToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.piece())
+    }
+}
+
+/// Marker prefix that denotes a piece starting a new word (the `▁` convention
+/// from SentencePiece, spelled in ASCII so logs stay readable).
+pub(crate) const WORD_BOUNDARY: char = '\u{2581}';
+
+/// An immutable id ↔ piece table.
+///
+/// The first four ids are always the [`SpecialToken`]s in the order given by
+/// [`SpecialToken::ALL`]; text pieces follow.  Pieces that begin a word carry a
+/// leading `▁` marker internally; [`crate::Tokenizer::decode`] converts the
+/// marker back into spaces.
+///
+/// # Example
+///
+/// ```
+/// use specasr_tokenizer::Vocabulary;
+///
+/// let vocab = Vocabulary::with_pieces(["\u{2581}hello", "\u{2581}world"]);
+/// assert_eq!(vocab.len(), 4 + 2);
+/// assert!(vocab.id_of("\u{2581}hello").is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vocabulary {
+    pieces: Vec<String>,
+    lookup: HashMap<String, TokenId>,
+}
+
+impl Vocabulary {
+    /// Builds a vocabulary from an iterator of text pieces.
+    ///
+    /// Special tokens are inserted automatically in front of the supplied
+    /// pieces.  Duplicate pieces are ignored (first occurrence wins), so the
+    /// resulting table is always a bijection.
+    pub fn with_pieces<I, S>(pieces: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut vocab = Vocabulary {
+            pieces: Vec::new(),
+            lookup: HashMap::new(),
+        };
+        for special in SpecialToken::ALL {
+            vocab.push_piece(special.piece().to_owned());
+        }
+        for piece in pieces {
+            let piece = piece.into();
+            if !vocab.lookup.contains_key(&piece) {
+                vocab.push_piece(piece);
+            }
+        }
+        vocab
+    }
+
+    fn push_piece(&mut self, piece: String) {
+        let id = TokenId::new(self.pieces.len() as u32);
+        self.lookup.insert(piece.clone(), id);
+        self.pieces.push(piece);
+    }
+
+    /// Number of entries in the vocabulary, including special tokens.
+    pub fn len(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// Returns `true` if the vocabulary holds only the special tokens.
+    pub fn is_empty(&self) -> bool {
+        self.pieces.len() <= SpecialToken::ALL.len()
+    }
+
+    /// Returns the id of `piece`, if present.
+    pub fn id_of(&self, piece: &str) -> Option<TokenId> {
+        self.lookup.get(piece).copied()
+    }
+
+    /// Returns the surface form of `id`, if `id` is in range.
+    pub fn piece(&self, id: TokenId) -> Option<&str> {
+        self.pieces.get(id.index()).map(String::as_str)
+    }
+
+    /// Returns the id reserved for `special`.
+    pub fn special(&self, special: SpecialToken) -> TokenId {
+        // Specials are always inserted first, in ALL order.
+        let position = SpecialToken::ALL
+            .iter()
+            .position(|s| *s == special)
+            .expect("special token list is exhaustive");
+        TokenId::new(position as u32)
+    }
+
+    /// Returns `true` if `id` refers to one of the special tokens.
+    pub fn is_special(&self, id: TokenId) -> bool {
+        id.index() < SpecialToken::ALL.len()
+    }
+
+    /// Iterates over `(id, piece)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TokenId, &str)> {
+        self.pieces
+            .iter()
+            .enumerate()
+            .map(|(i, piece)| (TokenId::new(i as u32), piece.as_str()))
+    }
+
+}
+
+impl Default for Vocabulary {
+    fn default() -> Self {
+        Vocabulary::with_pieces(Vec::<String>::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_are_first_and_stable() {
+        let vocab = Vocabulary::default();
+        assert_eq!(vocab.special(SpecialToken::Bos).value(), 0);
+        assert_eq!(vocab.special(SpecialToken::Eos).value(), 1);
+        assert_eq!(vocab.special(SpecialToken::Pad).value(), 2);
+        assert_eq!(vocab.special(SpecialToken::Unk).value(), 3);
+        for special in SpecialToken::ALL {
+            let id = vocab.special(special);
+            assert!(vocab.is_special(id));
+            assert_eq!(vocab.piece(id), Some(special.piece()));
+        }
+    }
+
+    #[test]
+    fn duplicate_pieces_are_deduplicated() {
+        let vocab = Vocabulary::with_pieces(["a", "b", "a"]);
+        assert_eq!(vocab.len(), SpecialToken::ALL.len() + 2);
+    }
+
+    #[test]
+    fn lookup_round_trips() {
+        let vocab = Vocabulary::with_pieces(["\u{2581}hello", "ing", "\u{2581}w"]);
+        for (id, piece) in vocab.iter() {
+            assert_eq!(vocab.id_of(piece), Some(id));
+        }
+    }
+
+    #[test]
+    fn out_of_range_piece_is_none() {
+        let vocab = Vocabulary::default();
+        assert_eq!(vocab.piece(TokenId::new(1000)), None);
+    }
+
+    #[test]
+    fn token_id_display_and_conversions() {
+        let id = TokenId::new(7);
+        assert_eq!(id.to_string(), "#7");
+        assert_eq!(TokenId::from(7u32), id);
+        assert_eq!(u32::from(id), 7);
+        assert_eq!(id.index(), 7usize);
+    }
+
+    #[test]
+    fn empty_vocabulary_reports_empty() {
+        assert!(Vocabulary::default().is_empty());
+        assert!(!Vocabulary::with_pieces(["x"]).is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! LibriSpeech-style evaluation: decode every utterance of the four synthetic
+//! splits with each policy and report WER, latency per 10 s of audio, and the
+//! speedup over autoregressive decoding — a miniature version of the paper's
+//! Fig. 11 / Tab. II evaluation.
+//!
+//! Run with: `cargo run --release --example librispeech_eval`
+
+use specasr::{AdaptiveConfig, Policy, SparseTreeConfig, SpeculativeConfig};
+use specasr_audio::Split;
+use specasr_metrics::{wer_between, WerMeasurement};
+use specasr_suite::StandardSetup;
+
+fn main() {
+    let setup = StandardSetup::new(7, 10);
+    let policies = [
+        Policy::Autoregressive,
+        Policy::Speculative(SpeculativeConfig::short_single()),
+        Policy::AdaptiveSingleSequence(AdaptiveConfig::paper()),
+        Policy::TwoPassSparseTree(SparseTreeConfig::paper()),
+    ];
+
+    for split in Split::ALL {
+        println!("== {split} ==");
+        let utterances = setup.corpus.split(split);
+        let audio_seconds: f64 = utterances.iter().map(|u| u.duration_seconds()).sum();
+        let mut autoregressive_ms = None;
+
+        for policy in policies {
+            let mut decode_ms = 0.0;
+            let mut wer = WerMeasurement::default();
+            for utterance in utterances {
+                let audio = setup.binding.bind(utterance);
+                let outcome = policy.decode(&setup.draft, &setup.target, &audio);
+                decode_ms += outcome.decode_ms();
+                let hypothesis = setup
+                    .binding
+                    .tokenizer()
+                    .decode(&outcome.tokens)
+                    .expect("transcript tokens decode");
+                wer.accumulate(&wer_between(utterance.transcript(), &hypothesis));
+            }
+            let per_10s = decode_ms / audio_seconds * 10.0;
+            let speedup = match autoregressive_ms {
+                None => {
+                    autoregressive_ms = Some(decode_ms);
+                    1.0
+                }
+                Some(reference) => reference / decode_ms,
+            };
+            println!(
+                "  {:<24} WER {:>5.2} %   decode {:>8.1} ms   per-10s {:>7.1} ms   speedup {:>5.2}x",
+                policy.name(),
+                wer.wer() * 100.0,
+                decode_ms,
+                per_10s,
+                speedup
+            );
+        }
+        println!();
+    }
+}

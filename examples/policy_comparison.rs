@@ -1,0 +1,70 @@
+//! Policy anatomy: decode the same noisy utterance with every policy and dump
+//! the per-round statistics (predicted / accepted / recycled tokens, tree
+//! sizes, truncations), making the mechanics behind the speedups visible.
+//!
+//! Run with: `cargo run --release --example policy_comparison`
+
+use specasr::{AdaptiveConfig, Policy, SparseTreeConfig, SpeculativeConfig};
+use specasr_audio::Split;
+use specasr_suite::StandardSetup;
+
+fn main() {
+    let setup = StandardSetup::new(13, 6);
+    // Pick the noisiest utterance of test-other so that rejections, recycling,
+    // and branching all actually happen.
+    let utterance = setup
+        .corpus
+        .split(Split::TestOther)
+        .iter()
+        .max_by(|a, b| {
+            a.mean_difficulty()
+                .partial_cmp(&b.mean_difficulty())
+                .expect("difficulties are finite")
+        })
+        .expect("split is non-empty");
+    let audio = setup.binding.bind(utterance);
+    println!(
+        "utterance {} ({:.1} s, mean difficulty {:.2})\n",
+        utterance.id(),
+        utterance.duration_seconds(),
+        utterance.mean_difficulty()
+    );
+
+    let policies = [
+        Policy::Speculative(SpeculativeConfig::short_single()),
+        Policy::Speculative(SpeculativeConfig::long_single()),
+        Policy::Speculative(SpeculativeConfig::short_double_beam()),
+        Policy::AdaptiveSingleSequence(AdaptiveConfig::without_recycling()),
+        Policy::AdaptiveSingleSequence(AdaptiveConfig::paper()),
+        Policy::TwoPassSparseTree(SparseTreeConfig::paper()),
+    ];
+
+    for policy in policies {
+        let outcome = policy.decode(&setup.draft, &setup.target, &audio);
+        let stats = &outcome.stats;
+        println!(
+            "{:<26} rounds {:>2}  draft-steps {:>3}  predicted/round {:>5.1}  accepted/round {:>5.1}  acceptance {:>5.1} %  recycled {:>2}  draft {:>6.1} ms  target {:>6.1} ms",
+            policy.name(),
+            stats.rounds,
+            stats.draft_steps,
+            stats.predicted_per_round(),
+            stats.accepted_per_round(),
+            stats.acceptance_ratio() * 100.0,
+            stats.recycled_tokens,
+            outcome.latency().draft_ms,
+            outcome.latency().target_ms,
+        );
+        for (i, round) in stats.rounds_detail.iter().enumerate() {
+            println!(
+                "    round {:>2}: predicted {:>2}  accepted {:>2}  tree {:>2}  recycled {:>2}{}",
+                i + 1,
+                round.predicted,
+                round.accepted,
+                round.tree_size,
+                round.recycled,
+                if round.truncated { "  (truncated)" } else { "" }
+            );
+        }
+        println!();
+    }
+}

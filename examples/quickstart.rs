@@ -1,0 +1,57 @@
+//! Quickstart: transcribe one utterance with autoregressive decoding and with
+//! SpecASR, and show that the accelerated transcript is identical but cheaper.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use specasr::{AdaptiveConfig, Policy, SparseTreeConfig};
+use specasr_audio::{EncoderProfile, Split};
+use specasr_suite::prelude::AsrPipeline;
+use specasr_suite::StandardSetup;
+
+fn main() {
+    // 1. Build the synthetic LibriSpeech-like corpus, the tokenizer, and the
+    //    Whisper tiny.en → medium.en draft/target pair.
+    let setup = StandardSetup::new(2024, 4);
+    let utterance = &setup.corpus.split(Split::TestClean)[0];
+    println!("reference : {}", utterance.transcript());
+    println!("duration  : {:.2} s\n", utterance.duration_seconds());
+
+    // 2. Baseline: plain autoregressive decoding with the target model.
+    let baseline = AsrPipeline::new(
+        setup.draft.clone(),
+        setup.target.clone(),
+        EncoderProfile::whisper_medium_encoder(),
+        Policy::Autoregressive,
+    );
+    let reference = baseline.transcribe(&setup.binding, utterance);
+    println!("[autoregressive]");
+    println!("  transcript : {}", reference.text);
+    println!("  decode     : {:.1} ms (simulated)", reference.outcome.decode_ms());
+    println!("  RTF        : {:.3}\n", reference.real_time_factor());
+
+    // 3. SpecASR: adaptive single-sequence prediction with recycling, and the
+    //    two-pass sparse tree.
+    for policy in [
+        Policy::AdaptiveSingleSequence(AdaptiveConfig::paper()),
+        Policy::TwoPassSparseTree(SparseTreeConfig::paper()),
+    ] {
+        let pipeline = baseline.clone().with_policy(policy);
+        let output = pipeline.transcribe(&setup.binding, utterance);
+        assert_eq!(output.text, reference.text, "SpecASR must be lossless");
+        println!("[{}]", policy.name());
+        println!("  transcript : {}", output.text);
+        println!(
+            "  decode     : {:.1} ms (simulated), {:.2}x speedup over autoregressive",
+            output.outcome.decode_ms(),
+            reference.outcome.decode_ms() / output.outcome.decode_ms()
+        );
+        println!(
+            "  rounds     : {} (acceptance ratio {:.1} %)",
+            output.outcome.stats.rounds,
+            output.outcome.stats.acceptance_ratio() * 100.0
+        );
+        println!("  RTF        : {:.3}\n", output.real_time_factor());
+    }
+
+    println!("same words, fewer target passes — that is the whole trick.");
+}

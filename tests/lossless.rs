@@ -1,0 +1,103 @@
+//! Cross-crate losslessness tests: every decoding policy must reproduce the
+//! target model's greedy transcription exactly, for every split, model pair,
+//! and configuration — this is the invariant that lets the paper claim
+//! iso-accuracy acceleration.
+
+use proptest::prelude::*;
+use specasr::{AdaptiveConfig, Policy, SparseTreeConfig, SpeculativeConfig};
+use specasr_audio::{Corpus, Split};
+use specasr_models::{AsrDecoderModel, ModelProfile, SimulatedAsrModel, TokenizerBinding};
+use specasr_suite::StandardSetup;
+
+fn all_policies() -> Vec<Policy> {
+    vec![
+        Policy::Autoregressive,
+        Policy::Speculative(SpeculativeConfig::short_single()),
+        Policy::Speculative(SpeculativeConfig::long_single()),
+        Policy::Speculative(SpeculativeConfig::short_double_beam()),
+        Policy::AdaptiveSingleSequence(AdaptiveConfig::without_recycling()),
+        Policy::AdaptiveSingleSequence(AdaptiveConfig::paper()),
+        Policy::TwoPassSparseTree(SparseTreeConfig::paper()),
+    ]
+}
+
+#[test]
+fn every_policy_is_lossless_on_every_split() {
+    let setup = StandardSetup::new(101, 3);
+    for split in Split::ALL {
+        for utterance in setup.corpus.split(split) {
+            let audio = setup.binding.bind(utterance);
+            let reference = setup.target.greedy_transcript(&audio);
+            for policy in all_policies() {
+                let outcome = policy.decode(&setup.draft, &setup.target, &audio);
+                assert_eq!(
+                    outcome.tokens,
+                    reference,
+                    "policy {} diverged on {} ({})",
+                    policy.name(),
+                    utterance.id(),
+                    split
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn losslessness_holds_under_llm_latency_replay() {
+    // Replaying the Whisper trajectories under TinyLlama → Vicuna-13B latency
+    // profiles (as the paper does) must not change any output, because the
+    // latency model never influences token decisions.
+    let corpus = Corpus::librispeech_like(55, 3);
+    let binding = TokenizerBinding::for_corpus(&corpus);
+    let base_target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 5);
+    let base_draft =
+        SimulatedAsrModel::draft_paired(ModelProfile::whisper_tiny_en(), 6, &base_target);
+    let replay_target = SimulatedAsrModel::target(
+        ModelProfile::whisper_medium_en().with_latency(ModelProfile::vicuna_13b().latency().clone()),
+        5,
+    );
+    let replay_draft = SimulatedAsrModel::draft_paired(
+        ModelProfile::whisper_tiny_en().with_latency(ModelProfile::tiny_llama_1b().latency().clone()),
+        6,
+        &replay_target,
+    );
+    for utterance in corpus.split(Split::TestOther) {
+        let audio = binding.bind(utterance);
+        for policy in all_policies() {
+            let base = policy.decode(&base_draft, &base_target, &audio);
+            let replayed = policy.decode(&replay_draft, &replay_target, &audio);
+            assert_eq!(base.tokens, replayed.tokens, "policy {}", policy.name());
+            assert_eq!(base.stats.rounds, replayed.stats.rounds, "policy {}", policy.name());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Losslessness is seed- and configuration-independent.
+    #[test]
+    fn losslessness_is_seed_and_config_independent(
+        seed in 0u64..500,
+        threshold in 0.0f64..1.0,
+        max_len in 2usize..32,
+        top_k in 2usize..4,
+    ) {
+        let setup = StandardSetup::new(seed, 1);
+        let utterance = &setup.corpus.split(Split::TestOther)[0];
+        let audio = setup.binding.bind(utterance);
+        let reference = setup.target.greedy_transcript(&audio);
+
+        let adaptive = Policy::AdaptiveSingleSequence(
+            AdaptiveConfig::paper().with_threshold(threshold).with_max_length(max_len),
+        );
+        let sparse = Policy::TwoPassSparseTree(
+            SparseTreeConfig::paper().with_threshold(threshold).with_top_k(top_k),
+        );
+        for policy in [adaptive, sparse] {
+            let outcome = policy.decode(&setup.draft, &setup.target, &audio);
+            prop_assert_eq!(&outcome.tokens, &reference, "policy {}", policy.name());
+        }
+    }
+}
