@@ -266,7 +266,10 @@ impl Corpus {
                     .wrapping_add(split_index as u64),
             );
             let mut rng = ChaCha8Rng::seed_from_u64(
-                config.seed.wrapping_add(0xc0ffee).wrapping_add(split_index as u64),
+                config
+                    .seed
+                    .wrapping_add(0xc0ffee)
+                    .wrapping_add(split_index as u64),
             );
             let difficulty = split.difficulty_model();
             for _ in 0..config.utterances_per_split {
@@ -309,7 +312,9 @@ impl Corpus {
 
     /// Iterates over every utterance across all splits, in split order.
     pub fn iter(&self) -> impl Iterator<Item = &Utterance> {
-        Split::ALL.into_iter().flat_map(move |s| self.split(s).iter())
+        Split::ALL
+            .into_iter()
+            .flat_map(move |s| self.split(s).iter())
     }
 
     /// Total number of utterances across all splits.
@@ -319,7 +324,10 @@ impl Corpus {
 
     /// Total audio duration of `split` in seconds.
     pub fn total_duration_seconds(&self, split: Split) -> f64 {
-        self.split(split).iter().map(Utterance::duration_seconds).sum()
+        self.split(split)
+            .iter()
+            .map(Utterance::duration_seconds)
+            .sum()
     }
 
     /// Mean per-word acoustic difficulty of `split`.
@@ -385,7 +393,9 @@ mod tests {
     #[test]
     fn noisy_splits_are_harder() {
         let corpus = Corpus::librispeech_like(3, 40);
-        assert!(corpus.mean_difficulty(Split::TestOther) > corpus.mean_difficulty(Split::TestClean));
+        assert!(
+            corpus.mean_difficulty(Split::TestOther) > corpus.mean_difficulty(Split::TestClean)
+        );
         assert!(corpus.mean_difficulty(Split::DevOther) > corpus.mean_difficulty(Split::DevClean));
     }
 
@@ -394,7 +404,10 @@ mod tests {
         let corpus = Corpus::librispeech_like(4, 20);
         for utt in corpus.iter() {
             let implied_rate = utt.word_count() as f64 / utt.duration_seconds();
-            assert!((1.5..=4.5).contains(&implied_rate), "rate {implied_rate} out of range");
+            assert!(
+                (1.5..=4.5).contains(&implied_rate),
+                "rate {implied_rate} out of range"
+            );
             assert!((implied_rate - utt.speaking_rate_wps()).abs() < 1e-9);
         }
     }
@@ -444,6 +457,9 @@ mod tests {
     #[test]
     fn tokenizer_training_lines_cover_all_utterances() {
         let corpus = Corpus::librispeech_like(9, 5);
-        assert_eq!(corpus.tokenizer_training_lines().len(), corpus.total_utterances());
+        assert_eq!(
+            corpus.tokenizer_training_lines().len(),
+            corpus.total_utterances()
+        );
     }
 }

@@ -68,7 +68,7 @@ impl DifficultyModel {
     /// The returned values are clamped to `[0, 1]`.  The same `(seed,
     /// word_count)` pair always produces the same difficulties.
     pub fn sample(&self, seed: u64, word_count: usize) -> Vec<f64> {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xd1ff_1cu64);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x00d1_ff1c_u64);
         let mut difficulties = Vec::with_capacity(word_count);
         let mut in_burst = false;
         for _ in 0..word_count {
@@ -136,7 +136,10 @@ mod tests {
     fn other_split_is_harder_than_clean() {
         let clean: f64 = DifficultyModel::clean().sample(1, 2000).iter().sum();
         let other: f64 = DifficultyModel::other().sample(1, 2000).iter().sum();
-        assert!(other > clean, "other ({other}) should exceed clean ({clean})");
+        assert!(
+            other > clean,
+            "other ({other}) should exceed clean ({clean})"
+        );
     }
 
     #[test]
@@ -165,7 +168,9 @@ mod tests {
 
     #[test]
     fn expected_mean_tracks_profiles() {
-        assert!(DifficultyModel::other().expected_mean() > DifficultyModel::clean().expected_mean());
+        assert!(
+            DifficultyModel::other().expected_mean() > DifficultyModel::clean().expected_mean()
+        );
         assert!((DifficultyModel::uniform(0.3).expected_mean() - 0.3).abs() < 1e-9);
     }
 

@@ -148,7 +148,11 @@ impl AudioEncoder {
     ///
     /// Panics if `stack_factor` or `hidden_dim` is zero.
     pub fn new(stack_factor: usize, hidden_dim: usize) -> Self {
-        AudioEncoder::with_profile(stack_factor, hidden_dim, EncoderProfile::whisper_medium_encoder())
+        AudioEncoder::with_profile(
+            stack_factor,
+            hidden_dim,
+            EncoderProfile::whisper_medium_encoder(),
+        )
     }
 
     /// Creates an encoder with an explicit cost profile.
@@ -257,7 +261,10 @@ mod tests {
             let encoder = AudioEncoder::new(factor, 16);
             let embedding = encoder.encode(&mel);
             assert_eq!(embedding.frame_count(), mel.frame_count() / factor);
-            assert_eq!(encoder.output_frames(mel.frame_count()), embedding.frame_count());
+            assert_eq!(
+                encoder.output_frames(mel.frame_count()),
+                embedding.frame_count()
+            );
         }
     }
 

@@ -129,7 +129,10 @@ impl FeatureExtractor {
     /// Panics if the configuration has zero mel channels, zero DFT bins, or a
     /// non-positive frame geometry.
     pub fn new(config: FeatureConfig) -> Self {
-        assert!(config.mel_channels > 0, "at least one mel channel is required");
+        assert!(
+            config.mel_channels > 0,
+            "at least one mel channel is required"
+        );
         assert!(config.dft_bins > 1, "at least two DFT bins are required");
         assert!(config.frame_length_ms > 0.0 && config.frame_hop_ms > 0.0);
         FeatureExtractor { config }
@@ -165,11 +168,8 @@ impl FeatureExtractor {
             };
         }
         let window = hann_window(frame_len);
-        let filterbank = mel_filterbank(
-            self.config.mel_channels,
-            self.config.dft_bins,
-            sample_rate,
-        );
+        let filterbank =
+            mel_filterbank(self.config.mel_channels, self.config.dft_bins, sample_rate);
         let mut start = 0;
         while start + frame_len <= samples.len() {
             let mut frame: Vec<f64> = samples[start..start + frame_len]
@@ -294,7 +294,12 @@ mod tests {
         let mel = extractor.extract(&wave);
         let predicted = extractor.frames_for_duration(wave.duration_seconds());
         let diff = (mel.frame_count() as i64 - predicted as i64).abs();
-        assert!(diff <= 3, "frame count {} vs predicted {}", mel.frame_count(), predicted);
+        assert!(
+            diff <= 3,
+            "frame count {} vs predicted {}",
+            mel.frame_count(),
+            predicted
+        );
     }
 
     #[test]

@@ -16,25 +16,190 @@ use rand_chacha::ChaCha8Rng;
 /// Zipf-like distribution so early entries dominate exactly as function words
 /// do in natural speech.
 pub const LEXICON: &[&str] = &[
-    "the", "and", "of", "to", "a", "in", "that", "he", "was", "it", "his", "her", "with", "as",
-    "for", "had", "you", "not", "be", "is", "she", "at", "on", "by", "which", "have", "or",
-    "from", "this", "him", "they", "all", "were", "but", "are", "my", "one", "so", "there",
-    "been", "their", "we", "said", "when", "who", "will", "more", "no", "if", "out", "up",
-    "into", "them", "then", "what", "would", "about", "could", "now", "little", "time", "very",
-    "some", "like", "over", "after", "man", "did", "down", "made", "before", "other", "old",
-    "see", "came", "way", "great", "through", "again", "himself", "never", "night", "house",
-    "might", "still", "upon", "such", "being", "where", "much", "own", "first", "here", "good",
-    "long", "day", "found", "come", "thought", "went", "hand", "knights", "black", "voice",
-    "light", "water", "morning", "evening", "river", "mountain", "forest", "silence", "stone",
-    "window", "garden", "summer", "winter", "children", "mother", "father", "friend", "captain",
-    "soldier", "village", "castle", "shadow", "journey", "letter", "answer", "question",
-    "moment", "memory", "story", "history", "people", "country", "spirit", "heart", "world",
-    "clad", "horizon", "twilight", "harbor", "lantern", "meadow", "orchard", "thunder",
-    "whisper", "courage", "wonder", "danger", "stranger", "teacher", "doctor", "market",
-    "bridge", "island", "valley", "ocean", "desert", "palace", "temple", "wisdom", "promise",
-    "secret", "silver", "golden", "ancient", "beautiful", "terrible", "wonderful", "peculiar",
-    "magnificent", "extraordinary", "remarkable", "mysterious", "pronounce", "recognition",
-    "condition", "attention", "expression", "impression", "conversation", "expedition",
+    "the",
+    "and",
+    "of",
+    "to",
+    "a",
+    "in",
+    "that",
+    "he",
+    "was",
+    "it",
+    "his",
+    "her",
+    "with",
+    "as",
+    "for",
+    "had",
+    "you",
+    "not",
+    "be",
+    "is",
+    "she",
+    "at",
+    "on",
+    "by",
+    "which",
+    "have",
+    "or",
+    "from",
+    "this",
+    "him",
+    "they",
+    "all",
+    "were",
+    "but",
+    "are",
+    "my",
+    "one",
+    "so",
+    "there",
+    "been",
+    "their",
+    "we",
+    "said",
+    "when",
+    "who",
+    "will",
+    "more",
+    "no",
+    "if",
+    "out",
+    "up",
+    "into",
+    "them",
+    "then",
+    "what",
+    "would",
+    "about",
+    "could",
+    "now",
+    "little",
+    "time",
+    "very",
+    "some",
+    "like",
+    "over",
+    "after",
+    "man",
+    "did",
+    "down",
+    "made",
+    "before",
+    "other",
+    "old",
+    "see",
+    "came",
+    "way",
+    "great",
+    "through",
+    "again",
+    "himself",
+    "never",
+    "night",
+    "house",
+    "might",
+    "still",
+    "upon",
+    "such",
+    "being",
+    "where",
+    "much",
+    "own",
+    "first",
+    "here",
+    "good",
+    "long",
+    "day",
+    "found",
+    "come",
+    "thought",
+    "went",
+    "hand",
+    "knights",
+    "black",
+    "voice",
+    "light",
+    "water",
+    "morning",
+    "evening",
+    "river",
+    "mountain",
+    "forest",
+    "silence",
+    "stone",
+    "window",
+    "garden",
+    "summer",
+    "winter",
+    "children",
+    "mother",
+    "father",
+    "friend",
+    "captain",
+    "soldier",
+    "village",
+    "castle",
+    "shadow",
+    "journey",
+    "letter",
+    "answer",
+    "question",
+    "moment",
+    "memory",
+    "story",
+    "history",
+    "people",
+    "country",
+    "spirit",
+    "heart",
+    "world",
+    "clad",
+    "horizon",
+    "twilight",
+    "harbor",
+    "lantern",
+    "meadow",
+    "orchard",
+    "thunder",
+    "whisper",
+    "courage",
+    "wonder",
+    "danger",
+    "stranger",
+    "teacher",
+    "doctor",
+    "market",
+    "bridge",
+    "island",
+    "valley",
+    "ocean",
+    "desert",
+    "palace",
+    "temple",
+    "wisdom",
+    "promise",
+    "secret",
+    "silver",
+    "golden",
+    "ancient",
+    "beautiful",
+    "terrible",
+    "wonderful",
+    "peculiar",
+    "magnificent",
+    "extraordinary",
+    "remarkable",
+    "mysterious",
+    "pronounce",
+    "recognition",
+    "condition",
+    "attention",
+    "expression",
+    "impression",
+    "conversation",
+    "expedition",
 ];
 
 /// Deterministic sentence/transcript generator.
@@ -108,7 +273,10 @@ impl TextGenerator {
     /// Panics if `min_words == 0` or `min_words > max_words`.
     pub fn transcript(&mut self, min_words: usize, max_words: usize) -> String {
         assert!(min_words > 0, "transcripts must contain at least one word");
-        assert!(min_words <= max_words, "min_words must not exceed max_words");
+        assert!(
+            min_words <= max_words,
+            "min_words must not exceed max_words"
+        );
         let count = self.rng.gen_range(min_words..=max_words);
         self.sentence(count)
     }

@@ -43,7 +43,10 @@ impl Waveform {
     /// Panics if `sample_rate` is zero.
     pub fn from_samples(samples: Vec<f32>, sample_rate: u32) -> Self {
         assert!(sample_rate > 0, "sample rate must be positive");
-        Waveform { samples, sample_rate }
+        Waveform {
+            samples,
+            sample_rate,
+        }
     }
 
     /// Synthesises a waveform for `utterance` at the default 16 kHz rate.
@@ -62,8 +65,9 @@ impl Waveform {
     /// Panics if `sample_rate` is zero.
     pub fn synthesize_at(utterance: &Utterance, sample_rate: u32) -> Self {
         assert!(sample_rate > 0, "sample rate must be positive");
-        let total_samples =
-            (utterance.duration_seconds() * sample_rate as f64).round().max(1.0) as usize;
+        let total_samples = (utterance.duration_seconds() * sample_rate as f64)
+            .round()
+            .max(1.0) as usize;
         let mut samples = vec![0.0f32; total_samples];
         let words = utterance.words();
         if words.is_empty() {
@@ -84,8 +88,7 @@ impl Waveform {
             for (i, sample) in samples[start..end].iter_mut().enumerate() {
                 let t = i as f64 / sample_rate as f64;
                 // Raised-cosine envelope over the word duration.
-                let envelope =
-                    0.5 * (1.0 - (std::f64::consts::TAU * i as f64 / span as f64).cos());
+                let envelope = 0.5 * (1.0 - (std::f64::consts::TAU * i as f64 / span as f64).cos());
                 let mut value = 0.0f64;
                 for (k, &f) in formants.iter().enumerate() {
                     let amplitude = 0.5 / (k as f64 + 1.0);
@@ -185,10 +188,18 @@ mod tests {
     #[test]
     fn noisy_split_has_more_energy_variation() {
         let corpus = Corpus::librispeech_like(33, 12);
-        let clean_rms: f64 = corpus.split(Split::TestClean).iter()
-            .map(|u| Waveform::synthesize(u).rms()).sum::<f64>() / 12.0;
-        let other_rms: f64 = corpus.split(Split::TestOther).iter()
-            .map(|u| Waveform::synthesize(u).rms()).sum::<f64>() / 12.0;
+        let clean_rms: f64 = corpus
+            .split(Split::TestClean)
+            .iter()
+            .map(|u| Waveform::synthesize(u).rms())
+            .sum::<f64>()
+            / 12.0;
+        let other_rms: f64 = corpus
+            .split(Split::TestOther)
+            .iter()
+            .map(|u| Waveform::synthesize(u).rms())
+            .sum::<f64>()
+            / 12.0;
         // Additive noise raises total energy on the noisy split.
         assert!(other_rms > clean_rms * 0.9);
     }

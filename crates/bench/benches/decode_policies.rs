@@ -25,9 +25,18 @@ fn bench_tab02_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("tab02");
     group.sample_size(20);
     for (label, policy) in [
-        ("baseline_spec_8_1", Policy::Speculative(SpeculativeConfig::short_single())),
-        ("asp", Policy::AdaptiveSingleSequence(AdaptiveConfig::without_recycling())),
-        ("asp_recycle", Policy::AdaptiveSingleSequence(AdaptiveConfig::paper())),
+        (
+            "baseline_spec_8_1",
+            Policy::Speculative(SpeculativeConfig::short_single()),
+        ),
+        (
+            "asp",
+            Policy::AdaptiveSingleSequence(AdaptiveConfig::without_recycling()),
+        ),
+        (
+            "asp_recycle",
+            Policy::AdaptiveSingleSequence(AdaptiveConfig::paper()),
+        ),
         ("tsp", Policy::TwoPassSparseTree(SparseTreeConfig::paper())),
     ] {
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
@@ -95,7 +104,11 @@ fn bench_substrates(c: &mut Criterion) {
             let mut tree = TokenTree::new();
             let mut tip = tree.push_root(TokenId::new(10), 0.9, NodeOrigin::Trunk);
             for i in 0..63u32 {
-                let origin = if i % 7 == 0 { NodeOrigin::Branch } else { NodeOrigin::Trunk };
+                let origin = if i % 7 == 0 {
+                    NodeOrigin::Branch
+                } else {
+                    NodeOrigin::Trunk
+                };
                 tip = tree.push_child(tip, TokenId::new(11 + i), 0.8, origin);
             }
             TreeAttentionMask::from_tree(&tree)

@@ -16,9 +16,21 @@ use specasr_models::ModelProfile;
 fn main() {
     let context = ExperimentContext::standard();
     let configurations = [
-        ("bestow-class (1.1B)", EncoderProfile::conformer_large(), ModelProfile::tiny_llama_1b()),
-        ("speech-llama-class (7B)", EncoderProfile::whisper_medium_encoder(), ModelProfile::llama_7b()),
-        ("seed-asr-class (13B)", EncoderProfile::whisper_medium_encoder(), ModelProfile::vicuna_13b()),
+        (
+            "bestow-class (1.1B)",
+            EncoderProfile::conformer_large(),
+            ModelProfile::tiny_llama_1b(),
+        ),
+        (
+            "speech-llama-class (7B)",
+            EncoderProfile::whisper_medium_encoder(),
+            ModelProfile::llama_7b(),
+        ),
+        (
+            "seed-asr-class (13B)",
+            EncoderProfile::whisper_medium_encoder(),
+            ModelProfile::vicuna_13b(),
+        ),
     ];
 
     let mut record = ExperimentRecord::new(
@@ -34,7 +46,13 @@ fn main() {
         // (b) latency split on the split's audio, decoder run autoregressively
         // under the LLM latency profile.
         let (draft, target) = context.llm_pair(&decoder);
-        let run = run_policy_on_split(&context, &draft, &target, Split::TestClean, Policy::Autoregressive);
+        let run = run_policy_on_split(
+            &context,
+            &draft,
+            &target,
+            Split::TestClean,
+            Policy::Autoregressive,
+        );
         let encoder_ms = encoder.latency_ms_for_audio(run.audio_seconds);
         let decoder_ms = run.latency.decode_ms();
         let decoder_latency_share = decoder_ms / (decoder_ms + encoder_ms);
@@ -50,5 +68,7 @@ fn main() {
         );
     }
     emit(&record);
-    println!("shape check: the decoder holds >85 % of parameters and latency in every configuration.");
+    println!(
+        "shape check: the decoder holds >85 % of parameters and latency in every configuration."
+    );
 }

@@ -41,8 +41,11 @@ fn main() {
     let context = ExperimentContext::standard();
     let (asr_draft, asr_target) = context.whisper_pair();
     let text_target = TextTaskModel::target(ModelProfile::llama_7b(), context.seed ^ 0x71);
-    let text_draft =
-        TextTaskModel::draft_paired(ModelProfile::tiny_llama_1b(), context.seed ^ 0x72, &text_target);
+    let text_draft = TextTaskModel::draft_paired(
+        ModelProfile::tiny_llama_1b(),
+        context.seed ^ 0x72,
+        &text_target,
+    );
 
     let mut record = ExperimentRecord::new(
         "fig05b",

@@ -58,7 +58,10 @@ fn main() {
                 };
                 let mut row = ReportRow::new(policy.name())
                     .with("decode_ms_per_10s", run.per_10s().decode_ms())
-                    .with("speedup_vs_autoregressive", run.speedup_over(&autoregressive))
+                    .with(
+                        "speedup_vs_autoregressive",
+                        run.speedup_over(&autoregressive),
+                    )
                     .with("wer_percent", run.wer.wer() * 100.0);
                 if over_baseline.is_finite() {
                     row = row.with("speedup_vs_best_speculative", over_baseline);

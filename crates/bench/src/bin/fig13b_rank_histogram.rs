@@ -39,7 +39,13 @@ fn main() {
         "fig13b",
         "Rank of the target token in the draft logits when top-1 fails",
     );
-    let labels = ["rank 2", "rank 3", "rank 4", "rank 5", "beyond top-5 / absent"];
+    let labels = [
+        "rank 2",
+        "rank 3",
+        "rank 4",
+        "rank 5",
+        "beyond top-5 / absent",
+    ];
     for (label, count) in labels.iter().zip(rank_counts.iter()) {
         record.push_row(
             ReportRow::new(*label)

@@ -15,7 +15,10 @@ fn main() {
     for row in Policy::feature_matrix() {
         record.push_row(
             ReportRow::new(row.method)
-                .with("draft_generation_efficiency", row.draft_generation_efficiency.score())
+                .with(
+                    "draft_generation_efficiency",
+                    row.draft_generation_efficiency.score(),
+                )
                 .with(
                     "target_verification_efficiency",
                     row.target_verification_efficiency.score(),

@@ -3,9 +3,10 @@
 //! the SpecASR techniques one at a time.
 //!
 //! Paper reference values (ms per 10 s): baseline speculative 231/254/486,
-//! + adaptive single-sequence 236/191/427, + draft recycling 189/200/389,
-//! + two-pass sparse-tree 245/123/368.  The reproduction is expected to match
-//! the *ordering and the direction of every delta*, not the absolute numbers.
+//! then adding adaptive single-sequence 236/191/427, draft recycling
+//! 189/200/389, and two-pass sparse-tree 245/123/368.  The reproduction is
+//! expected to match the *ordering and the direction of every delta*, not the
+//! absolute numbers.
 
 use specasr::{AdaptiveConfig, Policy, SparseTreeConfig, SpeculativeConfig};
 use specasr_audio::Split;
@@ -16,7 +17,10 @@ fn main() {
     let context = ExperimentContext::standard();
     let (draft, target) = context.whisper_pair();
     let rows = [
-        ("baseline speculative", Policy::Speculative(SpeculativeConfig::short_single())),
+        (
+            "baseline speculative",
+            Policy::Speculative(SpeculativeConfig::short_single()),
+        ),
         (
             "+ adaptive single-sequence prediction",
             Policy::AdaptiveSingleSequence(AdaptiveConfig::without_recycling()),

@@ -20,9 +20,7 @@ use std::path::PathBuf;
 use specasr::{DecodeStats, Policy};
 use specasr_audio::{Corpus, Split};
 use specasr_metrics::{wer_between, ExperimentRecord, WerMeasurement};
-use specasr_models::{
-    LatencyBreakdown, ModelProfile, SimulatedAsrModel, TokenizerBinding,
-};
+use specasr_models::{LatencyBreakdown, ModelProfile, SimulatedAsrModel, TokenizerBinding};
 
 /// Default number of utterances generated per split for the harness binaries.
 pub const DEFAULT_UTTERANCES_PER_SPLIT: usize = 24;
@@ -200,7 +198,13 @@ mod tests {
     fn speedup_is_relative_to_the_reference() {
         let context = ExperimentContext::with_size(2);
         let (draft, target) = context.whisper_pair();
-        let ar = run_policy_on_split(&context, &draft, &target, Split::TestClean, Policy::Autoregressive);
+        let ar = run_policy_on_split(
+            &context,
+            &draft,
+            &target,
+            Split::TestClean,
+            Policy::Autoregressive,
+        );
         let spec = run_policy_on_split(
             &context,
             &draft,

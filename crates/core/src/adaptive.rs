@@ -9,16 +9,12 @@
 //! merged back into the next round's draft ([`crate::RecycleBuffer`]),
 //! which removes most of the regeneration cost.
 
-use specasr_models::{AsrDecoderModel, DecodeClock, UtteranceTokens};
-use specasr_runtime::KvCache;
-use specasr_tokenizer::TokenId;
+use specasr_models::{AsrDecoderModel, UtteranceTokens};
 
 use crate::config::AdaptiveConfig;
 use crate::outcome::DecodeOutcome;
-use crate::recycle::{run_draft_phase, RecycleBuffer};
-use crate::round::commit_round;
-use crate::stats::{DecodeStats, RoundRecord};
-use crate::verify::verify_sequence;
+use crate::policy::Policy;
+use crate::session::DecodeSession;
 
 /// SpecASR's adaptive single-sequence decoder.
 ///
@@ -61,90 +57,17 @@ impl AdaptiveDecoder {
     }
 
     /// Decodes `audio`, drafting with `draft` and verifying with `target`.
+    ///
+    /// Runs a [`DecodeSession`] to completion; the round-by-round mechanics
+    /// live in [`crate::DecodeSession::draft_round`] and
+    /// [`crate::DecodeSession::verify_round`].
     pub fn decode<D, T>(&self, draft: &D, target: &T, audio: &UtteranceTokens) -> DecodeOutcome
     where
         D: AsrDecoderModel + ?Sized,
         T: AsrDecoderModel + ?Sized,
     {
-        let mut clock = DecodeClock::new();
-        let mut stats = DecodeStats::new();
-        let mut draft_cache = KvCache::new();
-        let mut target_cache = KvCache::new();
-        draft_cache.prefill(audio.prefill_tokens());
-        target_cache.prefill(audio.prefill_tokens());
-
-        let cap = audio.len() * 2 + 16;
-        let mut tokens: Vec<TokenId> = Vec::with_capacity(audio.len() + 1);
-        let mut recycle = RecycleBuffer::new();
-        let mut finished = false;
-
-        while !finished {
-            // Draft phase: adaptive-length speculation, merging the recycled
-            // suffix from the previous round when enabled.
-            let retained: &[TokenId] = if self.config.recycling {
-                recycle.tokens()
-            } else {
-                &[]
-            };
-            let phase = run_draft_phase(
-                draft,
-                audio,
-                &tokens,
-                retained,
-                self.config.max_prediction_length,
-                self.config.truncation_threshold,
-                true,
-                self.config.merge_offset,
-                &mut clock,
-            );
-            let draft_tokens = phase.token_ids();
-
-            // Verify phase: one target pass over the draft sequence.
-            let verification = verify_sequence(target, audio, &tokens, &draft_tokens);
-            clock.charge_target(target.profile().latency(), draft_tokens.len().max(1));
-
-            // Retain the rejected suffix for the next round.
-            recycle = if verification.all_accepted {
-                RecycleBuffer::new()
-            } else {
-                RecycleBuffer::from_rejected(&draft_tokens, verification.accepted_len())
-            };
-
-            // KV bookkeeping.
-            draft_cache.append(draft_tokens.len());
-            target_cache.append(draft_tokens.len());
-            finished = commit_round(
-                &mut tokens,
-                &verification.accepted,
-                verification.correction,
-                audio.eos(),
-                cap,
-                &mut stats,
-            );
-            let committed = audio.prefill_tokens() + tokens.len();
-            draft_cache.rollback_to(committed.min(draft_cache.len()));
-            target_cache.rollback_to(committed.min(target_cache.len()));
-
-            stats.record_round(RoundRecord {
-                predicted: draft_tokens.len(),
-                accepted: verification.accepted_len(),
-                draft_steps: phase.steps,
-                tree_size: draft_tokens.len(),
-                recycled: phase.recycled,
-                truncated: phase.truncated,
-            });
-            if stats.rounds >= cap {
-                break;
-            }
-        }
-
-        DecodeOutcome {
-            tokens,
-            stats,
-            clock,
-            draft_cache,
-            target_cache,
-        }
+        DecodeSession::new(Policy::AdaptiveSingleSequence(self.config), audio.clone())
+            .run(draft, target)
     }
 }
 
@@ -153,6 +76,7 @@ mod tests {
     use super::*;
     use crate::config::SpeculativeConfig;
     use crate::speculative::SpeculativeDecoder;
+    use crate::stats::DecodeStats;
     use specasr_audio::{Corpus, Split};
     use specasr_models::{ModelProfile, SimulatedAsrModel, TokenizerBinding};
 
@@ -213,7 +137,10 @@ mod tests {
             adaptive_stats.acceptance_ratio(),
             baseline_stats.acceptance_ratio()
         );
-        assert!(adaptive_stats.truncations > 0, "the threshold should fire on noisy audio");
+        assert!(
+            adaptive_stats.truncations > 0,
+            "the threshold should fire on noisy audio"
+        );
     }
 
     #[test]
@@ -230,7 +157,10 @@ mod tests {
             draft_ms_with += outcome.latency().draft_ms;
             recycled += outcome.stats.recycled_tokens;
         }
-        assert!(recycled > 0, "recycling should adopt at least some tokens on noisy audio");
+        assert!(
+            recycled > 0,
+            "recycling should adopt at least some tokens on noisy audio"
+        );
         assert!(
             draft_ms_with < draft_ms_without,
             "recycling draft time ({draft_ms_with:.1} ms) should undercut non-recycling ({draft_ms_without:.1} ms)"
@@ -256,8 +186,12 @@ mod tests {
     #[test]
     fn draft_steps_match_clock_passes() {
         let (draft, target, audio) = setup(Split::DevOther);
-        let outcome = AdaptiveDecoder::new(AdaptiveConfig::paper()).decode(&draft, &target, &audio[0]);
-        assert_eq!(outcome.stats.draft_steps as u64, outcome.clock.draft_passes());
+        let outcome =
+            AdaptiveDecoder::new(AdaptiveConfig::paper()).decode(&draft, &target, &audio[0]);
+        assert_eq!(
+            outcome.stats.draft_steps as u64,
+            outcome.clock.draft_passes()
+        );
         assert_eq!(outcome.stats.rounds as u64, outcome.clock.target_passes());
     }
 }

@@ -1,11 +1,11 @@
 //! Plain autoregressive decoding with the target model (the paper's first
 //! baseline and the reference output every speculative policy must match).
 
-use specasr_models::{AsrDecoderModel, DecodeClock, UtteranceTokens};
-use specasr_runtime::KvCache;
+use specasr_models::{AsrDecoderModel, UtteranceTokens};
 
 use crate::outcome::DecodeOutcome;
-use crate::stats::{DecodeStats, RoundRecord};
+use crate::policy::Policy;
+use crate::session::DecodeSession;
 
 /// Decodes with the target model only, one forward pass per output token.
 ///
@@ -43,39 +43,9 @@ impl AutoregressiveDecoder {
     where
         M: AsrDecoderModel + ?Sized,
     {
-        let mut clock = DecodeClock::new();
-        let mut stats = DecodeStats::new();
-        let mut target_cache = KvCache::new();
-        target_cache.prefill(audio.prefill_tokens());
-
-        let cap = audio.len() * 2 + 16;
-        let mut tokens = Vec::with_capacity(audio.len() + 1);
-        loop {
-            let next = target.greedy_token(audio, &tokens);
-            clock.charge_target(target.profile().latency(), 1);
-            target_cache.append(1);
-            stats.record_round(RoundRecord {
-                predicted: 0,
-                accepted: 0,
-                draft_steps: 0,
-                tree_size: 1,
-                recycled: 0,
-                truncated: false,
-            });
-            stats.record_correction();
-            if next == audio.eos() || tokens.len() >= cap {
-                break;
-            }
-            tokens.push(next);
-        }
-
-        DecodeOutcome {
-            tokens,
-            stats,
-            clock,
-            draft_cache: KvCache::new(),
-            target_cache,
-        }
+        // The autoregressive policy never queries the draft model, so the
+        // target doubles as the (unused) draft argument of the session.
+        DecodeSession::new(Policy::Autoregressive, audio.clone()).run(target, target)
     }
 }
 
@@ -106,7 +76,10 @@ mod tests {
     fn one_target_pass_per_token_plus_eos() {
         let (target, audio) = setup();
         let outcome = AutoregressiveDecoder::new().decode(&target, &audio[0]);
-        assert_eq!(outcome.clock.target_passes() as usize, outcome.tokens.len() + 1);
+        assert_eq!(
+            outcome.clock.target_passes() as usize,
+            outcome.tokens.len() + 1
+        );
         assert_eq!(outcome.clock.draft_passes(), 0);
         assert_eq!(outcome.stats.rounds, outcome.tokens.len() + 1);
         assert_eq!(outcome.stats.correction_tokens, outcome.tokens.len() + 1);
@@ -126,7 +99,10 @@ mod tests {
     fn kv_cache_tracks_prefill_and_generation() {
         let (target, audio) = setup();
         let outcome = AutoregressiveDecoder::new().decode(&target, &audio[2]);
-        assert_eq!(outcome.target_cache.prefill_len(), audio[2].prefill_tokens());
+        assert_eq!(
+            outcome.target_cache.prefill_len(),
+            audio[2].prefill_tokens()
+        );
         assert_eq!(
             outcome.target_cache.generated_len(),
             outcome.tokens.len() + 1

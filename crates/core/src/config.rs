@@ -112,7 +112,10 @@ impl AdaptiveConfig {
     /// Panics if the maximum length is zero or the threshold is outside
     /// `[0, 1]`.
     pub fn validate(&self) {
-        assert!(self.max_prediction_length > 0, "prediction length must be positive");
+        assert!(
+            self.max_prediction_length > 0,
+            "prediction length must be positive"
+        );
         assert!(
             (0.0..=1.0).contains(&self.truncation_threshold),
             "truncation threshold must lie in [0, 1]"
@@ -183,7 +186,10 @@ impl SparseTreeConfig {
     /// to degenerate into single-sequence prediction) or the threshold is
     /// outside `[0, 1]`.
     pub fn validate(&self) {
-        assert!(self.max_prediction_length > 0, "prediction length must be positive");
+        assert!(
+            self.max_prediction_length > 0,
+            "prediction length must be positive"
+        );
         assert!(self.branch_top_k >= 1, "branch top-k must be at least 1");
         assert!(
             (0.0..=1.0).contains(&self.uncertainty_threshold),
@@ -230,7 +236,9 @@ mod tests {
 
     #[test]
     fn builder_style_updates_do_not_touch_other_fields() {
-        let config = AdaptiveConfig::paper().with_threshold(0.7).with_max_length(12);
+        let config = AdaptiveConfig::paper()
+            .with_threshold(0.7)
+            .with_max_length(12);
         assert_eq!(config.max_prediction_length, 12);
         assert!((config.truncation_threshold - 0.7).abs() < 1e-12);
         assert!(config.recycling);

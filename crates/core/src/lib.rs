@@ -63,6 +63,7 @@ mod pipeline;
 mod policy;
 mod recycle;
 mod round;
+mod session;
 mod sparse_tree;
 mod speculative;
 mod stats;
@@ -75,6 +76,7 @@ pub use outcome::DecodeOutcome;
 pub use pipeline::{AsrPipeline, PipelineOutput};
 pub use policy::{FeatureRow, Policy, Rating};
 pub use recycle::RecycleBuffer;
+pub use session::{DecodeSession, DraftedRound};
 pub use sparse_tree::SparseTreeDecoder;
 pub use speculative::SpeculativeDecoder;
 pub use stats::{DecodeStats, RoundRecord};

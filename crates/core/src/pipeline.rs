@@ -118,7 +118,9 @@ where
         PipelineOutput {
             text,
             outcome,
-            encoder_ms: self.encoder.latency_ms_for_audio(utterance.duration_seconds()),
+            encoder_ms: self
+                .encoder
+                .latency_ms_for_audio(utterance.duration_seconds()),
             audio_seconds: utterance.duration_seconds(),
         }
     }
@@ -144,16 +146,27 @@ mod tests {
     use super::*;
     use crate::config::AdaptiveConfig;
     use specasr_audio::{Corpus, Split};
-    use specasr_models::{ModelProfile, SimulatedAsrModel};
     use specasr_metrics::wer_between;
+    use specasr_models::{ModelProfile, SimulatedAsrModel};
 
-    fn pipeline(policy: Policy) -> (AsrPipeline<SimulatedAsrModel, SimulatedAsrModel>, Corpus, TokenizerBinding) {
+    fn pipeline(
+        policy: Policy,
+    ) -> (
+        AsrPipeline<SimulatedAsrModel, SimulatedAsrModel>,
+        Corpus,
+        TokenizerBinding,
+    ) {
         let corpus = Corpus::librispeech_like(47, 4);
         let binding = TokenizerBinding::for_corpus(&corpus);
         let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 7);
         let draft = SimulatedAsrModel::draft_paired(ModelProfile::whisper_tiny_en(), 8, &target);
         (
-            AsrPipeline::new(draft, target, EncoderProfile::whisper_medium_encoder(), policy),
+            AsrPipeline::new(
+                draft,
+                target,
+                EncoderProfile::whisper_medium_encoder(),
+                policy,
+            ),
             corpus,
             binding,
         )
@@ -177,8 +190,7 @@ mod tests {
     #[test]
     fn accelerated_policies_keep_the_same_text() {
         let (ar_pipeline, corpus, binding) = pipeline(Policy::Autoregressive);
-        let accelerated =
-            pipeline(Policy::AdaptiveSingleSequence(AdaptiveConfig::paper())).0;
+        let accelerated = pipeline(Policy::AdaptiveSingleSequence(AdaptiveConfig::paper())).0;
         for utt in corpus.split(Split::DevOther).iter().take(3) {
             let reference = ar_pipeline.transcribe(&binding, utt);
             let fast = accelerated.transcribe(&binding, utt);

@@ -4,12 +4,9 @@
 use serde::{Deserialize, Serialize};
 use specasr_models::{AsrDecoderModel, UtteranceTokens};
 
-use crate::adaptive::AdaptiveDecoder;
-use crate::autoregressive::AutoregressiveDecoder;
 use crate::config::{AdaptiveConfig, SparseTreeConfig, SpeculativeConfig};
 use crate::outcome::DecodeOutcome;
-use crate::sparse_tree::SparseTreeDecoder;
-use crate::speculative::SpeculativeDecoder;
+use crate::session::DecodeSession;
 
 /// A fully specified decoding policy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -43,23 +40,16 @@ impl Policy {
 
     /// Decodes `audio` with this policy.  The autoregressive policy ignores
     /// the draft model.
+    ///
+    /// Equivalent to running a [`crate::DecodeSession`] for this policy to
+    /// completion — which is exactly what it does, so blocking decodes and
+    /// round-interleaved (scheduled) decodes share one code path.
     pub fn decode<D, T>(&self, draft: &D, target: &T, audio: &UtteranceTokens) -> DecodeOutcome
     where
         D: AsrDecoderModel + ?Sized,
         T: AsrDecoderModel + ?Sized,
     {
-        match self {
-            Policy::Autoregressive => AutoregressiveDecoder::new().decode(target, audio),
-            Policy::Speculative(config) => {
-                SpeculativeDecoder::new(*config).decode(draft, target, audio)
-            }
-            Policy::AdaptiveSingleSequence(config) => {
-                AdaptiveDecoder::new(*config).decode(draft, target, audio)
-            }
-            Policy::TwoPassSparseTree(config) => {
-                SparseTreeDecoder::new(*config).decode(draft, target, audio)
-            }
-        }
+        DecodeSession::new(*self, audio.clone()).run(draft, target)
     }
 
     /// The baselines used throughout the paper's evaluation: autoregressive
@@ -186,7 +176,10 @@ mod tests {
         let audio = binding.bind_all(corpus.split(Split::DevClean));
         let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 7);
         let draft = SimulatedAsrModel::draft_paired(ModelProfile::whisper_tiny_en(), 8, &target);
-        for policy in Policy::paper_baselines().into_iter().chain(Policy::specasr_policies()) {
+        for policy in Policy::paper_baselines()
+            .into_iter()
+            .chain(Policy::specasr_policies())
+        {
             for utt in &audio {
                 assert_eq!(
                     policy.decode(&draft, &target, utt).tokens,

@@ -119,6 +119,7 @@ impl DraftPhase {
 /// retained suffix is being tracked the pass processes two tokens (the masked
 /// parallel decode of the paper), otherwise one.  Tokens adopted via a merge
 /// charge nothing.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_draft_phase<M>(
     draft: &M,
     audio: &UtteranceTokens,
@@ -227,8 +228,14 @@ mod tests {
     #[test]
     fn buffer_retains_the_post_rejection_suffix() {
         let draft: Vec<TokenId> = [1u32, 2, 3, 4, 5].into_iter().map(TokenId::new).collect();
-        assert_eq!(RecycleBuffer::from_rejected(&draft, 0).tokens(), &draft[1..]);
-        assert_eq!(RecycleBuffer::from_rejected(&draft, 3).tokens(), &draft[4..]);
+        assert_eq!(
+            RecycleBuffer::from_rejected(&draft, 0).tokens(),
+            &draft[1..]
+        );
+        assert_eq!(
+            RecycleBuffer::from_rejected(&draft, 3).tokens(),
+            &draft[4..]
+        );
         assert!(RecycleBuffer::from_rejected(&draft, 4).is_empty());
         assert!(RecycleBuffer::from_rejected(&draft, 99).is_empty());
         assert_eq!(RecycleBuffer::from_rejected(&draft, 1).len(), 3);
@@ -275,7 +282,10 @@ mod tests {
         let phase = run_draft_phase(&draft, &audio[0], &[], &[], 24, 1.0, true, 1, &mut clock);
         assert!(phase.truncated);
         assert!(phase.tokens.is_empty());
-        assert_eq!(phase.steps, 1, "the pass that produced the withheld token is still paid for");
+        assert_eq!(
+            phase.steps, 1,
+            "the pass that produced the withheld token is still paid for"
+        );
         // With threshold 0 no truncation ever happens.
         let mut clock2 = DecodeClock::new();
         let phase2 = run_draft_phase(&draft, &audio[0], &[], &[], 24, 0.0, true, 1, &mut clock2);
@@ -291,8 +301,17 @@ mod tests {
         let trajectory = target.greedy_transcript(utt);
         let retained: Vec<TokenId> = trajectory.iter().copied().skip(1).take(8).collect();
         let mut clock = DecodeClock::new();
-        let phase =
-            run_draft_phase(&draft, utt, &trajectory[..1], &retained, 24, 0.0, false, 1, &mut clock);
+        let phase = run_draft_phase(
+            &draft,
+            utt,
+            &trajectory[..1],
+            &retained,
+            24,
+            0.0,
+            false,
+            1,
+            &mut clock,
+        );
         if phase.recycled > 0 {
             // Adopted tokens must not have cost draft passes.
             assert!(phase.steps < phase.tokens.len());
@@ -309,7 +328,17 @@ mod tests {
         let (draft, _, audio) = setup();
         let retained = vec![t(999); 4];
         let mut clock = DecodeClock::new();
-        run_draft_phase(&draft, &audio[0], &[], &retained, 4, 0.0, false, 1, &mut clock);
+        run_draft_phase(
+            &draft,
+            &audio[0],
+            &[],
+            &retained,
+            4,
+            0.0,
+            false,
+            1,
+            &mut clock,
+        );
         // Each pass processed two tokens (regeneration + retained tracking).
         assert_eq!(clock.draft_tokens_processed(), 2 * clock.draft_passes());
     }
@@ -322,8 +351,7 @@ mod tests {
         // Starting right at the end of the reference, the first drafted token
         // is EOS and drafting stops immediately.
         let mut clock = DecodeClock::new();
-        let phase =
-            run_draft_phase(&draft, utt, &trajectory, &[], 24, 0.0, false, 1, &mut clock);
+        let phase = run_draft_phase(&draft, utt, &trajectory, &[], 24, 0.0, false, 1, &mut clock);
         assert_eq!(phase.tokens.len(), 1);
         assert_eq!(phase.tokens[0].token, utt.eos());
     }

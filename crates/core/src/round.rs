@@ -59,7 +59,14 @@ mod tests {
     fn eos_in_accepted_stops_without_the_correction() {
         let mut tokens = vec![];
         let mut stats = DecodeStats::new();
-        let finished = commit_round(&mut tokens, &[t(2), t(0), t(3)], t(4), t(0), 100, &mut stats);
+        let finished = commit_round(
+            &mut tokens,
+            &[t(2), t(0), t(3)],
+            t(4),
+            t(0),
+            100,
+            &mut stats,
+        );
         assert!(finished);
         assert_eq!(tokens, vec![t(2)]);
         assert_eq!(stats.correction_tokens, 0);

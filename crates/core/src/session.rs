@@ -1,0 +1,772 @@
+//! Round-level decoding sessions: the steppable core of every policy.
+//!
+//! Historically each decoder owned a blocking `decode` loop; a serving
+//! scheduler cannot interleave work across utterances through such a loop.
+//! [`DecodeSession`] splits one utterance's decode into explicit *rounds*:
+//!
+//! 1. [`DecodeSession::draft_round`] — the draft model speculates this
+//!    round's material (a token sequence or a sparse token tree, depending on
+//!    the policy) and the session records the draft-side latency;
+//! 2. [`DecodeSession::verify_round`] — the target model verifies the drafted
+//!    material, the accepted prefix plus correction token are committed, and
+//!    KV caches, statistics, and the recycle buffer are updated.
+//!
+//! [`DecodeSession::step`] chains the two for single-utterance use, and every
+//! decoder's `decode` method is now a thin wrapper that runs a session to
+//! completion — so a scheduler that interleaves `draft_round`/`verify_round`
+//! calls across many sessions produces byte-identical transcripts to
+//! sequential decoding (the lossless invariant serving relies on).
+//!
+//! The drafted material is returned as an opaque [`DraftedRound`]; its
+//! [`DraftedRound::verify_tokens`] exposes how many tokens the target pass
+//! must process, which is what a continuous-batching scheduler needs to cost
+//! a grouped verification step before running it.
+
+use specasr_models::{AsrDecoderModel, DecodeClock, UtteranceTokens};
+use specasr_runtime::{KvCache, NodeOrigin, TokenTree};
+use specasr_tokenizer::TokenId;
+
+use crate::outcome::DecodeOutcome;
+use crate::policy::Policy;
+use crate::recycle::{run_draft_phase, DraftPhase, RecycleBuffer};
+use crate::round::commit_round;
+use crate::sparse_tree::merge_slot;
+use crate::stats::{DecodeStats, RoundRecord};
+use crate::verify::{verify_sequence, verify_tree};
+
+/// The material one draft phase produced, waiting to be verified.
+///
+/// Opaque by design: schedulers only need the verification width; the
+/// policy-specific payload goes straight back into
+/// [`DecodeSession::verify_round`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DraftedRound {
+    plan: RoundPlan,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum RoundPlan {
+    /// Autoregressive decoding drafts nothing; verification emits one token.
+    Autoregressive,
+    /// A single draft sequence (speculative baseline or adaptive prediction).
+    Sequence {
+        tokens: Vec<TokenId>,
+        steps: usize,
+        recycled: usize,
+        truncated: bool,
+    },
+    /// A draft token tree (beam baseline or two-pass sparse tree).  For the
+    /// sparse tree the trunk is kept for the recycle-buffer update.
+    Tree {
+        tree: TokenTree,
+        trunk_tokens: Option<Vec<TokenId>>,
+        steps: usize,
+        recycled: usize,
+    },
+}
+
+impl DraftedRound {
+    /// Number of tokens the target model will process when verifying this
+    /// round (the width of the verification forward pass).
+    pub fn verify_tokens(&self) -> usize {
+        match &self.plan {
+            RoundPlan::Autoregressive => 1,
+            RoundPlan::Sequence { tokens, .. } => tokens.len().max(1),
+            RoundPlan::Tree { tree, .. } => tree.len().max(1),
+        }
+    }
+
+    /// Number of draft tokens submitted for verification (0 for
+    /// autoregressive rounds, which draft nothing).
+    pub fn predicted_tokens(&self) -> usize {
+        match &self.plan {
+            RoundPlan::Autoregressive => 0,
+            RoundPlan::Sequence { tokens, .. } => tokens.len(),
+            RoundPlan::Tree { tree, .. } => tree.len(),
+        }
+    }
+}
+
+/// One utterance's in-flight decode under a policy, steppable round by round.
+///
+/// # Example
+///
+/// ```
+/// use specasr::{AdaptiveConfig, DecodeSession, Policy};
+/// use specasr_audio::{Corpus, Split};
+/// use specasr_models::{AsrDecoderModel, ModelProfile, SimulatedAsrModel, TokenizerBinding};
+///
+/// let corpus = Corpus::librispeech_like(1, 1);
+/// let binding = TokenizerBinding::for_corpus(&corpus);
+/// let audio = binding.bind(&corpus.split(Split::TestClean)[0]);
+/// let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 7);
+/// let draft = SimulatedAsrModel::draft_paired(ModelProfile::whisper_tiny_en(), 8, &target);
+///
+/// let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+/// let mut session = DecodeSession::new(policy, audio.clone());
+/// while !session.is_finished() {
+///     let drafted = session.draft_round(&draft);
+///     session.verify_round(&target, drafted);
+/// }
+/// let outcome = session.into_outcome();
+/// assert_eq!(outcome.tokens, target.greedy_transcript(&audio)); // lossless
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecodeSession {
+    policy: Policy,
+    audio: UtteranceTokens,
+    tokens: Vec<TokenId>,
+    stats: DecodeStats,
+    clock: DecodeClock,
+    draft_cache: KvCache,
+    target_cache: KvCache,
+    recycle: RecycleBuffer,
+    finished: bool,
+    cap: usize,
+}
+
+impl DecodeSession {
+    /// Starts a session for `audio` under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy carries an invalid configuration (mirroring the
+    /// decoder constructors).
+    pub fn new(policy: Policy, audio: UtteranceTokens) -> Self {
+        match &policy {
+            Policy::AdaptiveSingleSequence(config) => config.validate(),
+            Policy::TwoPassSparseTree(config) => config.validate(),
+            Policy::Autoregressive | Policy::Speculative(_) => {}
+        }
+        let mut draft_cache = KvCache::new();
+        let mut target_cache = KvCache::new();
+        // Autoregressive decoding never touches the draft model, so its draft
+        // cache stays empty, exactly as the blocking decoder reported it.
+        if !matches!(policy, Policy::Autoregressive) {
+            draft_cache.prefill(audio.prefill_tokens());
+        }
+        target_cache.prefill(audio.prefill_tokens());
+        let cap = audio.len() * 2 + 16;
+        let token_capacity = audio.len() + 1;
+        DecodeSession {
+            policy,
+            audio,
+            tokens: Vec::with_capacity(token_capacity),
+            stats: DecodeStats::new(),
+            clock: DecodeClock::new(),
+            draft_cache,
+            target_cache,
+            recycle: RecycleBuffer::new(),
+            finished: false,
+            cap,
+        }
+    }
+
+    /// The policy this session decodes under.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// The bound utterance being decoded.
+    pub fn audio(&self) -> &UtteranceTokens {
+        &self.audio
+    }
+
+    /// The committed transcript so far.
+    pub fn tokens(&self) -> &[TokenId] {
+        &self.tokens
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &DecodeStats {
+        &self.stats
+    }
+
+    /// The latency clock accumulated so far.
+    pub fn clock(&self) -> &DecodeClock {
+        &self.clock
+    }
+
+    /// `true` once EOS was reached (or the safety cap hit).
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Runs the draft phase of the next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is already finished.
+    pub fn draft_round<D>(&mut self, draft: &D) -> DraftedRound
+    where
+        D: AsrDecoderModel + ?Sized,
+    {
+        assert!(!self.finished, "draft_round called on a finished session");
+        let plan = match self.policy {
+            Policy::Autoregressive => RoundPlan::Autoregressive,
+            Policy::Speculative(config) if config.beams <= 1 => {
+                let mut tokens = Vec::with_capacity(config.prediction_length);
+                let mut context = self.tokens.clone();
+                let mut steps = 0usize;
+                while tokens.len() < config.prediction_length {
+                    let next = draft.greedy_token(&self.audio, &context);
+                    self.clock.charge_draft(draft.profile().latency(), 1);
+                    steps += 1;
+                    tokens.push(next);
+                    context.push(next);
+                    if next == self.audio.eos() {
+                        break;
+                    }
+                }
+                RoundPlan::Sequence {
+                    tokens,
+                    steps,
+                    recycled: 0,
+                    truncated: false,
+                }
+            }
+            Policy::Speculative(config) => {
+                let (tree, steps) =
+                    self.draft_beam_tree(draft, config.beams, config.prediction_length);
+                RoundPlan::Tree {
+                    tree,
+                    trunk_tokens: None,
+                    steps,
+                    recycled: 0,
+                }
+            }
+            Policy::AdaptiveSingleSequence(config) => {
+                let retained: &[TokenId] = if config.recycling {
+                    self.recycle.tokens()
+                } else {
+                    &[]
+                };
+                let phase = run_draft_phase(
+                    draft,
+                    &self.audio,
+                    &self.tokens,
+                    retained,
+                    config.max_prediction_length,
+                    config.truncation_threshold,
+                    true,
+                    config.merge_offset,
+                    &mut self.clock,
+                );
+                RoundPlan::Sequence {
+                    tokens: phase.token_ids(),
+                    steps: phase.steps,
+                    recycled: phase.recycled,
+                    truncated: phase.truncated,
+                }
+            }
+            Policy::TwoPassSparseTree(config) => {
+                // Pass 1: greedy trunk, recording uncertainty but never
+                // truncating.
+                let retained: &[TokenId] = if config.recycling {
+                    self.recycle.tokens()
+                } else {
+                    &[]
+                };
+                let trunk = run_draft_phase(
+                    draft,
+                    &self.audio,
+                    &self.tokens,
+                    retained,
+                    config.max_prediction_length,
+                    config.uncertainty_threshold,
+                    false,
+                    config.merge_offset,
+                    &mut self.clock,
+                );
+                // Pass 2: sparse branch expansion at the uncertain positions.
+                let (tree, branch_steps, branch_recycled) = grow_sparse_tree(
+                    &config,
+                    draft,
+                    &self.audio,
+                    &self.tokens,
+                    &trunk,
+                    &mut self.clock,
+                );
+                RoundPlan::Tree {
+                    trunk_tokens: Some(trunk.token_ids()),
+                    tree,
+                    steps: trunk.steps + branch_steps,
+                    recycled: trunk.recycled + branch_recycled,
+                }
+            }
+        };
+        DraftedRound { plan }
+    }
+
+    /// Verifies and commits one drafted round, returning `true` when the
+    /// session finished.
+    pub fn verify_round<T>(&mut self, target: &T, drafted: DraftedRound) -> bool
+    where
+        T: AsrDecoderModel + ?Sized,
+    {
+        match drafted.plan {
+            RoundPlan::Autoregressive => {
+                let next = target.greedy_token(&self.audio, &self.tokens);
+                self.clock.charge_target(target.profile().latency(), 1);
+                self.target_cache.append(1);
+                self.stats.record_round(RoundRecord {
+                    predicted: 0,
+                    accepted: 0,
+                    draft_steps: 0,
+                    tree_size: 1,
+                    recycled: 0,
+                    truncated: false,
+                });
+                self.stats.record_correction();
+                if next == self.audio.eos() || self.tokens.len() >= self.cap {
+                    self.finished = true;
+                } else {
+                    self.tokens.push(next);
+                }
+            }
+            RoundPlan::Sequence {
+                tokens: draft_tokens,
+                steps,
+                recycled,
+                truncated,
+            } => {
+                // Verify phase: one target pass over the draft sequence.
+                let verification =
+                    verify_sequence(target, &self.audio, &self.tokens, &draft_tokens);
+                self.clock
+                    .charge_target(target.profile().latency(), draft_tokens.len().max(1));
+
+                // Retain the rejected suffix for the next round (only the
+                // adaptive policy reads it back).
+                self.recycle = if verification.all_accepted {
+                    RecycleBuffer::new()
+                } else {
+                    RecycleBuffer::from_rejected(&draft_tokens, verification.accepted_len())
+                };
+
+                // KV bookkeeping and commit.  (Single-sequence drafting always
+                // issues one pass per drafted token, so the appended length
+                // equals the draft length for both policies that land here.)
+                self.draft_cache.append(draft_tokens.len());
+                self.target_cache.append(draft_tokens.len());
+                self.finished = commit_round(
+                    &mut self.tokens,
+                    &verification.accepted,
+                    verification.correction,
+                    self.audio.eos(),
+                    self.cap,
+                    &mut self.stats,
+                );
+                self.rollback_caches();
+                self.stats.record_round(RoundRecord {
+                    predicted: draft_tokens.len(),
+                    accepted: verification.accepted_len(),
+                    draft_steps: steps,
+                    tree_size: draft_tokens.len(),
+                    recycled,
+                    truncated,
+                });
+            }
+            RoundPlan::Tree {
+                tree,
+                trunk_tokens,
+                steps,
+                recycled,
+            } => {
+                // Verification: one target pass over the whole tree.
+                let verification = verify_tree(target, &self.audio, &self.tokens, &tree);
+                self.clock.charge_target(
+                    target.profile().latency(),
+                    verification.nodes_processed.max(1),
+                );
+
+                // Two-pass sparse trees retain the trunk's rejected suffix
+                // for the next round.  The trunk's per-position target
+                // outputs are available from the same verification pass, so
+                // no extra latency is charged.
+                if let Some(trunk_tokens) = &trunk_tokens {
+                    let trunk_verification =
+                        verify_sequence(target, &self.audio, &self.tokens, trunk_tokens);
+                    self.recycle = if trunk_verification.all_accepted {
+                        RecycleBuffer::new()
+                    } else {
+                        RecycleBuffer::from_rejected(
+                            trunk_tokens,
+                            trunk_verification.accepted_len(),
+                        )
+                    };
+                }
+
+                // KV bookkeeping and commit.  The beam baseline counted its
+                // draft appends as max(tree, steps); the sparse tree appends
+                // the tree size on both models.
+                if trunk_tokens.is_some() {
+                    self.draft_cache.append(tree.len());
+                } else {
+                    self.draft_cache.append(tree.len().max(steps));
+                }
+                self.target_cache.append(tree.len());
+                self.finished = commit_round(
+                    &mut self.tokens,
+                    &verification.accepted,
+                    verification.correction,
+                    self.audio.eos(),
+                    self.cap,
+                    &mut self.stats,
+                );
+                self.rollback_caches();
+                self.stats.record_round(RoundRecord {
+                    predicted: tree.len(),
+                    accepted: verification.accepted_len(),
+                    draft_steps: steps,
+                    tree_size: tree.len(),
+                    recycled,
+                    truncated: false,
+                });
+            }
+        }
+        // Safety cap on speculative rounds (autoregressive decoding caps on
+        // the committed length above, one round per token).
+        if !matches!(self.policy, Policy::Autoregressive) && self.stats.rounds >= self.cap {
+            self.finished = true;
+        }
+        self.finished
+    }
+
+    /// One complete round: draft then verify.  Returns `true` when finished.
+    pub fn step<D, T>(&mut self, draft: &D, target: &T) -> bool
+    where
+        D: AsrDecoderModel + ?Sized,
+        T: AsrDecoderModel + ?Sized,
+    {
+        let drafted = self.draft_round(draft);
+        self.verify_round(target, drafted)
+    }
+
+    /// Runs the session to completion and returns the outcome.
+    pub fn run<D, T>(mut self, draft: &D, target: &T) -> DecodeOutcome
+    where
+        D: AsrDecoderModel + ?Sized,
+        T: AsrDecoderModel + ?Sized,
+    {
+        while !self.finished {
+            self.step(draft, target);
+        }
+        self.into_outcome()
+    }
+
+    /// Consumes the session into a [`DecodeOutcome`].
+    ///
+    /// Normally called once [`DecodeSession::is_finished`] is `true`; calling
+    /// it earlier yields the partial transcript decoded so far.
+    pub fn into_outcome(self) -> DecodeOutcome {
+        DecodeOutcome {
+            tokens: self.tokens,
+            stats: self.stats,
+            clock: self.clock,
+            draft_cache: self.draft_cache,
+            target_cache: self.target_cache,
+        }
+    }
+
+    /// Rolls both KV caches back to the committed transcript length.
+    fn rollback_caches(&mut self) {
+        let committed = self.audio.prefill_tokens() + self.tokens.len();
+        self.draft_cache
+            .rollback_to(committed.min(self.draft_cache.len()));
+        self.target_cache
+            .rollback_to(committed.min(self.target_cache.len()));
+    }
+
+    /// The SpecInfer-style beam baseline draft: top-`beams` first-step
+    /// candidates extended greedily in parallel into a fixed token tree.
+    fn draft_beam_tree<D>(
+        &mut self,
+        draft: &D,
+        beams: usize,
+        prediction_length: usize,
+    ) -> (TokenTree, usize)
+    where
+        D: AsrDecoderModel + ?Sized,
+    {
+        let mut tree = TokenTree::new();
+        let mut steps = 0usize;
+
+        // First step: the top-`beams` candidates become branch roots.
+        let first_logits = draft.next_logits(&self.audio, &self.tokens);
+        self.clock.charge_draft(draft.profile().latency(), beams);
+        steps += 1;
+        let mut branch_tips = Vec::new();
+        for candidate in first_logits.iter().take(beams) {
+            let origin = if branch_tips.is_empty() {
+                NodeOrigin::Trunk
+            } else {
+                NodeOrigin::Branch
+            };
+            let node = tree.push_root(candidate.token, candidate.probability, origin);
+            branch_tips.push((node, candidate.token == self.audio.eos()));
+        }
+
+        // Subsequent steps: extend every live branch greedily in parallel.
+        for _ in 1..prediction_length {
+            let live: Vec<usize> = branch_tips
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, done))| !done)
+                .map(|(i, _)| i)
+                .collect();
+            if live.is_empty() {
+                break;
+            }
+            self.clock
+                .charge_draft(draft.profile().latency(), live.len());
+            steps += 1;
+            for branch in live {
+                let (tip, _) = branch_tips[branch];
+                let mut context = self.tokens.clone();
+                context.extend(tree.path_tokens(tip));
+                let logits = draft.next_logits(&self.audio, &context);
+                let Some(top1) = logits.top1() else {
+                    branch_tips[branch].1 = true;
+                    continue;
+                };
+                let origin = if branch == 0 {
+                    NodeOrigin::Trunk
+                } else {
+                    NodeOrigin::Branch
+                };
+                let node = tree.push_child(tip, top1.token, top1.probability, origin);
+                branch_tips[branch] = (node, top1.token == self.audio.eos());
+            }
+        }
+        (tree, steps)
+    }
+}
+
+/// Builds the sparse token tree from the trunk draft: the trunk chain plus
+/// one side branch per uncertain position (up to `max_branches`).
+///
+/// Returns `(tree, branch_draft_steps, branch_recycled_tokens)`.
+fn grow_sparse_tree<D>(
+    config: &crate::config::SparseTreeConfig,
+    draft: &D,
+    audio: &UtteranceTokens,
+    prefix: &[TokenId],
+    trunk: &DraftPhase,
+    clock: &mut DecodeClock,
+) -> (TokenTree, usize, usize)
+where
+    D: AsrDecoderModel + ?Sized,
+{
+    let mut tree = TokenTree::new();
+    let trunk_tokens = trunk.token_ids();
+
+    // Trunk chain.
+    let mut trunk_nodes: Vec<specasr_runtime::NodeId> = Vec::with_capacity(trunk.tokens.len());
+    let mut previous: Option<specasr_runtime::NodeId> = None;
+    for drafted in &trunk.tokens {
+        let origin = if drafted.recycled {
+            NodeOrigin::Recycled
+        } else {
+            NodeOrigin::Trunk
+        };
+        let node = match previous {
+            None => tree.push_root(drafted.token, drafted.probability, origin),
+            Some(parent) => tree.push_child(parent, drafted.token, drafted.probability, origin),
+        };
+        trunk_nodes.push(node);
+        previous = Some(node);
+    }
+
+    // Uncertain positions: low-confidence, freshly generated, non-EOS trunk
+    // tokens with a recorded runner-up candidate.
+    let uncertain: Vec<(usize, TokenId, f64)> = trunk
+        .tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| {
+            !d.recycled && d.probability < config.uncertainty_threshold && d.token != audio.eos()
+        })
+        .filter_map(|(i, d)| d.runner_up.map(|(alt, p)| (i, alt, p)))
+        .take(config.max_branches)
+        .collect();
+
+    let mut branch_steps = 0usize;
+    let mut branch_recycled = 0usize;
+    let branch_width = config.branch_top_k.saturating_sub(1).max(1);
+
+    for &(position, alt_token, alt_probability) in &uncertain {
+        // Open `branch_top_k - 1` alternative branches at this position; the
+        // paper finds a single (top-2) branch optimal, so additional widths
+        // reuse lower-ranked candidates from a fresh draft query only when
+        // configured.
+        let mut alternatives: Vec<(TokenId, f64)> = vec![(alt_token, alt_probability)];
+        if branch_width > 1 {
+            let mut context = prefix.to_vec();
+            context.extend_from_slice(&trunk_tokens[..position]);
+            let logits = draft.next_logits(audio, &context);
+            clock.charge_draft(draft.profile().latency(), 1);
+            branch_steps += 1;
+            for candidate in logits.iter().skip(2).take(branch_width - 1) {
+                alternatives.push((candidate.token, candidate.probability));
+            }
+        }
+
+        for (token, probability) in alternatives {
+            let parent = if position == 0 {
+                None
+            } else {
+                Some(trunk_nodes[position - 1])
+            };
+            let mut tip = match parent {
+                None => tree.push_root(token, probability, NodeOrigin::Branch),
+                Some(p) => tree.push_child(p, token, probability, NodeOrigin::Branch),
+            };
+            let mut branch_tokens = vec![token];
+
+            // Extend the branch greedily, merging back onto the trunk as soon
+            // as a generated token matches it at the corresponding or an
+            // adjacent position.
+            for _ in 0..config.branch_extension {
+                let mut context = prefix.to_vec();
+                context.extend_from_slice(&trunk_tokens[..position]);
+                context.extend_from_slice(&branch_tokens);
+                let logits = draft.next_logits(audio, &context);
+                clock.charge_draft(draft.profile().latency(), 1);
+                branch_steps += 1;
+                let Some(top1) = logits.top1() else { break };
+
+                // Merge check against the trunk.
+                let trunk_slot = position + branch_tokens.len();
+                if let Some(merge_at) =
+                    merge_slot(&trunk_tokens, trunk_slot, top1.token, config.merge_offset)
+                {
+                    tip = tree.push_child(tip, top1.token, top1.probability, NodeOrigin::Branch);
+                    branch_tokens.push(top1.token);
+                    // Adopt the trunk continuation after the merge point.
+                    // Adoption is capped so side branches stay sparse and the
+                    // verification tree does not balloon.
+                    let adoption_cap = 2 * config.branch_extension;
+                    for &recycled_token in trunk_tokens.iter().skip(merge_at + 1).take(adoption_cap)
+                    {
+                        if recycled_token == audio.eos() {
+                            break;
+                        }
+                        tip = tree.push_child(tip, recycled_token, 1.0, NodeOrigin::Recycled);
+                        branch_tokens.push(recycled_token);
+                        branch_recycled += 1;
+                    }
+                    break;
+                }
+
+                tip = tree.push_child(tip, top1.token, top1.probability, NodeOrigin::Branch);
+                branch_tokens.push(top1.token);
+                if top1.token == audio.eos() {
+                    break;
+                }
+            }
+        }
+    }
+
+    (tree, branch_steps, branch_recycled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AdaptiveConfig, SparseTreeConfig, SpeculativeConfig};
+    use specasr_audio::{Corpus, Split};
+    use specasr_models::{ModelProfile, SimulatedAsrModel, TokenizerBinding};
+
+    fn setup(split: Split) -> (SimulatedAsrModel, SimulatedAsrModel, Vec<UtteranceTokens>) {
+        let corpus = Corpus::librispeech_like(61, 6);
+        let binding = TokenizerBinding::for_corpus(&corpus);
+        let audio = binding.bind_all(corpus.split(split));
+        let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 7);
+        let draft = SimulatedAsrModel::draft_paired(ModelProfile::whisper_tiny_en(), 8, &target);
+        (draft, target, audio)
+    }
+
+    fn all_policies() -> Vec<Policy> {
+        vec![
+            Policy::Autoregressive,
+            Policy::Speculative(SpeculativeConfig::short_single()),
+            Policy::Speculative(SpeculativeConfig::short_double_beam()),
+            Policy::AdaptiveSingleSequence(AdaptiveConfig::paper()),
+            Policy::TwoPassSparseTree(SparseTreeConfig::paper()),
+        ]
+    }
+
+    #[test]
+    fn stepping_matches_blocking_decode_exactly() {
+        let (draft, target, audio) = setup(Split::TestOther);
+        for policy in all_policies() {
+            for utt in &audio {
+                let blocking = policy.decode(&draft, &target, utt);
+                let mut session = DecodeSession::new(policy, utt.clone());
+                while !session.is_finished() {
+                    session.step(&draft, &target);
+                }
+                let stepped = session.into_outcome();
+                assert_eq!(stepped, blocking, "policy {}", policy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn interleaving_sessions_does_not_change_outcomes() {
+        // Drive several sessions round-robin — the scheduler's access pattern
+        // — and compare with sequential decoding.
+        let (draft, target, audio) = setup(Split::TestClean);
+        let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+        let mut sessions: Vec<DecodeSession> = audio
+            .iter()
+            .map(|utt| DecodeSession::new(policy, utt.clone()))
+            .collect();
+        while sessions.iter().any(|s| !s.is_finished()) {
+            for session in sessions.iter_mut().filter(|s| !s.is_finished()) {
+                let drafted = session.draft_round(&draft);
+                session.verify_round(&target, drafted);
+            }
+        }
+        for (session, utt) in sessions.into_iter().zip(audio.iter()) {
+            let sequential = policy.decode(&draft, &target, utt);
+            assert_eq!(session.into_outcome(), sequential);
+        }
+    }
+
+    #[test]
+    fn drafted_round_reports_verification_width() {
+        let (draft, _target, audio) = setup(Split::DevClean);
+        let mut ar = DecodeSession::new(Policy::Autoregressive, audio[0].clone());
+        assert_eq!(ar.draft_round(&draft).verify_tokens(), 1);
+        let mut spec = DecodeSession::new(
+            Policy::Speculative(SpeculativeConfig::short_single()),
+            audio[0].clone(),
+        );
+        let drafted = spec.draft_round(&draft);
+        assert_eq!(drafted.verify_tokens(), drafted.predicted_tokens().max(1));
+        assert!(drafted.predicted_tokens() <= 8);
+    }
+
+    #[test]
+    fn partial_outcome_is_a_prefix_of_the_full_transcript() {
+        let (draft, target, audio) = setup(Split::TestClean);
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        let reference = target.greedy_transcript(&audio[0]);
+        let mut session = DecodeSession::new(policy, audio[0].clone());
+        session.step(&draft, &target);
+        let partial = session.into_outcome();
+        assert!(partial.tokens.len() <= reference.len());
+        assert_eq!(partial.tokens[..], reference[..partial.tokens.len()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finished session")]
+    fn drafting_after_finish_panics() {
+        let (draft, target, audio) = setup(Split::DevOther);
+        let mut session = DecodeSession::new(Policy::Autoregressive, audio[0].clone());
+        while !session.step(&draft, &target) {}
+        let _ = session.draft_round(&draft);
+    }
+}

@@ -9,16 +9,13 @@
 //! verification failures.  The whole tree is then verified by the target in a
 //! single forward pass using the SpecInfer 2-D attention mask.
 
-use specasr_models::{AsrDecoderModel, DecodeClock, UtteranceTokens};
-use specasr_runtime::{KvCache, NodeId, NodeOrigin, TokenTree};
+use specasr_models::{AsrDecoderModel, UtteranceTokens};
 use specasr_tokenizer::TokenId;
 
 use crate::config::SparseTreeConfig;
 use crate::outcome::DecodeOutcome;
-use crate::recycle::{run_draft_phase, DraftPhase, RecycleBuffer};
-use crate::round::commit_round;
-use crate::stats::{DecodeStats, RoundRecord};
-use crate::verify::{verify_sequence, verify_tree};
+use crate::policy::Policy;
+use crate::session::DecodeSession;
 
 /// SpecASR's two-pass sparse-tree decoder.
 ///
@@ -61,238 +58,21 @@ impl SparseTreeDecoder {
     }
 
     /// Decodes `audio`, drafting with `draft` and verifying with `target`.
+    ///
+    /// Runs a [`DecodeSession`] to completion; the two-pass trunk/branch
+    /// drafting and the grouped tree verification live in
+    /// [`crate::DecodeSession`].
     pub fn decode<D, T>(&self, draft: &D, target: &T, audio: &UtteranceTokens) -> DecodeOutcome
     where
         D: AsrDecoderModel + ?Sized,
         T: AsrDecoderModel + ?Sized,
     {
-        let mut clock = DecodeClock::new();
-        let mut stats = DecodeStats::new();
-        let mut draft_cache = KvCache::new();
-        let mut target_cache = KvCache::new();
-        draft_cache.prefill(audio.prefill_tokens());
-        target_cache.prefill(audio.prefill_tokens());
-
-        let cap = audio.len() * 2 + 16;
-        let mut tokens: Vec<TokenId> = Vec::with_capacity(audio.len() + 1);
-        let mut recycle = RecycleBuffer::new();
-        let mut finished = false;
-
-        while !finished {
-            // Pass 1: greedy trunk, recording uncertainty but never truncating.
-            let retained: &[TokenId] = if self.config.recycling {
-                recycle.tokens()
-            } else {
-                &[]
-            };
-            let trunk = run_draft_phase(
-                draft,
-                audio,
-                &tokens,
-                retained,
-                self.config.max_prediction_length,
-                self.config.uncertainty_threshold,
-                false,
-                self.config.merge_offset,
-                &mut clock,
-            );
-
-            // Pass 2: sparse branch expansion at the uncertain positions.
-            let (tree, branch_steps, branch_recycled) =
-                self.grow_tree(draft, audio, &tokens, &trunk, &mut clock);
-
-            // Verification: one target pass over the whole tree.
-            let verification = verify_tree(target, audio, &tokens, &tree);
-            clock.charge_target(
-                target.profile().latency(),
-                verification.nodes_processed.max(1),
-            );
-
-            // Retain the trunk's rejected suffix for the next round.  The
-            // trunk's per-position target outputs are available from the same
-            // verification pass, so no extra latency is charged.
-            let trunk_tokens = trunk.token_ids();
-            let trunk_verification = verify_sequence(target, audio, &tokens, &trunk_tokens);
-            recycle = if trunk_verification.all_accepted {
-                RecycleBuffer::new()
-            } else {
-                RecycleBuffer::from_rejected(&trunk_tokens, trunk_verification.accepted_len())
-            };
-
-            // KV bookkeeping and commit.
-            draft_cache.append(tree.len());
-            target_cache.append(tree.len());
-            finished = commit_round(
-                &mut tokens,
-                &verification.accepted,
-                verification.correction,
-                audio.eos(),
-                cap,
-                &mut stats,
-            );
-            let committed = audio.prefill_tokens() + tokens.len();
-            draft_cache.rollback_to(committed.min(draft_cache.len()));
-            target_cache.rollback_to(committed.min(target_cache.len()));
-
-            stats.record_round(RoundRecord {
-                predicted: tree.len(),
-                accepted: verification.accepted_len(),
-                draft_steps: trunk.steps + branch_steps,
-                tree_size: tree.len(),
-                recycled: trunk.recycled + branch_recycled,
-                truncated: false,
-            });
-            if stats.rounds >= cap {
-                break;
-            }
-        }
-
-        DecodeOutcome {
-            tokens,
-            stats,
-            clock,
-            draft_cache,
-            target_cache,
-        }
-    }
-
-    /// Builds the sparse token tree from the trunk draft: the trunk chain plus
-    /// one side branch per uncertain position (up to `max_branches`).
-    ///
-    /// Returns `(tree, branch_draft_steps, branch_recycled_tokens)`.
-    fn grow_tree<D>(
-        &self,
-        draft: &D,
-        audio: &UtteranceTokens,
-        prefix: &[TokenId],
-        trunk: &DraftPhase,
-        clock: &mut DecodeClock,
-    ) -> (TokenTree, usize, usize)
-    where
-        D: AsrDecoderModel + ?Sized,
-    {
-        let mut tree = TokenTree::new();
-        let trunk_tokens = trunk.token_ids();
-
-        // Trunk chain.
-        let mut trunk_nodes: Vec<NodeId> = Vec::with_capacity(trunk.tokens.len());
-        let mut previous: Option<NodeId> = None;
-        for drafted in &trunk.tokens {
-            let origin = if drafted.recycled {
-                NodeOrigin::Recycled
-            } else {
-                NodeOrigin::Trunk
-            };
-            let node = match previous {
-                None => tree.push_root(drafted.token, drafted.probability, origin),
-                Some(parent) => tree.push_child(parent, drafted.token, drafted.probability, origin),
-            };
-            trunk_nodes.push(node);
-            previous = Some(node);
-        }
-
-        // Uncertain positions: low-confidence, freshly generated, non-EOS
-        // trunk tokens with a recorded runner-up candidate.
-        let uncertain: Vec<(usize, TokenId, f64)> = trunk
-            .tokens
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| {
-                !d.recycled
-                    && d.probability < self.config.uncertainty_threshold
-                    && d.token != audio.eos()
-            })
-            .filter_map(|(i, d)| d.runner_up.map(|(alt, p)| (i, alt, p)))
-            .take(self.config.max_branches)
-            .collect();
-
-        let mut branch_steps = 0usize;
-        let mut branch_recycled = 0usize;
-        let branch_width = self.config.branch_top_k.saturating_sub(1).max(1);
-
-        for &(position, alt_token, alt_probability) in &uncertain {
-            // Open `branch_top_k - 1` alternative branches at this position;
-            // the paper finds a single (top-2) branch optimal, so additional
-            // widths reuse lower-ranked candidates from a fresh draft query
-            // only when configured.
-            let mut alternatives: Vec<(TokenId, f64)> = vec![(alt_token, alt_probability)];
-            if branch_width > 1 {
-                let mut context = prefix.to_vec();
-                context.extend_from_slice(&trunk_tokens[..position]);
-                let logits = draft.next_logits(audio, &context);
-                clock.charge_draft(draft.profile().latency(), 1);
-                branch_steps += 1;
-                for candidate in logits.iter().skip(2).take(branch_width - 1) {
-                    alternatives.push((candidate.token, candidate.probability));
-                }
-            }
-
-            for (token, probability) in alternatives {
-                let parent = if position == 0 {
-                    None
-                } else {
-                    Some(trunk_nodes[position - 1])
-                };
-                let mut tip = match parent {
-                    None => tree.push_root(token, probability, NodeOrigin::Branch),
-                    Some(p) => tree.push_child(p, token, probability, NodeOrigin::Branch),
-                };
-                let mut branch_tokens = vec![token];
-
-                // Extend the branch greedily, merging back onto the trunk as
-                // soon as a generated token matches it at the corresponding
-                // or an adjacent position.
-                for _ in 0..self.config.branch_extension {
-                    let mut context = prefix.to_vec();
-                    context.extend_from_slice(&trunk_tokens[..position]);
-                    context.extend_from_slice(&branch_tokens);
-                    let logits = draft.next_logits(audio, &context);
-                    clock.charge_draft(draft.profile().latency(), 1);
-                    branch_steps += 1;
-                    let Some(top1) = logits.top1() else { break };
-
-                    // Merge check against the trunk.
-                    let trunk_slot = position + branch_tokens.len();
-                    if let Some(merge_at) = merge_slot(
-                        &trunk_tokens,
-                        trunk_slot,
-                        top1.token,
-                        self.config.merge_offset,
-                    ) {
-                        tip = tree.push_child(tip, top1.token, top1.probability, NodeOrigin::Branch);
-                        branch_tokens.push(top1.token);
-                        // Adopt the trunk continuation after the merge point.
-                        // Adoption is capped so side branches stay sparse and
-                        // the verification tree does not balloon.
-                        let adoption_cap = 2 * self.config.branch_extension;
-                        for &recycled_token in
-                            trunk_tokens.iter().skip(merge_at + 1).take(adoption_cap)
-                        {
-                            if recycled_token == audio.eos() {
-                                break;
-                            }
-                            tip = tree.push_child(tip, recycled_token, 1.0, NodeOrigin::Recycled);
-                            branch_tokens.push(recycled_token);
-                            branch_recycled += 1;
-                        }
-                        break;
-                    }
-
-                    tip = tree.push_child(tip, top1.token, top1.probability, NodeOrigin::Branch);
-                    branch_tokens.push(top1.token);
-                    if top1.token == audio.eos() {
-                        break;
-                    }
-                }
-            }
-        }
-
-        (tree, branch_steps, branch_recycled)
+        DecodeSession::new(Policy::TwoPassSparseTree(self.config), audio.clone()).run(draft, target)
     }
 }
 
 /// Finds the trunk index near `slot` holding `token`, within `merge_offset`.
-fn merge_slot(
+pub(crate) fn merge_slot(
     trunk: &[TokenId],
     slot: usize,
     token: TokenId,
@@ -313,6 +93,7 @@ mod tests {
     use super::*;
     use crate::adaptive::AdaptiveDecoder;
     use crate::config::AdaptiveConfig;
+    use crate::stats::DecodeStats;
     use specasr_audio::{Corpus, Split};
     use specasr_models::{ModelProfile, SimulatedAsrModel, TokenizerBinding};
 
@@ -381,7 +162,7 @@ mod tests {
     }
 
     #[test]
-    fn accepted_length_per_round_exceeds_the_baseline(){
+    fn accepted_length_per_round_exceeds_the_baseline() {
         use crate::config::SpeculativeConfig;
         use crate::speculative::SpeculativeDecoder;
         let (draft, target, audio) = setup(ModelProfile::whisper_medium_en(), Split::TestClean);

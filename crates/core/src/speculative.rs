@@ -2,15 +2,12 @@
 //! beams — the `(8, 1)`, `(16, 1)`, and `(8, 2)` configurations the paper
 //! compares against.
 
-use specasr_models::{AsrDecoderModel, DecodeClock, UtteranceTokens};
-use specasr_runtime::{KvCache, NodeOrigin, TokenTree};
-use specasr_tokenizer::TokenId;
+use specasr_models::{AsrDecoderModel, UtteranceTokens};
 
 use crate::config::SpeculativeConfig;
 use crate::outcome::DecodeOutcome;
-use crate::round::commit_round;
-use crate::stats::{DecodeStats, RoundRecord};
-use crate::verify::{verify_sequence, verify_tree};
+use crate::policy::Policy;
+use crate::session::DecodeSession;
 
 /// Classic draft-then-verify speculative decoding.
 ///
@@ -54,210 +51,17 @@ impl SpeculativeDecoder {
     }
 
     /// Decodes `audio`, drafting with `draft` and verifying with `target`.
+    ///
+    /// Runs a [`DecodeSession`] to completion; the per-round draft/verify
+    /// mechanics (including the beam-tree construction) live in
+    /// [`crate::DecodeSession`].
     pub fn decode<D, T>(&self, draft: &D, target: &T, audio: &UtteranceTokens) -> DecodeOutcome
     where
         D: AsrDecoderModel + ?Sized,
         T: AsrDecoderModel + ?Sized,
     {
-        let mut clock = DecodeClock::new();
-        let mut stats = DecodeStats::new();
-        let mut draft_cache = KvCache::new();
-        let mut target_cache = KvCache::new();
-        draft_cache.prefill(audio.prefill_tokens());
-        target_cache.prefill(audio.prefill_tokens());
-
-        let cap = audio.len() * 2 + 16;
-        let mut tokens: Vec<TokenId> = Vec::with_capacity(audio.len() + 1);
-        let mut finished = false;
-
-        while !finished {
-            let round = if self.config.beams <= 1 {
-                self.single_sequence_round(draft, target, audio, &mut tokens, &mut clock, cap, &mut stats)
-            } else {
-                self.beam_tree_round(draft, target, audio, &mut tokens, &mut clock, cap, &mut stats)
-            };
-            // KV bookkeeping: both models speculatively appended this round's
-            // tokens and roll back to the committed transcript length.
-            draft_cache.append(round.tree_size.max(round.draft_steps));
-            target_cache.append(round.tree_size);
-            let committed = audio.prefill_tokens() + tokens.len();
-            draft_cache.rollback_to(committed.min(draft_cache.len()));
-            target_cache.rollback_to(committed.min(target_cache.len()));
-
-            finished = round.finished;
-            stats.record_round(round.record);
-            if stats.rounds >= cap {
-                break;
-            }
-        }
-
-        DecodeOutcome {
-            tokens,
-            stats,
-            clock,
-            draft_cache,
-            target_cache,
-        }
+        DecodeSession::new(Policy::Speculative(self.config), audio.clone()).run(draft, target)
     }
-
-    #[allow(clippy::too_many_arguments)]
-    fn single_sequence_round<D, T>(
-        &self,
-        draft: &D,
-        target: &T,
-        audio: &UtteranceTokens,
-        tokens: &mut Vec<TokenId>,
-        clock: &mut DecodeClock,
-        cap: usize,
-        stats: &mut DecodeStats,
-    ) -> RoundOutcome
-    where
-        D: AsrDecoderModel + ?Sized,
-        T: AsrDecoderModel + ?Sized,
-    {
-        // Draft phase: fixed-length greedy speculation.
-        let mut draft_tokens: Vec<TokenId> = Vec::with_capacity(self.config.prediction_length);
-        let mut context = tokens.clone();
-        let mut draft_steps = 0usize;
-        while draft_tokens.len() < self.config.prediction_length {
-            let next = draft.greedy_token(audio, &context);
-            clock.charge_draft(draft.profile().latency(), 1);
-            draft_steps += 1;
-            draft_tokens.push(next);
-            context.push(next);
-            if next == audio.eos() {
-                break;
-            }
-        }
-
-        // Verify phase: one target pass over the draft sequence.
-        let verification = verify_sequence(target, audio, tokens, &draft_tokens);
-        clock.charge_target(target.profile().latency(), draft_tokens.len().max(1));
-
-        let finished = commit_round(
-            tokens,
-            &verification.accepted,
-            verification.correction,
-            audio.eos(),
-            cap,
-            stats,
-        );
-        RoundOutcome {
-            finished,
-            record: RoundRecord {
-                predicted: draft_tokens.len(),
-                accepted: verification.accepted_len(),
-                draft_steps,
-                tree_size: draft_tokens.len(),
-                recycled: 0,
-                truncated: false,
-            },
-            draft_steps,
-            tree_size: draft_tokens.len(),
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn beam_tree_round<D, T>(
-        &self,
-        draft: &D,
-        target: &T,
-        audio: &UtteranceTokens,
-        tokens: &mut Vec<TokenId>,
-        clock: &mut DecodeClock,
-        cap: usize,
-        stats: &mut DecodeStats,
-    ) -> RoundOutcome
-    where
-        D: AsrDecoderModel + ?Sized,
-        T: AsrDecoderModel + ?Sized,
-    {
-        let beams = self.config.beams;
-        let mut tree = TokenTree::new();
-        let mut draft_steps = 0usize;
-
-        // First step: the top-`beams` candidates become branch roots.
-        let first_logits = draft.next_logits(audio, tokens);
-        clock.charge_draft(draft.profile().latency(), beams);
-        draft_steps += 1;
-        let mut branch_tips = Vec::new();
-        for candidate in first_logits.iter().take(beams) {
-            let origin = if branch_tips.is_empty() {
-                NodeOrigin::Trunk
-            } else {
-                NodeOrigin::Branch
-            };
-            let node = tree.push_root(candidate.token, candidate.probability, origin);
-            branch_tips.push((node, candidate.token == audio.eos()));
-        }
-
-        // Subsequent steps: extend every live branch greedily in parallel.
-        for _ in 1..self.config.prediction_length {
-            let live: Vec<usize> = branch_tips
-                .iter()
-                .enumerate()
-                .filter(|(_, (_, done))| !done)
-                .map(|(i, _)| i)
-                .collect();
-            if live.is_empty() {
-                break;
-            }
-            clock.charge_draft(draft.profile().latency(), live.len());
-            draft_steps += 1;
-            for branch in live {
-                let (tip, _) = branch_tips[branch];
-                let mut context = tokens.clone();
-                context.extend(tree.path_tokens(tip));
-                let logits = draft.next_logits(audio, &context);
-                let Some(top1) = logits.top1() else {
-                    branch_tips[branch].1 = true;
-                    continue;
-                };
-                let origin = if branch == 0 {
-                    NodeOrigin::Trunk
-                } else {
-                    NodeOrigin::Branch
-                };
-                let node = tree.push_child(tip, top1.token, top1.probability, origin);
-                branch_tips[branch] = (node, top1.token == audio.eos());
-            }
-        }
-
-        // Verify phase: one target pass over the whole tree.
-        let verification = verify_tree(target, audio, tokens, &tree);
-        clock.charge_target(target.profile().latency(), verification.nodes_processed.max(1));
-
-        let finished = commit_round(
-            tokens,
-            &verification.accepted,
-            verification.correction,
-            audio.eos(),
-            cap,
-            stats,
-        );
-        RoundOutcome {
-            finished,
-            record: RoundRecord {
-                predicted: tree.len(),
-                accepted: verification.accepted_len(),
-                draft_steps,
-                tree_size: tree.len(),
-                recycled: 0,
-                truncated: false,
-            },
-            draft_steps,
-            tree_size: tree.len(),
-        }
-    }
-}
-
-/// Internal result of one round, carried back to the decode loop for KV-cache
-/// bookkeeping and statistics recording.
-struct RoundOutcome {
-    finished: bool,
-    record: RoundRecord,
-    draft_steps: usize,
-    tree_size: usize,
 }
 
 #[cfg(test)]
@@ -301,7 +105,9 @@ mod tests {
         let mut ar_ms = 0.0;
         for utt in &audio {
             spec_ms += spec.decode(&draft, &target, utt).decode_ms();
-            ar_ms += AutoregressiveDecoder::new().decode(&target, utt).decode_ms();
+            ar_ms += AutoregressiveDecoder::new()
+                .decode(&target, utt)
+                .decode_ms();
         }
         assert!(
             spec_ms < ar_ms,
@@ -312,10 +118,13 @@ mod tests {
     #[test]
     fn rounds_and_passes_are_consistent() {
         let (draft, target, audio) = setup();
-        let outcome =
-            SpeculativeDecoder::new(SpeculativeConfig::short_single()).decode(&draft, &target, &audio[0]);
+        let outcome = SpeculativeDecoder::new(SpeculativeConfig::short_single())
+            .decode(&draft, &target, &audio[0]);
         assert_eq!(outcome.stats.rounds as u64, outcome.clock.target_passes());
-        assert_eq!(outcome.stats.draft_steps as u64, outcome.clock.draft_passes());
+        assert_eq!(
+            outcome.stats.draft_steps as u64,
+            outcome.clock.draft_passes()
+        );
         assert!(outcome.stats.accepted_tokens <= outcome.stats.predicted_tokens);
         assert!(outcome.stats.acceptance_ratio() <= 1.0);
     }
@@ -345,11 +154,19 @@ mod tests {
             .decode(&draft, &target, &audio[0]);
         let double = SpeculativeDecoder::new(SpeculativeConfig::new(8, 2))
             .decode(&draft, &target, &audio[0]);
-        let single_avg_tree = single.stats.rounds_detail.iter().map(|r| r.tree_size).sum::<usize>()
-            as f64
+        let single_avg_tree = single
+            .stats
+            .rounds_detail
+            .iter()
+            .map(|r| r.tree_size)
+            .sum::<usize>() as f64
             / single.stats.rounds as f64;
-        let double_avg_tree = double.stats.rounds_detail.iter().map(|r| r.tree_size).sum::<usize>()
-            as f64
+        let double_avg_tree = double
+            .stats
+            .rounds_detail
+            .iter()
+            .map(|r| r.tree_size)
+            .sum::<usize>() as f64
             / double.stats.rounds as f64;
         assert!(double_avg_tree > single_avg_tree);
         // The beam configuration is still lossless.
@@ -363,7 +180,10 @@ mod tests {
             .decode(&draft, &target, &audio[2]);
         let committed = audio[2].prefill_tokens() + outcome.tokens.len();
         assert!(outcome.target_cache.len() <= committed + 1);
-        assert_eq!(outcome.target_cache.prefill_len(), audio[2].prefill_tokens());
+        assert_eq!(
+            outcome.target_cache.prefill_len(),
+            audio[2].prefill_tokens()
+        );
         assert_eq!(outcome.draft_cache.prefill_len(), audio[2].prefill_tokens());
         // Speculative positions that were appended but not committed must have
         // been discarded by rollbacks.

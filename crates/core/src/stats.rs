@@ -104,7 +104,8 @@ impl DecodeStats {
         self.correction_tokens += other.correction_tokens;
         self.recycled_tokens += other.recycled_tokens;
         self.truncations += other.truncations;
-        self.rounds_detail.extend(other.rounds_detail.iter().copied());
+        self.rounds_detail
+            .extend(other.rounds_detail.iter().copied());
     }
 }
 

@@ -214,7 +214,12 @@ mod tests {
     #[test]
     fn fully_matching_draft_is_fully_accepted() {
         let audio = toy_audio();
-        let v = verify_sequence(&oracle(), &audio, &[], &[TokenId::new(10), TokenId::new(11)]);
+        let v = verify_sequence(
+            &oracle(),
+            &audio,
+            &[],
+            &[TokenId::new(10), TokenId::new(11)],
+        );
         assert!(v.all_accepted);
         assert_eq!(v.accepted_len(), 2);
         assert_eq!(v.correction, TokenId::new(12));
@@ -260,7 +265,10 @@ mod tests {
         tree.push_child(b1, TokenId::new(12), 0.7, NodeOrigin::Trunk);
 
         let v = verify_tree(&oracle(), &audio, &[], &tree);
-        assert_eq!(v.accepted, vec![TokenId::new(10), TokenId::new(11), TokenId::new(12)]);
+        assert_eq!(
+            v.accepted,
+            vec![TokenId::new(10), TokenId::new(11), TokenId::new(12)]
+        );
         assert_eq!(v.correction, TokenId::new(13));
         assert_eq!(v.nodes_processed, 4);
         assert!(v.best_branch_fully_accepted);

@@ -98,7 +98,10 @@ impl Histogram {
     pub fn bin_range(&self, index: usize) -> (f64, f64) {
         assert!(index < self.counts.len(), "bin index out of range");
         let width = (self.hi - self.lo) / self.counts.len() as f64;
-        (self.lo + width * index as f64, self.lo + width * (index + 1) as f64)
+        (
+            self.lo + width * index as f64,
+            self.lo + width * (index + 1) as f64,
+        )
     }
 
     /// Total number of recorded observations.
@@ -113,6 +116,53 @@ impl Histogram {
         } else {
             self.sum / self.total as f64
         }
+    }
+
+    /// Builds a histogram sized to cover `samples` exactly and records them
+    /// all.  The range spans `[0, max]` (padded slightly so the maximum does
+    /// not sit on the clamping edge), which is the shape latency samples
+    /// need.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero.
+    pub fn of_samples(bins: usize, samples: &[f64]) -> Self {
+        let max = samples.iter().copied().fold(0.0f64, f64::max);
+        let hi = if max > 0.0 { max * 1.0001 } else { 1.0 };
+        let mut histogram = Histogram::new(0.0, hi, bins);
+        histogram.record_all(samples.iter().copied());
+        histogram
+    }
+
+    /// The `quantile` (in `[0, 1]`) of the recorded distribution, estimated
+    /// by linear interpolation inside the containing bin (0 if nothing was
+    /// recorded).
+    ///
+    /// Serving reports read P50/P99 latency through this method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantile` is outside `[0, 1]`.
+    pub fn percentile(&self, quantile: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&quantile),
+            "quantile must lie in [0, 1]"
+        );
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = quantile * self.total as f64;
+        let mut cumulative = 0.0f64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            let next = cumulative + count as f64;
+            if next >= target && count > 0 {
+                let (lower, upper) = self.bin_range(index);
+                let within = ((target - cumulative) / count as f64).clamp(0.0, 1.0);
+                return lower + (upper - lower) * within;
+            }
+            cumulative = next;
+        }
+        self.hi
     }
 }
 
@@ -181,6 +231,46 @@ mod tests {
     #[should_panic(expected = "bin index out of range")]
     fn bad_bin_index_panics() {
         Histogram::new(0.0, 1.0, 3).bin_range(3);
+    }
+
+    #[test]
+    fn percentiles_bracket_the_distribution() {
+        let samples: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let h = Histogram::of_samples(200, &samples);
+        let p50 = h.percentile(0.50);
+        let p90 = h.percentile(0.90);
+        let p99 = h.percentile(0.99);
+        assert!((p50 - 50.0).abs() < 2.0, "p50 ≈ 50, got {p50}");
+        assert!((p90 - 90.0).abs() < 2.0, "p90 ≈ 90, got {p90}");
+        assert!((p99 - 99.0).abs() < 2.0, "p99 ≈ 99, got {p99}");
+        assert!(p50 <= p90 && p90 <= p99);
+        // Quantile 0 lands at the lower edge of the minimum's bin; quantile 1
+        // at the upper edge of the maximum's.
+        assert!(h.percentile(0.0) <= 1.0);
+        assert!(h.percentile(1.0) >= 100.0);
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn skewed_tails_separate_p50_from_p99() {
+        // 99 fast requests and one straggler: P50 stays near the fast mode
+        // while P99 reaches into the tail.
+        let mut samples = vec![10.0; 99];
+        samples.push(1000.0);
+        let h = Histogram::of_samples(500, &samples);
+        assert!(h.percentile(0.50) < 20.0);
+        assert!(h.percentile(0.995) > 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn out_of_range_quantile_panics() {
+        Histogram::new(0.0, 1.0, 4).percentile(1.5);
     }
 }
 

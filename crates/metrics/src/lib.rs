@@ -28,5 +28,5 @@ pub mod report;
 pub mod wer;
 
 pub use histogram::Histogram;
-pub use report::{ExperimentRecord, ReportRow};
+pub use report::{latency_row, ExperimentRecord, ReportRow};
 pub use wer::{wer_between, WerMeasurement};

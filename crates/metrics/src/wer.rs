@@ -86,12 +86,16 @@ fn align(reference: &[&str], hypothesis: &[&str]) -> WerMeasurement {
     for (i, row) in cost.iter_mut().enumerate() {
         row[0] = i;
     }
-    for j in 0..=m {
-        cost[0][j] = j;
+    for (j, cell) in cost[0].iter_mut().enumerate() {
+        *cell = j;
     }
     for i in 1..=n {
         for j in 1..=m {
-            let substitution_cost = if reference[i - 1] == hypothesis[j - 1] { 0 } else { 1 };
+            let substitution_cost = if reference[i - 1] == hypothesis[j - 1] {
+                0
+            } else {
+                1
+            };
             cost[i][j] = (cost[i - 1][j - 1] + substitution_cost)
                 .min(cost[i - 1][j] + 1)
                 .min(cost[i][j - 1] + 1);
@@ -105,7 +109,11 @@ fn align(reference: &[&str], hypothesis: &[&str]) -> WerMeasurement {
     let (mut i, mut j) = (n, m);
     while i > 0 || j > 0 {
         if i > 0 && j > 0 {
-            let substitution_cost = if reference[i - 1] == hypothesis[j - 1] { 0 } else { 1 };
+            let substitution_cost = if reference[i - 1] == hypothesis[j - 1] {
+                0
+            } else {
+                1
+            };
             if cost[i][j] == cost[i - 1][j - 1] + substitution_cost {
                 if substitution_cost == 1 {
                     substitutions += 1;

@@ -170,8 +170,14 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut total = AlignmentStats::default();
-        total.accumulate(&AlignmentStats { matched: 2, total: 4 });
-        total.accumulate(&AlignmentStats { matched: 3, total: 3 });
+        total.accumulate(&AlignmentStats {
+            matched: 2,
+            total: 4,
+        });
+        total.accumulate(&AlignmentStats {
+            matched: 3,
+            total: 3,
+        });
         assert_eq!(total.matched, 5);
         assert_eq!(total.total, 7);
     }

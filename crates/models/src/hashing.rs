@@ -55,7 +55,13 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// Hashes a structured key into a 64-bit value.
-pub(crate) fn hash_key(seed: u64, utterance: u64, position: u64, extra: u64, purpose: Purpose) -> u64 {
+pub(crate) fn hash_key(
+    seed: u64,
+    utterance: u64,
+    position: u64,
+    extra: u64,
+    purpose: Purpose,
+) -> u64 {
     let mut h = splitmix64(seed ^ MODEL_STREAM_SALT);
     h = splitmix64(h ^ utterance.wrapping_mul(0x9e37_79b9_7f4a_7c15));
     h = splitmix64(h ^ position.wrapping_mul(0xc2b2_ae3d_27d4_eb4f));
@@ -64,7 +70,13 @@ pub(crate) fn hash_key(seed: u64, utterance: u64, position: u64, extra: u64, pur
 }
 
 /// A uniform draw in `[0, 1)` from a structured key.
-pub(crate) fn uniform(seed: u64, utterance: u64, position: u64, extra: u64, purpose: Purpose) -> f64 {
+pub(crate) fn uniform(
+    seed: u64,
+    utterance: u64,
+    position: u64,
+    extra: u64,
+    purpose: Purpose,
+) -> f64 {
     let h = hash_key(seed, utterance, position, extra, purpose);
     // Use the top 53 bits for a double in [0, 1).
     (h >> 11) as f64 / (1u64 << 53) as f64

@@ -83,7 +83,10 @@ impl TokenLogits {
     pub fn certain(token: TokenId, p: f64) -> Self {
         assert!(p > 0.0 && p <= 1.0, "probability must be in (0, 1]");
         TokenLogits {
-            candidates: vec![Candidate { token, probability: p }],
+            candidates: vec![Candidate {
+                token,
+                probability: p,
+            }],
         }
     }
 
@@ -107,7 +110,10 @@ impl TokenLogits {
     /// This is the quantity the paper thresholds at 0.4 to detect uncertain
     /// predictions.
     pub fn top1_probability(&self) -> f64 {
-        self.candidates.first().map(|c| c.probability).unwrap_or(0.0)
+        self.candidates
+            .first()
+            .map(|c| c.probability)
+            .unwrap_or(0.0)
     }
 
     /// The candidate at `rank` (1-based), if any.

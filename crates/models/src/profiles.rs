@@ -343,14 +343,12 @@ mod tests {
         let tiny = ModelProfile::whisper_tiny_en();
         let medium = ModelProfile::whisper_medium_en();
         assert!(tiny.latency().forward_pass_ms(1) < medium.latency().forward_pass_ms(1));
-        assert!(
-            tiny.accuracy().error_probability(0.3) > medium.accuracy().error_probability(0.3)
-        );
+        assert!(tiny.accuracy().error_probability(0.3) > medium.accuracy().error_probability(0.3));
     }
 
     #[test]
     fn error_probability_grows_with_difficulty_and_is_clamped() {
-        let acc = ModelProfile::whisper_tiny_en().accuracy().clone();
+        let acc = *ModelProfile::whisper_tiny_en().accuracy();
         assert!(acc.error_probability(0.0) < acc.error_probability(0.5));
         assert!(acc.error_probability(0.5) < acc.error_probability(1.0));
         assert!(acc.error_probability(50.0) <= 0.95);
@@ -359,7 +357,7 @@ mod tests {
 
     #[test]
     fn agreement_probability_decreases_with_difficulty() {
-        let acc = ModelProfile::whisper_tiny_en().accuracy().clone();
+        let acc = *ModelProfile::whisper_tiny_en().accuracy();
         assert!(acc.agreement_probability(0.0) > acc.agreement_probability(0.8));
         assert!(acc.agreement_probability(10.0) >= 0.02);
         assert!(acc.agreement_probability(0.0) <= 1.0);
@@ -367,8 +365,14 @@ mod tests {
 
     #[test]
     fn scale_profiles_match_the_whisper_family() {
-        assert_eq!(ModelProfile::for_scale(ModelScale::Tiny).name(), "whisper-tiny.en");
-        assert_eq!(ModelProfile::for_scale(ModelScale::Medium).name(), "whisper-medium.en");
+        assert_eq!(
+            ModelProfile::for_scale(ModelScale::Tiny).name(),
+            "whisper-tiny.en"
+        );
+        assert_eq!(
+            ModelProfile::for_scale(ModelScale::Medium).name(),
+            "whisper-medium.en"
+        );
         assert_eq!(ModelScale::Small.name(), "small");
         assert_eq!(ModelScale::ALL.len(), 4);
     }

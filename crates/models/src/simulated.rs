@@ -135,13 +135,7 @@ impl SimulatedAsrModel {
     /// emission.
     fn anchor_token(&self, audio: &UtteranceTokens, position: usize, context: u64) -> TokenId {
         match &self.anchor {
-            Some(anchor) => emission(
-                anchor.seed,
-                &anchor.accuracy,
-                audio,
-                position,
-                context,
-            ),
+            Some(anchor) => emission(anchor.seed, &anchor.accuracy, audio, position, context),
             None => emission(self.seed, self.profile.accuracy(), audio, position, context),
         }
     }
@@ -155,9 +149,7 @@ impl SimulatedAsrModel {
         }
         let mut fingerprint = 0xfeed_face_cafe_beefu64;
         for token in prefix.iter().rev().take(4) {
-            fingerprint = fingerprint
-                .rotate_left(13)
-                .wrapping_mul(0x0100_0000_01b3)
+            fingerprint = fingerprint.rotate_left(13).wrapping_mul(0x0100_0000_01b3)
                 ^ u64::from(token.value());
         }
         fingerprint
@@ -270,8 +262,8 @@ impl AsrDecoderModel for SimulatedAsrModel {
             context,
             Purpose::Agreement,
         );
-        let agrees = position >= audio.len()
-            || agreement_draw < accuracy.agreement_probability(difficulty);
+        let agrees =
+            position >= audio.len() || agreement_draw < accuracy.agreement_probability(difficulty);
 
         let confidence_draw = uniform(
             self.seed,
@@ -293,8 +285,13 @@ impl AsrDecoderModel for SimulatedAsrModel {
         } else {
             // Will be rejected: the draft's own (wrong) token leads with low
             // confidence; the target's token usually sits at rank 2.
-            let top1 =
-                self.wrong_token(audio, position, context, anchor, Purpose::DisagreementChoice);
+            let top1 = self.wrong_token(
+                audio,
+                position,
+                context,
+                anchor,
+                Purpose::DisagreementChoice,
+            );
             let confidence = 0.05 + 0.50 * confidence_draw;
             let runner_up_draw = uniform(
                 self.seed,
@@ -380,7 +377,11 @@ mod tests {
         let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 3);
         for utt in &audio {
             let transcript = target.greedy_transcript(utt);
-            assert_eq!(transcript.len(), utt.len(), "audio-conditioned target emits one token per reference position");
+            assert_eq!(
+                transcript.len(),
+                utt.len(),
+                "audio-conditioned target emits one token per reference position"
+            );
         }
     }
 
@@ -502,7 +503,10 @@ mod tests {
                 }
             }
         }
-        assert!(rejected > 10, "need enough rejections to measure ({rejected})");
+        assert!(
+            rejected > 10,
+            "need enough rejections to measure ({rejected})"
+        );
         let fraction = rank2 as f64 / rejected as f64;
         assert!(
             (0.45..=0.85).contains(&fraction),
@@ -550,7 +554,10 @@ mod tests {
             let anchor = utt.reference_at(p);
             let wrong = model.wrong_token(utt, p, 0, anchor, Purpose::SubstitutionChoice);
             assert_ne!(wrong, anchor);
-            assert!(wrong.value() >= 4, "wrong tokens must not be special tokens");
+            assert!(
+                wrong.value() >= 4,
+                "wrong tokens must not be special tokens"
+            );
             assert!(wrong.value() < utt.vocab_size());
         }
     }

@@ -99,7 +99,11 @@ mod tests {
 
     /// Fraction of positions along the target trajectory where the draft's
     /// top-1 token matches the target's emission (speculative acceptance).
-    fn top1_acceptance<M: AsrDecoderModel>(draft: &M, target: &M, prompts: &[UtteranceTokens]) -> f64 {
+    fn top1_acceptance<M: AsrDecoderModel>(
+        draft: &M,
+        target: &M,
+        prompts: &[UtteranceTokens],
+    ) -> f64 {
         let mut matches = 0usize;
         let mut total = 0usize;
         for prompt in prompts {

@@ -125,10 +125,7 @@ mod tests {
         for (node, path) in batch.iter() {
             assert_eq!(path, tree.path_tokens(node).as_slice());
         }
-        assert_eq!(
-            batch.path_of(NodeId::from_index(4)),
-            &[t(1), t(4), t(5)]
-        );
+        assert_eq!(batch.path_of(NodeId::from_index(4)), &[t(1), t(4), t(5)]);
     }
 
     #[test]

@@ -162,10 +162,7 @@ mod tests {
 
     #[test]
     fn linear_chain_gives_causal_mask() {
-        let tree = TokenTree::from_sequence(
-            (0..6u32).map(|i| (t(i + 10), 0.9)),
-            NodeOrigin::Trunk,
-        );
+        let tree = TokenTree::from_sequence((0..6u32).map(|i| (t(i + 10), 0.9)), NodeOrigin::Trunk);
         let mask = TreeAttentionMask::from_tree(&tree);
         for i in 0..6 {
             for j in 0..6 {

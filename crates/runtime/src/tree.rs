@@ -121,7 +121,10 @@ impl TokenTree {
         probability: f64,
         origin: NodeOrigin,
     ) -> NodeId {
-        assert!(parent.index() < self.nodes.len(), "parent node does not exist");
+        assert!(
+            parent.index() < self.nodes.len(),
+            "parent node does not exist"
+        );
         self.push_node(Some(parent), token, probability, origin)
     }
 
@@ -223,7 +226,10 @@ impl TokenTree {
 
     /// The draft tokens on the path from the root to `id`, inclusive.
     pub fn path_tokens(&self, id: NodeId) -> Vec<TokenId> {
-        self.path(id).into_iter().map(|n| self.node(n).token).collect()
+        self.path(id)
+            .into_iter()
+            .map(|n| self.node(n).token)
+            .collect()
     }
 
     /// Returns `true` if `ancestor` lies on the path from the root to
@@ -319,10 +325,8 @@ mod tests {
 
     #[test]
     fn from_sequence_builds_a_chain() {
-        let tree = TokenTree::from_sequence(
-            [(t(5), 0.9), (t(6), 0.8), (t(7), 0.7)],
-            NodeOrigin::Trunk,
-        );
+        let tree =
+            TokenTree::from_sequence([(t(5), 0.9), (t(6), 0.8), (t(7), 0.7)], NodeOrigin::Trunk);
         assert_eq!(tree.len(), 3);
         assert_eq!(tree.max_depth(), 3);
         assert_eq!(tree.leaves().len(), 1);

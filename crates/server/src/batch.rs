@@ -1,0 +1,120 @@
+//! Cost model of one scheduler iteration on the shared accelerator.
+//!
+//! The latency substrate (`specasr_models::LatencyModel`) prices a forward
+//! pass as `base_ms + per_token_ms · tokens`.  Continuous batching exploits
+//! exactly that shape:
+//!
+//! * **Grouped verification** — the drafted sequences/trees of every session
+//!   in the batch are concatenated into *one* target forward pass (each
+//!   sequence attends only to its own prefix, the batched generalisation of
+//!   the tree attention mask), so the pass base cost is paid once instead of
+//!   once per session;
+//! * **Parallel drafting** — the draft models of all sessions run
+//!   concurrently on the accelerator, so the tick's draft wall time is the
+//!   slowest session's draft phase, not the sum.
+//!
+//! [`TickCost`] computes both, and keeps the sequential-equivalent cost so
+//! the scheduler can report how much device time batching saved.
+
+use specasr_models::LatencyModel;
+
+/// Wall-clock cost of one scheduler tick, with its sequential equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TickCost {
+    /// Wall time of the batched tick: slowest draft phase + one grouped
+    /// verification pass.
+    pub wall_ms: f64,
+    /// What the same work would have cost run one session after another.
+    pub sequential_ms: f64,
+}
+
+impl TickCost {
+    /// Costs one tick.
+    ///
+    /// `draft_ms` holds each batched session's draft-phase device time for
+    /// this round; `verify_widths` holds the token width each session's
+    /// verification pass must process (from
+    /// [`specasr::DraftedRound::verify_tokens`]).
+    pub fn of_round(draft_ms: &[f64], verify_widths: &[usize], target: &LatencyModel) -> TickCost {
+        assert_eq!(
+            draft_ms.len(),
+            verify_widths.len(),
+            "one draft time and one verify width per batched session"
+        );
+        if draft_ms.is_empty() {
+            return TickCost::default();
+        }
+        let slowest_draft = draft_ms.iter().copied().fold(0.0f64, f64::max);
+        let wall_ms = slowest_draft + grouped_verify_ms(target, verify_widths);
+        let sequential_ms = draft_ms.iter().sum::<f64>()
+            + verify_widths
+                .iter()
+                .map(|&width| target.forward_pass_ms(width))
+                .sum::<f64>();
+        TickCost {
+            wall_ms,
+            sequential_ms,
+        }
+    }
+
+    /// Device milliseconds saved by batching this tick.
+    pub fn saved_ms(&self) -> f64 {
+        (self.sequential_ms - self.wall_ms).max(0.0)
+    }
+}
+
+/// Cost of verifying all sessions' drafts in one grouped target pass: the
+/// base cost is paid once, the per-token cost for every drafted token.
+pub fn grouped_verify_ms(target: &LatencyModel, verify_widths: &[usize]) -> f64 {
+    if verify_widths.is_empty() {
+        return 0.0;
+    }
+    target.forward_pass_ms(verify_widths.iter().sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target() -> LatencyModel {
+        LatencyModel::new(20.0, 0.5, 0.1)
+    }
+
+    #[test]
+    fn grouped_verification_pays_the_base_cost_once() {
+        let widths = [8usize, 4, 1];
+        let grouped = grouped_verify_ms(&target(), &widths);
+        let sequential: f64 = widths.iter().map(|&w| target().forward_pass_ms(w)).sum();
+        assert!((grouped - (20.0 + 0.5 * 13.0)).abs() < 1e-12);
+        assert!(grouped < sequential);
+        assert_eq!(grouped_verify_ms(&target(), &[]), 0.0);
+    }
+
+    #[test]
+    fn tick_wall_time_is_slowest_draft_plus_one_pass() {
+        let cost = TickCost::of_round(&[3.0, 7.0, 5.0], &[8, 8, 8], &target());
+        assert!((cost.wall_ms - (7.0 + 20.0 + 0.5 * 24.0)).abs() < 1e-12);
+        assert!(cost.sequential_ms > cost.wall_ms);
+        assert!(cost.saved_ms() > 0.0);
+    }
+
+    #[test]
+    fn single_session_ticks_save_nothing() {
+        let cost = TickCost::of_round(&[4.0], &[8], &target());
+        assert!((cost.wall_ms - cost.sequential_ms).abs() < 1e-12);
+        assert_eq!(cost.saved_ms(), 0.0);
+    }
+
+    #[test]
+    fn empty_ticks_cost_nothing() {
+        let cost = TickCost::of_round(&[], &[], &target());
+        assert_eq!(cost.wall_ms, 0.0);
+        assert_eq!(cost.sequential_ms, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one draft time and one verify width")]
+    fn mismatched_lengths_panic() {
+        TickCost::of_round(&[1.0], &[], &target());
+    }
+}

@@ -1,0 +1,107 @@
+//! Serving configuration: batch size, queue depth, and admission policy.
+
+use serde::{Deserialize, Serialize};
+
+/// How the scheduler picks the next request from the wait queue when a batch
+/// slot frees up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Strict arrival order.
+    Fifo,
+    /// Shortest audio first: minimises mean latency under load at the cost
+    /// of fairness for long utterances (no starvation guard yet).
+    ShortestAudioFirst,
+}
+
+/// Configuration of a [`crate::Scheduler`].
+///
+/// # Example
+///
+/// ```
+/// use specasr_server::{AdmissionPolicy, ServerConfig};
+///
+/// let config = ServerConfig::default().with_max_batch(16);
+/// assert_eq!(config.max_batch, 16);
+/// assert_eq!(config.admission, AdmissionPolicy::Fifo);
+/// config.validate();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Maximum number of decode sessions in flight at once (the iteration
+    /// batch size).
+    pub max_batch: usize,
+    /// Maximum number of requests waiting for admission; `submit` rejects
+    /// beyond this (backpressure).
+    pub queue_depth: usize,
+    /// Queue discipline used at admission time.
+    pub admission: AdmissionPolicy,
+}
+
+impl ServerConfig {
+    /// Returns this configuration with a different batch size.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Returns this configuration with a different queue depth.
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Returns this configuration with a different admission policy.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch size or queue depth is zero.
+    pub fn validate(&self) {
+        assert!(self.max_batch > 0, "max_batch must be positive");
+        assert!(self.queue_depth > 0, "queue_depth must be positive");
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_batch: 8,
+            queue_depth: 64,
+            admission: AdmissionPolicy::Fifo,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_updates_preserve_other_fields() {
+        let config = ServerConfig::default()
+            .with_max_batch(4)
+            .with_queue_depth(10)
+            .with_admission(AdmissionPolicy::ShortestAudioFirst);
+        assert_eq!(config.max_batch, 4);
+        assert_eq!(config.queue_depth, 10);
+        assert_eq!(config.admission, AdmissionPolicy::ShortestAudioFirst);
+        config.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_batch_fails_validation() {
+        ServerConfig::default().with_max_batch(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "queue_depth")]
+    fn zero_queue_depth_fails_validation() {
+        ServerConfig::default().with_queue_depth(0).validate();
+    }
+}

@@ -1,0 +1,55 @@
+//! `specasr-server`: a continuous-batching serving subsystem for speculative
+//! ASR decoding.
+//!
+//! The decoding policies in `specasr` accelerate *one* utterance; production
+//! ASR serves *many* concurrently.  This crate adds the missing layer: a
+//! [`Scheduler`] that owns a draft/target model pair and admits concurrent
+//! transcription requests, keeping one round-steppable
+//! [`specasr::DecodeSession`] per in-flight utterance.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! submit ─► wait queue ─► admission (FIFO / shortest-audio-first)
+//!                              │ iteration-level: a slot frees as soon as
+//!                              ▼ its session finishes — no batch drain
+//!                        in-flight session
+//!                              │  every tick:
+//!                              │    1. draft phase per session (parallel)
+//!                              │    2. ONE grouped verification pass
+//!                              │    3. commit + retire finished sessions
+//!                              ▼
+//!                        RequestOutcome (text + latency breakdown + stats)
+//! ```
+//!
+//! # What batching buys
+//!
+//! A verification forward pass costs `base + per_token · n`.  Verifying each
+//! session alone pays `base` once per session and tick; the grouped pass pays
+//! it once per *tick*.  [`ServerStats::batching_speedup`] reports the
+//! realised gain, and the `serve_load` binary in `specasr-bench` sweeps it
+//! across concurrency levels and policies.
+//!
+//! # Losslessness
+//!
+//! Scheduling only interleaves rounds; each session runs exactly the code
+//! path `Policy::decode` runs.  Transcripts under concurrent batched serving
+//! are therefore byte-identical to sequential [`specasr::AsrPipeline`]
+//! transcription — the workspace-level `serving.rs` integration tests assert
+//! this for every policy, including mixed-policy batches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod config;
+mod request;
+mod scheduler;
+mod session;
+mod stats;
+
+pub use batch::{grouped_verify_ms, TickCost};
+pub use config::{AdmissionPolicy, ServerConfig};
+pub use request::{RequestId, RequestLatency, RequestOutcome, SubmitError};
+pub use scheduler::Scheduler;
+pub use stats::ServerStats;

@@ -1,0 +1,134 @@
+//! Request identity, admission errors, and the per-request outcome with its
+//! serving-latency breakdown.
+
+use serde::{Deserialize, Serialize};
+use specasr::{DecodeOutcome, Policy};
+use specasr_audio::UtteranceId;
+
+/// Identity of one transcription request within a scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// Builds an id from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        RequestId(raw)
+    }
+
+    /// The raw id value (monotonically increasing in submission order).
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req-{}", self.0)
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The wait queue is at its configured depth; retry after completions.
+    QueueFull {
+        /// The configured queue depth that was hit.
+        queue_depth: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { queue_depth } => {
+                write!(f, "wait queue is full ({queue_depth} requests)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The serving-latency breakdown of one completed request, all in simulated
+/// milliseconds on the scheduler's wall clock.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RequestLatency {
+    /// Time spent waiting for admission into the batch.
+    pub queue_ms: f64,
+    /// Audio-encoder time (runs on the encoder pool, concurrent with other
+    /// requests' decoding; included in end-to-end latency, not in decoder
+    /// wall time).
+    pub encoder_ms: f64,
+    /// Wall-clock time from admission to the final committed token.
+    pub decode_wall_ms: f64,
+    /// Time from arrival until the first transcript token was committed
+    /// (includes queueing and the encoder).
+    pub time_to_first_token_ms: f64,
+}
+
+impl RequestLatency {
+    /// End-to-end latency: queueing + encoder + decoding wall time.
+    pub fn e2e_ms(&self) -> f64 {
+        self.queue_ms + self.encoder_ms + self.decode_wall_ms
+    }
+}
+
+/// Everything the server produces for one finished request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOutcome {
+    /// The request's identity.
+    pub id: RequestId,
+    /// The decode policy the request ran under.
+    pub policy: Policy,
+    /// The utterance that was transcribed.
+    pub utterance_id: UtteranceId,
+    /// The decoded transcript text.
+    pub text: String,
+    /// The full decoding outcome (tokens, statistics, device-time clock).
+    pub outcome: DecodeOutcome,
+    /// The serving-latency breakdown.
+    pub latency: RequestLatency,
+    /// Audio duration of the utterance in seconds.
+    pub audio_seconds: f64,
+}
+
+impl RequestOutcome {
+    /// End-to-end serving latency in milliseconds.
+    pub fn e2e_ms(&self) -> f64 {
+        self.latency.e2e_ms()
+    }
+
+    /// Number of transcript tokens produced.
+    pub fn token_count(&self) -> usize {
+        self.outcome.tokens.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_totals_add_up() {
+        let latency = RequestLatency {
+            queue_ms: 5.0,
+            encoder_ms: 2.0,
+            decode_wall_ms: 40.0,
+            time_to_first_token_ms: 12.0,
+        };
+        assert!((latency.e2e_ms() - 47.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn request_ids_order_by_submission() {
+        assert!(RequestId::new(2) > RequestId::new(1));
+        assert_eq!(RequestId::new(7).to_string(), "req-7");
+        assert_eq!(RequestId::new(7).value(), 7);
+    }
+
+    #[test]
+    fn queue_full_error_reports_the_depth() {
+        let error = SubmitError::QueueFull { queue_depth: 3 };
+        assert!(error.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,471 @@
+//! The continuous-batching scheduler: iteration-level admission, per-session
+//! draft phases, and one grouped verification pass per tick.
+
+use std::collections::VecDeque;
+
+use specasr::Policy;
+use specasr_audio::{EncoderProfile, Utterance};
+use specasr_models::{AsrDecoderModel, TokenizerBinding};
+
+use crate::batch::TickCost;
+use crate::config::{AdmissionPolicy, ServerConfig};
+use crate::request::{RequestId, RequestLatency, RequestOutcome, SubmitError};
+use crate::session::{QueuedRequest, ServerSession};
+use crate::stats::ServerStats;
+
+/// A continuous-batching serving scheduler over a draft/target model pair.
+///
+/// Requests are [`Scheduler::submit`]ted with their own [`Policy`] (different
+/// policies batch together) and decoded round by round: every
+/// [`Scheduler::tick`] admits queued requests into free batch slots
+/// (iteration-level scheduling — finished sessions free their slots without
+/// waiting for the batch to drain), runs each active session's draft phase,
+/// verifies all drafted material in one grouped target pass, and retires the
+/// sessions that reached EOS.
+///
+/// Time is simulated: the scheduler advances a wall clock by each tick's
+/// batched cost (see [`crate::batch::TickCost`]), which makes every
+/// throughput/latency number deterministic and reproducible.  The audio
+/// encoder is modelled as a concurrent pool: its latency counts toward each
+/// request's end-to-end and first-token latency but does not serialise the
+/// decoder timeline.
+///
+/// # Example
+///
+/// ```
+/// use specasr::{AdaptiveConfig, Policy};
+/// use specasr_audio::{Corpus, EncoderProfile, Split};
+/// use specasr_models::{ModelProfile, SimulatedAsrModel, TokenizerBinding};
+/// use specasr_server::{Scheduler, ServerConfig};
+///
+/// let corpus = Corpus::librispeech_like(5, 4);
+/// let binding = TokenizerBinding::for_corpus(&corpus);
+/// let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 7);
+/// let draft = SimulatedAsrModel::draft_paired(ModelProfile::whisper_tiny_en(), 8, &target);
+///
+/// let mut scheduler = Scheduler::new(
+///     draft,
+///     target,
+///     binding,
+///     EncoderProfile::whisper_medium_encoder(),
+///     ServerConfig::default(),
+/// );
+/// let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+/// for utterance in corpus.split(Split::TestClean) {
+///     scheduler.submit(policy, utterance).expect("queue has room");
+/// }
+/// let outcomes = scheduler.run_until_idle();
+/// assert_eq!(outcomes.len(), 4);
+/// assert!(scheduler.stats().utterances_per_second() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<D, T> {
+    draft: D,
+    target: T,
+    binding: TokenizerBinding,
+    encoder: EncoderProfile,
+    config: ServerConfig,
+    queue: VecDeque<QueuedRequest>,
+    active: Vec<ServerSession>,
+    wall_ms: f64,
+    next_id: u64,
+    stats: ServerStats,
+}
+
+impl<D, T> Scheduler<D, T>
+where
+    D: AsrDecoderModel,
+    T: AsrDecoderModel,
+{
+    /// Creates a scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`ServerConfig::validate`]).
+    pub fn new(
+        draft: D,
+        target: T,
+        binding: TokenizerBinding,
+        encoder: EncoderProfile,
+        config: ServerConfig,
+    ) -> Self {
+        config.validate();
+        Scheduler {
+            draft,
+            target,
+            binding,
+            encoder,
+            config,
+            queue: VecDeque::new(),
+            active: Vec::with_capacity(config.max_batch),
+            wall_ms: 0.0,
+            next_id: 0,
+            stats: ServerStats::new(),
+        }
+    }
+
+    /// The scheduler configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Aggregate statistics accumulated so far.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Current simulated wall-clock time in milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.wall_ms
+    }
+
+    /// Number of requests waiting for admission.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of sessions decoding right now.
+    pub fn in_flight(&self) -> usize {
+        self.active.len()
+    }
+
+    /// `true` when no request is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.active.is_empty()
+    }
+
+    /// Submits one utterance for transcription under `policy`.
+    ///
+    /// The request is timestamped at the current wall time and queued;
+    /// admission happens on the next [`Scheduler::tick`].  Returns the
+    /// request id, or [`SubmitError::QueueFull`] once `queue_depth` requests
+    /// are already waiting (backpressure — the caller decides whether to
+    /// retry, shed, or block).
+    pub fn submit(
+        &mut self,
+        policy: Policy,
+        utterance: &Utterance,
+    ) -> Result<RequestId, SubmitError> {
+        if self.queue.len() >= self.config.queue_depth {
+            self.stats.record_rejection();
+            return Err(SubmitError::QueueFull {
+                queue_depth: self.config.queue_depth,
+            });
+        }
+        let id = RequestId::new(self.next_id);
+        self.next_id += 1;
+        let audio = self.binding.bind(utterance);
+        self.queue.push_back(QueuedRequest {
+            id,
+            policy,
+            audio,
+            utterance_id: utterance.id(),
+            audio_seconds: utterance.duration_seconds(),
+            encoder_ms: self
+                .encoder
+                .latency_ms_for_audio(utterance.duration_seconds()),
+            arrival_ms: self.wall_ms,
+        });
+        Ok(id)
+    }
+
+    /// Runs one scheduler iteration: admit → draft → grouped verify → retire.
+    ///
+    /// Returns the requests that finished this tick, in retirement order.
+    pub fn tick(&mut self) -> Vec<RequestOutcome> {
+        self.admit();
+        if self.active.is_empty() {
+            return Vec::new();
+        }
+
+        // Draft phase: every active session speculates its next round.  The
+        // per-session draft device time is read off the session clock delta.
+        let mut drafted = Vec::with_capacity(self.active.len());
+        let mut draft_ms = Vec::with_capacity(self.active.len());
+        let mut verify_widths = Vec::with_capacity(self.active.len());
+        for session in &mut self.active {
+            let before = session.decode.clock().breakdown().draft_ms;
+            let round = session.decode.draft_round(&self.draft);
+            draft_ms.push(session.decode.clock().breakdown().draft_ms - before);
+            verify_widths.push(round.verify_tokens());
+            drafted.push(round);
+        }
+
+        // Advance the shared wall clock by the batched tick cost: drafting in
+        // parallel, then one grouped verification pass over all sessions.
+        let cost = TickCost::of_round(&draft_ms, &verify_widths, self.target.profile().latency());
+        self.wall_ms += cost.wall_ms;
+        self.stats.record_tick(cost, self.active.len());
+
+        // Verification + commit per session (the grouped pass was costed
+        // above; per-session acceptance decisions are independent).
+        for (session, round) in self.active.iter_mut().zip(drafted) {
+            session.decode.verify_round(&self.target, round);
+            if session.first_token_ms.is_none() && !session.decode.tokens().is_empty() {
+                session.first_token_ms = Some(self.wall_ms);
+            }
+        }
+
+        // Retire finished sessions; their batch slots refill next tick.
+        let (finished, active): (Vec<ServerSession>, Vec<ServerSession>) = self
+            .active
+            .drain(..)
+            .partition(|session| session.decode.is_finished());
+        self.active = active;
+        finished
+            .into_iter()
+            .map(|session| self.retire(session))
+            .collect()
+    }
+
+    /// Ticks until every queued and in-flight request has completed, and
+    /// returns all outcomes in completion order.
+    pub fn run_until_idle(&mut self) -> Vec<RequestOutcome> {
+        let mut outcomes = Vec::new();
+        while !self.is_idle() {
+            outcomes.extend(self.tick());
+        }
+        outcomes
+    }
+
+    /// Fills free batch slots from the wait queue (iteration-level
+    /// admission).
+    fn admit(&mut self) {
+        while self.active.len() < self.config.max_batch && !self.queue.is_empty() {
+            let index = match self.config.admission {
+                AdmissionPolicy::Fifo => 0,
+                AdmissionPolicy::ShortestAudioFirst => self
+                    .queue
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        a.audio_seconds
+                            .partial_cmp(&b.audio_seconds)
+                            .expect("durations are finite")
+                    })
+                    .map(|(index, _)| index)
+                    .expect("queue is non-empty"),
+            };
+            let request = self.queue.remove(index).expect("index is in range");
+            self.active.push(request.admit(self.wall_ms));
+        }
+    }
+
+    /// Converts a finished session into its outcome and records statistics.
+    ///
+    /// Time-to-first-token falls back to completion time for transcripts that
+    /// turned out empty (EOS on the very first verification).
+    fn retire(&mut self, session: ServerSession) -> RequestOutcome {
+        let first_token_ms = session.first_token_ms.unwrap_or(self.wall_ms);
+        let latency = RequestLatency {
+            queue_ms: session.admitted_ms - session.arrival_ms,
+            encoder_ms: session.encoder_ms,
+            decode_wall_ms: self.wall_ms - session.admitted_ms,
+            time_to_first_token_ms: (first_token_ms - session.arrival_ms) + session.encoder_ms,
+        };
+        let outcome = session.decode.into_outcome();
+        let text = self
+            .binding
+            .tokenizer()
+            .decode(&outcome.tokens)
+            .expect("decoded tokens always come from the shared vocabulary");
+        let outcome = RequestOutcome {
+            id: session.id,
+            policy: session.policy,
+            utterance_id: session.utterance_id,
+            text,
+            outcome,
+            latency,
+            audio_seconds: session.audio_seconds,
+        };
+        self.stats.record_completion(&outcome);
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specasr::{AdaptiveConfig, SparseTreeConfig, SpeculativeConfig};
+    use specasr_audio::Corpus;
+    use specasr_audio::Split;
+    use specasr_models::{ModelProfile, SimulatedAsrModel};
+
+    fn scheduler(
+        config: ServerConfig,
+    ) -> (Scheduler<SimulatedAsrModel, SimulatedAsrModel>, Corpus) {
+        let corpus = Corpus::librispeech_like(88, 12);
+        let binding = TokenizerBinding::for_corpus(&corpus);
+        let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 7);
+        let draft = SimulatedAsrModel::draft_paired(ModelProfile::whisper_tiny_en(), 8, &target);
+        (
+            Scheduler::new(
+                draft,
+                target,
+                binding,
+                EncoderProfile::whisper_medium_encoder(),
+                config,
+            ),
+            corpus,
+        )
+    }
+
+    #[test]
+    fn iteration_level_admission_refills_freed_slots() {
+        let (mut scheduler, corpus) = scheduler(ServerConfig::default().with_max_batch(4));
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        for utterance in corpus.split(Split::TestClean) {
+            scheduler.submit(policy, utterance).expect("queue has room");
+        }
+        assert_eq!(scheduler.queued(), 12);
+        let first = scheduler.tick();
+        assert!(
+            first.is_empty() || first.len() < 4,
+            "nothing should drain the whole batch at once"
+        );
+        assert_eq!(scheduler.in_flight() + first.len(), 4);
+        // Keep ticking: as soon as any session retires, the next tick admits
+        // replacements without waiting for the others.
+        let mut completed = first.len();
+        let mut refilled = false;
+        while !scheduler.is_idle() {
+            let before_queue = scheduler.queued();
+            let outcomes = scheduler.tick();
+            completed += outcomes.len();
+            if !outcomes.is_empty() && before_queue > 0 {
+                refilled = true;
+            }
+        }
+        assert_eq!(completed, 12);
+        assert!(
+            refilled,
+            "freed slots should be refilled while requests are queued"
+        );
+        assert_eq!(scheduler.stats().peak_in_flight(), 4);
+    }
+
+    #[test]
+    fn fifo_admission_preserves_arrival_order() {
+        let (mut scheduler, corpus) = scheduler(ServerConfig::default().with_max_batch(1));
+        let policy = Policy::Autoregressive;
+        let mut submitted = Vec::new();
+        for utterance in corpus.split(Split::DevClean).iter().take(5) {
+            submitted.push(scheduler.submit(policy, utterance).expect("queue has room"));
+        }
+        let outcomes = scheduler.run_until_idle();
+        let finished: Vec<RequestId> = outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(
+            finished, submitted,
+            "batch of 1 under FIFO must complete in arrival order"
+        );
+    }
+
+    #[test]
+    fn shortest_audio_first_prefers_short_utterances() {
+        let (mut scheduler, corpus) = scheduler(
+            ServerConfig::default()
+                .with_max_batch(1)
+                .with_admission(AdmissionPolicy::ShortestAudioFirst),
+        );
+        let policy = Policy::Autoregressive;
+        for utterance in corpus.split(Split::DevClean).iter().take(6) {
+            scheduler.submit(policy, utterance).expect("queue has room");
+        }
+        // The first admitted (hence first completed) request must be the
+        // shortest of the queued six.
+        let shortest = corpus.split(Split::DevClean)[..6]
+            .iter()
+            .map(|u| u.duration_seconds())
+            .fold(f64::INFINITY, f64::min);
+        let outcomes = scheduler.run_until_idle();
+        assert!((outcomes[0].audio_seconds - shortest).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_depth_applies_backpressure() {
+        let (mut scheduler, corpus) = scheduler(ServerConfig::default().with_queue_depth(2));
+        let policy = Policy::Autoregressive;
+        let split = corpus.split(Split::TestOther);
+        assert!(scheduler.submit(policy, &split[0]).is_ok());
+        assert!(scheduler.submit(policy, &split[1]).is_ok());
+        let rejected = scheduler.submit(policy, &split[2]);
+        assert_eq!(rejected, Err(SubmitError::QueueFull { queue_depth: 2 }));
+        assert_eq!(scheduler.stats().rejected(), 1);
+        // Draining the queue frees room again.
+        scheduler.run_until_idle();
+        assert!(scheduler.submit(policy, &split[2]).is_ok());
+    }
+
+    #[test]
+    fn latency_breakdown_is_consistent() {
+        let (mut scheduler, corpus) = scheduler(ServerConfig::default().with_max_batch(2));
+        let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+        for utterance in corpus.split(Split::TestClean).iter().take(6) {
+            scheduler.submit(policy, utterance).expect("queue has room");
+        }
+        let outcomes = scheduler.run_until_idle();
+        assert_eq!(outcomes.len(), 6);
+        for outcome in &outcomes {
+            let latency = outcome.latency;
+            assert!(latency.queue_ms >= 0.0);
+            assert!(latency.encoder_ms > 0.0);
+            assert!(latency.decode_wall_ms > 0.0);
+            assert!(latency.time_to_first_token_ms > 0.0);
+            assert!(latency.time_to_first_token_ms <= latency.e2e_ms() + 1e-9);
+            assert!((outcome.e2e_ms() - latency.e2e_ms()).abs() < 1e-12);
+        }
+        // Later-admitted requests queued strictly longer under a batch of 2.
+        assert!(outcomes.iter().any(|o| o.latency.queue_ms > 0.0));
+    }
+
+    #[test]
+    fn batching_amortises_verification_cost() {
+        let policy = Policy::TwoPassSparseTree(SparseTreeConfig::paper());
+        let (mut batched, corpus) = scheduler(ServerConfig::default().with_max_batch(8));
+        for utterance in corpus.split(Split::TestClean) {
+            batched.submit(policy, utterance).expect("queue has room");
+        }
+        batched.run_until_idle();
+
+        let (mut solo, corpus) = scheduler(ServerConfig::default().with_max_batch(1));
+        for utterance in corpus.split(Split::TestClean) {
+            solo.submit(policy, utterance).expect("queue has room");
+        }
+        solo.run_until_idle();
+
+        assert!(batched.stats().batching_speedup() > 1.2);
+        assert!((solo.stats().batching_speedup() - 1.0).abs() < 1e-9);
+        assert!(
+            batched.stats().wall_ms() < solo.stats().wall_ms(),
+            "batched wall time ({:.0} ms) must undercut solo serving ({:.0} ms)",
+            batched.stats().wall_ms(),
+            solo.stats().wall_ms()
+        );
+        assert!(batched.stats().utterances_per_second() > solo.stats().utterances_per_second());
+    }
+
+    #[test]
+    fn mixed_policy_batches_complete() {
+        let (mut scheduler, corpus) = scheduler(ServerConfig::default());
+        let policies = [
+            Policy::Autoregressive,
+            Policy::Speculative(SpeculativeConfig::short_single()),
+            Policy::AdaptiveSingleSequence(AdaptiveConfig::paper()),
+            Policy::TwoPassSparseTree(SparseTreeConfig::paper()),
+        ];
+        for (index, utterance) in corpus.split(Split::TestOther).iter().enumerate() {
+            scheduler
+                .submit(policies[index % policies.len()], utterance)
+                .expect("queue has room");
+        }
+        let outcomes = scheduler.run_until_idle();
+        assert_eq!(outcomes.len(), 12);
+        assert_eq!(scheduler.stats().completed(), 12);
+        let acceptance = scheduler.stats().mean_acceptance();
+        assert!(
+            (0.0..=1.0).contains(&acceptance) && acceptance > 0.2,
+            "pooled acceptance should be meaningful, got {acceptance:.3}"
+        );
+        assert!(scheduler.stats().e2e_p99_ms() >= scheduler.stats().e2e_p50_ms());
+    }
+}

@@ -1,0 +1,53 @@
+//! Per-request serving state: the queued form before admission and the
+//! in-flight form wrapping a core [`DecodeSession`].
+
+use specasr::{DecodeSession, Policy};
+use specasr_audio::UtteranceId;
+use specasr_models::UtteranceTokens;
+
+use crate::request::RequestId;
+
+/// A request waiting in the admission queue.
+#[derive(Debug, Clone)]
+pub(crate) struct QueuedRequest {
+    pub id: RequestId,
+    pub policy: Policy,
+    pub audio: UtteranceTokens,
+    pub utterance_id: UtteranceId,
+    pub audio_seconds: f64,
+    pub encoder_ms: f64,
+    pub arrival_ms: f64,
+}
+
+/// A request admitted into the batch, decoding round by round.
+#[derive(Debug, Clone)]
+pub(crate) struct ServerSession {
+    pub id: RequestId,
+    pub policy: Policy,
+    pub utterance_id: UtteranceId,
+    pub audio_seconds: f64,
+    pub encoder_ms: f64,
+    pub arrival_ms: f64,
+    pub admitted_ms: f64,
+    /// Wall time at which the first transcript token was committed.
+    pub first_token_ms: Option<f64>,
+    pub decode: DecodeSession,
+}
+
+impl QueuedRequest {
+    /// Admits this request at wall time `admitted_ms`, starting its decode
+    /// session.
+    pub fn admit(self, admitted_ms: f64) -> ServerSession {
+        ServerSession {
+            id: self.id,
+            policy: self.policy,
+            utterance_id: self.utterance_id,
+            audio_seconds: self.audio_seconds,
+            encoder_ms: self.encoder_ms,
+            arrival_ms: self.arrival_ms,
+            admitted_ms,
+            first_token_ms: None,
+            decode: DecodeSession::new(self.policy, self.audio),
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Aggregate serving statistics: throughput, acceptance, latency percentiles,
+//! and the device time saved by batching.
+
+use specasr::DecodeStats;
+use specasr_metrics::Histogram;
+
+use crate::batch::TickCost;
+use crate::request::RequestOutcome;
+
+/// Number of histogram bins used when summarising latency samples.
+const LATENCY_BINS: usize = 512;
+
+/// Aggregate statistics of one scheduler's lifetime.
+///
+/// Populated incrementally by the scheduler; latency percentiles are read
+/// through [`specasr_metrics::Histogram`] built over the recorded samples.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    completed: usize,
+    rejected: usize,
+    ticks: usize,
+    wall_ms: f64,
+    sequential_ms: f64,
+    peak_in_flight: usize,
+    total_tokens: usize,
+    total_audio_seconds: f64,
+    decode: DecodeStats,
+    e2e_samples: Vec<f64>,
+    ttft_samples: Vec<f64>,
+    queue_samples: Vec<f64>,
+}
+
+impl ServerStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        ServerStats::default()
+    }
+
+    /// Records one scheduler tick over `in_flight` sessions.
+    pub(crate) fn record_tick(&mut self, cost: TickCost, in_flight: usize) {
+        self.ticks += 1;
+        self.wall_ms += cost.wall_ms;
+        self.sequential_ms += cost.sequential_ms;
+        self.peak_in_flight = self.peak_in_flight.max(in_flight);
+    }
+
+    /// Records one completed request.
+    pub(crate) fn record_completion(&mut self, outcome: &RequestOutcome) {
+        self.completed += 1;
+        self.total_tokens += outcome.token_count();
+        self.total_audio_seconds += outcome.audio_seconds;
+        self.decode.merge(&outcome.outcome.stats);
+        self.e2e_samples.push(outcome.latency.e2e_ms());
+        self.ttft_samples
+            .push(outcome.latency.time_to_first_token_ms);
+        self.queue_samples.push(outcome.latency.queue_ms);
+    }
+
+    /// Records one rejected submission (queue full).
+    pub(crate) fn record_rejection(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// Number of completed requests.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Number of submissions rejected for backpressure.
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Number of scheduler iterations executed.
+    pub fn ticks(&self) -> usize {
+        self.ticks
+    }
+
+    /// Total simulated wall-clock milliseconds the scheduler ran for.
+    pub fn wall_ms(&self) -> f64 {
+        self.wall_ms
+    }
+
+    /// Largest number of sessions that were in flight simultaneously.
+    pub fn peak_in_flight(&self) -> usize {
+        self.peak_in_flight
+    }
+
+    /// Total transcript tokens produced by completed requests.
+    pub fn total_tokens(&self) -> usize {
+        self.total_tokens
+    }
+
+    /// Total audio seconds transcribed by completed requests.
+    pub fn total_audio_seconds(&self) -> f64 {
+        self.total_audio_seconds
+    }
+
+    /// Pooled decode statistics across completed requests.
+    pub fn decode_stats(&self) -> &DecodeStats {
+        &self.decode
+    }
+
+    /// Completed utterances per simulated wall-clock second.
+    pub fn utterances_per_second(&self) -> f64 {
+        per_second(self.completed as f64, self.wall_ms)
+    }
+
+    /// Transcript tokens per simulated wall-clock second.
+    pub fn tokens_per_second(&self) -> f64 {
+        per_second(self.total_tokens as f64, self.wall_ms)
+    }
+
+    /// Mean draft-token acceptance ratio across completed requests.
+    pub fn mean_acceptance(&self) -> f64 {
+        self.decode.acceptance_ratio()
+    }
+
+    /// Device time saved by batching: sequential-equivalent milliseconds
+    /// divided by the batched wall milliseconds (1.0 = no benefit).
+    pub fn batching_speedup(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 1.0;
+        }
+        self.sequential_ms / self.wall_ms
+    }
+
+    /// Histogram of end-to-end request latency (ms).
+    pub fn e2e_histogram(&self) -> Histogram {
+        Histogram::of_samples(LATENCY_BINS, &self.e2e_samples)
+    }
+
+    /// Histogram of time-to-first-token latency (ms).
+    pub fn ttft_histogram(&self) -> Histogram {
+        Histogram::of_samples(LATENCY_BINS, &self.ttft_samples)
+    }
+
+    /// Histogram of queueing latency (ms).
+    pub fn queue_histogram(&self) -> Histogram {
+        Histogram::of_samples(LATENCY_BINS, &self.queue_samples)
+    }
+
+    /// P50 of end-to-end latency in milliseconds.
+    pub fn e2e_p50_ms(&self) -> f64 {
+        self.e2e_histogram().percentile(0.50)
+    }
+
+    /// P99 of end-to-end latency in milliseconds.
+    pub fn e2e_p99_ms(&self) -> f64 {
+        self.e2e_histogram().percentile(0.99)
+    }
+}
+
+fn per_second(count: f64, wall_ms: f64) -> f64 {
+    if wall_ms <= 0.0 {
+        0.0
+    } else {
+        count / (wall_ms / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_report_zeroes() {
+        let stats = ServerStats::new();
+        assert_eq!(stats.completed(), 0);
+        assert_eq!(stats.utterances_per_second(), 0.0);
+        assert_eq!(stats.tokens_per_second(), 0.0);
+        assert_eq!(stats.batching_speedup(), 1.0);
+        assert_eq!(stats.e2e_p50_ms(), 0.0);
+    }
+
+    #[test]
+    fn tick_recording_accumulates_wall_time_and_peaks() {
+        let mut stats = ServerStats::new();
+        stats.record_tick(
+            TickCost {
+                wall_ms: 10.0,
+                sequential_ms: 25.0,
+            },
+            3,
+        );
+        stats.record_tick(
+            TickCost {
+                wall_ms: 5.0,
+                sequential_ms: 5.0,
+            },
+            1,
+        );
+        assert_eq!(stats.ticks(), 2);
+        assert!((stats.wall_ms() - 15.0).abs() < 1e-12);
+        assert_eq!(stats.peak_in_flight(), 3);
+        assert!((stats.batching_speedup() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for `criterion`: keeps the `criterion_group!` /
+//! `criterion_main!` / `BenchmarkGroup` API the workspace's benches are
+//! written against, but replaces criterion's statistical engine with a plain
+//! warm-up + timed-iterations loop that reports the mean wall-clock time per
+//! iteration.  Good enough to eyeball relative implementation throughput;
+//! not a substitute for real criterion's confidence intervals.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark.  The id may be a `BenchmarkId` or a plain
+    /// string, mirroring criterion's `IntoBenchmarkId` flexibility.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iterations_per_sample: 1,
+            sample_budget: self.sample_size,
+        };
+        routine(&mut bencher);
+        bencher.report(&self.name, &id);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |bencher| routine(bencher, input))
+    }
+
+    /// Finishes the group (prints nothing extra in this stand-in).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+impl BenchmarkId {
+    /// Builds an id from anything displayable (mirrors criterion's API).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new<P: fmt::Display>(function: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Collects timed iterations of one routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iterations_per_sample: u64,
+    sample_budget: usize,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and per-sample iteration sizing: aim for samples of at
+        // least ~1 ms so Instant resolution noise stays negligible.
+        let warmup = Instant::now();
+        std::hint::black_box(routine());
+        let once = warmup.elapsed();
+        let per_sample = if once < Duration::from_micros(50) {
+            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)) as u64
+        } else {
+            1
+        }
+        .max(1);
+        self.iterations_per_sample = per_sample;
+        for _ in 0..self.sample_budget {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, group: &str, id: &BenchmarkId) {
+        if self.samples.is_empty() {
+            println!("  {group}/{}: no samples collected", id.label);
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let iterations = self.iterations_per_sample * self.samples.len() as u64;
+        let mean_ns = total.as_nanos() as f64 / iterations as f64;
+        println!(
+            "  {group}/{}: mean {:.3} µs/iter over {} iterations",
+            id.label,
+            mean_ns / 1000.0,
+            iterations
+        );
+    }
+}
+
+/// Groups benchmark functions under one callable (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($function:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(2);
+        let mut runs = 0u64;
+        group.bench_function(BenchmarkId::from_parameter("count"), |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

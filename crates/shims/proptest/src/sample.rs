@@ -1,0 +1,40 @@
+//! Sampling strategies (mirrors `proptest::sample`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy choosing uniformly among the given values.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select requires at least one value");
+    Select { values }
+}
+
+/// The strategy returned by [`select`].
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.next_u64() as usize % self.values.len();
+        self.values[index].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_covers_all_choices() {
+        let mut rng = TestRng::for_test("select_covers_all_choices");
+        let strategy = select(vec!['a', 'b', 'c']);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(strategy.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -1,0 +1,106 @@
+//! Deterministic case runner: configuration, RNG, and case-failure error.
+
+use std::fmt;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Number of cases each property test runs by default.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Runner configuration (mirrors `proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// A failed test case (produced by `prop_assert!`-style macros).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The deterministic RNG strategies draw from.  Seeded from the test name so
+/// every test has an independent, reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// A generator seeded from the given test name.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name: stable across platforms and runs.
+        let mut hash = 0xcbf29ce484222325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            rng: ChaCha8Rng::seed_from_u64(hash),
+        }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("alpha");
+        let mut c = TestRng::for_test("beta");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn default_config_runs_a_meaningful_number_of_cases() {
+        assert!(ProptestConfig::default().cases >= 32);
+        assert_eq!(ProptestConfig::with_cases(12).cases, 12);
+    }
+}

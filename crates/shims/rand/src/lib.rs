@@ -1,0 +1,125 @@
+//! Offline stand-in for `rand`, vendored because this build environment has
+//! no crates.io access.  It provides exactly the trait surface the workspace
+//! uses — [`Rng::gen`], [`Rng::gen_range`], and [`SeedableRng::seed_from_u64`]
+//! — with deterministic, platform-independent behaviour.  The statistical
+//! quality comes from the generator implementation supplied by the paired
+//! `rand_chacha` stand-in (an xoshiro256** core), which is more than adequate
+//! for the synthetic-corpus sampling this workspace does.
+
+use std::ops::RangeInclusive;
+
+/// A deterministic pseudo-random generator.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value of `T` (for `f64`: in `[0, 1)`).
+    fn gen<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniformly distributed value in the inclusive range.
+    fn gen_range<T: SampleUniform>(&mut self, range: RangeInclusive<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that [`Rng::gen`] can produce.
+pub trait Sample: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Sample for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types that [`Rng::gen_range`] can produce.
+pub trait SampleUniform: Sized {
+    /// Draws one value uniformly from the inclusive range.
+    fn sample_range<R: Rng>(rng: &mut R, range: RangeInclusive<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($ty:ty),*) => {
+        $(
+            impl SampleUniform for $ty {
+                fn sample_range<R: Rng>(rng: &mut R, range: RangeInclusive<Self>) -> Self {
+                    let (lo, hi) = (*range.start(), *range.end());
+                    assert!(lo <= hi, "cannot sample an empty range");
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    lo + (rng.next_u64() as u128 % span) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_uniform!(usize, u64, u32, u16, u8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountingRng(u64);
+
+    impl Rng for CountingRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn floats_stay_in_the_unit_interval() {
+        let mut rng = CountingRng(3);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ranges_are_inclusive_and_bounded() {
+        let mut rng = CountingRng(7);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = rng.gen_range(2usize..=5);
+            assert!((2..=5).contains(&v));
+            seen_lo |= v == 2;
+            seen_hi |= v == 5;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+}

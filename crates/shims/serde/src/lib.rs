@@ -1,0 +1,419 @@
+//! Offline stand-in for `serde`, vendored because this build environment has
+//! no network access to crates.io.
+//!
+//! It keeps the public *spelling* the workspace relies on — `use serde::
+//! {Serialize, Deserialize};` plus `#[derive(Serialize, Deserialize)]` — while
+//! swapping serde's visitor architecture for a much smaller JSON-value data
+//! model: serialisable types convert to and from [`Value`], and the sibling
+//! `serde_json` stand-in renders/parses that value.  This is entirely
+//! sufficient for the workspace, whose only serialisation consumer is the
+//! experiment-record JSON written by `specasr-metrics`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value: the interchange format of this serde stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (stored as `f64`).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(key, _)| key == name)
+                .map(|(_, value)| value)
+                .ok_or_else(|| Error::custom(format!("missing field `{name}`"))),
+            other => Err(Error::custom(format!(
+                "expected an object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Element of an array value.
+    pub fn element(&self, index: usize) -> Result<&Value, Error> {
+        match self {
+            Value::Array(items) => items
+                .get(index)
+                .ok_or_else(|| Error::custom(format!("missing array element {index}"))),
+            other => Err(Error::custom(format!(
+                "expected an array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Number(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+
+    fn as_number(&self) -> Result<f64, Error> {
+        match self {
+            Value::Number(n) => Ok(*n),
+            other => Err(Error::custom(format!(
+                "expected a number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Serialisation/deserialisation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted to a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the interchange value.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from the interchange value.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive implementations
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_for_integers {
+    ($($ty:ty),*) => {
+        $(
+            impl Serialize for $ty {
+                fn to_value(&self) -> Value {
+                    Value::Number(*self as f64)
+                }
+            }
+            impl Deserialize for $ty {
+                fn from_value(value: &Value) -> Result<Self, Error> {
+                    let number = value.as_number()?;
+                    let cast = number as $ty;
+                    if (cast as f64 - number).abs() > 0.5 {
+                        return Err(Error::custom(format!(
+                            "number {number} does not fit in {}",
+                            stringify!($ty)
+                        )));
+                    }
+                    Ok(cast)
+                }
+            }
+        )*
+    };
+}
+
+impl_for_integers!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_number()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.as_number()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected a boolean, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::String((*self).to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        // A stand-in compromise: `&'static str` fields (used for fixed table
+        // labels) round-trip by leaking the parsed string, which is fine for
+        // the short-lived CLI tools in this workspace.
+        match value {
+            Value::String(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(Error::custom(format!(
+                "expected a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected an array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok((
+            A::from_value(value.element(0)?)?,
+            B::from_value(value.element(1)?)?,
+        ))
+    }
+}
+
+fn key_to_string<K: Serialize>(key: &K) -> Result<String, Error> {
+    match key.to_value() {
+        Value::String(s) => Ok(s),
+        Value::Number(n) => Ok(format!("{n}")),
+        other => Err(Error::custom(format!(
+            "map keys must serialise to strings or numbers, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(key, value)| {
+                    (
+                        key_to_string(key).expect("BTreeMap keys serialise to strings"),
+                        value.to_value(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(key, value)| {
+                    let key = K::from_value(&Value::String(key.clone()))?;
+                    Ok((key, V::from_value(value)?))
+                })
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected an object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(key, value)| {
+                (
+                    key_to_string(key).expect("HashMap keys serialise to strings"),
+                    value.to_value(),
+                )
+            })
+            .collect();
+        // Sort for a stable rendering, mirroring serde_json's map ordering
+        // guarantees closely enough for diffable output.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(key, value)| {
+                    let key = K::from_value(&Value::String(key.clone()))?;
+                    Ok((key, V::from_value(value)?))
+                })
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected an object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2].to_value()).unwrap(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn object_field_lookup_errors_are_descriptive() {
+        let object = Value::Object(vec![("a".to_string(), Value::Number(1.0))]);
+        assert!(object.field("a").is_ok());
+        let err = object.field("b").unwrap_err();
+        assert!(err.to_string().contains("missing field `b`"));
+    }
+
+    #[test]
+    fn maps_serialise_to_objects() {
+        let mut map = BTreeMap::new();
+        map.insert("x".to_string(), 1.0f64);
+        let value = map.to_value();
+        assert_eq!(value.field("x").unwrap(), &Value::Number(1.0));
+        let back = BTreeMap::<String, f64>::from_value(&value).unwrap();
+        assert_eq!(back, map);
+    }
+}

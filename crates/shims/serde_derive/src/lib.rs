@@ -1,0 +1,357 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! The macros parse the item declaration directly from the proc-macro token
+//! stream (no `syn`/`quote`, which are unavailable offline) and emit
+//! implementations of the stand-in's `Serialize`/`Deserialize` traits in
+//! terms of its JSON-like `Value`.  Supported shapes cover everything the
+//! workspace derives on: named-field structs, tuple (newtype) structs, unit
+//! enums, and enums with tuple variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stand-in `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    item.serialize_impl()
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the stand-in `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    item.deserialize_impl()
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: usize,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let keyword = ident_text(&tokens, i);
+    i += 1;
+    let name = ident_text(&tokens, i);
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the serde stand-in derive does not support generic types ({name})");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("enum {name} has no body"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+fn ident_text(tokens: &[TokenTree], index: usize) -> String {
+    match tokens.get(index) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected an identifier, found {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` bodies, returning the field names in order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        fields.push(ident_text(&tokens, i));
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple-struct/tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1usize;
+    let mut angle_depth = 0i32;
+    for (index, token) in tokens.iter().enumerate() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && angle_depth == 0 && index + 1 < tokens.len() =>
+            {
+                fields += 1;
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip variant attributes (doc comments).
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_text(&tokens, i);
+        i += 1;
+        let mut fields = 0usize;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    fields = count_tuple_fields(g.stream());
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("struct-style enum variants are not supported by the serde stand-in")
+                }
+                _ => {}
+            }
+        }
+        variants.push(Variant { name, fields });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+impl Item {
+    fn serialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.kind {
+            Kind::NamedStruct(fields) => {
+                let pushes: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "entries.push((\"{f}\".to_string(), \
+                             ::serde::Serialize::to_value(&self.{f})));"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new(); {pushes} ::serde::Value::Object(entries)"
+                )
+            }
+            Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Kind::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+            Kind::UnitStruct => "::serde::Value::Null".to_string(),
+            Kind::Enum(variants) => {
+                let arms: String = variants
+                    .iter()
+                    .map(|v| {
+                        let vname = &v.name;
+                        if v.fields == 0 {
+                            format!(
+                                "{name}::{vname} => \
+                                 ::serde::Value::String(\"{vname}\".to_string()),"
+                            )
+                        } else {
+                            let binds: Vec<String> =
+                                (0..v.fields).map(|k| format!("f{k}")).collect();
+                            let inner = if v.fields == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![(\
+                                 \"{vname}\".to_string(), {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                    })
+                    .collect();
+                format!("match self {{ {arms} }}")
+            }
+        };
+        format!(
+            "impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+        )
+    }
+
+    fn deserialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.kind {
+            Kind::NamedStruct(fields) => {
+                let inits: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!("{f}: ::serde::Deserialize::from_value(value.field(\"{f}\")?)?,")
+                    })
+                    .collect();
+                format!("::std::result::Result::Ok({name} {{ {inits} }})")
+            }
+            Kind::TupleStruct(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+            ),
+            Kind::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(value.element({k})?)?"))
+                    .collect();
+                format!("::std::result::Result::Ok({name}({}))", items.join(", "))
+            }
+            Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+            Kind::Enum(variants) => {
+                let unit_arms: String = variants
+                    .iter()
+                    .filter(|v| v.fields == 0)
+                    .map(|v| {
+                        let vname = &v.name;
+                        format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                    })
+                    .collect();
+                let tagged_arms: String = variants
+                    .iter()
+                    .filter(|v| v.fields > 0)
+                    .map(|v| {
+                        let vname = &v.name;
+                        let inner = if v.fields == 1 {
+                            format!("{name}::{vname}(::serde::Deserialize::from_value(inner)?)")
+                        } else {
+                            let items: Vec<String> = (0..v.fields)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(inner.element({k})?)?"
+                                    )
+                                })
+                                .collect();
+                            format!("{name}::{vname}({})", items.join(", "))
+                        };
+                        format!("\"{vname}\" => ::std::result::Result::Ok({inner}),")
+                    })
+                    .collect();
+                let object_arm = if tagged_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        "::serde::Value::Object(entries) if entries.len() == 1 => {{ \
+                           let (tag, inner) = &entries[0]; \
+                           match tag.as_str() {{ \
+                             {tagged_arms} \
+                             other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                               \"unknown {name} variant {{other}}\"))), \
+                           }} \
+                         }},"
+                    )
+                };
+                format!(
+                    "match value {{ \
+                       ::serde::Value::String(tag) => match tag.as_str() {{ \
+                         {unit_arms} \
+                         other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                           \"unknown {name} variant {{other}}\"))), \
+                       }}, \
+                       {object_arm} \
+                       _ => ::std::result::Result::Err(::serde::Error::custom(\
+                         \"expected an enum tag for {name}\")), \
+                     }}"
+                )
+            }
+        };
+        format!(
+            "impl ::serde::Deserialize for {name} {{ \
+             fn from_value(value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+        )
+    }
+}

@@ -187,8 +187,12 @@ mod tests {
     #[test]
     fn builds_deterministically() {
         let corpus = ["the cat sat on the mat", "the cat ran"];
-        let a = VocabularyBuilder::new().target_size(64).build_from_corpus(corpus);
-        let b = VocabularyBuilder::new().target_size(64).build_from_corpus(corpus);
+        let a = VocabularyBuilder::new()
+            .target_size(64)
+            .build_from_corpus(corpus);
+        let b = VocabularyBuilder::new()
+            .target_size(64)
+            .build_from_corpus(corpus);
         assert_eq!(a, b);
     }
 
@@ -208,14 +212,20 @@ mod tests {
             .map(|(_, piece)| piece.trim_start_matches(WORD_BOUNDARY).chars().count())
             .max()
             .unwrap_or(0);
-        assert_eq!(longest, 1, "no merges should be applied when the seed exceeds the target");
+        assert_eq!(
+            longest, 1,
+            "no merges should be applied when the seed exceeds the target"
+        );
 
         let generous = VocabularyBuilder::new()
             .target_size(64)
             .min_pair_frequency(1)
             .build_from_corpus(corpus);
         assert!(generous.len() <= 64);
-        assert!(generous.len() > vocab.len(), "a generous target should allow merges");
+        assert!(
+            generous.len() > vocab.len(),
+            "a generous target should allow merges"
+        );
     }
 
     #[test]

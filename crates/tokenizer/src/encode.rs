@@ -97,7 +97,7 @@ impl Tokenizer {
     /// `Result` return type exists for signature symmetry with
     /// [`Tokenizer::decode`] and future vocabulary-free configurations.
     pub fn encode(&self, text: &str) -> Result<Vec<TokenId>, TokenizeError> {
-        Ok(self.encode_impl(text, false)?)
+        self.encode_impl(text, false)
     }
 
     /// Encodes `text`, returning an error on the first character that cannot
@@ -272,7 +272,9 @@ mod tests {
     #[test]
     fn decode_rejects_out_of_range_ids() {
         let tok = sample_tokenizer();
-        let err = tok.decode(&[TokenId::new(u32::MAX)]).expect_err("should fail");
+        let err = tok
+            .decode(&[TokenId::new(u32::MAX)])
+            .expect_err("should fail");
         assert!(matches!(err, TokenizeError::UnknownTokenId { .. }));
     }
 

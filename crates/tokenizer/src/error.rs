@@ -40,7 +40,11 @@ impl fmt::Display for TokenizeError {
                 "character {character:?} at byte offset {offset} is not covered by the vocabulary"
             ),
             TokenizeError::UnknownTokenId { id } => {
-                write!(f, "token id {} is not present in the vocabulary", id.value())
+                write!(
+                    f,
+                    "token id {} is not present in the vocabulary",
+                    id.value()
+                )
             }
         }
     }
@@ -59,7 +63,9 @@ mod tests {
             offset: 3,
         };
         assert!(e1.to_string().contains("offset 3"));
-        let e2 = TokenizeError::UnknownTokenId { id: TokenId::new(5) };
+        let e2 = TokenizeError::UnknownTokenId {
+            id: TokenId::new(5),
+        };
         assert!(e2.to_string().contains('5'));
     }
 

@@ -209,7 +209,6 @@ impl Vocabulary {
             .enumerate()
             .map(|(i, piece)| (TokenId::new(i as u32), piece.as_str()))
     }
-
 }
 
 impl Default for Vocabulary {

@@ -26,7 +26,10 @@ fn main() {
     let reference = baseline.transcribe(&setup.binding, utterance);
     println!("[autoregressive]");
     println!("  transcript : {}", reference.text);
-    println!("  decode     : {:.1} ms (simulated)", reference.outcome.decode_ms());
+    println!(
+        "  decode     : {:.1} ms (simulated)",
+        reference.outcome.decode_ms()
+    );
     println!("  RTF        : {:.3}\n", reference.real_time_factor());
 
     // 3. SpecASR: adaptive single-sequence prediction with recycling, and the

@@ -22,11 +22,13 @@ fn main() {
     // behaviour under the Vicuna-13B latency profile, exactly as the paper
     // does for its largest configuration.
     let target = SimulatedAsrModel::target(
-        ModelProfile::whisper_medium_en().with_latency(ModelProfile::vicuna_13b().latency().clone()),
+        ModelProfile::whisper_medium_en()
+            .with_latency(ModelProfile::vicuna_13b().latency().clone()),
         0x71 ^ 99,
     );
     let draft = SimulatedAsrModel::draft_paired(
-        ModelProfile::whisper_tiny_en().with_latency(ModelProfile::tiny_llama_1b().latency().clone()),
+        ModelProfile::whisper_tiny_en()
+            .with_latency(ModelProfile::tiny_llama_1b().latency().clone()),
         0x72 ^ 99,
         &target,
     );

@@ -10,13 +10,16 @@
 pub mod prelude {
     pub use specasr::{
         AdaptiveConfig, AdaptiveDecoder, AsrPipeline, AutoregressiveDecoder, DecodeOutcome,
-        DecodeStats, Policy, SparseTreeConfig, SparseTreeDecoder, SpeculativeConfig,
+        DecodeSession, DecodeStats, Policy, SparseTreeConfig, SparseTreeDecoder, SpeculativeConfig,
         SpeculativeDecoder,
     };
     pub use specasr_audio::{Corpus, EncoderProfile, Split, Utterance};
     pub use specasr_metrics::{wer_between, ExperimentRecord, Histogram, ReportRow};
     pub use specasr_models::{
         AsrDecoderModel, ModelProfile, SimulatedAsrModel, TokenizerBinding, UtteranceTokens,
+    };
+    pub use specasr_server::{
+        AdmissionPolicy, RequestOutcome, Scheduler, ServerConfig, ServerStats,
     };
     pub use specasr_tokenizer::{TokenId, Tokenizer};
 }
@@ -54,11 +57,8 @@ impl StandardSetup {
         let corpus = Corpus::librispeech_like(seed, utterances_per_split);
         let binding = TokenizerBinding::for_corpus(&corpus);
         let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), seed ^ 0x71);
-        let draft = SimulatedAsrModel::draft_paired(
-            ModelProfile::whisper_tiny_en(),
-            seed ^ 0x72,
-            &target,
-        );
+        let draft =
+            SimulatedAsrModel::draft_paired(ModelProfile::whisper_tiny_en(), seed ^ 0x72, &target);
         StandardSetup {
             corpus,
             binding,

@@ -54,11 +54,13 @@ fn losslessness_holds_under_llm_latency_replay() {
     let base_draft =
         SimulatedAsrModel::draft_paired(ModelProfile::whisper_tiny_en(), 6, &base_target);
     let replay_target = SimulatedAsrModel::target(
-        ModelProfile::whisper_medium_en().with_latency(ModelProfile::vicuna_13b().latency().clone()),
+        ModelProfile::whisper_medium_en()
+            .with_latency(ModelProfile::vicuna_13b().latency().clone()),
         5,
     );
     let replay_draft = SimulatedAsrModel::draft_paired(
-        ModelProfile::whisper_tiny_en().with_latency(ModelProfile::tiny_llama_1b().latency().clone()),
+        ModelProfile::whisper_tiny_en()
+            .with_latency(ModelProfile::tiny_llama_1b().latency().clone()),
         6,
         &replay_target,
     );
@@ -68,7 +70,12 @@ fn losslessness_holds_under_llm_latency_replay() {
             let base = policy.decode(&base_draft, &base_target, &audio);
             let replayed = policy.decode(&replay_draft, &replay_target, &audio);
             assert_eq!(base.tokens, replayed.tokens, "policy {}", policy.name());
-            assert_eq!(base.stats.rounds, replayed.stats.rounds, "policy {}", policy.name());
+            assert_eq!(
+                base.stats.rounds,
+                replayed.stats.rounds,
+                "policy {}",
+                policy.name()
+            );
         }
     }
 }

@@ -1,0 +1,168 @@
+//! Serving-subsystem integration tests: the continuous-batching scheduler
+//! must preserve the lossless invariant (batched transcripts byte-identical
+//! to sequential pipeline transcription for every policy), respect FIFO
+//! admission, and actually sustain concurrent in-flight sessions.
+
+use specasr::{AdaptiveConfig, AsrPipeline, Policy, SparseTreeConfig, SpeculativeConfig};
+use specasr_audio::{EncoderProfile, Split};
+use specasr_server::{AdmissionPolicy, Scheduler, ServerConfig};
+use specasr_suite::StandardSetup;
+
+fn serving_policies() -> Vec<Policy> {
+    vec![
+        Policy::Autoregressive,
+        Policy::Speculative(SpeculativeConfig::short_single()),
+        Policy::AdaptiveSingleSequence(AdaptiveConfig::paper()),
+        Policy::TwoPassSparseTree(SparseTreeConfig::paper()),
+    ]
+}
+
+fn scheduler_for(
+    setup: &StandardSetup,
+    config: ServerConfig,
+) -> Scheduler<specasr_models::SimulatedAsrModel, specasr_models::SimulatedAsrModel> {
+    Scheduler::new(
+        setup.draft.clone(),
+        setup.target.clone(),
+        setup.binding.clone(),
+        EncoderProfile::whisper_medium_encoder(),
+        config,
+    )
+}
+
+#[test]
+fn batched_scheduling_is_lossless_for_every_policy() {
+    let setup = StandardSetup::new(900, 10);
+    for policy in serving_policies() {
+        let pipeline = AsrPipeline::new(
+            setup.draft.clone(),
+            setup.target.clone(),
+            EncoderProfile::whisper_medium_encoder(),
+            policy,
+        );
+        let mut scheduler = scheduler_for(&setup, ServerConfig::default().with_max_batch(4));
+        let split = setup.corpus.split(Split::TestOther);
+        let mut ids = Vec::new();
+        for utterance in split {
+            ids.push(scheduler.submit(policy, utterance).expect("queue has room"));
+        }
+        let outcomes = scheduler.run_until_idle();
+        assert_eq!(outcomes.len(), split.len(), "policy {}", policy.name());
+        // Compare per-request against sequential transcription of the same
+        // utterance, matching on request id (completion order may differ).
+        for (utterance, id) in split.iter().zip(ids) {
+            let sequential = pipeline.transcribe(&setup.binding, utterance);
+            let served = outcomes
+                .iter()
+                .find(|o| o.id == id)
+                .expect("every submitted request completes");
+            assert_eq!(
+                served.text,
+                sequential.text,
+                "policy {} diverged under batched scheduling on {}",
+                policy.name(),
+                utterance.id()
+            );
+            assert_eq!(served.outcome.tokens, sequential.outcome.tokens);
+            assert_eq!(served.utterance_id, utterance.id());
+        }
+    }
+}
+
+#[test]
+fn mixed_policy_batches_stay_lossless() {
+    let setup = StandardSetup::new(901, 8);
+    let policies = serving_policies();
+    let mut scheduler = scheduler_for(&setup, ServerConfig::default().with_max_batch(8));
+    let split = setup.corpus.split(Split::DevOther);
+    let mut expectations = Vec::new();
+    for (index, utterance) in split.iter().enumerate() {
+        let policy = policies[index % policies.len()];
+        let id = scheduler.submit(policy, utterance).expect("queue has room");
+        let reference = policy.decode(&setup.draft, &setup.target, &setup.binding.bind(utterance));
+        expectations.push((id, reference.tokens));
+    }
+    let outcomes = scheduler.run_until_idle();
+    for (id, reference_tokens) in expectations {
+        let served = outcomes.iter().find(|o| o.id == id).expect("completed");
+        assert_eq!(served.outcome.tokens, reference_tokens);
+    }
+}
+
+#[test]
+fn fifo_admission_is_respected() {
+    let setup = StandardSetup::new(902, 12);
+    let mut scheduler = scheduler_for(
+        &setup,
+        ServerConfig::default()
+            .with_max_batch(3)
+            .with_admission(AdmissionPolicy::Fifo),
+    );
+    let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+    let split = setup.corpus.split(Split::TestClean);
+    let mut submitted = Vec::new();
+    for utterance in split {
+        submitted.push(scheduler.submit(policy, utterance).expect("queue has room"));
+    }
+    // Admission (not completion) must follow arrival order: a request may
+    // only ever be admitted when every earlier request has already been
+    // admitted, so queueing delay is monotonically non-decreasing in
+    // submission order for same-arrival-time requests.
+    let outcomes = scheduler.run_until_idle();
+    let mut admit_ms: Vec<(u64, f64)> = outcomes
+        .iter()
+        .map(|o| (o.id.value(), o.latency.queue_ms))
+        .collect();
+    admit_ms.sort_by_key(|(id, _)| *id);
+    for pair in admit_ms.windows(2) {
+        assert!(
+            pair[1].1 >= pair[0].1 - 1e-9,
+            "request {} was admitted before earlier request {} under FIFO",
+            pair[1].0,
+            pair[0].0
+        );
+    }
+    assert_eq!(admit_ms.len(), submitted.len());
+}
+
+#[test]
+fn scheduler_sustains_at_least_eight_concurrent_sessions() {
+    let setup = StandardSetup::new(903, 12);
+    let mut scheduler = scheduler_for(&setup, ServerConfig::default().with_max_batch(8));
+    let policy = Policy::TwoPassSparseTree(SparseTreeConfig::paper());
+    for utterance in setup.corpus.split(Split::TestClean) {
+        scheduler.submit(policy, utterance).expect("queue has room");
+    }
+    // After the first tick the batch must be full.
+    scheduler.tick();
+    assert!(
+        scheduler.in_flight() >= 8 || scheduler.stats().peak_in_flight() >= 8,
+        "batch should fill to 8 concurrent sessions"
+    );
+    scheduler.run_until_idle();
+    assert_eq!(scheduler.stats().peak_in_flight(), 8);
+    assert_eq!(scheduler.stats().completed(), 12);
+    assert!(scheduler.stats().batching_speedup() > 1.0);
+}
+
+#[test]
+fn serving_throughput_beats_one_at_a_time_serving() {
+    let setup = StandardSetup::new(904, 16);
+    let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+    let mut results = Vec::new();
+    for max_batch in [1usize, 8] {
+        let mut scheduler =
+            scheduler_for(&setup, ServerConfig::default().with_max_batch(max_batch));
+        for utterance in setup.corpus.split(Split::TestClean) {
+            scheduler.submit(policy, utterance).expect("queue has room");
+        }
+        scheduler.run_until_idle();
+        results.push(scheduler.stats().utterances_per_second());
+    }
+    assert!(
+        results[1] > results[0],
+        "batch-8 throughput ({:.2} utt/s) must beat batch-1 ({:.2} utt/s)",
+        results[1],
+        results[0]
+    );
+}

@@ -30,7 +30,13 @@ fn run_split(
 fn speculative_policies_beat_autoregressive_and_specasr_beats_the_baseline() {
     let setup = StandardSetup::new(400, 6);
     let split = Split::TestClean;
-    let (ar, _) = run_split(&setup, &setup.draft, &setup.target, split, Policy::Autoregressive);
+    let (ar, _) = run_split(
+        &setup,
+        &setup.draft,
+        &setup.target,
+        split,
+        Policy::Autoregressive,
+    );
     let (baseline, _) = run_split(
         &setup,
         &setup.draft,
@@ -53,9 +59,18 @@ fn speculative_policies_beat_autoregressive_and_specasr_beats_the_baseline() {
         Policy::TwoPassSparseTree(SparseTreeConfig::paper()),
     );
 
-    assert!(baseline.decode_ms() < ar.decode_ms(), "speculative must beat autoregressive");
-    assert!(asp.decode_ms() < baseline.decode_ms(), "ASP must beat the speculative baseline");
-    assert!(tsp.decode_ms() < baseline.decode_ms(), "TSP must beat the speculative baseline");
+    assert!(
+        baseline.decode_ms() < ar.decode_ms(),
+        "speculative must beat autoregressive"
+    );
+    assert!(
+        asp.decode_ms() < baseline.decode_ms(),
+        "ASP must beat the speculative baseline"
+    );
+    assert!(
+        tsp.decode_ms() < baseline.decode_ms(),
+        "TSP must beat the speculative baseline"
+    );
 }
 
 #[test]
@@ -137,7 +152,10 @@ fn speedup_grows_with_target_model_size() {
         speedups[1],
         speedups[0]
     );
-    assert!(speedups[0] > 1.5, "SpecASR should clearly beat autoregressive decoding");
+    assert!(
+        speedups[0] > 1.5,
+        "SpecASR should clearly beat autoregressive decoding"
+    );
 }
 
 #[test]
@@ -147,7 +165,8 @@ fn noisy_splits_reduce_the_speedup() {
     // cost, so the lower draft acceptance on noisy audio hurts the most).
     let setup = StandardSetup::new(403, 8);
     let target = SimulatedAsrModel::target(
-        ModelProfile::whisper_medium_en().with_latency(ModelProfile::vicuna_13b().latency().clone()),
+        ModelProfile::whisper_medium_en()
+            .with_latency(ModelProfile::vicuna_13b().latency().clone()),
         0x71 ^ 403,
     );
     let draft = SimulatedAsrModel::draft_paired(
