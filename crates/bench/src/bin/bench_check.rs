@@ -1,0 +1,142 @@
+//! `bench_check` — the bench-regression gate.
+//!
+//! Compares freshly generated serving records under `target/experiments/`
+//! against the committed `BENCH_*.json` baselines, failing (exit code 1)
+//! when any gated metric (`throughput_utps`, `e2e_p99_ms`) drifts outside
+//! the tolerance band in either direction.
+//!
+//! ```text
+//! # default pairs (serve_load + serve_open_loop), ±15% tolerance:
+//! cargo run -p specasr-bench --release --bin bench_check
+//!
+//! # explicit pairs and tolerance:
+//! cargo run -p specasr-bench --release --bin bench_check -- \
+//!     --tolerance 0.10 BENCH_serve.json target/experiments/serve_load.json
+//! ```
+//!
+//! To intentionally move a baseline, rerun the sweep with
+//! `SPECASR_WRITE_BASELINE=1` and commit the updated `BENCH_*.json`.
+
+use std::process::ExitCode;
+
+use specasr_bench::experiments_dir;
+use specasr_bench::regression::{compare_records, DEFAULT_TOLERANCE, GATED_METRICS};
+use specasr_metrics::ExperimentRecord;
+
+fn load(path: &str) -> Result<ExperimentRecord, String> {
+    let content =
+        std::fs::read_to_string(path).map_err(|error| format!("cannot read {path}: {error}"))?;
+    serde_json::from_str(&content).map_err(|error| format!("cannot parse {path}: {error}"))
+}
+
+fn default_pairs() -> Vec<(String, String)> {
+    let experiments = experiments_dir();
+    ["serve_load", "serve_open_loop"]
+        .into_iter()
+        .map(|id| {
+            let baseline = match id {
+                "serve_load" => "BENCH_serve.json",
+                _ => "BENCH_serve_open.json",
+            };
+            (
+                baseline.to_owned(),
+                experiments.join(format!("{id}.json")).display().to_string(),
+            )
+        })
+        .collect()
+}
+
+fn parse_args() -> Result<(f64, Vec<(String, String)>), String> {
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut paths = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| "--tolerance needs a value".to_owned())?;
+                tolerance = value
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid tolerance `{value}`"))?;
+                if !tolerance.is_finite() || tolerance < 0.0 {
+                    return Err(format!("tolerance must be non-negative, got {value}"));
+                }
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: bench_check [--tolerance 0.15] [<baseline.json> <fresh.json>]..."
+                        .to_owned(),
+                )
+            }
+            path => paths.push(path.to_owned()),
+        }
+    }
+    if paths.len() % 2 != 0 {
+        return Err("paths must come in <baseline.json> <fresh.json> pairs".to_owned());
+    }
+    let pairs = if paths.is_empty() {
+        default_pairs()
+    } else {
+        paths
+            .chunks(2)
+            .map(|pair| (pair[0].clone(), pair[1].clone()))
+            .collect()
+    };
+    Ok((tolerance, pairs))
+}
+
+fn main() -> ExitCode {
+    let (tolerance, pairs) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "bench_check: gating {:?} at ±{:.0}%",
+        GATED_METRICS,
+        tolerance * 100.0
+    );
+
+    let mut failed = false;
+    for (baseline_path, fresh_path) in pairs {
+        let (baseline, fresh) = match (load(&baseline_path), load(&fresh_path)) {
+            (Ok(baseline), Ok(fresh)) => (baseline, fresh),
+            (baseline, fresh) => {
+                for result in [baseline.map(|_| ()), fresh.map(|_| ())] {
+                    if let Err(message) = result {
+                        eprintln!("bench_check: {message}");
+                    }
+                }
+                failed = true;
+                continue;
+            }
+        };
+        let violations = compare_records(&baseline, &fresh, tolerance);
+        if violations.is_empty() {
+            println!(
+                "  OK   {fresh_path} vs {baseline_path} ({} rows gated)",
+                baseline.rows.len()
+            );
+        } else {
+            failed = true;
+            eprintln!("  FAIL {fresh_path} vs {baseline_path}:");
+            for violation in &violations {
+                eprintln!("       {violation}");
+            }
+        }
+    }
+
+    if failed {
+        eprintln!(
+            "bench_check: regression gate FAILED — if the change is intentional, regenerate \
+             baselines with SPECASR_WRITE_BASELINE=1 and commit them"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_check: all baselines within tolerance");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,133 @@
+//! `serve_open_loop` — open-loop load generation against the sharded router.
+//!
+//! Sweeps fleet size (1/2/4/8 workers) × admission policy (FIFO /
+//! aged shortest-audio-first) × offered QPS, with arrivals drawn from a
+//! seeded Poisson process ([`specasr_server::LoadGen`]).  Unlike the
+//! closed-loop `serve_load` sweep, the offered rate is independent of how far
+//! behind the fleet falls, so each fleet size traces the queueing-theory
+//! curve the closed loop hides: P99 latency stays near the no-load service
+//! time while the offered rate is below the fleet's saturation QPS, then
+//! grows by an order of magnitude once arrivals outpace service.
+//!
+//! The run is deterministic (seeded arrivals over a seeded corpus and model
+//! pair), so the emitted record doubles as a perf baseline: it is always
+//! written to `target/experiments/serve_open_loop.json`, and additionally to
+//! the committed `BENCH_serve_open.json` baseline when the
+//! `SPECASR_WRITE_BASELINE` environment variable is set (the CI
+//! bench-regression gate compares the fresh record against the committed
+//! one, so regenerating the baseline is an explicit act).
+//!
+//! Run with: `cargo run -p specasr-bench --release --bin serve_open_loop`
+
+use specasr::{AdaptiveConfig, Policy};
+use specasr_audio::{EncoderProfile, Split, Utterance};
+use specasr_bench::{emit, ExperimentContext, EXPERIMENT_SEED};
+use specasr_metrics::{ExperimentRecord, ReportRow};
+use specasr_server::{run_open_loop, AdmissionPolicy, LoadGen, Router, RouterConfig, ServerConfig};
+
+/// Utterances per split in the serving corpus.
+const UTTERANCES_PER_SPLIT: usize = 12;
+
+/// Open-loop requests offered per cell (the corpus pool is cycled).
+const REQUESTS_PER_CELL: usize = 160;
+
+/// Fleet sizes swept.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Offered request rates swept (requests per second).  One worker saturates
+/// in the low tens of QPS, eight workers near two hundred, so every fleet
+/// size crosses its knee inside this grid.
+const QPS_LEVELS: [f64; 5] = [10.0, 25.0, 50.0, 100.0, 200.0];
+
+fn admissions() -> Vec<(&'static str, AdmissionPolicy)> {
+    vec![
+        ("fifo", AdmissionPolicy::Fifo),
+        ("saf", AdmissionPolicy::ShortestAudioFirst),
+    ]
+}
+
+fn run_cell(
+    context: &ExperimentContext,
+    pool: &[&Utterance],
+    admission: AdmissionPolicy,
+    workers: usize,
+    qps: f64,
+) -> ReportRow {
+    let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+    let mut router = Router::new(
+        RouterConfig::default()
+            .with_workers(workers)
+            .with_worker_config(
+                ServerConfig::default()
+                    .with_admission(admission)
+                    // Deep queues: this sweep measures the latency knee, not
+                    // queue-depth shedding, so nothing may be rejected.
+                    .with_queue_depth(4 * REQUESTS_PER_CELL),
+            ),
+        context.binding.clone(),
+        EncoderProfile::whisper_medium_encoder(),
+        |_| context.whisper_pair(),
+    );
+    let mut loadgen = LoadGen::new(EXPERIMENT_SEED, qps);
+    let workload = (0..REQUESTS_PER_CELL).map(|index| (policy, pool[index % pool.len()]));
+    let report = run_open_loop(&mut router, &mut loadgen, workload);
+    assert_eq!(report.outcomes.len(), REQUESTS_PER_CELL);
+    assert_eq!(report.rejected, 0, "deep queues must never shed");
+
+    let fleet = router.fleet_stats();
+    let label = format!(
+        "w{workers}-{}@q{qps:.0}",
+        match admission {
+            AdmissionPolicy::Fifo => "fifo",
+            AdmissionPolicy::ShortestAudioFirst => "saf",
+        }
+    );
+    ReportRow::new(label)
+        .with("workers", workers as f64)
+        .with("target_qps", qps)
+        .with("offered_qps", report.offered_qps())
+        .with("throughput_utps", report.completed_qps())
+        .with("e2e_p50_ms", fleet.e2e_p50_ms())
+        .with("e2e_p99_ms", fleet.e2e_p99_ms())
+        .with("ttft_p50_ms", fleet.ttft_p50_ms())
+        .with("acceptance", fleet.mean_acceptance())
+        .with("stolen", router.stolen() as f64)
+        .with("wall_ms", fleet.wall_ms())
+}
+
+fn main() {
+    let context = ExperimentContext::with_size(UTTERANCES_PER_SPLIT);
+    let pool: Vec<&Utterance> = Split::ALL
+        .iter()
+        .flat_map(|&split| context.corpus.split(split))
+        .collect();
+    let mut record = ExperimentRecord::new(
+        "serve_open_loop",
+        format!(
+            "Open-loop Poisson serving, {REQUESTS_PER_CELL} requests/cell, \
+             workers × admission × QPS sweep"
+        ),
+    );
+
+    for (_, admission) in admissions() {
+        for workers in WORKER_COUNTS {
+            for qps in QPS_LEVELS {
+                record.push_row(run_cell(&context, &pool, admission, workers, qps));
+            }
+        }
+    }
+
+    emit(&record);
+    if std::env::var_os("SPECASR_WRITE_BASELINE").is_some() {
+        match std::fs::write("BENCH_serve_open.json", record.to_json()) {
+            Ok(()) => println!("(baseline record written to BENCH_serve_open.json)"),
+            Err(error) => eprintln!("warning: could not write BENCH_serve_open.json: {error}"),
+        }
+    }
+    println!(
+        "shape check: for each fleet size, P99 latency sits near the no-load service \
+         time below the saturation QPS and explodes past it, and the knee moves right \
+         as workers are added; aged shortest-audio-first trades a lower P50 for the \
+         same knee position."
+    );
+}

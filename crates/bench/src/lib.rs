@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod regression;
+
 use std::path::PathBuf;
 
 use specasr::{DecodeStats, Policy};

@@ -1,0 +1,222 @@
+//! Bench-regression comparison: fresh experiment records vs committed
+//! baselines.
+//!
+//! The serving sweeps (`serve_load`, `serve_open_loop`) are deterministic,
+//! so their committed `BENCH_*.json` records are exact perf baselines.  The
+//! `bench_check` binary re-reads a freshly generated record from
+//! `target/experiments/` and fails CI when any gated metric drifts outside
+//! the tolerance band — throughput regressions and P99 latency blow-ups
+//! alike, in either direction (an unexplained 40% "improvement" usually
+//! means the benchmark stopped measuring what it used to).
+
+use specasr_metrics::ExperimentRecord;
+
+/// Metrics gated by the regression check, when present in a row.
+pub const GATED_METRICS: [&str; 2] = ["throughput_utps", "e2e_p99_ms"];
+
+/// Default relative tolerance band (±15%).
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// One gated metric that drifted outside the tolerance band, or a row that
+/// disappeared from the fresh record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The baseline row has no counterpart in the fresh record.
+    MissingRow {
+        /// The baseline row label.
+        label: String,
+    },
+    /// The baseline row carries a gated metric the fresh row dropped.
+    MissingMetric {
+        /// The row label.
+        label: String,
+        /// The gated metric name.
+        metric: String,
+    },
+    /// A gated metric moved outside the tolerance band.
+    Drift {
+        /// The row label.
+        label: String,
+        /// The gated metric name.
+        metric: String,
+        /// The committed baseline value.
+        baseline: f64,
+        /// The freshly measured value.
+        fresh: f64,
+        /// `(fresh - baseline) / baseline`.
+        relative: f64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::MissingRow { label } => {
+                write!(f, "row `{label}` is missing from the fresh record")
+            }
+            Violation::MissingMetric { label, metric } => {
+                write!(f, "row `{label}` lost gated metric `{metric}`")
+            }
+            Violation::Drift {
+                label,
+                metric,
+                baseline,
+                fresh,
+                relative,
+            } => write!(
+                f,
+                "row `{label}` metric `{metric}` drifted {:+.1}% (baseline {baseline:.4}, \
+                 fresh {fresh:.4})",
+                relative * 100.0
+            ),
+        }
+    }
+}
+
+/// Compares a fresh record against its committed baseline.
+///
+/// Every baseline row must still exist, keep its gated metrics, and keep
+/// each gated value within `tolerance` (relative) of the baseline.  Rows or
+/// metrics that only exist in the fresh record are fine — adding coverage is
+/// not a regression.
+///
+/// # Example
+///
+/// ```
+/// use specasr_bench::regression::{compare_records, DEFAULT_TOLERANCE};
+/// use specasr_metrics::{ExperimentRecord, ReportRow};
+///
+/// let baseline = ExperimentRecord::new("x", "t")
+///     .with_row(ReportRow::new("a").with("throughput_utps", 10.0));
+/// let fresh = ExperimentRecord::new("x", "t")
+///     .with_row(ReportRow::new("a").with("throughput_utps", 10.5));
+/// assert!(compare_records(&baseline, &fresh, DEFAULT_TOLERANCE).is_empty());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `tolerance` is not finite and non-negative.
+pub fn compare_records(
+    baseline: &ExperimentRecord,
+    fresh: &ExperimentRecord,
+    tolerance: f64,
+) -> Vec<Violation> {
+    assert!(
+        tolerance.is_finite() && tolerance >= 0.0,
+        "tolerance must be finite and non-negative"
+    );
+    let mut violations = Vec::new();
+    for base_row in &baseline.rows {
+        let Some(fresh_row) = fresh.row(&base_row.label) else {
+            violations.push(Violation::MissingRow {
+                label: base_row.label.clone(),
+            });
+            continue;
+        };
+        for metric in GATED_METRICS {
+            let Some(base_value) = base_row.value(metric) else {
+                continue;
+            };
+            let Some(fresh_value) = fresh_row.value(metric) else {
+                violations.push(Violation::MissingMetric {
+                    label: base_row.label.clone(),
+                    metric: metric.to_owned(),
+                });
+                continue;
+            };
+            let scale = base_value.abs().max(f64::EPSILON);
+            let relative = (fresh_value - base_value) / scale;
+            if relative.abs() > tolerance {
+                violations.push(Violation::Drift {
+                    label: base_row.label.clone(),
+                    metric: metric.to_owned(),
+                    baseline: base_value,
+                    fresh: fresh_value,
+                    relative,
+                });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specasr_metrics::ReportRow;
+
+    fn record(throughput: f64, p99: f64) -> ExperimentRecord {
+        ExperimentRecord::new("serve", "t").with_row(
+            ReportRow::new("w1@q10")
+                .with("throughput_utps", throughput)
+                .with("e2e_p99_ms", p99)
+                .with("ungated_metric", 1.0e9),
+        )
+    }
+
+    #[test]
+    fn identical_records_pass() {
+        let base = record(20.0, 900.0);
+        assert!(compare_records(&base, &base.clone(), DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn drift_within_tolerance_passes_and_ungated_metrics_are_ignored() {
+        let base = record(20.0, 900.0);
+        let mut fresh = record(20.0 * 1.14, 900.0 * 0.86);
+        fresh.rows[0].values.insert("ungated_metric".into(), 0.0);
+        assert!(compare_records(&base, &fresh, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn drift_beyond_tolerance_fails_in_both_directions() {
+        let base = record(20.0, 900.0);
+        let slow = record(20.0 * 0.8, 900.0);
+        let violations = compare_records(&base, &slow, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].to_string().contains("throughput_utps"));
+        assert!(violations[0].to_string().contains("-20.0%"));
+
+        let spiky = record(20.0, 900.0 * 1.3);
+        let violations = compare_records(&base, &spiky, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].to_string().contains("e2e_p99_ms"));
+    }
+
+    #[test]
+    fn missing_rows_and_metrics_are_violations() {
+        let base = record(20.0, 900.0);
+        let empty = ExperimentRecord::new("serve", "t");
+        assert_eq!(
+            compare_records(&base, &empty, DEFAULT_TOLERANCE),
+            vec![Violation::MissingRow {
+                label: "w1@q10".into()
+            }]
+        );
+
+        let mut gutted = record(20.0, 900.0);
+        gutted.rows[0].values.remove("e2e_p99_ms");
+        let violations = compare_records(&base, &gutted, DEFAULT_TOLERANCE);
+        assert_eq!(
+            violations,
+            vec![Violation::MissingMetric {
+                label: "w1@q10".into(),
+                metric: "e2e_p99_ms".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn extra_fresh_rows_are_not_violations() {
+        let base = record(20.0, 900.0);
+        let fresh = record(20.0, 900.0)
+            .with_row(ReportRow::new("brand-new-cell").with("throughput_utps", 1.0));
+        assert!(compare_records(&base, &fresh, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn negative_tolerance_panics() {
+        compare_records(&record(1.0, 1.0), &record(1.0, 1.0), -0.1);
+    }
+}

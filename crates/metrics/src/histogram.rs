@@ -134,6 +134,52 @@ impl Histogram {
         histogram
     }
 
+    /// Merges two histograms into one covering the union of their ranges.
+    ///
+    /// The result spans `[min(lo), max(hi)]` with the larger of the two bin
+    /// counts; each source bin's observations are re-recorded at the source
+    /// bin's centre.  The total count and sum (hence [`Histogram::mean`]) are
+    /// preserved exactly; bin placement is approximate to within one source
+    /// bin width, which is the usual trade of mergeable fixed-bin histograms.
+    /// Merging with an empty histogram widens the range but adds no counts,
+    /// and works for mismatched ranges (per-worker latency histograms whose
+    /// maxima differ are the motivating case).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use specasr_metrics::Histogram;
+    ///
+    /// let a = Histogram::of_samples(64, &[10.0, 20.0]);
+    /// let b = Histogram::of_samples(128, &[500.0]);
+    /// let merged = a.merge(&b);
+    /// assert_eq!(merged.count(), 3);
+    /// assert!((merged.mean() - 530.0 / 3.0).abs() < 1e-9);
+    /// ```
+    pub fn merge(&self, other: &Histogram) -> Histogram {
+        let lo = self.lo.min(other.lo);
+        let hi = self.hi.max(other.hi);
+        let bins = self.bins().max(other.bins());
+        let mut merged = Histogram::new(lo, hi, bins);
+        for source in [self, other] {
+            for (index, &count) in source.counts.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let (bin_lo, bin_hi) = source.bin_range(index);
+                let centre = 0.5 * (bin_lo + bin_hi);
+                let normalised = ((centre - merged.lo) / (merged.hi - merged.lo)).clamp(0.0, 1.0);
+                let target = ((normalised * bins as f64).floor() as usize).min(bins - 1);
+                merged.counts[target] += count;
+                merged.total += count;
+            }
+        }
+        // Bin placement used bin centres; carry the exact sum over so the
+        // merged mean matches the pooled observations.
+        merged.sum = self.sum + other.sum;
+        merged
+    }
+
     /// The `quantile` (in `[0, 1]`) of the recorded distribution, estimated
     /// by linear interpolation inside the containing bin (0 if nothing was
     /// recorded).
@@ -271,6 +317,70 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn out_of_range_quantile_panics() {
         Histogram::new(0.0, 1.0, 4).percentile(1.5);
+    }
+
+    #[test]
+    fn merging_two_empty_histograms_stays_empty() {
+        let a = Histogram::new(0.0, 1.0, 4);
+        let b = Histogram::new(0.0, 2.0, 8);
+        let merged = a.merge(&b);
+        assert_eq!(merged.count(), 0);
+        assert_eq!(merged.mean(), 0.0);
+        assert_eq!(merged.bins(), 8);
+        assert_eq!(merged.percentile(0.99), 0.0);
+    }
+
+    #[test]
+    fn merging_with_an_empty_histogram_preserves_the_distribution() {
+        let mut a = Histogram::new(0.0, 100.0, 10);
+        a.record_all([10.0, 50.0, 90.0]);
+        let empty = Histogram::new(0.0, 100.0, 10);
+        for merged in [a.merge(&empty), empty.merge(&a)] {
+            assert_eq!(merged.count(), 3);
+            assert!((merged.mean() - 50.0).abs() < 1e-12);
+            assert_eq!(merged.bin_counts(), a.bin_counts());
+        }
+    }
+
+    #[test]
+    fn single_sample_merge_lands_in_the_right_bin() {
+        let mut a = Histogram::new(0.0, 100.0, 10);
+        a.record(95.0);
+        let mut b = Histogram::new(0.0, 100.0, 10);
+        b.record(5.0);
+        let merged = a.merge(&b);
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.bin_counts()[0], 1);
+        assert_eq!(merged.bin_counts()[9], 1);
+        assert!((merged.mean() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_ranges_merge_over_the_union() {
+        // Per-worker latency histograms: one fast worker, one straggler.
+        let fast = Histogram::of_samples(64, &[10.0, 12.0, 14.0]);
+        let slow = Histogram::of_samples(64, &[900.0, 1000.0]);
+        let merged = fast.merge(&slow);
+        assert_eq!(merged.count(), 5);
+        assert!((merged.mean() - (10.0 + 12.0 + 14.0 + 900.0 + 1000.0) / 5.0).abs() < 1e-9);
+        // The fast samples stay in the low tail, the stragglers in the high
+        // tail, so the percentiles separate.
+        assert!(merged.percentile(0.50) < 100.0);
+        assert!(merged.percentile(0.99) > 800.0);
+        // Union range covers both sources.
+        assert_eq!(merged.bin_range(0).0, 0.0);
+        assert!(merged.bin_range(merged.bins() - 1).1 >= 1000.0);
+    }
+
+    #[test]
+    fn merge_is_commutative_in_count_and_mean() {
+        let a = Histogram::of_samples(32, &[1.0, 2.0, 3.0]);
+        let b = Histogram::of_samples(16, &[100.0, 200.0]);
+        let ab = a.merge(&b);
+        let ba = b.merge(&a);
+        assert_eq!(ab.count(), ba.count());
+        assert!((ab.mean() - ba.mean()).abs() < 1e-12);
+        assert_eq!(ab.bins(), ba.bins());
     }
 }
 

@@ -54,6 +54,7 @@ pub mod text_task;
 pub mod traits;
 
 pub use binding::{TokenizerBinding, UtteranceTokens};
+pub use hashing::splitmix64;
 pub use latency::{DecodeClock, LatencyBreakdown, LatencyModel};
 pub use logits::TokenLogits;
 pub use profiles::{AccuracyProfile, ModelProfile, ModelRole, ModelScale};

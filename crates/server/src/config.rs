@@ -1,4 +1,5 @@
-//! Serving configuration: batch size, queue depth, and admission policy.
+//! Serving configuration: batch size, queue depth, admission policy, and the
+//! sharded-router fleet parameters.
 
 use serde::{Deserialize, Serialize};
 
@@ -8,8 +9,11 @@ use serde::{Deserialize, Serialize};
 pub enum AdmissionPolicy {
     /// Strict arrival order.
     Fifo,
-    /// Shortest audio first: minimises mean latency under load at the cost
-    /// of fairness for long utterances (no starvation guard yet).
+    /// Shortest audio first: minimises mean latency under load.  Long
+    /// utterances are protected from starvation by an aging credit (see
+    /// [`ServerConfig::aging_rate`]): a request's effective priority is its
+    /// audio length minus `age × aging_rate`, so every queued request's
+    /// priority eventually beats any freshly arrived short utterance.
     ShortestAudioFirst,
 }
 
@@ -35,6 +39,12 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Queue discipline used at admission time.
     pub admission: AdmissionPolicy,
+    /// Aging credit for [`AdmissionPolicy::ShortestAudioFirst`], in audio
+    /// seconds of priority per millisecond spent queued.  `0.0` restores the
+    /// starvation-prone pure shortest-audio-first ordering; the default of
+    /// `0.005` forgives five audio seconds per queued second, so even a 30 s
+    /// utterance outranks fresh 2 s arrivals after ~5.6 s of waiting.
+    pub aging_rate: f64,
 }
 
 impl ServerConfig {
@@ -56,14 +66,26 @@ impl ServerConfig {
         self
     }
 
+    /// Returns this configuration with a different aging rate (audio seconds
+    /// of shortest-audio-first priority credit per queued millisecond).
+    pub fn with_aging_rate(mut self, aging_rate: f64) -> Self {
+        self.aging_rate = aging_rate;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
-    /// Panics if the batch size or queue depth is zero.
+    /// Panics if the batch size or queue depth is zero, or the aging rate is
+    /// negative or non-finite.
     pub fn validate(&self) {
         assert!(self.max_batch > 0, "max_batch must be positive");
         assert!(self.queue_depth > 0, "queue_depth must be positive");
+        assert!(
+            self.aging_rate.is_finite() && self.aging_rate >= 0.0,
+            "aging_rate must be finite and non-negative"
+        );
     }
 }
 
@@ -73,6 +95,85 @@ impl Default for ServerConfig {
             max_batch: 8,
             queue_depth: 64,
             admission: AdmissionPolicy::Fifo,
+            aging_rate: 0.005,
+        }
+    }
+}
+
+/// Configuration of a [`crate::Router`] fleet.
+///
+/// # Example
+///
+/// ```
+/// use specasr_server::{RouterConfig, ServerConfig};
+///
+/// let config = RouterConfig::default()
+///     .with_workers(4)
+///     .with_worker_config(ServerConfig::default().with_max_batch(4));
+/// assert_eq!(config.workers, 4);
+/// config.validate();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Number of independent scheduler workers behind the router.
+    pub workers: usize,
+    /// Hash-ring points per worker: more virtual nodes smooth the
+    /// consistent-hash placement across workers.
+    pub virtual_nodes: usize,
+    /// Work stealing triggers when a worker's queue is deeper than the
+    /// shallowest worker's queue by more than this many requests.
+    pub steal_threshold: usize,
+    /// Configuration applied to every worker's scheduler.
+    pub worker: ServerConfig,
+}
+
+impl RouterConfig {
+    /// Returns this configuration with a different worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Returns this configuration with a different virtual-node count.
+    pub fn with_virtual_nodes(mut self, virtual_nodes: usize) -> Self {
+        self.virtual_nodes = virtual_nodes;
+        self
+    }
+
+    /// Returns this configuration with a different steal threshold.
+    pub fn with_steal_threshold(mut self, steal_threshold: usize) -> Self {
+        self.steal_threshold = steal_threshold;
+        self
+    }
+
+    /// Returns this configuration with a different per-worker scheduler
+    /// configuration.
+    pub fn with_worker_config(mut self, worker: ServerConfig) -> Self {
+        self.worker = worker;
+        self
+    }
+
+    /// Validates the configuration (including the per-worker one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker, virtual-node, or steal-threshold counts are
+    /// zero, or the per-worker configuration is invalid.
+    pub fn validate(&self) {
+        assert!(self.workers > 0, "workers must be positive");
+        assert!(self.virtual_nodes > 0, "virtual_nodes must be positive");
+        assert!(self.steal_threshold > 0, "steal_threshold must be positive");
+        self.worker.validate();
+    }
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            workers: 2,
+            virtual_nodes: 16,
+            steal_threshold: 4,
+            worker: ServerConfig::default(),
         }
     }
 }
@@ -86,10 +187,12 @@ mod tests {
         let config = ServerConfig::default()
             .with_max_batch(4)
             .with_queue_depth(10)
-            .with_admission(AdmissionPolicy::ShortestAudioFirst);
+            .with_admission(AdmissionPolicy::ShortestAudioFirst)
+            .with_aging_rate(0.25);
         assert_eq!(config.max_batch, 4);
         assert_eq!(config.queue_depth, 10);
         assert_eq!(config.admission, AdmissionPolicy::ShortestAudioFirst);
+        assert!((config.aging_rate - 0.25).abs() < 1e-12);
         config.validate();
     }
 
@@ -103,5 +206,56 @@ mod tests {
     #[should_panic(expected = "queue_depth")]
     fn zero_queue_depth_fails_validation() {
         ServerConfig::default().with_queue_depth(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "aging_rate")]
+    fn negative_aging_rate_fails_validation() {
+        ServerConfig::default().with_aging_rate(-0.1).validate();
+    }
+
+    #[test]
+    fn zero_aging_rate_is_allowed() {
+        ServerConfig::default().with_aging_rate(0.0).validate();
+    }
+
+    #[test]
+    fn router_builder_updates_preserve_other_fields() {
+        let config = RouterConfig::default()
+            .with_workers(8)
+            .with_virtual_nodes(32)
+            .with_steal_threshold(2)
+            .with_worker_config(ServerConfig::default().with_max_batch(2));
+        assert_eq!(config.workers, 8);
+        assert_eq!(config.virtual_nodes, 32);
+        assert_eq!(config.steal_threshold, 2);
+        assert_eq!(config.worker.max_batch, 2);
+        config.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "workers")]
+    fn zero_workers_fails_validation() {
+        RouterConfig::default().with_workers(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual_nodes")]
+    fn zero_virtual_nodes_fails_validation() {
+        RouterConfig::default().with_virtual_nodes(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "steal_threshold")]
+    fn zero_steal_threshold_fails_validation() {
+        RouterConfig::default().with_steal_threshold(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn router_validation_covers_the_worker_config() {
+        RouterConfig::default()
+            .with_worker_config(ServerConfig::default().with_max_batch(0))
+            .validate();
     }
 }

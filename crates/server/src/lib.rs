@@ -30,6 +30,21 @@
 //! realised gain, and the `serve_load` binary in `specasr-bench` sweeps it
 //! across concurrency levels and policies.
 //!
+//! # Scaling out: the sharded router
+//!
+//! One scheduler models one accelerator.  The [`Router`] scales past that:
+//! it owns N [`Worker`]s (independent schedulers with their own model
+//! pairs), places requests by consistent hashing on the request id, steals
+//! work across queues when they go imbalanced, and aggregates per-worker
+//! [`ServerStats`] into fleet-wide throughput and latency percentiles.
+//!
+//! [`LoadGen`] complements the router with an *open-loop* seeded Poisson
+//! arrival process ([`run_open_loop`]): unlike the closed-loop `serve_load`
+//! sweep, arrivals keep coming at the offered rate no matter how far behind
+//! the fleet falls, which is what exposes the queueing knee — latency is
+//! flat below the fleet's saturation QPS and grows without bound above it.
+//! The `serve_open_loop` binary in `specasr-bench` captures that curve.
+//!
 //! # Losslessness
 //!
 //! Scheduling only interleaves rounds; each session runs exactly the code
@@ -43,13 +58,19 @@
 
 mod batch;
 mod config;
+mod loadgen;
 mod request;
+mod router;
 mod scheduler;
 mod session;
 mod stats;
+mod worker;
 
 pub use batch::{grouped_verify_ms, TickCost};
-pub use config::{AdmissionPolicy, ServerConfig};
+pub use config::{AdmissionPolicy, RouterConfig, ServerConfig};
+pub use loadgen::{run_open_loop, LoadGen, OpenLoopReport};
 pub use request::{RequestId, RequestLatency, RequestOutcome, SubmitError};
+pub use router::Router;
 pub use scheduler::Scheduler;
 pub use stats::ServerStats;
+pub use worker::{Worker, WorkerId};

@@ -1,0 +1,604 @@
+//! The sharded serving front end: consistent-hash placement over N
+//! independent scheduler workers, with work stealing on queue imbalance.
+//!
+//! One [`crate::Scheduler`] owns one draft/target model pair — one
+//! accelerator's worth of serving capacity.  A [`Router`] scales past that by
+//! owning a fleet of [`Worker`]s and placing every incoming request:
+//!
+//! 1. **Consistent hashing** — the request id is hashed onto a ring of
+//!    virtual nodes, so placement is deterministic, uniform, and stable as
+//!    the request stream grows (the same id always lands on the same worker
+//!    for a given fleet size).
+//! 2. **Work stealing** — whenever one worker's queue is deeper than the
+//!    shallowest queue by more than the configured threshold, the router
+//!    moves the newest-arrived excess requests over, keeping the fleet
+//!    load-balanced without sacrificing placement determinism for the
+//!    common case.
+//!
+//! Workers run on simulated clocks that only advance while they tick.  The
+//! router keeps those clocks coherent on a single global timeline: it always
+//! ticks the busy worker furthest *behind* in wall time, and fast-forwards
+//! idle workers when time passes them by ([`Router::advance_to`], the
+//! open-loop load-generation entry point).
+
+use specasr::Policy;
+use specasr_audio::{EncoderProfile, Utterance};
+use specasr_metrics::Histogram;
+use specasr_models::{splitmix64, AsrDecoderModel, TokenizerBinding};
+
+use crate::config::RouterConfig;
+use crate::request::{RequestId, RequestOutcome, SubmitError};
+use crate::scheduler::Scheduler;
+use crate::session::QueuedRequest;
+use crate::stats::ServerStats;
+use crate::worker::{Worker, WorkerId};
+
+/// A multi-worker sharded serving router.
+///
+/// # Example
+///
+/// ```
+/// use specasr::{AdaptiveConfig, Policy};
+/// use specasr_audio::{Corpus, EncoderProfile, Split};
+/// use specasr_models::{ModelProfile, SimulatedAsrModel, TokenizerBinding};
+/// use specasr_server::{Router, RouterConfig};
+///
+/// let corpus = Corpus::librispeech_like(5, 4);
+/// let binding = TokenizerBinding::for_corpus(&corpus);
+/// let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 7);
+/// let draft = SimulatedAsrModel::draft_paired(ModelProfile::whisper_tiny_en(), 8, &target);
+///
+/// let mut router = Router::new(
+///     RouterConfig::default().with_workers(2),
+///     binding,
+///     EncoderProfile::whisper_medium_encoder(),
+///     |_worker| (draft.clone(), target.clone()),
+/// );
+/// let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+/// for utterance in corpus.split(Split::TestClean) {
+///     router.submit(policy, utterance).expect("queues have room");
+/// }
+/// let outcomes = router.run_until_idle();
+/// assert_eq!(outcomes.len(), 4);
+/// assert!(router.fleet_stats().utterances_per_second() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Router<D, T> {
+    config: RouterConfig,
+    binding: TokenizerBinding,
+    encoder: EncoderProfile,
+    workers: Vec<Worker<D, T>>,
+    /// Sorted `(hash point, worker index)` ring for consistent placement.
+    ring: Vec<(u64, usize)>,
+    next_id: u64,
+    now_ms: f64,
+}
+
+impl<D, T> Router<D, T>
+where
+    D: AsrDecoderModel,
+    T: AsrDecoderModel,
+{
+    /// Creates a router with `config.workers` schedulers, asking
+    /// `make_models` for each worker's draft/target pair (workers model
+    /// independent accelerators, so each gets its own pair).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`RouterConfig::validate`]).
+    pub fn new(
+        config: RouterConfig,
+        binding: TokenizerBinding,
+        encoder: EncoderProfile,
+        mut make_models: impl FnMut(WorkerId) -> (D, T),
+    ) -> Self {
+        config.validate();
+        let workers: Vec<Worker<D, T>> = (0..config.workers)
+            .map(|index| {
+                let id = WorkerId::new(index);
+                let (draft, target) = make_models(id);
+                Worker::new(
+                    id,
+                    Scheduler::new(
+                        draft,
+                        target,
+                        binding.clone(),
+                        encoder.clone(),
+                        config.worker,
+                    ),
+                )
+            })
+            .collect();
+        let mut ring: Vec<(u64, usize)> = (0..config.workers)
+            .flat_map(|worker| {
+                (0..config.virtual_nodes).map(move |node| {
+                    let point = splitmix64(
+                        splitmix64(worker as u64 ^ 0xace1_5ba7ed).wrapping_add(node as u64),
+                    );
+                    (point, worker)
+                })
+            })
+            .collect();
+        ring.sort_unstable();
+        Router {
+            config,
+            binding,
+            encoder,
+            workers,
+            ring,
+            next_id: 0,
+            now_ms: 0.0,
+        }
+    }
+
+    /// The router configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// The fleet's workers, for per-worker inspection.
+    pub fn workers(&self) -> &[Worker<D, T>] {
+        &self.workers
+    }
+
+    /// The global timeline position in milliseconds: the latest of every
+    /// arrival event and ticked worker clock seen so far.
+    pub fn now_ms(&self) -> f64 {
+        self.now_ms
+    }
+
+    /// Requests waiting in any worker's queue.
+    pub fn queued(&self) -> usize {
+        self.workers.iter().map(Worker::queue_depth).sum()
+    }
+
+    /// Sessions decoding right now across the fleet.
+    pub fn in_flight(&self) -> usize {
+        self.workers.iter().map(Worker::in_flight).sum()
+    }
+
+    /// `true` when no worker has anything queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.workers.iter().all(Worker::is_idle)
+    }
+
+    /// Total requests moved between workers by stealing.
+    pub fn stolen(&self) -> usize {
+        self.workers.iter().map(Worker::stolen_in).sum()
+    }
+
+    /// The worker index the consistent-hash ring assigns to `id`.
+    pub fn placement(&self, id: RequestId) -> WorkerId {
+        let hash = splitmix64(id.value());
+        let index = match self.ring.binary_search(&(hash, usize::MAX)) {
+            Ok(at) | Err(at) => at,
+        };
+        // Past the last point, wrap to the ring's first node.
+        let (_, worker) = self.ring[index % self.ring.len()];
+        WorkerId::new(worker)
+    }
+
+    /// Submits one utterance, arriving now on the global timeline.
+    ///
+    /// Placement follows the consistent-hash ring; if the placed worker's
+    /// queue is full the request spills to the shallowest queue instead, and
+    /// only when that is also full is the request rejected (fleet-wide
+    /// backpressure).
+    pub fn submit(
+        &mut self,
+        policy: Policy,
+        utterance: &Utterance,
+    ) -> Result<RequestId, SubmitError> {
+        let id = RequestId::new(self.next_id);
+        let primary = self.placement(id).index();
+        let candidate = if self.workers[primary].queue_depth() < self.config.worker.queue_depth {
+            primary
+        } else {
+            self.shallowest_queue()
+        };
+        if self.workers[candidate].queue_depth() >= self.config.worker.queue_depth {
+            // Every queue is full: reject before tokenizing (the rejection
+            // lands on the hash-placed worker, whose overload caused it).
+            return Err(self.workers[primary].scheduler.reject());
+        }
+        let request = QueuedRequest {
+            id,
+            policy,
+            audio: self.binding.bind(utterance),
+            utterance_id: utterance.id(),
+            audio_seconds: utterance.duration_seconds(),
+            encoder_ms: self
+                .encoder
+                .latency_ms_for_audio(utterance.duration_seconds()),
+            arrival_ms: self.now_ms,
+        };
+        let worker = &mut self.workers[candidate];
+        if worker.is_idle() {
+            // An idle worker's clock lags the timeline; wake it at the
+            // arrival instant so its queueing delay starts from zero.
+            worker.scheduler.sync_wall_to(self.now_ms);
+        }
+        worker.scheduler.enqueue(request)?;
+        self.next_id += 1;
+        Ok(id)
+    }
+
+    /// Runs one fleet iteration: rebalance queues, then tick the busy worker
+    /// furthest behind in wall time (event-driven, so worker clocks stay on
+    /// one coherent global timeline).
+    ///
+    /// Returns the requests that finished this tick.
+    pub fn tick(&mut self) -> Vec<RequestOutcome> {
+        self.rebalance();
+        let Some(index) = self.laggard() else {
+            return Vec::new();
+        };
+        let outcomes = self.workers[index].scheduler.tick();
+        self.now_ms = self.now_ms.max(self.workers[index].wall_ms());
+        outcomes
+    }
+
+    /// Ticks until every queued and in-flight request has completed across
+    /// the fleet, and returns all outcomes in completion order.
+    pub fn run_until_idle(&mut self) -> Vec<RequestOutcome> {
+        let mut outcomes = Vec::new();
+        while !self.is_idle() {
+            outcomes.extend(self.tick());
+        }
+        outcomes
+    }
+
+    /// Advances the global timeline to `deadline_ms`, ticking busy workers
+    /// up to (at least) that instant and fast-forwarding idle workers.
+    ///
+    /// This is the open-loop entry point: between two Poisson arrivals the
+    /// fleet keeps serving, and whatever completes is returned.
+    pub fn advance_to(&mut self, deadline_ms: f64) -> Vec<RequestOutcome> {
+        let mut outcomes = Vec::new();
+        loop {
+            self.rebalance();
+            let behind = self
+                .workers
+                .iter()
+                .enumerate()
+                .filter(|(_, worker)| !worker.is_idle() && worker.wall_ms() < deadline_ms)
+                .min_by(|(_, a), (_, b)| {
+                    a.wall_ms()
+                        .partial_cmp(&b.wall_ms())
+                        .expect("wall clocks are finite")
+                })
+                .map(|(index, _)| index);
+            let Some(index) = behind else { break };
+            outcomes.extend(self.workers[index].scheduler.tick());
+        }
+        for worker in &mut self.workers {
+            if worker.is_idle() {
+                worker.scheduler.sync_wall_to(deadline_ms);
+            }
+        }
+        self.now_ms = self.now_ms.max(deadline_ms);
+        outcomes
+    }
+
+    /// Fleet-wide statistics: every worker's [`ServerStats`] merged with
+    /// parallel-fleet semantics (see [`ServerStats::merge`]).
+    pub fn fleet_stats(&self) -> ServerStats {
+        let mut merged = ServerStats::new();
+        for worker in &self.workers {
+            merged.merge(worker.stats());
+        }
+        merged
+    }
+
+    /// Fleet-wide end-to-end latency histogram, built by merging the
+    /// per-worker histograms (mismatched per-worker ranges re-bin over the
+    /// union range — see [`Histogram::merge`]).
+    ///
+    /// This is the *mergeable-sketch* aggregation path: what a distributed
+    /// fleet would do when workers ship fixed-size histograms instead of raw
+    /// samples.  Re-binning at bin centres makes its percentiles approximate
+    /// (off by up to one source bin width from
+    /// `self.fleet_stats().e2e_histogram()`, which pools the exact samples);
+    /// prefer the exact path when raw samples are at hand, and this one to
+    /// model bounded-memory aggregation.
+    pub fn fleet_e2e_histogram(&self) -> Histogram {
+        self.workers
+            .iter()
+            .map(|worker| worker.stats().e2e_histogram())
+            .reduce(|a, b| a.merge(&b))
+            .expect("a router always has at least one worker")
+    }
+
+    /// The busy worker furthest behind in wall time.
+    fn laggard(&self) -> Option<usize> {
+        self.workers
+            .iter()
+            .enumerate()
+            .filter(|(_, worker)| !worker.is_idle())
+            .min_by(|(_, a), (_, b)| {
+                a.wall_ms()
+                    .partial_cmp(&b.wall_ms())
+                    .expect("wall clocks are finite")
+            })
+            .map(|(index, _)| index)
+    }
+
+    /// The worker with the shallowest queue (ties break to the lowest
+    /// index, keeping the fleet deterministic).
+    fn shallowest_queue(&self) -> usize {
+        self.workers
+            .iter()
+            .enumerate()
+            .min_by_key(|(index, worker)| (worker.queue_depth(), *index))
+            .map(|(index, _)| index)
+            .expect("a router always has at least one worker")
+    }
+
+    /// Work stealing: while the deepest queue exceeds the shallowest by more
+    /// than the steal threshold, move the newest half of the imbalance over.
+    fn rebalance(&mut self) {
+        if self.workers.len() < 2 {
+            return;
+        }
+        loop {
+            let deep = self
+                .workers
+                .iter()
+                .enumerate()
+                .max_by_key(|(index, worker)| (worker.queue_depth(), usize::MAX - *index))
+                .map(|(index, _)| index)
+                .expect("fleet is non-empty");
+            let shallow = self.shallowest_queue();
+            let deep_depth = self.workers[deep].queue_depth();
+            let shallow_depth = self.workers[shallow].queue_depth();
+            if deep == shallow || deep_depth <= shallow_depth + self.config.steal_threshold {
+                return;
+            }
+            let room = self.config.worker.queue_depth - shallow_depth;
+            let transfer = ((deep_depth - shallow_depth) / 2).min(room);
+            if transfer == 0 {
+                return;
+            }
+            let stolen = self.workers[deep].scheduler.steal_back(transfer);
+            self.workers[deep].stolen_out += stolen.len();
+            let thief_wall = self.workers[shallow].wall_ms();
+            for request in stolen {
+                if self.workers[shallow].is_idle() && thief_wall < request.arrival_ms {
+                    self.workers[shallow]
+                        .scheduler
+                        .sync_wall_to(request.arrival_ms);
+                }
+                self.workers[shallow]
+                    .scheduler
+                    .enqueue(request)
+                    .expect("transfer size was capped to the thief's free room");
+                self.workers[shallow].stolen_in += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specasr::{AdaptiveConfig, SpeculativeConfig};
+    use specasr_audio::{Corpus, Split};
+    use specasr_models::{ModelProfile, SimulatedAsrModel};
+
+    use crate::config::ServerConfig;
+
+    fn router(config: RouterConfig) -> (Router<SimulatedAsrModel, SimulatedAsrModel>, Corpus) {
+        let corpus = Corpus::librispeech_like(88, 12);
+        let binding = TokenizerBinding::for_corpus(&corpus);
+        let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 7);
+        let draft = SimulatedAsrModel::draft_paired(ModelProfile::whisper_tiny_en(), 8, &target);
+        let router = Router::new(
+            config,
+            binding,
+            EncoderProfile::whisper_medium_encoder(),
+            |_| (draft.clone(), target.clone()),
+        );
+        (router, corpus)
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_spread() {
+        let (router, _) = router(RouterConfig::default().with_workers(4));
+        let mut seen = [0usize; 4];
+        for raw in 0..256u64 {
+            let id = RequestId::new(raw);
+            let a = router.placement(id);
+            let b = router.placement(id);
+            assert_eq!(a, b, "placement must be a pure function of the id");
+            seen[a.index()] += 1;
+        }
+        for (worker, &count) in seen.iter().enumerate() {
+            assert!(
+                count > 16,
+                "worker {worker} got only {count}/256 placements — ring is badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_completes_every_request_exactly_once() {
+        let (mut router, corpus) = router(RouterConfig::default().with_workers(4));
+        let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+        let mut ids = Vec::new();
+        for split in Split::ALL {
+            for utterance in corpus.split(split) {
+                ids.push(router.submit(policy, utterance).expect("queues have room"));
+            }
+        }
+        let outcomes = router.run_until_idle();
+        assert_eq!(outcomes.len(), ids.len());
+        let mut completed: Vec<u64> = outcomes.iter().map(|o| o.id.value()).collect();
+        completed.sort_unstable();
+        let mut expected: Vec<u64> = ids.iter().map(|id| id.value()).collect();
+        expected.sort_unstable();
+        assert_eq!(completed, expected);
+        assert_eq!(router.fleet_stats().completed(), ids.len());
+        assert!(router.is_idle());
+    }
+
+    #[test]
+    fn work_stealing_rebalances_a_skewed_fleet() {
+        // Tiny ring with a single virtual node per worker plus a depth-1
+        // steal threshold makes imbalance easy to provoke.
+        let (mut router, corpus) = router(
+            RouterConfig::default()
+                .with_workers(2)
+                .with_steal_threshold(1)
+                .with_worker_config(ServerConfig::default().with_max_batch(1)),
+        );
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        for split in Split::ALL {
+            for utterance in corpus.split(split) {
+                router.submit(policy, utterance).expect("queues have room");
+            }
+        }
+        router.tick();
+        let depths: Vec<usize> = router.workers().iter().map(Worker::queue_depth).collect();
+        let spread = depths.iter().max().unwrap() - depths.iter().min().unwrap();
+        assert!(
+            spread <= router.config().steal_threshold,
+            "queues stay balanced after rebalancing, got depths {depths:?}"
+        );
+        router.run_until_idle();
+        assert!(
+            router.stolen() > 0,
+            "hash placement of 48 requests over 2 workers must trigger stealing at threshold 1"
+        );
+        let stolen_out: usize = router.workers().iter().map(Worker::stolen_out).sum();
+        assert_eq!(router.stolen(), stolen_out);
+    }
+
+    #[test]
+    fn more_workers_serve_a_burst_faster() {
+        let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+        let mut wall_by_fleet = Vec::new();
+        for workers in [1usize, 4] {
+            let (mut router, corpus) = router(
+                RouterConfig::default()
+                    .with_workers(workers)
+                    .with_worker_config(ServerConfig::default().with_max_batch(4)),
+            );
+            for split in Split::ALL {
+                for utterance in corpus.split(split) {
+                    router.submit(policy, utterance).expect("queues have room");
+                }
+            }
+            router.run_until_idle();
+            wall_by_fleet.push(router.fleet_stats().wall_ms());
+        }
+        assert!(
+            wall_by_fleet[1] < wall_by_fleet[0] / 2.0,
+            "4 workers ({:.0} ms) should finish the burst well under half the 1-worker wall \
+             time ({:.0} ms)",
+            wall_by_fleet[1],
+            wall_by_fleet[0]
+        );
+    }
+
+    #[test]
+    fn fleet_stats_and_histogram_aggregate_all_workers() {
+        let (mut router, corpus) = router(RouterConfig::default().with_workers(3));
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        for utterance in corpus.split(Split::TestClean) {
+            router.submit(policy, utterance).expect("queues have room");
+        }
+        router.run_until_idle();
+        let fleet = router.fleet_stats();
+        let per_worker: usize = router.workers().iter().map(|w| w.stats().completed()).sum();
+        assert_eq!(fleet.completed(), per_worker);
+        assert_eq!(fleet.completed(), 12);
+        let merged = router.fleet_e2e_histogram();
+        assert_eq!(merged.count(), 12);
+        assert!(fleet.e2e_p99_ms() >= fleet.e2e_p50_ms());
+        assert!(fleet.ttft_p99_ms() >= fleet.ttft_p50_ms());
+    }
+
+    #[test]
+    fn advance_to_fast_forwards_idle_workers() {
+        let (mut router, corpus) = router(RouterConfig::default().with_workers(2));
+        let outcomes = router.advance_to(1_000.0);
+        assert!(outcomes.is_empty());
+        assert!((router.now_ms() - 1_000.0).abs() < 1e-12);
+        for worker in router.workers() {
+            assert!((worker.wall_ms() - 1_000.0).abs() < 1e-12);
+        }
+        // A request arriving at t=1000 on an idle fleet must see zero queue
+        // delay even though the fleet clock started at zero.
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        let utterance = &corpus.split(Split::TestClean)[0];
+        router.submit(policy, utterance).expect("queues have room");
+        let outcomes = router.run_until_idle();
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].latency.queue_ms.abs() < 1e-9);
+        assert!(outcomes[0].e2e_ms() > 0.0);
+    }
+
+    #[test]
+    fn interleaved_submission_never_yields_negative_latency_samples() {
+        // Interleaving submit with tick advances the fleet timeline past
+        // lagging workers' clocks, so arrivals can be stamped "in a worker's
+        // future"; every latency span must still come out non-negative.
+        let (mut router, corpus) = router(
+            RouterConfig::default()
+                .with_workers(3)
+                .with_worker_config(ServerConfig::default().with_max_batch(2)),
+        );
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        let pool: Vec<_> = Split::ALL
+            .iter()
+            .flat_map(|&split| corpus.split(split))
+            .collect();
+        let mut outcomes = Vec::new();
+        for (index, utterance) in pool.iter().enumerate() {
+            router.submit(policy, utterance).expect("queues have room");
+            // Uneven tick bursts maximise clock skew between workers.
+            for _ in 0..(index % 4) {
+                outcomes.extend(router.tick());
+            }
+        }
+        outcomes.extend(router.run_until_idle());
+        assert_eq!(outcomes.len(), pool.len());
+        for outcome in &outcomes {
+            assert!(outcome.latency.queue_ms >= 0.0, "negative queue delay");
+            assert!(
+                outcome.latency.decode_wall_ms >= 0.0,
+                "negative decode wall"
+            );
+            assert!(
+                outcome.latency.time_to_first_token_ms >= 0.0,
+                "negative time to first token"
+            );
+            assert!(outcome.e2e_ms() > 0.0);
+        }
+    }
+
+    #[test]
+    fn full_primary_queue_spills_to_the_shallowest_worker() {
+        let (mut router, corpus) = router(
+            RouterConfig::default()
+                .with_workers(2)
+                // Steal threshold high enough that rebalancing never runs,
+                // isolating the submit-time spill path.
+                .with_steal_threshold(1_000)
+                .with_worker_config(ServerConfig::default().with_queue_depth(2)),
+        );
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        let mut accepted = 0;
+        for split in Split::ALL {
+            for utterance in corpus.split(split) {
+                if router.submit(policy, utterance).is_ok() {
+                    accepted += 1;
+                }
+            }
+        }
+        // Both queues fill before anything is rejected: 2 workers × depth 2.
+        assert_eq!(accepted, 4);
+        assert_eq!(router.queued(), 4);
+        assert_eq!(router.fleet_stats().rejected(), 48 - 4);
+    }
+}

@@ -146,16 +146,14 @@ where
         policy: Policy,
         utterance: &Utterance,
     ) -> Result<RequestId, SubmitError> {
+        // Reject before tokenizing: under overload, rejected submissions are
+        // the common case and must not pay for work that gets dropped.
         if self.queue.len() >= self.config.queue_depth {
-            self.stats.record_rejection();
-            return Err(SubmitError::QueueFull {
-                queue_depth: self.config.queue_depth,
-            });
+            return Err(self.reject());
         }
         let id = RequestId::new(self.next_id);
-        self.next_id += 1;
         let audio = self.binding.bind(utterance);
-        self.queue.push_back(QueuedRequest {
+        self.enqueue(QueuedRequest {
             id,
             policy,
             audio,
@@ -165,8 +163,49 @@ where
                 .encoder
                 .latency_ms_for_audio(utterance.duration_seconds()),
             arrival_ms: self.wall_ms,
-        });
+        })?;
+        self.next_id += 1;
         Ok(id)
+    }
+
+    /// Enqueues an externally built request (the router path: the
+    /// [`crate::Router`] assigns fleet-unique ids and arrival timestamps
+    /// itself).  Applies the same queue-depth backpressure as
+    /// [`Scheduler::submit`].
+    pub(crate) fn enqueue(&mut self, request: QueuedRequest) -> Result<(), SubmitError> {
+        if self.queue.len() >= self.config.queue_depth {
+            return Err(self.reject());
+        }
+        self.queue.push_back(request);
+        Ok(())
+    }
+
+    /// Records a queue-full rejection on this worker's statistics and builds
+    /// the error (the router's cheap pre-bind backpressure path).
+    pub(crate) fn reject(&mut self) -> SubmitError {
+        self.stats.record_rejection();
+        SubmitError::QueueFull {
+            queue_depth: self.config.queue_depth,
+        }
+    }
+
+    /// Removes up to `max` requests from the *back* of the wait queue, for
+    /// work stealing: the most recently arrived requests move, so the
+    /// victims' oldest (most aged) requests keep their position.
+    pub(crate) fn steal_back(&mut self, max: usize) -> Vec<QueuedRequest> {
+        let take = max.min(self.queue.len());
+        let mut stolen: Vec<QueuedRequest> =
+            (0..take).filter_map(|_| self.queue.pop_back()).collect();
+        // Preserve arrival order among the moved requests.
+        stolen.reverse();
+        stolen
+    }
+
+    /// Advances the wall clock to at least `ms` without doing work — the
+    /// router fast-forwards idle workers through global time this way (a
+    /// scheduler's clock only moves while it ticks).
+    pub(crate) fn sync_wall_to(&mut self, ms: f64) {
+        self.wall_ms = self.wall_ms.max(ms);
     }
 
     /// Runs one scheduler iteration: admit → draft → grouped verify → retire.
@@ -230,21 +269,33 @@ where
 
     /// Fills free batch slots from the wait queue (iteration-level
     /// admission).
+    ///
+    /// Under shortest-audio-first, a request's effective priority is its
+    /// audio length minus an aging credit (`age × aging_rate`), so long
+    /// utterances cannot be starved by a sustained stream of short arrivals:
+    /// their credit grows while fresh arrivals start from zero.
     fn admit(&mut self) {
         while self.active.len() < self.config.max_batch && !self.queue.is_empty() {
             let index = match self.config.admission {
                 AdmissionPolicy::Fifo => 0,
-                AdmissionPolicy::ShortestAudioFirst => self
-                    .queue
-                    .iter()
-                    .enumerate()
-                    .min_by(|(_, a), (_, b)| {
-                        a.audio_seconds
-                            .partial_cmp(&b.audio_seconds)
-                            .expect("durations are finite")
-                    })
-                    .map(|(index, _)| index)
-                    .expect("queue is non-empty"),
+                AdmissionPolicy::ShortestAudioFirst => {
+                    let wall_ms = self.wall_ms;
+                    let aging_rate = self.config.aging_rate;
+                    self.queue
+                        .iter()
+                        .enumerate()
+                        .min_by(|(_, a), (_, b)| {
+                            let priority = |request: &QueuedRequest| {
+                                let age_ms = (wall_ms - request.arrival_ms).max(0.0);
+                                request.audio_seconds - age_ms * aging_rate
+                            };
+                            priority(a)
+                                .partial_cmp(&priority(b))
+                                .expect("durations and ages are finite")
+                        })
+                        .map(|(index, _)| index)
+                        .expect("queue is non-empty")
+                }
             };
             let request = self.queue.remove(index).expect("index is in range");
             self.active.push(request.admit(self.wall_ms));
@@ -255,13 +306,20 @@ where
     ///
     /// Time-to-first-token falls back to completion time for transcripts that
     /// turned out empty (EOS on the very first verification).
+    ///
+    /// Queueing and first-token spans are clamped at zero: a router can stamp
+    /// an arrival on the fleet timeline slightly ahead of a lagging worker's
+    /// clock (interleaved `Router::submit`/`Router::tick`), and a request
+    /// admitted "before" it arrived must report zero queue delay, not a
+    /// negative sample that corrupts the latency histograms.
     fn retire(&mut self, session: ServerSession) -> RequestOutcome {
         let first_token_ms = session.first_token_ms.unwrap_or(self.wall_ms);
         let latency = RequestLatency {
-            queue_ms: session.admitted_ms - session.arrival_ms,
+            queue_ms: (session.admitted_ms - session.arrival_ms).max(0.0),
             encoder_ms: session.encoder_ms,
             decode_wall_ms: self.wall_ms - session.admitted_ms,
-            time_to_first_token_ms: (first_token_ms - session.arrival_ms) + session.encoder_ms,
+            time_to_first_token_ms: (first_token_ms - session.arrival_ms).max(0.0)
+                + session.encoder_ms,
         };
         let outcome = session.decode.into_outcome();
         let text = self
@@ -379,6 +437,74 @@ mod tests {
             .fold(f64::INFINITY, f64::min);
         let outcomes = scheduler.run_until_idle();
         assert!((outcomes[0].audio_seconds - shortest).abs() < 1e-12);
+    }
+
+    /// Drives a batch-1 shortest-audio-first scheduler under sustained
+    /// short-utterance pressure: one long utterance is queued up front, and a
+    /// fresh short arrival replaces every completed request so the queue
+    /// always holds a shorter competitor.  Returns how many ticks the long
+    /// utterance needed to complete, or `None` if it starved for `budget`
+    /// ticks.
+    fn ticks_until_long_completes(aging_rate: f64, budget: usize) -> Option<usize> {
+        let (mut scheduler, corpus) = scheduler(
+            ServerConfig::default()
+                .with_max_batch(1)
+                .with_admission(AdmissionPolicy::ShortestAudioFirst)
+                .with_aging_rate(aging_rate),
+        );
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        let pool = corpus.split(Split::TestClean);
+        let long = pool
+            .iter()
+            .max_by(|a, b| {
+                a.duration_seconds()
+                    .partial_cmp(&b.duration_seconds())
+                    .expect("durations are finite")
+            })
+            .expect("split is non-empty");
+        let short = pool
+            .iter()
+            .min_by(|a, b| {
+                a.duration_seconds()
+                    .partial_cmp(&b.duration_seconds())
+                    .expect("durations are finite")
+            })
+            .expect("split is non-empty");
+        assert!(long.duration_seconds() > 2.0 * short.duration_seconds());
+
+        let long_id = scheduler.submit(policy, long).expect("queue has room");
+        for _ in 0..4 {
+            scheduler.submit(policy, short).expect("queue has room");
+        }
+        for tick in 0..budget {
+            let outcomes = scheduler.tick();
+            if outcomes.iter().any(|o| o.id == long_id) {
+                return Some(tick + 1);
+            }
+            // Sustained load: replace every completion with a new short.
+            for _ in 0..outcomes.len() {
+                let _ = scheduler.submit(policy, short);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn aging_admits_long_utterances_under_sustained_short_load() {
+        let admitted_after = ticks_until_long_completes(ServerConfig::default().aging_rate, 400);
+        assert!(
+            admitted_after.is_some(),
+            "with aging, the long utterance must complete despite sustained short arrivals"
+        );
+    }
+
+    #[test]
+    fn zero_aging_rate_starves_long_utterances() {
+        assert_eq!(
+            ticks_until_long_completes(0.0, 400),
+            None,
+            "pure shortest-audio-first must starve the long utterance while shorts keep arriving"
+        );
     }
 
     #[test]

@@ -61,6 +61,29 @@ impl ServerStats {
         self.rejected += 1;
     }
 
+    /// Merges another worker's statistics into this one, with
+    /// parallel-fleet semantics: counters, samples, and device time sum,
+    /// while wall time takes the maximum (workers run concurrently, so the
+    /// fleet finishes when its slowest worker does) and peak concurrency
+    /// adds (each worker contributes its own in-flight sessions).
+    ///
+    /// [`crate::Router::fleet_stats`] folds every worker's statistics
+    /// through this to report fleet-wide throughput and latency percentiles.
+    pub fn merge(&mut self, other: &ServerStats) {
+        self.completed += other.completed;
+        self.rejected += other.rejected;
+        self.ticks += other.ticks;
+        self.wall_ms = self.wall_ms.max(other.wall_ms);
+        self.sequential_ms += other.sequential_ms;
+        self.peak_in_flight += other.peak_in_flight;
+        self.total_tokens += other.total_tokens;
+        self.total_audio_seconds += other.total_audio_seconds;
+        self.decode.merge(&other.decode);
+        self.e2e_samples.extend_from_slice(&other.e2e_samples);
+        self.ttft_samples.extend_from_slice(&other.ttft_samples);
+        self.queue_samples.extend_from_slice(&other.queue_samples);
+    }
+
     /// Number of completed requests.
     pub fn completed(&self) -> usize {
         self.completed
@@ -149,6 +172,16 @@ impl ServerStats {
     pub fn e2e_p99_ms(&self) -> f64 {
         self.e2e_histogram().percentile(0.99)
     }
+
+    /// P50 of time-to-first-token latency in milliseconds.
+    pub fn ttft_p50_ms(&self) -> f64 {
+        self.ttft_histogram().percentile(0.50)
+    }
+
+    /// P99 of time-to-first-token latency in milliseconds.
+    pub fn ttft_p99_ms(&self) -> f64 {
+        self.ttft_histogram().percentile(0.99)
+    }
 }
 
 fn per_second(count: f64, wall_ms: f64) -> f64 {
@@ -194,5 +227,42 @@ mod tests {
         assert!((stats.wall_ms() - 15.0).abs() < 1e-12);
         assert_eq!(stats.peak_in_flight(), 3);
         assert!((stats.batching_speedup() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_uses_parallel_fleet_semantics() {
+        let mut a = ServerStats::new();
+        a.record_tick(
+            TickCost {
+                wall_ms: 100.0,
+                sequential_ms: 150.0,
+            },
+            2,
+        );
+        a.record_rejection();
+        a.e2e_samples.extend([10.0, 20.0]);
+        a.completed = 2;
+        let mut b = ServerStats::new();
+        b.record_tick(
+            TickCost {
+                wall_ms: 40.0,
+                sequential_ms: 40.0,
+            },
+            3,
+        );
+        b.e2e_samples.push(500.0);
+        b.completed = 1;
+
+        a.merge(&b);
+        assert_eq!(a.completed(), 3);
+        assert_eq!(a.rejected(), 1);
+        assert_eq!(a.ticks(), 2);
+        // Wall time is the slowest worker's, not the sum.
+        assert!((a.wall_ms() - 100.0).abs() < 1e-12);
+        assert!((a.sequential_ms - 190.0).abs() < 1e-12);
+        // Fleet concurrency adds across workers.
+        assert_eq!(a.peak_in_flight(), 5);
+        assert_eq!(a.e2e_histogram().count(), 3);
+        assert!(a.e2e_p99_ms() > 400.0);
     }
 }

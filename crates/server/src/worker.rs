@@ -1,0 +1,105 @@
+//! One shard of a sharded serving fleet: a [`Scheduler`] plus its identity
+//! and work-stealing accounting.
+
+use specasr_models::AsrDecoderModel;
+
+use crate::scheduler::Scheduler;
+use crate::stats::ServerStats;
+
+/// Identity of one worker within a [`crate::Router`] fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkerId(usize);
+
+impl WorkerId {
+    /// Builds an id from the worker's fleet index.
+    pub const fn new(index: usize) -> Self {
+        WorkerId(index)
+    }
+
+    /// The worker's index in the fleet (0-based).
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker-{}", self.0)
+    }
+}
+
+/// One scheduler shard owned by a [`crate::Router`].
+///
+/// The router places requests onto workers (consistent hashing, then work
+/// stealing on imbalance); each worker runs its own independent
+/// [`Scheduler`] over its own draft/target model pair, so the fleet scales
+/// the way N accelerators would.
+#[derive(Debug)]
+pub struct Worker<D, T> {
+    id: WorkerId,
+    pub(crate) scheduler: Scheduler<D, T>,
+    pub(crate) stolen_in: usize,
+    pub(crate) stolen_out: usize,
+}
+
+impl<D, T> Worker<D, T>
+where
+    D: AsrDecoderModel,
+    T: AsrDecoderModel,
+{
+    /// Wraps a scheduler as fleet worker `id`.
+    pub(crate) fn new(id: WorkerId, scheduler: Scheduler<D, T>) -> Self {
+        Worker {
+            id,
+            scheduler,
+            stolen_in: 0,
+            stolen_out: 0,
+        }
+    }
+
+    /// The worker's fleet identity.
+    pub fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    /// Number of requests waiting in this worker's queue.
+    pub fn queue_depth(&self) -> usize {
+        self.scheduler.queued()
+    }
+
+    /// Number of sessions this worker is decoding right now.
+    pub fn in_flight(&self) -> usize {
+        self.scheduler.in_flight()
+    }
+
+    /// Queued plus in-flight requests — the router's load signal.
+    pub fn load(&self) -> usize {
+        self.queue_depth() + self.in_flight()
+    }
+
+    /// `true` when the worker has nothing queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.scheduler.is_idle()
+    }
+
+    /// This worker's wall clock in milliseconds (clocks only advance while a
+    /// worker ticks; the router fast-forwards idle workers).
+    pub fn wall_ms(&self) -> f64 {
+        self.scheduler.wall_ms()
+    }
+
+    /// This worker's serving statistics.
+    pub fn stats(&self) -> &ServerStats {
+        self.scheduler.stats()
+    }
+
+    /// Requests this worker received through work stealing.
+    pub fn stolen_in(&self) -> usize {
+        self.stolen_in
+    }
+
+    /// Requests other workers stole from this worker's queue.
+    pub fn stolen_out(&self) -> usize {
+        self.stolen_out
+    }
+}

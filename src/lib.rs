@@ -19,7 +19,8 @@ pub mod prelude {
         AsrDecoderModel, ModelProfile, SimulatedAsrModel, TokenizerBinding, UtteranceTokens,
     };
     pub use specasr_server::{
-        AdmissionPolicy, RequestOutcome, Scheduler, ServerConfig, ServerStats,
+        run_open_loop, AdmissionPolicy, LoadGen, OpenLoopReport, RequestOutcome, Router,
+        RouterConfig, Scheduler, ServerConfig, ServerStats, Worker, WorkerId,
     };
     pub use specasr_tokenizer::{TokenId, Tokenizer};
 }
