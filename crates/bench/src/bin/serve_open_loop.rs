@@ -39,6 +39,14 @@ const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// size crosses its knee inside this grid.
 const QPS_LEVELS: [f64; 5] = [10.0, 25.0, 50.0, 100.0, 200.0];
 
+/// Per-worker KV-pool budgets swept by the memory study (2 workers, FIFO,
+/// 50 QPS): ample (effectively unconstrained, the default), constrained
+/// (prefix sharing and occasional preemption), and tight (sustained
+/// preemption pressure).  Every budget still admits any single request, so
+/// the cell completes all 160 requests and the comparison is apples to
+/// apples.
+const KV_BLOCK_LEVELS: [usize; 3] = [4096, 96, 48];
+
 fn admissions() -> Vec<(&'static str, AdmissionPolicy)> {
     vec![
         ("fifo", AdmissionPolicy::Fifo),
@@ -52,6 +60,7 @@ fn run_cell(
     admission: AdmissionPolicy,
     workers: usize,
     qps: f64,
+    kv_blocks: usize,
 ) -> ReportRow {
     let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
     let mut router = Router::new(
@@ -60,6 +69,7 @@ fn run_cell(
             .with_worker_config(
                 ServerConfig::default()
                     .with_admission(admission)
+                    .with_kv_blocks(kv_blocks)
                     // Deep queues: this sweep measures the latency knee, not
                     // queue-depth shedding, so nothing may be rejected.
                     .with_queue_depth(4 * REQUESTS_PER_CELL),
@@ -75,8 +85,20 @@ fn run_cell(
     assert_eq!(report.rejected, 0, "deep queues must never shed");
 
     let fleet = router.fleet_stats();
+    assert_eq!(
+        fleet.rejected_memory(),
+        0,
+        "every pool admits every request"
+    );
+    let memory = fleet.memory();
+    let default_kv = ServerConfig::default().kv_blocks;
+    let kv_suffix = if kv_blocks == default_kv {
+        String::new()
+    } else {
+        format!("-kv{kv_blocks}")
+    };
     let label = format!(
-        "w{workers}-{}@q{qps:.0}",
+        "w{workers}-{}@q{qps:.0}{kv_suffix}",
         match admission {
             AdmissionPolicy::Fifo => "fifo",
             AdmissionPolicy::ShortestAudioFirst => "saf",
@@ -93,6 +115,11 @@ fn run_cell(
         .with("acceptance", fleet.mean_acceptance())
         .with("stolen", router.stolen() as f64)
         .with("wall_ms", fleet.wall_ms())
+        .with("kv_blocks", kv_blocks as f64)
+        .with("peak_kv_blocks", memory.peak_kv_blocks() as f64)
+        .with("avg_kv_blocks", memory.avg_kv_blocks())
+        .with("preemptions", memory.preemptions() as f64)
+        .with("prefix_hit_rate", memory.shared_prefix_hit_rate())
 }
 
 fn main() {
@@ -109,12 +136,30 @@ fn main() {
         ),
     );
 
+    let default_kv = specasr_server::ServerConfig::default().kv_blocks;
     for (_, admission) in admissions() {
         for workers in WORKER_COUNTS {
             for qps in QPS_LEVELS {
-                record.push_row(run_cell(&context, &pool, admission, workers, qps));
+                record.push_row(run_cell(
+                    &context, &pool, admission, workers, qps, default_kv,
+                ));
             }
         }
+    }
+    // Memory study: shrink the per-worker KV pool at a fixed operating point
+    // and watch occupancy flatten against the budget while preemptions rise.
+    for kv_blocks in KV_BLOCK_LEVELS {
+        if kv_blocks == default_kv {
+            continue; // the grid above already measured the ample pool
+        }
+        record.push_row(run_cell(
+            &context,
+            &pool,
+            AdmissionPolicy::Fifo,
+            2,
+            50.0,
+            kv_blocks,
+        ));
     }
 
     emit(&record);
@@ -128,6 +173,9 @@ fn main() {
         "shape check: for each fleet size, P99 latency sits near the no-load service \
          time below the saturation QPS and explodes past it, and the knee moves right \
          as workers are added; aged shortest-audio-first trades a lower P50 for the \
-         same knee position."
+         same knee position.  In the kv sweep, shrinking the pool caps peak occupancy \
+         at the budget and turns the shortfall into preemptions (throughput dips, P99 \
+         grows) while the prefix hit rate stays put — sharing depends on the workload, \
+         not the budget."
     );
 }

@@ -12,7 +12,18 @@
 use specasr_metrics::ExperimentRecord;
 
 /// Metrics gated by the regression check, when present in a row.
-pub const GATED_METRICS: [&str; 2] = ["throughput_utps", "e2e_p99_ms"];
+///
+/// The memory metrics (`peak_kv_blocks`, `preemptions`) gate the paged
+/// KV-pool behaviour: a silent growth in peak occupancy is a memory
+/// regression even when throughput holds, and a baseline of zero
+/// preemptions must stay at zero (any fresh preemption blows the relative
+/// band wide open by construction).
+pub const GATED_METRICS: [&str; 4] = [
+    "throughput_utps",
+    "e2e_p99_ms",
+    "peak_kv_blocks",
+    "preemptions",
+];
 
 /// Default relative tolerance band (±15%).
 pub const DEFAULT_TOLERANCE: f64 = 0.15;
@@ -204,6 +215,43 @@ mod tests {
                 metric: "e2e_p99_ms".into()
             }]
         );
+    }
+
+    #[test]
+    fn memory_metrics_are_gated_when_present() {
+        let base = ExperimentRecord::new("serve", "t").with_row(
+            ReportRow::new("w2@q50-kv64")
+                .with("peak_kv_blocks", 120.0)
+                .with("preemptions", 0.0),
+        );
+        // Within band on occupancy, still zero preemptions: pass.
+        let fresh = ExperimentRecord::new("serve", "t").with_row(
+            ReportRow::new("w2@q50-kv64")
+                .with("peak_kv_blocks", 130.0)
+                .with("preemptions", 0.0),
+        );
+        assert!(compare_records(&base, &fresh, DEFAULT_TOLERANCE).is_empty());
+
+        // Peak occupancy drift beyond the band fails.
+        let bloated = ExperimentRecord::new("serve", "t").with_row(
+            ReportRow::new("w2@q50-kv64")
+                .with("peak_kv_blocks", 160.0)
+                .with("preemptions", 0.0),
+        );
+        let violations = compare_records(&base, &bloated, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].to_string().contains("peak_kv_blocks"));
+
+        // A zero-preemption baseline must stay at zero: one fresh
+        // preemption is an unbounded relative drift.
+        let preempting = ExperimentRecord::new("serve", "t").with_row(
+            ReportRow::new("w2@q50-kv64")
+                .with("peak_kv_blocks", 120.0)
+                .with("preemptions", 1.0),
+        );
+        let violations = compare_records(&base, &preempting, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].to_string().contains("preemptions"));
     }
 
     #[test]

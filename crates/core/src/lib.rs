@@ -76,7 +76,7 @@ pub use outcome::DecodeOutcome;
 pub use pipeline::{AsrPipeline, PipelineOutput};
 pub use policy::{FeatureRow, Policy, Rating};
 pub use recycle::RecycleBuffer;
-pub use session::{DecodeSession, DraftedRound};
+pub use session::{DecodeSession, DraftedRound, KvDemand};
 pub use sparse_tree::SparseTreeDecoder;
 pub use speculative::SpeculativeDecoder;
 pub use stats::{DecodeStats, RoundRecord};

@@ -23,7 +23,7 @@
 //! a grouped verification step before running it.
 
 use specasr_models::{AsrDecoderModel, DecodeClock, UtteranceTokens};
-use specasr_runtime::{KvCache, NodeOrigin, TokenTree};
+use specasr_runtime::{BlockTable, KvPool, NodeOrigin, PoolError, TokenTree};
 use specasr_tokenizer::TokenId;
 
 use crate::outcome::DecodeOutcome;
@@ -85,6 +85,68 @@ impl DraftedRound {
             RoundPlan::Tree { tree, .. } => tree.len(),
         }
     }
+
+    /// KV positions this round appends to the (draft, target) caches before
+    /// the post-commit rollback — the widths the paged pool must have room
+    /// for.
+    fn kv_widths(&self) -> (usize, usize) {
+        match &self.plan {
+            RoundPlan::Autoregressive => (0, 1),
+            RoundPlan::Sequence { tokens, .. } => (tokens.len(), tokens.len()),
+            RoundPlan::Tree {
+                tree,
+                trunk_tokens,
+                steps,
+                ..
+            } => {
+                // The beam baseline counted its draft appends as
+                // max(tree, steps); the sparse tree appends the tree size.
+                let draft = if trunk_tokens.is_some() {
+                    tree.len()
+                } else {
+                    tree.len().max(*steps)
+                };
+                (draft, tree.len())
+            }
+        }
+    }
+}
+
+/// Fresh (draft, target) block demand of one drafted round against a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KvDemand {
+    /// Fresh draft sub-pool blocks the round's appends would consume.
+    pub draft_blocks: usize,
+    /// Fresh target sub-pool blocks the round's appends would consume.
+    pub target_blocks: usize,
+}
+
+/// Where a session's KV blocks live.
+#[derive(Debug, Clone)]
+enum SessionKv {
+    /// A standalone session owns an unbounded private pool (the blocking
+    /// `Policy::decode` path, where allocation must never fail).
+    Private {
+        pool: Box<KvPool>,
+        draft: BlockTable,
+        target: BlockTable,
+    },
+    /// A served session allocates from a scheduler-owned shared pool and is
+    /// stepped through [`DecodeSession::verify_round_in`].
+    Pooled {
+        draft: BlockTable,
+        target: BlockTable,
+    },
+}
+
+impl SessionKv {
+    fn tables(&self) -> (&BlockTable, &BlockTable) {
+        match self {
+            SessionKv::Private { draft, target, .. } | SessionKv::Pooled { draft, target } => {
+                (draft, target)
+            }
+        }
+    }
 }
 
 /// One utterance's in-flight decode under a policy, steppable round by round.
@@ -118,12 +180,16 @@ pub struct DecodeSession {
     tokens: Vec<TokenId>,
     stats: DecodeStats,
     clock: DecodeClock,
-    draft_cache: KvCache,
-    target_cache: KvCache,
+    kv: SessionKv,
     recycle: RecycleBuffer,
     finished: bool,
     cap: usize,
 }
+
+/// Block size of a standalone session's private pool.  Position bookkeeping
+/// is independent of the paging granularity, so any value keeps standalone
+/// outcomes byte-identical; 16 matches the serving default.
+const PRIVATE_BLOCK_SIZE: usize = 16;
 
 impl DecodeSession {
     /// Starts a session for `audio` under `policy`.
@@ -133,19 +199,83 @@ impl DecodeSession {
     /// Panics if the policy carries an invalid configuration (mirroring the
     /// decoder constructors).
     pub fn new(policy: Policy, audio: UtteranceTokens) -> Self {
-        match &policy {
+        Self::validate_policy(&policy);
+        let mut pool = Box::new(KvPool::unbounded(PRIVATE_BLOCK_SIZE));
+        let mut draft = BlockTable::new();
+        let mut target = BlockTable::new();
+        // Autoregressive decoding never touches the draft model, so its draft
+        // cache stays empty, exactly as the blocking decoder reported it.
+        if !matches!(policy, Policy::Autoregressive) {
+            pool.draft_mut()
+                .prefill(&mut draft, audio.prefill_tokens(), None)
+                .expect("an unbounded pool always accepts a first prefill");
+        }
+        pool.target_mut()
+            .prefill(&mut target, audio.prefill_tokens(), None)
+            .expect("an unbounded pool always accepts a first prefill");
+        Self::construct(
+            policy,
+            audio,
+            SessionKv::Private {
+                pool,
+                draft,
+                target,
+            },
+        )
+    }
+
+    /// Starts a session whose KV blocks come from a shared paged `pool`
+    /// (the serving path): prefix blocks are shared with resident sessions
+    /// holding an identical prompt+audio prefix (see
+    /// [`UtteranceTokens::prefix_key`]), and allocation failures surface as
+    /// typed errors instead of panics so an over-committed or malformed
+    /// request cannot take down a serving worker.
+    ///
+    /// On error nothing stays allocated.  Sessions built this way must be
+    /// stepped with [`DecodeSession::verify_round_in`] and released with
+    /// [`DecodeSession::release_kv`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy carries an invalid configuration (mirroring
+    /// [`DecodeSession::new`]; policies are server-side configuration, not
+    /// request payload).
+    pub fn new_in(
+        policy: Policy,
+        audio: UtteranceTokens,
+        pool: &mut KvPool,
+    ) -> Result<Self, PoolError> {
+        Self::validate_policy(&policy);
+        let key = Some(audio.prefix_key());
+        let mut draft = BlockTable::new();
+        let mut target = BlockTable::new();
+        if !matches!(policy, Policy::Autoregressive) {
+            pool.draft_mut()
+                .prefill(&mut draft, audio.prefill_tokens(), key)?;
+        }
+        if let Err(error) = pool
+            .target_mut()
+            .prefill(&mut target, audio.prefill_tokens(), key)
+        {
+            pool.draft_mut().release(&mut draft);
+            return Err(error);
+        }
+        Ok(Self::construct(
+            policy,
+            audio,
+            SessionKv::Pooled { draft, target },
+        ))
+    }
+
+    fn validate_policy(policy: &Policy) {
+        match policy {
             Policy::AdaptiveSingleSequence(config) => config.validate(),
             Policy::TwoPassSparseTree(config) => config.validate(),
             Policy::Autoregressive | Policy::Speculative(_) => {}
         }
-        let mut draft_cache = KvCache::new();
-        let mut target_cache = KvCache::new();
-        // Autoregressive decoding never touches the draft model, so its draft
-        // cache stays empty, exactly as the blocking decoder reported it.
-        if !matches!(policy, Policy::Autoregressive) {
-            draft_cache.prefill(audio.prefill_tokens());
-        }
-        target_cache.prefill(audio.prefill_tokens());
+    }
+
+    fn construct(policy: Policy, audio: UtteranceTokens, kv: SessionKv) -> Self {
         let cap = audio.len() * 2 + 16;
         let token_capacity = audio.len() + 1;
         DecodeSession {
@@ -154,8 +284,7 @@ impl DecodeSession {
             tokens: Vec::with_capacity(token_capacity),
             stats: DecodeStats::new(),
             clock: DecodeClock::new(),
-            draft_cache,
-            target_cache,
+            kv,
             recycle: RecycleBuffer::new(),
             finished: false,
             cap,
@@ -300,15 +429,65 @@ impl DecodeSession {
 
     /// Verifies and commits one drafted round, returning `true` when the
     /// session finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was built over a shared pool
+    /// ([`DecodeSession::new_in`]) — step those with
+    /// [`DecodeSession::verify_round_in`] so allocation goes through the
+    /// shared budget.
     pub fn verify_round<T>(&mut self, target: &T, drafted: DraftedRound) -> bool
     where
         T: AsrDecoderModel + ?Sized,
     {
+        assert!(
+            matches!(self.kv, SessionKv::Private { .. }),
+            "a pooled session must be stepped with verify_round_in"
+        );
+        self.verify_round_impl(None, target, drafted)
+            .expect("a private pool never exhausts")
+    }
+
+    /// Verifies and commits one drafted round against a shared paged pool.
+    ///
+    /// Identical to [`DecodeSession::verify_round`] except that KV appends
+    /// allocate from `pool` and an exhausted pool surfaces as
+    /// [`PoolError::OutOfBlocks`] *before* any state was mutated — the
+    /// caller can preempt another session to free blocks and retry, or
+    /// release this one (schedulers re-queue and restore by re-prefilling,
+    /// which is deterministic).
+    pub fn verify_round_in<T>(
+        &mut self,
+        pool: &mut KvPool,
+        target: &T,
+        drafted: DraftedRound,
+    ) -> Result<bool, PoolError>
+    where
+        T: AsrDecoderModel + ?Sized,
+    {
+        self.verify_round_impl(Some(pool), target, drafted)
+    }
+
+    fn verify_round_impl<T>(
+        &mut self,
+        mut pool: Option<&mut KvPool>,
+        target: &T,
+        drafted: DraftedRound,
+    ) -> Result<bool, PoolError>
+    where
+        T: AsrDecoderModel + ?Sized,
+    {
+        // KV bookkeeping first: this round's append widths are fixed by the
+        // drafted plan, and verification itself never reads the caches, so
+        // appending up front leaves every counter (totals, peaks, discards)
+        // byte-identical to the historical order while making exhaustion
+        // visible before any transcript state changes.
+        let (draft_width, target_width) = drafted.kv_widths();
+        self.kv_append(pool.as_deref_mut(), draft_width, target_width)?;
         match drafted.plan {
             RoundPlan::Autoregressive => {
                 let next = target.greedy_token(&self.audio, &self.tokens);
                 self.clock.charge_target(target.profile().latency(), 1);
-                self.target_cache.append(1);
                 self.stats.record_round(RoundRecord {
                     predicted: 0,
                     accepted: 0,
@@ -344,11 +523,7 @@ impl DecodeSession {
                     RecycleBuffer::from_rejected(&draft_tokens, verification.accepted_len())
                 };
 
-                // KV bookkeeping and commit.  (Single-sequence drafting always
-                // issues one pass per drafted token, so the appended length
-                // equals the draft length for both policies that land here.)
-                self.draft_cache.append(draft_tokens.len());
-                self.target_cache.append(draft_tokens.len());
+                // Commit, then roll the caches back to the committed length.
                 self.finished = commit_round(
                     &mut self.tokens,
                     &verification.accepted,
@@ -357,7 +532,7 @@ impl DecodeSession {
                     self.cap,
                     &mut self.stats,
                 );
-                self.rollback_caches();
+                self.kv_rollback_to_committed(pool.as_deref_mut());
                 self.stats.record_round(RoundRecord {
                     predicted: draft_tokens.len(),
                     accepted: verification.accepted_len(),
@@ -397,15 +572,8 @@ impl DecodeSession {
                     };
                 }
 
-                // KV bookkeeping and commit.  The beam baseline counted its
-                // draft appends as max(tree, steps); the sparse tree appends
-                // the tree size on both models.
-                if trunk_tokens.is_some() {
-                    self.draft_cache.append(tree.len());
-                } else {
-                    self.draft_cache.append(tree.len().max(steps));
-                }
-                self.target_cache.append(tree.len());
+                // Commit, then roll the caches back to the committed length
+                // (the tree appends were sized by `DraftedRound::kv_widths`).
                 self.finished = commit_round(
                     &mut self.tokens,
                     &verification.accepted,
@@ -414,7 +582,7 @@ impl DecodeSession {
                     self.cap,
                     &mut self.stats,
                 );
-                self.rollback_caches();
+                self.kv_rollback_to_committed(pool);
                 self.stats.record_round(RoundRecord {
                     predicted: tree.len(),
                     accepted: verification.accepted_len(),
@@ -430,7 +598,7 @@ impl DecodeSession {
         if !matches!(self.policy, Policy::Autoregressive) && self.stats.rounds >= self.cap {
             self.finished = true;
         }
-        self.finished
+        Ok(self.finished)
     }
 
     /// One complete round: draft then verify.  Returns `true` when finished.
@@ -458,24 +626,116 @@ impl DecodeSession {
     /// Consumes the session into a [`DecodeOutcome`].
     ///
     /// Normally called once [`DecodeSession::is_finished`] is `true`; calling
-    /// it earlier yields the partial transcript decoded so far.
+    /// it earlier yields the partial transcript decoded so far.  The
+    /// reported KV caches are the position summaries of the block tables
+    /// (byte-identical to the pre-paged per-session bookkeeping).
     pub fn into_outcome(self) -> DecodeOutcome {
+        let (draft, target) = self.kv.tables();
+        let draft_cache = *draft.positions();
+        let target_cache = *target.positions();
         DecodeOutcome {
             tokens: self.tokens,
             stats: self.stats,
             clock: self.clock,
-            draft_cache: self.draft_cache,
-            target_cache: self.target_cache,
+            draft_cache,
+            target_cache,
         }
     }
 
-    /// Rolls both KV caches back to the committed transcript length.
-    fn rollback_caches(&mut self) {
+    /// Fresh block demand of verifying `drafted` against `pool` right now —
+    /// what a memory-aware scheduler checks (and preempts against) before
+    /// calling [`DecodeSession::verify_round_in`].
+    pub fn round_kv_demand(&self, pool: &KvPool, drafted: &DraftedRound) -> KvDemand {
+        let (draft_width, target_width) = drafted.kv_widths();
+        let (draft, target) = self.kv.tables();
+        KvDemand {
+            draft_blocks: pool.draft().blocks_needed_for_append(draft, draft_width),
+            target_blocks: pool.target().blocks_needed_for_append(target, target_width),
+        }
+    }
+
+    /// Blocks this session currently holds across both sub-pools (the
+    /// preemption-victim size signal).
+    pub fn kv_blocks_held(&self) -> usize {
+        let (draft, target) = self.kv.tables();
+        draft.block_count() + target.block_count()
+    }
+
+    /// Releases every block a pooled session holds back to `pool` (on
+    /// finish, preemption, or memory rejection).  Idempotent; a no-op for
+    /// standalone sessions, whose private pool dies with them.
+    pub fn release_kv(&mut self, pool: &mut KvPool) {
+        match &mut self.kv {
+            SessionKv::Pooled { draft, target } => {
+                pool.draft_mut().release(draft);
+                pool.target_mut().release(target);
+            }
+            SessionKv::Private { .. } => {}
+        }
+    }
+
+    /// Appends this round's positions to both block tables, against either
+    /// the private or the shared pool.
+    ///
+    /// The two sub-pool demands are checked up front so the operation is
+    /// atomic: on [`PoolError::OutOfBlocks`] neither table changed.
+    fn kv_append(
+        &mut self,
+        pool: Option<&mut KvPool>,
+        draft_width: usize,
+        target_width: usize,
+    ) -> Result<(), PoolError> {
+        let (pool, draft, target) = Self::split_kv(&mut self.kv, pool);
+        let draft_need = pool.draft().blocks_needed_for_append(draft, draft_width);
+        let target_need = pool.target().blocks_needed_for_append(target, target_width);
+        for (need, sub) in [(draft_need, pool.draft()), (target_need, pool.target())] {
+            if need > sub.free_blocks() {
+                return Err(PoolError::OutOfBlocks {
+                    requested: need,
+                    available: sub.free_blocks(),
+                    capacity: sub.capacity().unwrap_or(usize::MAX),
+                });
+            }
+        }
+        pool.draft_mut()
+            .append(draft, draft_width)
+            .expect("draft demand was checked");
+        pool.target_mut()
+            .append(target, target_width)
+            .expect("target demand was checked");
+        Ok(())
+    }
+
+    /// Rolls both KV tables back to the committed transcript length.
+    fn kv_rollback_to_committed(&mut self, pool: Option<&mut KvPool>) {
         let committed = self.audio.prefill_tokens() + self.tokens.len();
-        self.draft_cache
-            .rollback_to(committed.min(self.draft_cache.len()));
-        self.target_cache
-            .rollback_to(committed.min(self.target_cache.len()));
+        let (pool, draft, target) = Self::split_kv(&mut self.kv, pool);
+        pool.draft_mut().rollback(draft, committed.min(draft.len()));
+        pool.target_mut()
+            .rollback(target, committed.min(target.len()));
+    }
+
+    /// Resolves which pool backs this session's tables: the private one for
+    /// standalone sessions (an externally passed pool is never consulted),
+    /// the caller's for pooled sessions.
+    fn split_kv<'a>(
+        kv: &'a mut SessionKv,
+        pool: Option<&'a mut KvPool>,
+    ) -> (&'a mut KvPool, &'a mut BlockTable, &'a mut BlockTable) {
+        match (kv, pool) {
+            (
+                SessionKv::Private {
+                    pool,
+                    draft,
+                    target,
+                },
+                _,
+            ) => (pool.as_mut(), draft, target),
+            (SessionKv::Pooled { draft, target }, Some(pool)) => (pool, draft, target),
+            (SessionKv::Pooled { .. }, None) => {
+                panic!("a pooled session must be stepped with verify_round_in")
+            }
+        }
     }
 
     /// The SpecInfer-style beam baseline draft: top-`beams` first-step
@@ -759,6 +1019,96 @@ mod tests {
         let partial = session.into_outcome();
         assert!(partial.tokens.len() <= reference.len());
         assert_eq!(partial.tokens[..], reference[..partial.tokens.len()]);
+    }
+
+    #[test]
+    fn pooled_sessions_match_private_sessions_exactly() {
+        let (draft, target, audio) = setup(Split::TestClean);
+        let mut pool = KvPool::bounded(2048, 16);
+        for policy in all_policies() {
+            for utt in &audio {
+                let private = DecodeSession::new(policy, utt.clone()).run(&draft, &target);
+                let mut session =
+                    DecodeSession::new_in(policy, utt.clone(), &mut pool).expect("pool has room");
+                while !session.is_finished() {
+                    let drafted = session.draft_round(&draft);
+                    session
+                        .verify_round_in(&mut pool, &target, drafted)
+                        .expect("pool has room");
+                }
+                session.release_kv(&mut pool);
+                assert_eq!(session.into_outcome(), private, "policy {}", policy.name());
+            }
+        }
+        assert_eq!(pool.used_blocks(), 0, "released sessions leave no blocks");
+    }
+
+    #[test]
+    fn pooled_sessions_share_prefix_blocks_for_identical_audio() {
+        let (_draft, _target, audio) = setup(Split::DevClean);
+        let mut pool = KvPool::bounded(256, 16);
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        let mut first = DecodeSession::new_in(policy, audio[0].clone(), &mut pool).expect("room");
+        let used_by_one = pool.used_blocks();
+        let mut second = DecodeSession::new_in(policy, audio[0].clone(), &mut pool).expect("room");
+        // The second session re-uses the first one's prefill blocks wholesale.
+        assert_eq!(pool.used_blocks(), used_by_one);
+        assert!(pool.counters().shared_hits > 0);
+        let mut third = DecodeSession::new_in(policy, audio[1].clone(), &mut pool).expect("room");
+        assert!(
+            pool.used_blocks() > used_by_one,
+            "different audio: no share"
+        );
+        for session in [&mut first, &mut second, &mut third] {
+            session.release_kv(&mut pool);
+        }
+        assert_eq!(pool.used_blocks(), 0);
+    }
+
+    #[test]
+    fn exhausted_pools_reject_admission_without_leaking() {
+        let (_draft, _target, audio) = setup(Split::DevOther);
+        let mut pool = KvPool::bounded(1, 16);
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        let error = DecodeSession::new_in(policy, audio[0].clone(), &mut pool)
+            .expect_err("one block cannot hold a prefill");
+        assert!(matches!(
+            error,
+            specasr_runtime::PoolError::OutOfBlocks { .. }
+        ));
+        assert_eq!(pool.used_blocks(), 0, "failed admission must not leak");
+    }
+
+    #[test]
+    fn round_demand_predicts_the_blocks_a_round_consumes() {
+        let (draft, target, audio) = setup(Split::TestOther);
+        let mut pool = KvPool::bounded(512, 16);
+        let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+        let mut session = DecodeSession::new_in(policy, audio[0].clone(), &mut pool).expect("room");
+        let drafted = session.draft_round(&draft);
+        let demand = session.round_kv_demand(&pool, &drafted);
+        let before = pool.used_blocks();
+        session
+            .verify_round_in(&mut pool, &target, drafted)
+            .expect("room");
+        // The round's net growth is bounded by the predicted demand (the
+        // post-commit rollback may return some of it).
+        assert!(pool.used_blocks() <= before + demand.draft_blocks + demand.target_blocks);
+        assert!(session.kv_blocks_held() > 0);
+        session.release_kv(&mut pool);
+        session.release_kv(&mut pool); // idempotent
+        assert_eq!(pool.used_blocks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "verify_round_in")]
+    fn stepping_a_pooled_session_without_its_pool_panics() {
+        let (draft, target, audio) = setup(Split::DevClean);
+        let mut pool = KvPool::bounded(256, 16);
+        let policy = Policy::Autoregressive;
+        let mut session = DecodeSession::new_in(policy, audio[0].clone(), &mut pool).expect("room");
+        let drafted = session.draft_round(&draft);
+        let _ = session.verify_round(&target, drafted);
     }
 
     #[test]

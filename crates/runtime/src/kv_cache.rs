@@ -10,6 +10,31 @@
 
 use serde::{Deserialize, Serialize};
 
+/// A prefill was attempted on a cache that already holds positions.
+///
+/// Returned by [`KvCache::try_prefill`] so that serving layers can reject a
+/// malformed request instead of panicking a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefillError {
+    /// Number of positions the cache already held.
+    pub existing: usize,
+    /// Number of positions the rejected prefill asked for.
+    pub requested: usize,
+}
+
+impl std::fmt::Display for PrefillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "prefill of {} positions on a cache already holding {} (prefill must happen on an \
+             empty cache)",
+            self.requested, self.existing
+        )
+    }
+}
+
+impl std::error::Error for PrefillError {}
+
 /// Position bookkeeping of one model's KV cache.
 ///
 /// # Example
@@ -45,12 +70,27 @@ impl KvCache {
     ///
     /// # Panics
     ///
-    /// Panics if the cache already holds positions.
+    /// Panics if the cache already holds positions.  Use
+    /// [`KvCache::try_prefill`] where a panic must not take down the caller
+    /// (serving workers).
     pub fn prefill(&mut self, tokens: usize) {
-        assert_eq!(self.total_len, 0, "prefill must happen on an empty cache");
+        self.try_prefill(tokens)
+            .expect("prefill must happen on an empty cache");
+    }
+
+    /// Fallible form of [`KvCache::prefill`]: records the prefill, or returns
+    /// a typed [`PrefillError`] if the cache already holds positions.
+    pub fn try_prefill(&mut self, tokens: usize) -> Result<(), PrefillError> {
+        if self.total_len != 0 {
+            return Err(PrefillError {
+                existing: self.total_len,
+                requested: tokens,
+            });
+        }
         self.prefill_len = tokens;
         self.total_len = tokens;
         self.peak_len = self.peak_len.max(tokens);
+        Ok(())
     }
 
     /// Appends `tokens` generated positions.
@@ -163,6 +203,26 @@ mod tests {
         cache.prefill(5);
         cache.append(3);
         cache.rollback_to(2);
+    }
+
+    #[test]
+    fn try_prefill_reports_a_typed_error_on_a_non_empty_cache() {
+        let mut cache = KvCache::new();
+        assert_eq!(cache.try_prefill(6), Ok(()));
+        cache.append(2);
+        let error = cache.try_prefill(9).expect_err("cache is non-empty");
+        assert_eq!(
+            error,
+            PrefillError {
+                existing: 8,
+                requested: 9
+            }
+        );
+        assert!(error.to_string().contains("8"));
+        assert!(error.to_string().contains("empty cache"));
+        // The failed attempt left the bookkeeping untouched.
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.prefill_len(), 6);
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //!
 //! * [`KvCache`] — position bookkeeping of a transformer KV cache, including
 //!   the rollback that happens when speculative tokens are rejected,
+//! * [`KvPool`] / [`BlockPool`] / [`BlockTable`] — the paged memory substrate
+//!   behind multi-session serving: fixed-size ref-counted blocks with a free
+//!   list, prefix sharing keyed on prompt hashes, and copy-on-write,
 //! * [`TokenTree`] — the draft token tree: a trunk of sequential draft tokens
 //!   plus sparse side branches (two-pass sparse-tree prediction) and recycled
 //!   branches (draft sequence recycling),
@@ -34,9 +37,11 @@
 mod batch;
 mod kv_cache;
 mod mask;
+mod paged;
 mod tree;
 
 pub use batch::VerificationBatch;
-pub use kv_cache::KvCache;
+pub use kv_cache::{KvCache, PrefillError};
 pub use mask::TreeAttentionMask;
+pub use paged::{BlockId, BlockPool, BlockTable, KvPool, PoolCounters, PoolError};
 pub use tree::{NodeId, NodeOrigin, TokenTree, TreeNode};

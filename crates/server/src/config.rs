@@ -17,16 +17,31 @@ pub enum AdmissionPolicy {
     ShortestAudioFirst,
 }
 
+/// Which in-flight session a memory-exhausted scheduler evicts to free KV
+/// blocks (the victim releases its blocks, re-queues, and restores
+/// deterministically by re-prefilling on re-admission).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PreemptPolicy {
+    /// Evict the most recently admitted session — the least sunk decode
+    /// work is thrown away, and long-resident sessions are protected.
+    NewestAdmitted,
+    /// Evict the session holding the most KV blocks — frees the most memory
+    /// per eviction at the price of redoing the largest decode.
+    LargestKv,
+}
+
 /// Configuration of a [`crate::Scheduler`].
 ///
 /// # Example
 ///
 /// ```
-/// use specasr_server::{AdmissionPolicy, ServerConfig};
+/// use specasr_server::{AdmissionPolicy, PreemptPolicy, ServerConfig};
 ///
-/// let config = ServerConfig::default().with_max_batch(16);
+/// let config = ServerConfig::default().with_max_batch(16).with_kv_blocks(512);
 /// assert_eq!(config.max_batch, 16);
 /// assert_eq!(config.admission, AdmissionPolicy::Fifo);
+/// assert_eq!(config.kv_blocks, 512);
+/// assert_eq!(config.preempt_policy, PreemptPolicy::NewestAdmitted);
 /// config.validate();
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -45,6 +60,15 @@ pub struct ServerConfig {
     /// `0.005` forgives five audio seconds per queued second, so even a 30 s
     /// utterance outranks fresh 2 s arrivals after ~5.6 s of waiting.
     pub aging_rate: f64,
+    /// KV-block budget of the paged pool, per model sub-pool (draft and
+    /// target each get this many blocks).  The default is generous enough
+    /// that a default batch never feels memory pressure; shrink it to study
+    /// memory-aware admission and preemption.
+    pub kv_blocks: usize,
+    /// Positions per KV block.
+    pub block_size: usize,
+    /// Eviction policy when the KV pool is exhausted mid-decode.
+    pub preempt_policy: PreemptPolicy,
 }
 
 impl ServerConfig {
@@ -73,12 +97,32 @@ impl ServerConfig {
         self
     }
 
+    /// Returns this configuration with a different per-sub-pool KV-block
+    /// budget.
+    pub fn with_kv_blocks(mut self, kv_blocks: usize) -> Self {
+        self.kv_blocks = kv_blocks;
+        self
+    }
+
+    /// Returns this configuration with a different KV block size (positions
+    /// per block).
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Returns this configuration with a different preemption policy.
+    pub fn with_preempt_policy(mut self, preempt_policy: PreemptPolicy) -> Self {
+        self.preempt_policy = preempt_policy;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
-    /// Panics if the batch size or queue depth is zero, or the aging rate is
-    /// negative or non-finite.
+    /// Panics if the batch size, queue depth, KV-block budget, or block size
+    /// is zero, or the aging rate is negative or non-finite.
     pub fn validate(&self) {
         assert!(self.max_batch > 0, "max_batch must be positive");
         assert!(self.queue_depth > 0, "queue_depth must be positive");
@@ -86,6 +130,8 @@ impl ServerConfig {
             self.aging_rate.is_finite() && self.aging_rate >= 0.0,
             "aging_rate must be finite and non-negative"
         );
+        assert!(self.kv_blocks > 0, "kv_blocks must be positive");
+        assert!(self.block_size > 0, "block_size must be positive");
     }
 }
 
@@ -96,6 +142,12 @@ impl Default for ServerConfig {
             queue_depth: 64,
             admission: AdmissionPolicy::Fifo,
             aging_rate: 0.005,
+            // 4096 blocks × 16 positions = 65 536 positions per model — far
+            // beyond what a default batch of 8 can hold, so the pool is
+            // effectively unconstrained unless explicitly shrunk.
+            kv_blocks: 4096,
+            block_size: 16,
+            preempt_policy: PreemptPolicy::NewestAdmitted,
         }
     }
 }
@@ -217,6 +269,30 @@ mod tests {
     #[test]
     fn zero_aging_rate_is_allowed() {
         ServerConfig::default().with_aging_rate(0.0).validate();
+    }
+
+    #[test]
+    fn kv_builders_update_the_pool_fields() {
+        let config = ServerConfig::default()
+            .with_kv_blocks(128)
+            .with_block_size(32)
+            .with_preempt_policy(PreemptPolicy::LargestKv);
+        assert_eq!(config.kv_blocks, 128);
+        assert_eq!(config.block_size, 32);
+        assert_eq!(config.preempt_policy, PreemptPolicy::LargestKv);
+        config.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "kv_blocks")]
+    fn zero_kv_blocks_fails_validation() {
+        ServerConfig::default().with_kv_blocks(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "block_size")]
+    fn zero_block_size_fails_validation() {
+        ServerConfig::default().with_block_size(0).validate();
     }
 
     #[test]

@@ -45,11 +45,34 @@
 //! flat below the fleet's saturation QPS and grows without bound above it.
 //! The `serve_open_loop` binary in `specasr-bench` captures that curve.
 //!
+//! # Memory model: the paged KV pool
+//!
+//! Every scheduler owns a [`KvPool`] — draft and target block budgets
+//! (`ServerConfig::{kv_blocks, block_size}`) carved into fixed-size,
+//! ref-counted blocks.  Sessions allocate their caches from it through
+//! per-session block tables:
+//!
+//! * **Memory-aware admission** — a request is only admitted when its
+//!   prefill blocks fit the pool; requests that could never fit are shed
+//!   with a distinct `rejected_memory` count.
+//! * **Prefix sharing** — prefills are keyed on a content hash of the
+//!   prompt+audio prefix, so concurrent requests for identical audio share
+//!   physical blocks (copy-on-write protects divergent suffixes).
+//! * **Preemption** — when a verification round cannot get blocks, the
+//!   configured [`PreemptPolicy`] evicts an in-flight session: its blocks
+//!   are released and the request re-queues; restore is a deterministic
+//!   re-prefill + re-decode, so transcripts never diverge.
+//!
+//! [`MemoryStats`] (inside [`ServerStats`], fleet-mergeable) reports peak
+//! and average block occupancy, preemptions, and the shared-prefix hit rate.
+//!
 //! # Losslessness
 //!
 //! Scheduling only interleaves rounds; each session runs exactly the code
-//! path `Policy::decode` runs.  Transcripts under concurrent batched serving
-//! are therefore byte-identical to sequential [`specasr::AsrPipeline`]
+//! path `Policy::decode` runs, and a preempted session restores by decoding
+//! again from scratch against the same deterministic models.  Transcripts
+//! under concurrent batched serving — constrained pool or not — are
+//! therefore byte-identical to sequential [`specasr::AsrPipeline`]
 //! transcription — the workspace-level `serving.rs` integration tests assert
 //! this for every policy, including mixed-policy batches.
 
@@ -67,10 +90,14 @@ mod stats;
 mod worker;
 
 pub use batch::{grouped_verify_ms, TickCost};
-pub use config::{AdmissionPolicy, RouterConfig, ServerConfig};
+pub use config::{AdmissionPolicy, PreemptPolicy, RouterConfig, ServerConfig};
 pub use loadgen::{run_open_loop, LoadGen, OpenLoopReport};
 pub use request::{RequestId, RequestLatency, RequestOutcome, SubmitError};
 pub use router::Router;
 pub use scheduler::Scheduler;
-pub use stats::ServerStats;
+pub use stats::{MemoryStats, ServerStats};
 pub use worker::{Worker, WorkerId};
+
+// Serving code configures and inspects the paged KV pool directly; re-export
+// its runtime types so downstream users don't need the runtime crate.
+pub use specasr_runtime::{KvPool, PoolCounters, PoolError};

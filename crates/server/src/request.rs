@@ -90,6 +90,9 @@ pub struct RequestOutcome {
     pub latency: RequestLatency,
     /// Audio duration of the utterance in seconds.
     pub audio_seconds: f64,
+    /// Times this request was preempted (evicted to free KV-pool blocks and
+    /// later restored by a deterministic re-decode) before completing.
+    pub preemptions: usize,
 }
 
 impl RequestOutcome {

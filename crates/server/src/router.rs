@@ -211,6 +211,7 @@ where
                 .encoder
                 .latency_ms_for_audio(utterance.duration_seconds()),
             arrival_ms: self.now_ms,
+            preemptions: 0,
         };
         let worker = &mut self.workers[candidate];
         if worker.is_idle() {

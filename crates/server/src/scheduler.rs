@@ -1,17 +1,30 @@
-//! The continuous-batching scheduler: iteration-level admission, per-session
-//! draft phases, and one grouped verification pass per tick.
+//! The continuous-batching scheduler: iteration-level memory-aware admission,
+//! per-session draft phases, one grouped verification pass per tick, and
+//! KV-pool preemption when memory runs out.
 
 use std::collections::VecDeque;
 
 use specasr::Policy;
 use specasr_audio::{EncoderProfile, Utterance};
 use specasr_models::{AsrDecoderModel, TokenizerBinding};
+use specasr_runtime::KvPool;
 
 use crate::batch::TickCost;
-use crate::config::{AdmissionPolicy, ServerConfig};
+use crate::config::{AdmissionPolicy, PreemptPolicy, ServerConfig};
 use crate::request::{RequestId, RequestLatency, RequestOutcome, SubmitError};
 use crate::session::{QueuedRequest, ServerSession};
 use crate::stats::ServerStats;
+
+/// How one in-flight session leaves (or stays in) the batch at tick end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Removal {
+    /// Still decoding (or finished and heading for retirement).
+    Keep,
+    /// Evicted to free KV blocks; re-queued for a deterministic restore.
+    Preempted,
+    /// Its KV demand can never be met; dropped with a memory rejection.
+    Rejected,
+}
 
 /// A continuous-batching serving scheduler over a draft/target model pair.
 ///
@@ -67,6 +80,7 @@ pub struct Scheduler<D, T> {
     config: ServerConfig,
     queue: VecDeque<QueuedRequest>,
     active: Vec<ServerSession>,
+    kv: KvPool,
     wall_ms: f64,
     next_id: u64,
     stats: ServerStats,
@@ -90,6 +104,8 @@ where
         config: ServerConfig,
     ) -> Self {
         config.validate();
+        let mut stats = ServerStats::new();
+        stats.set_kv_capacity(2 * config.kv_blocks);
         Scheduler {
             draft,
             target,
@@ -98,10 +114,16 @@ where
             config,
             queue: VecDeque::new(),
             active: Vec::with_capacity(config.max_batch),
+            kv: KvPool::bounded(config.kv_blocks, config.block_size),
             wall_ms: 0.0,
             next_id: 0,
-            stats: ServerStats::new(),
+            stats,
         }
+    }
+
+    /// The paged KV pool this scheduler allocates session caches from.
+    pub fn kv_pool(&self) -> &KvPool {
+        &self.kv
     }
 
     /// The scheduler configuration.
@@ -163,6 +185,7 @@ where
                 .encoder
                 .latency_ms_for_audio(utterance.duration_seconds()),
             arrival_ms: self.wall_ms,
+            preemptions: 0,
         })?;
         self.next_id += 1;
         Ok(id)
@@ -208,7 +231,8 @@ where
         self.wall_ms = self.wall_ms.max(ms);
     }
 
-    /// Runs one scheduler iteration: admit → draft → grouped verify → retire.
+    /// Runs one scheduler iteration: admit → draft → grouped verify (with
+    /// KV-pool preemption when memory runs out) → retire.
     ///
     /// Returns the requests that finished this tick, in retirement order.
     pub fn tick(&mut self) -> Vec<RequestOutcome> {
@@ -232,29 +256,161 @@ where
 
         // Advance the shared wall clock by the batched tick cost: drafting in
         // parallel, then one grouped verification pass over all sessions.
+        // (A session preempted below still paid for its draft — evicted
+        // speculation is wasted device time, exactly as on real hardware.)
         let cost = TickCost::of_round(&draft_ms, &verify_widths, self.target.profile().latency());
         self.wall_ms += cost.wall_ms;
         self.stats.record_tick(cost, self.active.len());
 
         // Verification + commit per session (the grouped pass was costed
-        // above; per-session acceptance decisions are independent).
-        for (session, round) in self.active.iter_mut().zip(drafted) {
-            session.decode.verify_round(&self.target, round);
+        // above; per-session acceptance decisions are independent).  Before
+        // each session's commit its round's block demand is checked against
+        // the pool; on exhaustion the preemption policy evicts sessions
+        // until the round fits — or, when nothing is left to evict, the
+        // triggering request itself is dropped with a memory rejection.
+        let mut removal = vec![Removal::Keep; self.active.len()];
+        for (index, round) in drafted.into_iter().enumerate() {
+            if removal[index] != Removal::Keep {
+                continue; // evicted by an earlier session's memory pressure
+            }
+            self.ensure_round_headroom(index, &round, &mut removal);
+            if removal[index] != Removal::Keep {
+                continue;
+            }
+            let session = &mut self.active[index];
+            session
+                .decode
+                .verify_round_in(&mut self.kv, &self.target, round)
+                .expect("headroom was ensured before verification");
             if session.first_token_ms.is_none() && !session.decode.tokens().is_empty() {
                 session.first_token_ms = Some(self.wall_ms);
             }
+            if session.decode.is_finished() {
+                // A finished session keeps only its position bookkeeping;
+                // releasing its blocks eagerly gives later sessions in this
+                // same tick the headroom first.
+                session.decode.release_kv(&mut self.kv);
+            }
         }
 
-        // Retire finished sessions; their batch slots refill next tick.
-        let (finished, active): (Vec<ServerSession>, Vec<ServerSession>) = self
-            .active
-            .drain(..)
-            .partition(|session| session.decode.is_finished());
-        self.active = active;
-        finished
-            .into_iter()
-            .map(|session| self.retire(session))
-            .collect()
+        // Mirror the allocator's exact gauges into the statistics: the
+        // per-sub-pool high-water marks catch intra-tick peaks (before
+        // rollbacks and finishing sessions released), the per-tick sample
+        // feeds the steady-state average.
+        self.stats.record_kv_occupancy(self.kv.used_blocks());
+        let counters = self.kv.counters();
+        self.stats.sync_pool_gauges(
+            self.kv.draft().peak_used_blocks() + self.kv.target().peak_used_blocks(),
+            counters.prefix_lookups,
+            counters.shared_hits,
+            counters.cow_copies,
+        );
+
+        // Retire finished sessions (their batch slots refill next tick) and
+        // re-queue preempted ones at the front, preserving admission order
+        // among them.
+        let drained: Vec<(ServerSession, Removal)> = self.active.drain(..).zip(removal).collect();
+        let mut outcomes = Vec::new();
+        let mut kept = Vec::with_capacity(drained.len());
+        let mut requeued = Vec::new();
+        for (session, removal) in drained {
+            match removal {
+                Removal::Keep if session.decode.is_finished() => {
+                    outcomes.push(self.retire(session));
+                }
+                Removal::Keep => kept.push(session),
+                Removal::Preempted => requeued.push(session.into_requeued()),
+                Removal::Rejected => {}
+            }
+        }
+        self.active = kept;
+        for request in requeued.into_iter().rev() {
+            self.queue.push_front(request);
+        }
+        outcomes
+    }
+
+    /// Frees enough pool blocks for `round`'s verification at `index`,
+    /// evicting victims under the configured preemption policy.  Marks the
+    /// evictions (including, possibly, `index` itself) in `removal`.
+    fn ensure_round_headroom(
+        &mut self,
+        index: usize,
+        round: &specasr::DraftedRound,
+        removal: &mut [Removal],
+    ) {
+        loop {
+            let demand = self.active[index].decode.round_kv_demand(&self.kv, round);
+            if demand.draft_blocks <= self.kv.draft().free_blocks()
+                && demand.target_blocks <= self.kv.target().free_blocks()
+            {
+                return;
+            }
+            let victim = self.pick_victim(removal);
+            // Evicting the triggering session only helps if some *other*
+            // session still holds blocks that later rounds can use: a
+            // restored session re-decodes deterministically to this exact
+            // state, so with the pool otherwise empty the same exhaustion
+            // would repeat forever (admit → decode → self-evict livelock).
+            // In that case the session's footprint simply exceeds the pool:
+            // shed it.
+            let other_holds_blocks = self.active.iter().enumerate().any(|(other, session)| {
+                other != index
+                    && removal[other] == Removal::Keep
+                    && session.decode.kv_blocks_held() > 0
+            });
+            match victim {
+                Some(victim) if victim != index || other_holds_blocks => {
+                    self.active[victim].decode.release_kv(&mut self.kv);
+                    removal[victim] = Removal::Preempted;
+                    self.stats.record_preemption();
+                    if victim == index {
+                        return; // the triggering session evicted itself
+                    }
+                }
+                _ => {
+                    // Nothing (useful) left to evict: this round can never
+                    // fit, now or after any deterministic restore.
+                    self.active[index].decode.release_kv(&mut self.kv);
+                    removal[index] = Removal::Rejected;
+                    self.stats.record_memory_rejection();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The session the preemption policy evicts next: among live,
+    /// unfinished, block-holding sessions, the newest admission
+    /// ([`PreemptPolicy::NewestAdmitted`]) or the largest block holder
+    /// ([`PreemptPolicy::LargestKv`]), with deterministic tie-breaks on
+    /// admission time and request id.
+    fn pick_victim(&self, removal: &[Removal]) -> Option<usize> {
+        self.active
+            .iter()
+            .enumerate()
+            .filter(|(index, session)| {
+                removal[*index] == Removal::Keep
+                    && !session.decode.is_finished()
+                    && session.decode.kv_blocks_held() > 0
+            })
+            .max_by(|(_, a), (_, b)| {
+                let key = |session: &ServerSession| match self.config.preempt_policy {
+                    PreemptPolicy::NewestAdmitted => {
+                        (0usize, session.admitted_ms, session.id.value())
+                    }
+                    PreemptPolicy::LargestKv => (
+                        session.decode.kv_blocks_held(),
+                        session.admitted_ms,
+                        session.id.value(),
+                    ),
+                };
+                let (ka, kb) = (key(a), key(b));
+                ka.0.cmp(&kb.0)
+                    .then(ka.1.partial_cmp(&kb.1).expect("wall clocks are finite"))
+                    .then(ka.2.cmp(&kb.2))
+            })
+            .map(|(index, _)| index)
     }
 
     /// Ticks until every queued and in-flight request has completed, and
@@ -267,13 +423,20 @@ where
         outcomes
     }
 
-    /// Fills free batch slots from the wait queue (iteration-level
-    /// admission).
+    /// Fills free batch slots from the wait queue (iteration-level,
+    /// memory-aware admission).
     ///
     /// Under shortest-audio-first, a request's effective priority is its
     /// audio length minus an aging credit (`age × aging_rate`), so long
     /// utterances cannot be starved by a sustained stream of short arrivals:
     /// their credit grows while fresh arrivals start from zero.
+    ///
+    /// Admission is additionally gated on KV-pool headroom: a request is
+    /// only admitted if its prefill blocks (after prefix sharing with
+    /// resident sessions) fit the pool right now.  When the head request
+    /// does not fit, admission stops until blocks free up — unless the
+    /// request could never fit even an empty pool, in which case it is
+    /// dropped with a memory rejection instead of deadlocking the queue.
     fn admit(&mut self) {
         while self.active.len() < self.config.max_batch && !self.queue.is_empty() {
             let index = match self.config.admission {
@@ -298,8 +461,30 @@ where
                 }
             };
             let request = self.queue.remove(index).expect("index is in range");
-            self.active.push(request.admit(self.wall_ms));
+            match request.try_admit(self.wall_ms, &mut self.kv) {
+                Ok(session) => self.active.push(session),
+                Err(returned) => {
+                    let (request, _error) = *returned;
+                    if self.prefill_can_ever_fit(&request) {
+                        // Not enough headroom right now: put the request
+                        // back where it was and wait for blocks to free up.
+                        self.queue.insert(index.min(self.queue.len()), request);
+                    } else {
+                        self.stats.record_memory_rejection();
+                    }
+                    break;
+                }
+            }
         }
+    }
+
+    /// Whether the request's prefill could fit an otherwise empty pool
+    /// (with one block of generation headroom; draft and target sub-pools
+    /// carry the same budget).  Requests failing this can never be admitted
+    /// and must be shed rather than parked.
+    fn prefill_can_ever_fit(&self, request: &QueuedRequest) -> bool {
+        let prefill_blocks = self.kv.target().blocks_for(request.audio.prefill_tokens());
+        prefill_blocks < self.config.kv_blocks
     }
 
     /// Converts a finished session into its outcome and records statistics.
@@ -312,7 +497,8 @@ where
     /// clock (interleaved `Router::submit`/`Router::tick`), and a request
     /// admitted "before" it arrived must report zero queue delay, not a
     /// negative sample that corrupts the latency histograms.
-    fn retire(&mut self, session: ServerSession) -> RequestOutcome {
+    fn retire(&mut self, mut session: ServerSession) -> RequestOutcome {
+        session.decode.release_kv(&mut self.kv);
         let first_token_ms = session.first_token_ms.unwrap_or(self.wall_ms);
         let latency = RequestLatency {
             queue_ms: (session.admitted_ms - session.arrival_ms).max(0.0),
@@ -335,6 +521,7 @@ where
             outcome,
             latency,
             audio_seconds: session.audio_seconds,
+            preemptions: session.preemptions,
         };
         self.stats.record_completion(&outcome);
         outcome
@@ -568,6 +755,141 @@ mod tests {
             solo.stats().wall_ms()
         );
         assert!(batched.stats().utterances_per_second() > solo.stats().utterances_per_second());
+    }
+
+    #[test]
+    fn constrained_pool_preempts_without_changing_transcripts() {
+        let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+        // Reference: the same workload on an effectively unconstrained pool.
+        let (mut unconstrained, corpus) = scheduler(ServerConfig::default().with_max_batch(8));
+        for utterance in corpus.split(Split::TestClean) {
+            unconstrained
+                .submit(policy, utterance)
+                .expect("queue has room");
+        }
+        let mut reference = unconstrained.run_until_idle();
+        assert_eq!(unconstrained.stats().memory().preemptions(), 0);
+
+        // Constrained: a pool too small for a full batch of prefills.
+        let (mut constrained, corpus) =
+            scheduler(ServerConfig::default().with_max_batch(8).with_kv_blocks(28));
+        for utterance in corpus.split(Split::TestClean) {
+            constrained
+                .submit(policy, utterance)
+                .expect("queue has room");
+        }
+        let mut outcomes = constrained.run_until_idle();
+        let memory = constrained.stats().memory();
+        assert!(
+            memory.preemptions() > 0,
+            "a 28-block pool must preempt under a batch of 8"
+        );
+        assert_eq!(constrained.stats().rejected_memory(), 0);
+        assert_eq!(outcomes.len(), reference.len());
+        assert!(outcomes.iter().any(|o| o.preemptions > 0));
+
+        // Zero transcript divergence after deterministic restore.
+        reference.sort_by_key(|o| o.id);
+        outcomes.sort_by_key(|o| o.id);
+        for (constrained, unconstrained) in outcomes.iter().zip(&reference) {
+            assert_eq!(constrained.id, unconstrained.id);
+            assert_eq!(constrained.text, unconstrained.text);
+            assert_eq!(constrained.outcome.tokens, unconstrained.outcome.tokens);
+        }
+        // The drained pool leaks nothing.
+        assert_eq!(constrained.kv_pool().used_blocks(), 0);
+        assert!(memory.peak_kv_blocks() <= memory.kv_capacity_blocks());
+        assert!(memory.avg_kv_blocks() > 0.0);
+    }
+
+    #[test]
+    fn both_preempt_policies_drain_a_tight_pool_losslessly() {
+        for preempt in [PreemptPolicy::NewestAdmitted, PreemptPolicy::LargestKv] {
+            let policy = Policy::Speculative(SpeculativeConfig::short_single());
+            let (mut scheduler, corpus) = scheduler(
+                ServerConfig::default()
+                    .with_max_batch(6)
+                    .with_kv_blocks(24)
+                    .with_preempt_policy(preempt),
+            );
+            let split = corpus.split(Split::TestOther);
+            for utterance in split {
+                scheduler.submit(policy, utterance).expect("queue has room");
+            }
+            let outcomes = scheduler.run_until_idle();
+            assert_eq!(outcomes.len(), split.len(), "policy {preempt:?}");
+            assert_eq!(scheduler.kv_pool().used_blocks(), 0);
+            assert!(scheduler.is_idle());
+        }
+    }
+
+    #[test]
+    fn unfittable_requests_are_shed_with_a_memory_rejection() {
+        // 2 blocks × 16 positions per sub-pool cannot hold any real prefill
+        // (the shortest utterance needs well over 32 positions).
+        let (mut scheduler, corpus) = scheduler(ServerConfig::default().with_kv_blocks(2));
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        let utterance = &corpus.split(Split::DevClean)[0];
+        scheduler.submit(policy, utterance).expect("queue has room");
+        let outcomes = scheduler.run_until_idle();
+        assert!(outcomes.is_empty(), "the request can never fit");
+        assert_eq!(scheduler.stats().rejected_memory(), 1);
+        assert_eq!(scheduler.stats().rejected(), 0, "not a queue rejection");
+        assert!(scheduler.is_idle(), "shedding must not deadlock the queue");
+        assert_eq!(scheduler.kv_pool().used_blocks(), 0);
+    }
+
+    #[test]
+    fn oversized_decode_footprints_are_shed_instead_of_livelocking() {
+        // The prefill fits the pool but the transcript's block demand never
+        // will: the scheduler must shed the request (self-eviction would
+        // deterministically re-create the same exhaustion forever).
+        let (reference, corpus) = scheduler(ServerConfig::default());
+        // The longest transcript in the corpus overflows the single spare
+        // block (16 positions) plus the prefill tail slack by a wide margin.
+        let utterance = Split::ALL
+            .iter()
+            .flat_map(|&split| corpus.split(split))
+            .max_by_key(|u| reference.binding.bind(u).len())
+            .expect("corpus is non-empty");
+        let bound = reference.binding.bind(utterance);
+        assert!(
+            bound.len() > 40,
+            "precondition: transcript must overflow the spare capacity"
+        );
+        let prefill_blocks = reference
+            .kv_pool()
+            .target()
+            .blocks_for(bound.prefill_tokens());
+
+        let (mut tight, _) = scheduler(ServerConfig::default().with_kv_blocks(prefill_blocks + 1));
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        tight.submit(policy, utterance).expect("queue has room");
+        let outcomes = tight.run_until_idle();
+        assert!(outcomes.is_empty(), "the footprint can never fit");
+        assert_eq!(tight.stats().rejected_memory(), 1);
+        assert!(tight.is_idle(), "shedding must terminate the run");
+        assert_eq!(tight.kv_pool().used_blocks(), 0);
+    }
+
+    #[test]
+    fn identical_audio_shares_prefix_blocks_across_sessions() {
+        let (mut scheduler, corpus) = scheduler(ServerConfig::default().with_max_batch(8));
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        let utterance = &corpus.split(Split::TestClean)[0];
+        for _ in 0..8 {
+            scheduler.submit(policy, utterance).expect("queue has room");
+        }
+        scheduler.tick();
+        let memory = scheduler.stats().memory();
+        assert!(
+            memory.prefix_hits() > 0,
+            "eight copies of one utterance must share prefill blocks"
+        );
+        assert!(memory.shared_prefix_hit_rate() > 0.5);
+        scheduler.run_until_idle();
+        assert_eq!(scheduler.stats().completed(), 8);
+        assert_eq!(scheduler.kv_pool().used_blocks(), 0);
     }
 
     #[test]

@@ -4,10 +4,12 @@
 use specasr::{DecodeSession, Policy};
 use specasr_audio::UtteranceId;
 use specasr_models::UtteranceTokens;
+use specasr_runtime::{KvPool, PoolError};
 
 use crate::request::RequestId;
 
-/// A request waiting in the admission queue.
+/// A request waiting in the admission queue (fresh, or re-queued after a
+/// preemption).
 #[derive(Debug, Clone)]
 pub(crate) struct QueuedRequest {
     pub id: RequestId,
@@ -17,9 +19,12 @@ pub(crate) struct QueuedRequest {
     pub audio_seconds: f64,
     pub encoder_ms: f64,
     pub arrival_ms: f64,
+    /// Times this request was evicted mid-decode to free KV blocks.
+    pub preemptions: usize,
 }
 
-/// A request admitted into the batch, decoding round by round.
+/// A request admitted into the batch, decoding round by round against the
+/// scheduler's shared KV pool.
 #[derive(Debug, Clone)]
 pub(crate) struct ServerSession {
     pub id: RequestId,
@@ -31,23 +36,59 @@ pub(crate) struct ServerSession {
     pub admitted_ms: f64,
     /// Wall time at which the first transcript token was committed.
     pub first_token_ms: Option<f64>,
+    pub preemptions: usize,
     pub decode: DecodeSession,
 }
 
 impl QueuedRequest {
     /// Admits this request at wall time `admitted_ms`, starting its decode
-    /// session.
-    pub fn admit(self, admitted_ms: f64) -> ServerSession {
-        ServerSession {
+    /// session against `pool` (prefix blocks shared where possible).
+    ///
+    /// On allocation failure the request is handed back untouched so the
+    /// caller can re-queue or reject it — a memory-starved admission must
+    /// not lose the request or leak blocks.  (Boxed so the common `Ok` path
+    /// does not carry the full request across the stack.)
+    pub fn try_admit(
+        self,
+        admitted_ms: f64,
+        pool: &mut KvPool,
+    ) -> Result<ServerSession, Box<(QueuedRequest, PoolError)>> {
+        match DecodeSession::new_in(self.policy, self.audio.clone(), pool) {
+            Ok(decode) => Ok(ServerSession {
+                id: self.id,
+                policy: self.policy,
+                utterance_id: self.utterance_id,
+                audio_seconds: self.audio_seconds,
+                encoder_ms: self.encoder_ms,
+                arrival_ms: self.arrival_ms,
+                admitted_ms,
+                first_token_ms: None,
+                preemptions: self.preemptions,
+                decode,
+            }),
+            Err(error) => Err(Box::new((self, error))),
+        }
+    }
+}
+
+impl ServerSession {
+    /// Converts a preempted session back into its queued form: the decode
+    /// progress is discarded (restore is a deterministic re-prefill +
+    /// re-decode on the next admission), the original arrival timestamp is
+    /// kept so aging credit keeps accumulating, and the preemption is
+    /// counted.
+    ///
+    /// The caller must have released the session's KV blocks already.
+    pub fn into_requeued(self) -> QueuedRequest {
+        QueuedRequest {
             id: self.id,
             policy: self.policy,
+            audio: self.decode.audio().clone(),
             utterance_id: self.utterance_id,
             audio_seconds: self.audio_seconds,
             encoder_ms: self.encoder_ms,
             arrival_ms: self.arrival_ms,
-            admitted_ms,
-            first_token_ms: None,
-            decode: DecodeSession::new(self.policy, self.audio),
+            preemptions: self.preemptions + 1,
         }
     }
 }

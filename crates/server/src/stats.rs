@@ -10,6 +10,98 @@ use crate::request::RequestOutcome;
 /// Number of histogram bins used when summarising latency samples.
 const LATENCY_BINS: usize = 512;
 
+/// Paged KV-pool memory statistics of one scheduler (or, after
+/// [`ServerStats::merge`], of a fleet).
+///
+/// The peak is the pool allocator's exact high-water mark (every block that
+/// was ever simultaneously live counts, including blocks a rollback or a
+/// finishing session released within the same tick); the average is sampled
+/// once per tick after retirement, so it describes steady-state residency
+/// between ticks.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemoryStats {
+    kv_capacity_blocks: usize,
+    peak_kv_blocks: usize,
+    occupancy_block_ticks: f64,
+    occupancy_ticks: usize,
+    preemptions: usize,
+    prefix_lookups: usize,
+    prefix_hits: usize,
+    cow_copies: usize,
+}
+
+impl MemoryStats {
+    /// Total KV-block budget (draft + target sub-pools; summed across
+    /// workers after a merge — each worker owns its own pool).
+    pub fn kv_capacity_blocks(&self) -> usize {
+        self.kv_capacity_blocks
+    }
+
+    /// Largest sampled block occupancy (summed across workers after a
+    /// merge: workers run concurrently, so their peaks coexist).
+    pub fn peak_kv_blocks(&self) -> usize {
+        self.peak_kv_blocks
+    }
+
+    /// Mean sampled block occupancy per tick.
+    pub fn avg_kv_blocks(&self) -> f64 {
+        if self.occupancy_ticks == 0 {
+            return 0.0;
+        }
+        self.occupancy_block_ticks / self.occupancy_ticks as f64
+    }
+
+    /// Peak occupancy as a fraction of capacity (0.0 when unconstrained
+    /// pools never reported a capacity).
+    pub fn peak_utilization(&self) -> f64 {
+        if self.kv_capacity_blocks == 0 {
+            return 0.0;
+        }
+        self.peak_kv_blocks as f64 / self.kv_capacity_blocks as f64
+    }
+
+    /// Sessions evicted mid-decode to free pool blocks.
+    pub fn preemptions(&self) -> usize {
+        self.preemptions
+    }
+
+    /// Prefill blocks requested under a prefix key (sharing opportunities).
+    pub fn prefix_lookups(&self) -> usize {
+        self.prefix_lookups
+    }
+
+    /// Prefill blocks served by re-using a resident shared block.
+    pub fn prefix_hits(&self) -> usize {
+        self.prefix_hits
+    }
+
+    /// Fraction of keyed prefill blocks served from resident shared blocks.
+    pub fn shared_prefix_hit_rate(&self) -> f64 {
+        if self.prefix_lookups == 0 {
+            return 0.0;
+        }
+        self.prefix_hits as f64 / self.prefix_lookups as f64
+    }
+
+    /// Copy-on-write block copies performed.
+    pub fn cow_copies(&self) -> usize {
+        self.cow_copies
+    }
+
+    /// Folds another worker's memory statistics in (parallel-fleet
+    /// semantics: everything sums — each worker owns an independent pool).
+    fn merge(&mut self, other: &MemoryStats) {
+        self.kv_capacity_blocks += other.kv_capacity_blocks;
+        self.peak_kv_blocks += other.peak_kv_blocks;
+        self.occupancy_block_ticks += other.occupancy_block_ticks;
+        self.occupancy_ticks += other.occupancy_ticks;
+        self.preemptions += other.preemptions;
+        self.prefix_lookups += other.prefix_lookups;
+        self.prefix_hits += other.prefix_hits;
+        self.cow_copies += other.cow_copies;
+    }
+}
+
 /// Aggregate statistics of one scheduler's lifetime.
 ///
 /// Populated incrementally by the scheduler; latency percentiles are read
@@ -18,6 +110,8 @@ const LATENCY_BINS: usize = 512;
 pub struct ServerStats {
     completed: usize,
     rejected: usize,
+    rejected_memory: usize,
+    memory: MemoryStats,
     ticks: usize,
     wall_ms: f64,
     sequential_ms: f64,
@@ -61,6 +155,43 @@ impl ServerStats {
         self.rejected += 1;
     }
 
+    /// Records one request dropped because it can never fit the KV pool.
+    pub(crate) fn record_memory_rejection(&mut self) {
+        self.rejected_memory += 1;
+    }
+
+    /// Records one preemption (a session evicted to free pool blocks).
+    pub(crate) fn record_preemption(&mut self) {
+        self.memory.preemptions += 1;
+    }
+
+    /// Records this tick's sampled pool occupancy (for the average gauge).
+    pub(crate) fn record_kv_occupancy(&mut self, used_blocks: usize) {
+        self.memory.occupancy_block_ticks += used_blocks as f64;
+        self.memory.occupancy_ticks += 1;
+    }
+
+    /// Registers the pool's block budget (at scheduler construction).
+    pub(crate) fn set_kv_capacity(&mut self, capacity_blocks: usize) {
+        self.memory.kv_capacity_blocks = capacity_blocks;
+    }
+
+    /// Overwrites the monotonic pool gauges from the pool's own accounting
+    /// (called at tick boundaries; the allocator is the source of truth for
+    /// this worker's peak and sharing counters).
+    pub(crate) fn sync_pool_gauges(
+        &mut self,
+        peak_used: usize,
+        lookups: usize,
+        hits: usize,
+        cow: usize,
+    ) {
+        self.memory.peak_kv_blocks = peak_used;
+        self.memory.prefix_lookups = lookups;
+        self.memory.prefix_hits = hits;
+        self.memory.cow_copies = cow;
+    }
+
     /// Merges another worker's statistics into this one, with
     /// parallel-fleet semantics: counters, samples, and device time sum,
     /// while wall time takes the maximum (workers run concurrently, so the
@@ -71,7 +202,11 @@ impl ServerStats {
     /// through this to report fleet-wide throughput and latency percentiles.
     pub fn merge(&mut self, other: &ServerStats) {
         self.completed += other.completed;
+        // Rejection reasons merge per class, so fleet stats can tell
+        // queue-depth shedding and memory rejections apart.
         self.rejected += other.rejected;
+        self.rejected_memory += other.rejected_memory;
+        self.memory.merge(&other.memory);
         self.ticks += other.ticks;
         self.wall_ms = self.wall_ms.max(other.wall_ms);
         self.sequential_ms += other.sequential_ms;
@@ -89,9 +224,26 @@ impl ServerStats {
         self.completed
     }
 
-    /// Number of submissions rejected for backpressure.
+    /// Number of submissions rejected for queue-depth backpressure.
     pub fn rejected(&self) -> usize {
         self.rejected
+    }
+
+    /// Number of requests dropped because their KV demand can never fit the
+    /// pool (distinct from queue shedding, so overload diagnostics can tell
+    /// "add workers" from "add memory").
+    pub fn rejected_memory(&self) -> usize {
+        self.rejected_memory
+    }
+
+    /// All rejections, whatever the reason.
+    pub fn rejected_total(&self) -> usize {
+        self.rejected + self.rejected_memory
+    }
+
+    /// Paged KV-pool memory statistics.
+    pub fn memory(&self) -> &MemoryStats {
+        &self.memory
     }
 
     /// Number of scheduler iterations executed.
@@ -257,6 +409,7 @@ mod tests {
         assert_eq!(a.completed(), 3);
         assert_eq!(a.rejected(), 1);
         assert_eq!(a.ticks(), 2);
+        assert_eq!(a.rejected_memory(), 0);
         // Wall time is the slowest worker's, not the sum.
         assert!((a.wall_ms() - 100.0).abs() < 1e-12);
         assert!((a.sequential_ms - 190.0).abs() < 1e-12);
@@ -264,5 +417,58 @@ mod tests {
         assert_eq!(a.peak_in_flight(), 5);
         assert_eq!(a.e2e_histogram().count(), 3);
         assert!(a.e2e_p99_ms() > 400.0);
+    }
+
+    #[test]
+    fn rejection_reasons_merge_per_class() {
+        let mut a = ServerStats::new();
+        a.record_rejection();
+        a.record_rejection();
+        a.record_memory_rejection();
+        let mut b = ServerStats::new();
+        b.record_rejection();
+        b.record_memory_rejection();
+        b.record_memory_rejection();
+        a.merge(&b);
+        assert_eq!(a.rejected(), 3);
+        assert_eq!(a.rejected_memory(), 3);
+        assert_eq!(a.rejected_total(), 6);
+    }
+
+    #[test]
+    fn memory_stats_merge_with_parallel_fleet_semantics() {
+        let mut a = ServerStats::new();
+        a.set_kv_capacity(100);
+        a.record_kv_occupancy(40);
+        a.record_kv_occupancy(60);
+        a.record_preemption();
+        a.sync_pool_gauges(60, 10, 5, 1);
+        let mut b = ServerStats::new();
+        b.set_kv_capacity(100);
+        b.record_kv_occupancy(20);
+        b.record_preemption();
+        b.record_preemption();
+        b.sync_pool_gauges(20, 6, 3, 0);
+
+        a.merge(&b);
+        let memory = a.memory();
+        assert_eq!(memory.kv_capacity_blocks(), 200);
+        // Workers run concurrently: their peaks coexist, so peaks sum.
+        assert_eq!(memory.peak_kv_blocks(), 80);
+        assert!((memory.avg_kv_blocks() - 40.0).abs() < 1e-12);
+        assert!((memory.peak_utilization() - 0.4).abs() < 1e-12);
+        assert_eq!(memory.preemptions(), 3);
+        assert_eq!(memory.prefix_lookups(), 16);
+        assert_eq!(memory.prefix_hits(), 8);
+        assert!((memory.shared_prefix_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(memory.cow_copies(), 1);
+    }
+
+    #[test]
+    fn empty_memory_stats_report_zero_rates() {
+        let stats = ServerStats::new();
+        assert_eq!(stats.memory().avg_kv_blocks(), 0.0);
+        assert_eq!(stats.memory().shared_prefix_hit_rate(), 0.0);
+        assert_eq!(stats.memory().peak_utilization(), 0.0);
     }
 }

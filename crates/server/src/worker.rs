@@ -93,6 +93,11 @@ where
         self.scheduler.stats()
     }
 
+    /// The paged KV pool this worker's scheduler allocates from.
+    pub fn kv_pool(&self) -> &specasr_runtime::KvPool {
+        self.scheduler.kv_pool()
+    }
+
     /// Requests this worker received through work stealing.
     pub fn stolen_in(&self) -> usize {
         self.stolen_in

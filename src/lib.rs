@@ -19,8 +19,9 @@ pub mod prelude {
         AsrDecoderModel, ModelProfile, SimulatedAsrModel, TokenizerBinding, UtteranceTokens,
     };
     pub use specasr_server::{
-        run_open_loop, AdmissionPolicy, LoadGen, OpenLoopReport, RequestOutcome, Router,
-        RouterConfig, Scheduler, ServerConfig, ServerStats, Worker, WorkerId,
+        run_open_loop, AdmissionPolicy, KvPool, LoadGen, MemoryStats, OpenLoopReport,
+        PreemptPolicy, RequestOutcome, Router, RouterConfig, Scheduler, ServerConfig, ServerStats,
+        Worker, WorkerId,
     };
     pub use specasr_tokenizer::{TokenId, Tokenizer};
 }

@@ -110,6 +110,75 @@ proptest! {
 }
 
 #[test]
+fn fleet_memory_stats_aggregate_constrained_workers() {
+    // Constrained per-worker pools under a fleet: preemptions and occupancy
+    // merge across workers, transcripts still match a single unconstrained
+    // scheduler, and rejection classes stay separate.
+    let setup = StandardSetup::new(907, 8);
+    let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+    let pool: Vec<&Utterance> = Split::ALL
+        .iter()
+        .flat_map(|&split| setup.corpus.split(split))
+        .collect();
+    let workload: Vec<(Policy, &Utterance)> = pool.iter().map(|&u| (policy, u)).collect();
+
+    let worker_config = ServerConfig::default()
+        .with_max_batch(6)
+        .with_kv_blocks(30)
+        .with_queue_depth(workload.len());
+    let mut router = router_for(
+        &setup,
+        RouterConfig::default()
+            .with_workers(2)
+            .with_worker_config(worker_config),
+    );
+    let mut solo = Scheduler::new(
+        setup.draft.clone(),
+        setup.target.clone(),
+        setup.binding.clone(),
+        EncoderProfile::whisper_medium_encoder(),
+        worker_config.with_kv_blocks(4096),
+    );
+    for &(policy, utterance) in &workload {
+        router.submit(policy, utterance).expect("fleet has room");
+        solo.submit(policy, utterance).expect("queue has room");
+    }
+    let mut sharded = router.run_until_idle();
+    let mut sequential = solo.run_until_idle();
+    sharded.sort_by_key(|o| o.id);
+    sequential.sort_by_key(|o| o.id);
+    assert_eq!(sharded.len(), sequential.len());
+    for (fleet, single) in sharded.iter().zip(&sequential) {
+        assert_eq!(fleet.id, single.id);
+        assert_eq!(fleet.text, single.text, "request {} diverged", fleet.id);
+    }
+
+    let fleet = router.fleet_stats();
+    let per_worker_preemptions: usize = router
+        .workers()
+        .iter()
+        .map(|w| w.stats().memory().preemptions())
+        .sum();
+    assert!(
+        per_worker_preemptions > 0,
+        "30-block worker pools must preempt under this burst"
+    );
+    assert_eq!(fleet.memory().preemptions(), per_worker_preemptions);
+    assert_eq!(fleet.memory().kv_capacity_blocks(), 2 * 2 * 30);
+    let peak_sum: usize = router
+        .workers()
+        .iter()
+        .map(|w| w.stats().memory().peak_kv_blocks())
+        .sum();
+    assert_eq!(fleet.memory().peak_kv_blocks(), peak_sum);
+    assert!(fleet.memory().avg_kv_blocks() > 0.0);
+    assert_eq!(fleet.rejected_memory(), 0);
+    for worker in router.workers() {
+        assert_eq!(worker.kv_pool().used_blocks(), 0, "drained pools are empty");
+    }
+}
+
+#[test]
 fn open_loop_reruns_are_bit_identical() {
     let setup = StandardSetup::new(905, 10);
     let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());

@@ -1,11 +1,13 @@
 //! Serving-subsystem integration tests: the continuous-batching scheduler
 //! must preserve the lossless invariant (batched transcripts byte-identical
-//! to sequential pipeline transcription for every policy), respect FIFO
-//! admission, and actually sustain concurrent in-flight sessions.
+//! to sequential pipeline transcription for every policy, even when a
+//! constrained KV pool forces preemption), respect FIFO admission, and
+//! actually sustain concurrent in-flight sessions.
 
+use proptest::prelude::*;
 use specasr::{AdaptiveConfig, AsrPipeline, Policy, SparseTreeConfig, SpeculativeConfig};
 use specasr_audio::{EncoderProfile, Split};
-use specasr_server::{AdmissionPolicy, Scheduler, ServerConfig};
+use specasr_server::{AdmissionPolicy, PreemptPolicy, Scheduler, ServerConfig};
 use specasr_suite::StandardSetup;
 
 fn serving_policies() -> Vec<Policy> {
@@ -143,6 +145,124 @@ fn scheduler_sustains_at_least_eight_concurrent_sessions() {
     assert_eq!(scheduler.stats().peak_in_flight(), 8);
     assert_eq!(scheduler.stats().completed(), 12);
     assert!(scheduler.stats().batching_speedup() > 1.0);
+}
+
+#[test]
+fn constrained_pool_preemption_is_invisible_in_the_transcripts() {
+    // A KV pool too small for a full batch of prefills forces admission
+    // gating and mid-decode preemption; restores are deterministic
+    // re-decodes, so against the sequential pipeline nothing may diverge.
+    let setup = StandardSetup::new(905, 12);
+    let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+    let pipeline = AsrPipeline::new(
+        setup.draft.clone(),
+        setup.target.clone(),
+        EncoderProfile::whisper_medium_encoder(),
+        policy,
+    );
+    let mut scheduler = scheduler_for(
+        &setup,
+        ServerConfig::default().with_max_batch(8).with_kv_blocks(28),
+    );
+    let split = setup.corpus.split(Split::TestClean);
+    let mut ids = Vec::new();
+    for utterance in split {
+        ids.push(scheduler.submit(policy, utterance).expect("queue has room"));
+    }
+    let outcomes = scheduler.run_until_idle();
+    assert_eq!(outcomes.len(), split.len());
+    assert!(
+        scheduler.stats().memory().preemptions() > 0,
+        "a 28-block pool must preempt under a batch of 8"
+    );
+    assert_eq!(scheduler.stats().rejected_memory(), 0);
+    for (utterance, id) in split.iter().zip(ids) {
+        let sequential = pipeline.transcribe(&setup.binding, utterance);
+        let served = outcomes
+            .iter()
+            .find(|o| o.id == id)
+            .expect("every submitted request completes");
+        assert_eq!(
+            served.text,
+            sequential.text,
+            "preemption diverged the transcript of {}",
+            utterance.id()
+        );
+        assert_eq!(served.outcome.tokens, sequential.outcome.tokens);
+    }
+    assert_eq!(
+        scheduler.kv_pool().used_blocks(),
+        0,
+        "a drained scheduler must leave the pool empty"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random session lifecycles — random pool budgets (hitting admit,
+    /// preempt, restore, and finish paths), both preemption policies, both
+    /// admission policies, and mixed decode policies — never leak blocks
+    /// (the drained pool ends at zero use) and never diverge from
+    /// unconstrained serving of the same workload.
+    #[test]
+    fn random_lifecycles_never_leak_blocks_or_diverge(
+        seed in 0u64..200,
+        kv_blocks in 20usize..120,
+        requests in 1usize..16,
+        newest_first in any::<bool>(),
+        saf in any::<bool>(),
+        policy_salt in 0u64..1_000,
+    ) {
+        let setup = StandardSetup::new(seed, 4);
+        let policies = serving_policies();
+        let pool: Vec<&specasr_audio::Utterance> = Split::ALL
+            .iter()
+            .flat_map(|&split| setup.corpus.split(split))
+            .collect();
+        let config = ServerConfig::default()
+            .with_max_batch(4)
+            .with_queue_depth(requests.max(1))
+            .with_kv_blocks(kv_blocks)
+            .with_preempt_policy(if newest_first {
+                PreemptPolicy::NewestAdmitted
+            } else {
+                PreemptPolicy::LargestKv
+            })
+            .with_admission(if saf {
+                AdmissionPolicy::ShortestAudioFirst
+            } else {
+                AdmissionPolicy::Fifo
+            });
+        let mut constrained = scheduler_for(&setup, config);
+        let mut unconstrained = scheduler_for(&setup, config.with_kv_blocks(4096));
+        for index in 0..requests {
+            let policy = policies[(policy_salt as usize + index) % policies.len()];
+            let utterance = pool[(index * 5 + policy_salt as usize) % pool.len()];
+            constrained.submit(policy, utterance).expect("queue has room");
+            unconstrained.submit(policy, utterance).expect("queue has room");
+        }
+        let mut served = constrained.run_until_idle();
+        let mut reference = unconstrained.run_until_idle();
+        served.sort_by_key(|o| o.id);
+        reference.sort_by_key(|o| o.id);
+
+        // No block leaked or double-freed, whatever the lifecycle mix.
+        prop_assert_eq!(constrained.kv_pool().used_blocks(), 0);
+        prop_assert!(constrained.is_idle());
+        // Small pools may shed requests that can never fit; everything that
+        // completed must match unconstrained serving byte for byte.
+        let shed = constrained.stats().rejected_memory();
+        prop_assert_eq!(served.len() + shed, reference.len());
+        let mut reference_by_id = reference.iter();
+        for outcome in &served {
+            let matching = reference_by_id
+                .find(|o| o.id == outcome.id)
+                .expect("completed requests exist in the reference run");
+            prop_assert_eq!(&outcome.text, &matching.text);
+            prop_assert_eq!(&outcome.outcome.tokens, &matching.outcome.tokens);
+        }
+    }
 }
 
 #[test]
