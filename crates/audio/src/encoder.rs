@@ -84,6 +84,21 @@ impl EncoderProfile {
     pub fn latency_ms_for_audio(&self, audio_seconds: f64) -> f64 {
         self.fixed_overhead_ms + self.latency_ms_per_audio_second * audio_seconds.max(0.0)
     }
+
+    /// Encoder latency (ms) for extending the encoder state by one streaming
+    /// chunk of `chunk_audio_seconds`: the per-second compute is paid for the
+    /// new audio only, and the fixed pipeline overhead is paid once, on the
+    /// first chunk.  Summed over a stream's chunks this equals
+    /// [`EncoderProfile::latency_ms_for_audio`] of the full utterance — the
+    /// incremental path re-encodes nothing.
+    pub fn incremental_latency_ms(&self, chunk_audio_seconds: f64, first_chunk: bool) -> f64 {
+        let overhead = if first_chunk {
+            self.fixed_overhead_ms
+        } else {
+            0.0
+        };
+        overhead + self.latency_ms_per_audio_second * chunk_audio_seconds.max(0.0)
+    }
 }
 
 /// Audio embeddings produced by the encoder: `frames × hidden_dim` vectors in
@@ -197,30 +212,16 @@ impl AudioEncoder {
     /// the learned projection layer; the downstream simulation only requires
     /// determinism and dimensional correctness).
     pub fn encode(&self, mel: &LogMelSpectrogram) -> AudioEmbedding {
-        let stacked_dim = mel.mel_channels() * self.stack_factor;
         let frames = self.output_frames(mel.frame_count());
         let mut vectors = Vec::with_capacity(frames);
         for out_frame in 0..frames {
-            // Stage 1: stack consecutive frames.
-            let mut stacked = Vec::with_capacity(stacked_dim);
-            for k in 0..self.stack_factor {
-                let frame = mel
-                    .frame(out_frame * self.stack_factor + k)
-                    .expect("frame index is within the downsampled range");
-                stacked.extend_from_slice(frame);
-            }
-            // Stage 2: fixed projection into the hidden dimension.
-            let mut projected = vec![0.0f64; self.hidden_dim];
-            for (j, value) in stacked.iter().enumerate() {
-                for (h, out) in projected.iter_mut().enumerate() {
-                    *out += value * projection_weight(j, h, stacked_dim, self.hidden_dim);
-                }
-            }
-            let norm = (stacked_dim as f64).sqrt();
-            for out in &mut projected {
-                *out /= norm;
-            }
-            vectors.push(projected);
+            let group: Vec<&[f64]> = (0..self.stack_factor)
+                .map(|k| {
+                    mel.frame(out_frame * self.stack_factor + k)
+                        .expect("frame index is within the downsampled range")
+                })
+                .collect();
+            vectors.push(self.encode_group(&group));
         }
         AudioEmbedding {
             vectors,
@@ -228,9 +229,135 @@ impl AudioEncoder {
         }
     }
 
+    /// Encodes one group of exactly `stack_factor` consecutive mel frames
+    /// into a single embedding vector (stacking + fixed projection).  This is
+    /// the per-output-frame kernel shared by [`AudioEncoder::encode`] and the
+    /// chunk-extending [`IncrementalEncoder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group does not hold exactly `stack_factor` frames.
+    fn encode_group(&self, group: &[&[f64]]) -> Vec<f64> {
+        assert_eq!(
+            group.len(),
+            self.stack_factor,
+            "an embedding group holds exactly stack_factor frames"
+        );
+        // Stage 1: stack consecutive frames.
+        let stacked_dim: usize = group.iter().map(|frame| frame.len()).sum();
+        let mut stacked = Vec::with_capacity(stacked_dim);
+        for frame in group {
+            stacked.extend_from_slice(frame);
+        }
+        // Stage 2: fixed projection into the hidden dimension.
+        let mut projected = vec![0.0f64; self.hidden_dim];
+        for (j, value) in stacked.iter().enumerate() {
+            for (h, out) in projected.iter_mut().enumerate() {
+                *out += value * projection_weight(j, h, stacked_dim, self.hidden_dim);
+            }
+        }
+        let norm = (stacked_dim as f64).sqrt();
+        for out in &mut projected {
+            *out /= norm;
+        }
+        projected
+    }
+
     /// Encoder latency (ms) for processing `audio_seconds` of audio.
     pub fn latency_ms(&self, audio_seconds: f64) -> f64 {
         self.profile.latency_ms_for_audio(audio_seconds)
+    }
+}
+
+/// An audio encoder that extends its output as mel chunks land, instead of
+/// re-encoding the growing spectrogram from scratch.
+///
+/// The offline [`AudioEncoder`] is frame-local (each embedding depends on one
+/// group of `stack_factor` consecutive mel frames), so the incremental state
+/// is just the tail of mel frames that does not yet fill a group.  Feeding
+/// the same spectrogram through in arbitrary chunkings produces exactly the
+/// frames of [`AudioEncoder::encode`], in order.
+///
+/// # Example
+///
+/// ```
+/// use specasr_audio::{AudioEncoder, Corpus, FeatureConfig, FeatureExtractor, IncrementalEncoder,
+///                     Split, Waveform};
+///
+/// let corpus = Corpus::librispeech_like(5, 1);
+/// let wave = Waveform::synthesize(&corpus.split(Split::TestClean)[0]);
+/// let mel = FeatureExtractor::new(FeatureConfig::tiny()).extract(&wave);
+/// let encoder = AudioEncoder::new(4, 32);
+/// let offline = encoder.encode(&mel);
+///
+/// let mut incremental = IncrementalEncoder::new(encoder);
+/// let mut frames = 0;
+/// for chunk_start in (0..mel.frame_count()).step_by(7) {
+///     let chunk: Vec<Vec<f64>> = (chunk_start..(chunk_start + 7).min(mel.frame_count()))
+///         .map(|i| mel.frame(i).unwrap().to_vec())
+///         .collect();
+///     frames += incremental.push_frames(&chunk).frame_count();
+/// }
+/// assert_eq!(frames, offline.frame_count());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalEncoder {
+    encoder: AudioEncoder,
+    pending: Vec<Vec<f64>>,
+    emitted_frames: usize,
+}
+
+impl IncrementalEncoder {
+    /// Wraps an encoder for chunk-extending use.
+    pub fn new(encoder: AudioEncoder) -> Self {
+        IncrementalEncoder {
+            encoder,
+            pending: Vec::new(),
+            emitted_frames: 0,
+        }
+    }
+
+    /// The wrapped encoder.
+    pub fn encoder(&self) -> &AudioEncoder {
+        &self.encoder
+    }
+
+    /// Embedding frames emitted so far.
+    pub fn emitted_frames(&self) -> usize {
+        self.emitted_frames
+    }
+
+    /// Buffered mel frames that do not yet fill a stacking group.
+    pub fn pending_frames(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Feeds one chunk of mel frames and returns the *new* embedding frames
+    /// it completes (possibly none, when the chunk only part-fills a group).
+    pub fn push(&mut self, mel: &LogMelSpectrogram) -> AudioEmbedding {
+        let frames: Vec<Vec<f64>> = mel.iter().map(<[f64]>::to_vec).collect();
+        self.push_frames(&frames)
+    }
+
+    /// Feeds one chunk of raw mel frames (see [`IncrementalEncoder::push`]).
+    pub fn push_frames(&mut self, frames: &[Vec<f64>]) -> AudioEmbedding {
+        self.pending.extend(frames.iter().cloned());
+        let stack = self.encoder.stack_factor();
+        let groups = self.pending.len() / stack;
+        let mut vectors = Vec::with_capacity(groups);
+        for group_index in 0..groups {
+            let group: Vec<&[f64]> = self.pending[group_index * stack..(group_index + 1) * stack]
+                .iter()
+                .map(Vec::as_slice)
+                .collect();
+            vectors.push(self.encoder.encode_group(&group));
+        }
+        self.pending.drain(..groups * stack);
+        self.emitted_frames += vectors.len();
+        AudioEmbedding {
+            hidden_dim: self.encoder.hidden_dim(),
+            vectors,
+        }
     }
 }
 
@@ -302,6 +429,49 @@ mod tests {
         assert!(tiny.parameters() < conformer.parameters());
         assert!(conformer.parameters() < medium.parameters());
         assert!(tiny.latency_ms_for_audio(10.0) < medium.latency_ms_for_audio(10.0));
+    }
+
+    #[test]
+    fn incremental_encoding_matches_offline_for_any_chunking() {
+        let mel = sample_mel();
+        let encoder = AudioEncoder::new(4, 24);
+        let offline = encoder.encode(&mel);
+        for chunk_len in [1usize, 3, 4, 5, 11, mel.frame_count()] {
+            let mut incremental = IncrementalEncoder::new(encoder.clone());
+            let mut vectors: Vec<Vec<f64>> = Vec::new();
+            let mut start = 0;
+            while start < mel.frame_count() {
+                let end = (start + chunk_len).min(mel.frame_count());
+                let chunk: Vec<Vec<f64>> = (start..end)
+                    .map(|i| mel.frame(i).expect("in range").to_vec())
+                    .collect();
+                let emitted = incremental.push_frames(&chunk);
+                vectors.extend(emitted.iter().map(<[f64]>::to_vec));
+                start = end;
+            }
+            assert_eq!(vectors.len(), offline.frame_count(), "chunk {chunk_len}");
+            for (incrementally, offline_frame) in vectors.iter().zip(offline.iter()) {
+                assert_eq!(incrementally.as_slice(), offline_frame);
+            }
+            assert_eq!(incremental.emitted_frames(), offline.frame_count());
+            assert!(incremental.pending_frames() < encoder.stack_factor());
+        }
+    }
+
+    #[test]
+    fn incremental_latency_sums_to_the_offline_latency() {
+        let profile = EncoderProfile::whisper_medium_encoder();
+        let chunks = [0.5, 0.5, 0.5, 0.3];
+        let total: f64 = chunks
+            .iter()
+            .enumerate()
+            .map(|(i, &chunk)| profile.incremental_latency_ms(chunk, i == 0))
+            .sum();
+        let offline = profile.latency_ms_for_audio(chunks.iter().sum());
+        assert!((total - offline).abs() < 1e-9);
+        assert!(
+            profile.incremental_latency_ms(0.5, true) > profile.incremental_latency_ms(0.5, false)
+        );
     }
 
     #[test]

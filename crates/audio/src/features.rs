@@ -172,24 +172,170 @@ impl FeatureExtractor {
             mel_filterbank(self.config.mel_channels, self.config.dft_bins, sample_rate);
         let mut start = 0;
         while start + frame_len <= samples.len() {
-            let mut frame: Vec<f64> = samples[start..start + frame_len]
-                .iter()
-                .zip(window.iter())
-                .map(|(s, w)| s * w)
-                .collect();
-            // Zero-pad or truncate to the DFT analysis length.
-            frame.resize(self.config.dft_bins * 2, 0.0);
-            let power = power_spectrum(&frame, self.config.dft_bins);
-            let mel: Vec<f64> = filterbank
-                .iter()
-                .map(|filter| {
-                    let energy: f64 = filter.iter().zip(power.iter()).map(|(f, p)| f * p).sum();
-                    (energy + 1e-10).ln()
-                })
-                .collect();
-            frames.push(mel);
+            frames.push(mel_frame(
+                &samples[start..start + frame_len],
+                &window,
+                &filterbank,
+                self.config.dft_bins,
+            ));
             start += frame_hop;
         }
+        LogMelSpectrogram {
+            frames,
+            mel_channels: self.config.mel_channels,
+            frame_hop_ms: self.config.frame_hop_ms,
+        }
+    }
+}
+
+/// Computes one log-mel frame from a pre-emphasised, frame-length sample
+/// slice (windowing, DFT power spectrum, filterbank, log compression) — the
+/// kernel shared by the offline [`FeatureExtractor`] and the streaming
+/// [`IncrementalFeatureExtractor`].
+fn mel_frame(
+    samples: &[f64],
+    window: &[f64],
+    filterbank: &[Vec<f64>],
+    dft_bins: usize,
+) -> Vec<f64> {
+    let mut frame: Vec<f64> = samples
+        .iter()
+        .zip(window.iter())
+        .map(|(s, w)| s * w)
+        .collect();
+    // Zero-pad or truncate to the DFT analysis length.
+    frame.resize(dft_bins * 2, 0.0);
+    let power = power_spectrum(&frame, dft_bins);
+    filterbank
+        .iter()
+        .map(|filter| {
+            let energy: f64 = filter.iter().zip(power.iter()).map(|(f, p)| f * p).sum();
+            (energy + 1e-10).ln()
+        })
+        .collect()
+}
+
+/// A feature extractor that consumes a waveform chunk by chunk, emitting new
+/// log-mel frames as soon as enough samples are buffered — nothing is ever
+/// re-framed or re-transformed.
+///
+/// Pre-emphasis is a causal first-order filter and framing is a sliding
+/// window, so the streaming state is one previous raw sample plus the sample
+/// tail that does not yet fill a frame.  Feeding the same waveform in any
+/// chunking yields exactly the frames of [`FeatureExtractor::extract`], in
+/// order — the equality the incremental encoder path builds on.
+///
+/// # Example
+///
+/// ```
+/// use specasr_audio::{Corpus, FeatureConfig, FeatureExtractor, IncrementalFeatureExtractor,
+///                     Split, Waveform};
+///
+/// let corpus = Corpus::librispeech_like(2, 1);
+/// let wave = Waveform::synthesize(&corpus.split(Split::DevClean)[0]);
+/// let offline = FeatureExtractor::new(FeatureConfig::tiny()).extract(&wave);
+///
+/// let mut streaming = IncrementalFeatureExtractor::new(FeatureConfig::tiny());
+/// let mut frames = 0;
+/// for chunk in wave.samples().chunks(1000) {
+///     frames += streaming.push(chunk, wave.sample_rate()).frame_count();
+/// }
+/// assert_eq!(frames, offline.frame_count());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalFeatureExtractor {
+    config: FeatureConfig,
+    sample_rate: Option<u32>,
+    window: Vec<f64>,
+    filterbank: Vec<Vec<f64>>,
+    /// Pre-emphasised samples not yet fully consumed by emitted frames.
+    buffer: Vec<f64>,
+    /// The last raw sample seen, for the causal pre-emphasis filter.
+    previous_raw: f64,
+    frames_emitted: usize,
+}
+
+impl IncrementalFeatureExtractor {
+    /// Creates a streaming extractor with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same configuration conditions as
+    /// [`FeatureExtractor::new`].
+    pub fn new(config: FeatureConfig) -> Self {
+        // Reuse the offline constructor's validation.
+        let _ = FeatureExtractor::new(config);
+        IncrementalFeatureExtractor {
+            config,
+            sample_rate: None,
+            window: Vec::new(),
+            filterbank: Vec::new(),
+            buffer: Vec::new(),
+            previous_raw: 0.0,
+            frames_emitted: 0,
+        }
+    }
+
+    /// The extractor configuration.
+    pub fn config(&self) -> &FeatureConfig {
+        &self.config
+    }
+
+    /// Total frames emitted so far across all pushed chunks.
+    pub fn frames_emitted(&self) -> usize {
+        self.frames_emitted
+    }
+
+    /// Feeds one chunk of raw samples and returns the new frames it
+    /// completes (possibly none for very short chunks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is zero or changes between chunks.
+    pub fn push(&mut self, samples: &[f32], sample_rate: u32) -> LogMelSpectrogram {
+        assert!(sample_rate > 0, "sample rate must be positive");
+        match self.sample_rate {
+            None => {
+                self.sample_rate = Some(sample_rate);
+                let rate = sample_rate as f64;
+                let frame_len = ((self.config.frame_length_ms / 1000.0) * rate).round() as usize;
+                self.window = hann_window(frame_len);
+                self.filterbank =
+                    mel_filterbank(self.config.mel_channels, self.config.dft_bins, rate);
+            }
+            Some(existing) => assert_eq!(
+                existing, sample_rate,
+                "the sample rate must not change mid-stream"
+            ),
+        }
+        // Causal pre-emphasis over the new chunk, continuing from the last
+        // raw sample of the previous chunk.
+        for &s in samples {
+            let s = f64::from(s);
+            self.buffer
+                .push(s - self.config.pre_emphasis * self.previous_raw);
+            self.previous_raw = s;
+        }
+
+        let rate = f64::from(sample_rate);
+        let frame_len = ((self.config.frame_length_ms / 1000.0) * rate).round() as usize;
+        let frame_hop = ((self.config.frame_hop_ms / 1000.0) * rate).round() as usize;
+        let mut frames = Vec::new();
+        if frame_len > 0 && frame_hop > 0 {
+            let mut start = 0;
+            while start + frame_len <= self.buffer.len() {
+                frames.push(mel_frame(
+                    &self.buffer[start..start + frame_len],
+                    &self.window,
+                    &self.filterbank,
+                    self.config.dft_bins,
+                ));
+                start += frame_hop;
+            }
+            // Keep only the overlap tail the next frame still needs.
+            self.buffer.drain(..start);
+        }
+        self.frames_emitted += frames.len();
         LogMelSpectrogram {
             frames,
             mel_channels: self.config.mel_channels,
@@ -375,6 +521,43 @@ mod tests {
         let mel = extractor.extract(&Waveform::from_samples(vec![], 16_000));
         assert_eq!(mel.frame_count(), 0);
         assert_eq!(extractor.frames_for_duration(0.0), 0);
+    }
+
+    #[test]
+    fn incremental_extraction_matches_offline_for_any_chunking() {
+        let wave = sample_wave();
+        let extractor = FeatureExtractor::new(FeatureConfig::tiny());
+        let offline = extractor.extract(&wave);
+        for chunk_len in [160usize, 333, 1000, 4096, wave.len()] {
+            let mut streaming = IncrementalFeatureExtractor::new(FeatureConfig::tiny());
+            let mut frames: Vec<Vec<f64>> = Vec::new();
+            for chunk in wave.samples().chunks(chunk_len) {
+                let emitted = streaming.push(chunk, wave.sample_rate());
+                frames.extend(emitted.iter().map(<[f64]>::to_vec));
+            }
+            assert_eq!(frames.len(), offline.frame_count(), "chunk {chunk_len}");
+            for (streamed, reference) in frames.iter().zip(offline.iter()) {
+                assert_eq!(streamed.as_slice(), reference, "chunk {chunk_len}");
+            }
+            assert_eq!(streaming.frames_emitted(), offline.frame_count());
+        }
+    }
+
+    #[test]
+    fn incremental_extraction_handles_empty_chunks() {
+        let wave = sample_wave();
+        let mut streaming = IncrementalFeatureExtractor::new(FeatureConfig::tiny());
+        assert_eq!(streaming.push(&[], wave.sample_rate()).frame_count(), 0);
+        let emitted = streaming.push(wave.samples(), wave.sample_rate());
+        assert!(emitted.frame_count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not change")]
+    fn changing_the_sample_rate_mid_stream_panics() {
+        let mut streaming = IncrementalFeatureExtractor::new(FeatureConfig::tiny());
+        streaming.push(&[0.0; 100], 16_000);
+        streaming.push(&[0.0; 100], 8_000);
     }
 
     #[test]

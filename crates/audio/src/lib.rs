@@ -38,12 +38,16 @@ pub mod corpus;
 pub mod difficulty;
 pub mod encoder;
 pub mod features;
+pub mod stream;
 pub mod text;
 pub mod waveform;
 
 pub use corpus::{Corpus, Split, Utterance, UtteranceId};
 pub use difficulty::DifficultyModel;
-pub use encoder::{AudioEncoder, EncoderProfile};
-pub use features::{FeatureConfig, FeatureExtractor, LogMelSpectrogram};
+pub use encoder::{AudioEncoder, EncoderProfile, IncrementalEncoder};
+pub use features::{
+    FeatureConfig, FeatureExtractor, IncrementalFeatureExtractor, LogMelSpectrogram,
+};
+pub use stream::{chunk_schedule, AudioStream, ChunkConfig, StreamChunk};
 pub use text::TextGenerator;
 pub use waveform::Waveform;

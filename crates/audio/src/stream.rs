@@ -1,0 +1,336 @@
+//! Chunked audio ingestion: the streaming front end.
+//!
+//! Streaming ASR receives audio while the speaker is still talking.  This
+//! module models that arrival process deterministically:
+//!
+//! * [`ChunkConfig`] — chunk duration plus a seeded arrival jitter (network
+//!   and capture pipelines never deliver chunks exactly on the beat),
+//! * [`chunk_schedule`] — the timed chunk plan of one utterance,
+//! * [`AudioStream`] — yields each chunk's *feature* payload by pushing the
+//!   chunk's samples through an [`IncrementalFeatureExtractor`], so the mel
+//!   frames accumulated over a stream are byte-identical to the offline
+//!   extraction of the whole waveform.
+//!
+//! The serving layers consume only the chunk *timing* (arrival offsets) and
+//! the audio horizon (seconds received); the feature payload is what a real
+//! encoder backend would consume, and the incremental encoder path
+//! ([`crate::IncrementalEncoder`]) extends embeddings from exactly these
+//! chunks.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::corpus::Utterance;
+use crate::features::{FeatureConfig, IncrementalFeatureExtractor, LogMelSpectrogram};
+use crate::waveform::Waveform;
+
+/// How an utterance's audio is cut into streamed chunks.
+///
+/// # Example
+///
+/// ```
+/// use specasr_audio::{chunk_schedule, ChunkConfig};
+///
+/// let config = ChunkConfig::default().with_chunk_seconds(0.5);
+/// let chunks = chunk_schedule(2.2, &config);
+/// assert_eq!(chunks.len(), 5);
+/// assert!((chunks.last().unwrap().end_seconds - 2.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkConfig {
+    /// Audio seconds per chunk (the last chunk may be shorter).
+    pub chunk_seconds: f64,
+    /// Arrival jitter as a fraction of the chunk duration: each chunk lands
+    /// up to `arrival_jitter × chunk_seconds` late, drawn from a seeded
+    /// generator.  `0.0` delivers every chunk exactly when its audio ends.
+    pub arrival_jitter: f64,
+    /// Seed of the jitter stream (combined with the utterance id by
+    /// [`AudioStream::new`], so two streams of the same utterance jitter
+    /// identically for the same seed).
+    pub seed: u64,
+}
+
+impl ChunkConfig {
+    /// Returns this configuration with a different chunk duration.
+    pub fn with_chunk_seconds(mut self, chunk_seconds: f64) -> Self {
+        self.chunk_seconds = chunk_seconds;
+        self
+    }
+
+    /// Returns this configuration with a different arrival jitter fraction.
+    pub fn with_arrival_jitter(mut self, arrival_jitter: f64) -> Self {
+        self.arrival_jitter = arrival_jitter;
+        self
+    }
+
+    /// Returns this configuration with a different jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk duration is not finite and positive, or the
+    /// jitter fraction is not finite and non-negative.
+    pub fn validate(&self) {
+        assert!(
+            self.chunk_seconds.is_finite() && self.chunk_seconds > 0.0,
+            "chunk_seconds must be finite and positive"
+        );
+        assert!(
+            self.arrival_jitter.is_finite() && self.arrival_jitter >= 0.0,
+            "arrival_jitter must be finite and non-negative"
+        );
+    }
+}
+
+impl Default for ChunkConfig {
+    fn default() -> Self {
+        ChunkConfig {
+            chunk_seconds: 0.5,
+            arrival_jitter: 0.2,
+            seed: 0,
+        }
+    }
+}
+
+/// One timed chunk of a streamed utterance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamChunk {
+    /// Position of the chunk in the stream (0-based).
+    pub index: usize,
+    /// Audio-time start of the chunk in seconds.
+    pub start_seconds: f64,
+    /// Audio-time end of the chunk in seconds — the audio horizon once this
+    /// chunk has arrived.
+    pub end_seconds: f64,
+    /// Milliseconds after stream start at which this chunk arrives (its
+    /// audio end plus jitter; non-decreasing across the stream).
+    pub arrival_offset_ms: f64,
+}
+
+impl StreamChunk {
+    /// Audio seconds this chunk carries.
+    pub fn duration_seconds(&self) -> f64 {
+        self.end_seconds - self.start_seconds
+    }
+}
+
+/// Builds the timed chunk plan for `duration_seconds` of audio: chunks of
+/// `config.chunk_seconds` (the last one truncated to the utterance end), each
+/// arriving when its audio has been spoken plus a seeded jitter, with arrival
+/// times forced non-decreasing.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid or `duration_seconds` is not finite and
+/// positive.
+pub fn chunk_schedule(duration_seconds: f64, config: &ChunkConfig) -> Vec<StreamChunk> {
+    config.validate();
+    assert!(
+        duration_seconds.is_finite() && duration_seconds > 0.0,
+        "duration_seconds must be finite and positive"
+    );
+    let count = (duration_seconds / config.chunk_seconds).ceil().max(1.0) as usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ STREAM_JITTER_SEED);
+    let mut chunks = Vec::with_capacity(count);
+    let mut previous_arrival = 0.0f64;
+    for index in 0..count {
+        let start_seconds = index as f64 * config.chunk_seconds;
+        let end_seconds = ((index + 1) as f64 * config.chunk_seconds).min(duration_seconds);
+        let jitter_ms: f64 =
+            rng.gen::<f64>() * config.arrival_jitter * config.chunk_seconds * 1_000.0;
+        let arrival_offset_ms = (end_seconds * 1_000.0 + jitter_ms).max(previous_arrival);
+        previous_arrival = arrival_offset_ms;
+        chunks.push(StreamChunk {
+            index,
+            start_seconds,
+            end_seconds,
+            arrival_offset_ms,
+        });
+    }
+    chunks
+}
+
+/// Seed offset that decorrelates chunk-arrival jitter from the other seeded
+/// streams (waveform noise, corpus difficulty).
+const STREAM_JITTER_SEED: u64 = 0x57ea_4dc4_a2b0_0137;
+
+/// A chunked audio stream over one utterance: the timed chunk plan plus the
+/// incremental feature pipeline that turns each chunk's samples into new mel
+/// frames.
+///
+/// # Example
+///
+/// ```
+/// use specasr_audio::{AudioStream, ChunkConfig, Corpus, FeatureConfig, Split};
+///
+/// let corpus = Corpus::librispeech_like(3, 1);
+/// let utterance = &corpus.split(Split::TestClean)[0];
+/// let mut stream = AudioStream::new(utterance, FeatureConfig::tiny(), &ChunkConfig::default());
+/// let mut heard = 0.0;
+/// while let Some((chunk, mel)) = stream.next_chunk() {
+///     heard = chunk.end_seconds;
+///     let _ = mel.frame_count(); // new frames only — nothing re-extracted
+/// }
+/// assert!((heard - utterance.duration_seconds()).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AudioStream {
+    waveform: Waveform,
+    extractor: IncrementalFeatureExtractor,
+    schedule: Vec<StreamChunk>,
+    next: usize,
+}
+
+impl AudioStream {
+    /// Opens a stream over `utterance`: synthesises its waveform, plans the
+    /// chunk schedule (jitter seeded by `config.seed` xor the utterance id),
+    /// and prepares the incremental feature extractor.
+    pub fn new(utterance: &Utterance, features: FeatureConfig, config: &ChunkConfig) -> Self {
+        let seeded = config.with_seed(config.seed ^ utterance.id().value());
+        let waveform = Waveform::synthesize(utterance);
+        AudioStream {
+            schedule: chunk_schedule(utterance.duration_seconds(), &seeded),
+            extractor: IncrementalFeatureExtractor::new(features),
+            waveform,
+            next: 0,
+        }
+    }
+
+    /// The full timed chunk plan.
+    pub fn schedule(&self) -> &[StreamChunk] {
+        &self.schedule
+    }
+
+    /// Chunks not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.schedule.len() - self.next
+    }
+
+    /// `true` once every chunk has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.next >= self.schedule.len()
+    }
+
+    /// Consumes the next chunk: slices its samples off the waveform, pushes
+    /// them through the incremental extractor, and returns the chunk timing
+    /// together with the *new* mel frames it completed.
+    pub fn next_chunk(&mut self) -> Option<(StreamChunk, LogMelSpectrogram)> {
+        let chunk = *self.schedule.get(self.next)?;
+        self.next += 1;
+        let rate = self.waveform.sample_rate();
+        let start = (chunk.start_seconds * f64::from(rate)).round() as usize;
+        let end = if self.next == self.schedule.len() {
+            self.waveform.len()
+        } else {
+            ((chunk.end_seconds * f64::from(rate)).round() as usize).min(self.waveform.len())
+        };
+        let samples = &self.waveform.samples()[start.min(end)..end];
+        let mel = self.extractor.push(samples, rate);
+        Some((chunk, mel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, Split};
+    use crate::features::FeatureExtractor;
+
+    fn sample_utterance() -> Utterance {
+        Corpus::librispeech_like(19, 2).split(Split::TestOther)[0].clone()
+    }
+
+    #[test]
+    fn schedules_partition_the_audio_exactly() {
+        for (duration, chunk_s) in [(2.0, 0.5), (2.3, 0.5), (0.3, 0.5), (7.7, 1.0)] {
+            let chunks = chunk_schedule(
+                duration,
+                &ChunkConfig::default().with_chunk_seconds(chunk_s),
+            );
+            assert!(!chunks.is_empty());
+            assert_eq!(chunks[0].start_seconds, 0.0);
+            assert!((chunks.last().expect("non-empty").end_seconds - duration).abs() < 1e-12);
+            for pair in chunks.windows(2) {
+                assert!((pair[0].end_seconds - pair[1].start_seconds).abs() < 1e-12);
+                assert!(pair[1].arrival_offset_ms >= pair[0].arrival_offset_ms);
+            }
+            for chunk in &chunks {
+                assert!(chunk.arrival_offset_ms >= chunk.end_seconds * 1_000.0);
+                assert!(chunk.duration_seconds() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jitter_delivers_chunks_exactly_on_the_audio_beat() {
+        let config = ChunkConfig::default().with_arrival_jitter(0.0);
+        for chunk in chunk_schedule(3.0, &config) {
+            assert!((chunk.arrival_offset_ms - chunk.end_seconds * 1_000.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_bounded() {
+        let config = ChunkConfig::default().with_arrival_jitter(0.5).with_seed(9);
+        let a = chunk_schedule(4.0, &config);
+        let b = chunk_schedule(4.0, &config);
+        assert_eq!(a, b);
+        let other = chunk_schedule(4.0, &config.with_seed(10));
+        assert_ne!(a, other);
+        for chunk in &a {
+            let late_ms = chunk.arrival_offset_ms - chunk.end_seconds * 1_000.0;
+            assert!((0.0..=0.5 * config.chunk_seconds * 1_000.0 + 1e-9).contains(&late_ms));
+        }
+    }
+
+    #[test]
+    fn streamed_features_match_the_offline_extraction() {
+        let utterance = sample_utterance();
+        let offline =
+            FeatureExtractor::new(FeatureConfig::tiny()).extract(&Waveform::synthesize(&utterance));
+        let mut stream =
+            AudioStream::new(&utterance, FeatureConfig::tiny(), &ChunkConfig::default());
+        let expected_chunks = stream.schedule().len();
+        let mut frames: Vec<Vec<f64>> = Vec::new();
+        let mut consumed = 0;
+        while let Some((chunk, mel)) = stream.next_chunk() {
+            assert_eq!(chunk.index, consumed);
+            consumed += 1;
+            frames.extend(mel.iter().map(<[f64]>::to_vec));
+        }
+        assert_eq!(consumed, expected_chunks);
+        assert!(stream.is_exhausted());
+        assert_eq!(stream.remaining(), 0);
+        assert_eq!(frames.len(), offline.frame_count());
+        for (streamed, reference) in frames.iter().zip(offline.iter()) {
+            assert_eq!(streamed.as_slice(), reference);
+        }
+    }
+
+    #[test]
+    fn streams_of_the_same_utterance_are_deterministic() {
+        let utterance = sample_utterance();
+        let config = ChunkConfig::default();
+        let a = AudioStream::new(&utterance, FeatureConfig::tiny(), &config);
+        let b = AudioStream::new(&utterance, FeatureConfig::tiny(), &config);
+        assert_eq!(a.schedule(), b.schedule());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_seconds")]
+    fn zero_chunk_duration_panics() {
+        chunk_schedule(1.0, &ChunkConfig::default().with_chunk_seconds(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_seconds")]
+    fn zero_duration_panics() {
+        chunk_schedule(0.0, &ChunkConfig::default());
+    }
+}

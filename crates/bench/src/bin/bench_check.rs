@@ -2,11 +2,12 @@
 //!
 //! Compares freshly generated serving records under `target/experiments/`
 //! against the committed `BENCH_*.json` baselines, failing (exit code 1)
-//! when any gated metric (`throughput_utps`, `e2e_p99_ms`) drifts outside
-//! the tolerance band in either direction.
+//! when any gated metric (see [`GATED_METRICS`]: throughput, P99 latency,
+//! KV-pool peaks/preemptions, streaming first-partial P99 and retraction
+//! rate) drifts outside the tolerance band in either direction.
 //!
 //! ```text
-//! # default pairs (serve_load + serve_open_loop), ±15% tolerance:
+//! # default pairs (serve_load + serve_open_loop + serve_streaming), ±15% tolerance:
 //! cargo run -p specasr-bench --release --bin bench_check
 //!
 //! # explicit pairs and tolerance:
@@ -31,11 +32,12 @@ fn load(path: &str) -> Result<ExperimentRecord, String> {
 
 fn default_pairs() -> Vec<(String, String)> {
     let experiments = experiments_dir();
-    ["serve_load", "serve_open_loop"]
+    ["serve_load", "serve_open_loop", "serve_streaming"]
         .into_iter()
         .map(|id| {
             let baseline = match id {
                 "serve_load" => "BENCH_serve.json",
+                "serve_streaming" => "BENCH_stream.json",
                 _ => "BENCH_serve_open.json",
             };
             (

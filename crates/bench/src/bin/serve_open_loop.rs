@@ -47,6 +47,16 @@ const QPS_LEVELS: [f64; 5] = [10.0, 25.0, 50.0, 100.0, 200.0];
 /// apples.
 const KV_BLOCK_LEVELS: [usize; 3] = [4096, 96, 48];
 
+/// Queue depth of the shedding companion study: production-depth queues (≤ 4
+/// waiting requests per worker) trade the deep-queue P99 blow-up for
+/// rejections, so the interesting numbers become the rejection rate and the
+/// goodput under overload.
+const SHALLOW_QUEUE_DEPTH: usize = 4;
+
+/// Offered rates of the shedding study (1 worker saturates in the low tens
+/// of QPS; both cells sit at or past the knee where shedding engages).
+const SHED_QPS_LEVELS: [f64; 3] = [25.0, 50.0, 200.0];
+
 fn admissions() -> Vec<(&'static str, AdmissionPolicy)> {
     vec![
         ("fifo", AdmissionPolicy::Fifo),
@@ -122,6 +132,46 @@ fn run_cell(
         .with("prefix_hit_rate", memory.shared_prefix_hit_rate())
 }
 
+/// One shedding cell: a single FIFO worker with a production-depth queue
+/// under overload.  Unlike [`run_cell`], rejections are the point — the row
+/// reports the realised rejection rate and the goodput (completions per
+/// second over the full drain window).
+fn run_shed_cell(context: &ExperimentContext, pool: &[&Utterance], qps: f64) -> ReportRow {
+    let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+    let mut router = Router::new(
+        RouterConfig::default().with_workers(1).with_worker_config(
+            ServerConfig::default()
+                .with_admission(AdmissionPolicy::Fifo)
+                .with_queue_depth(SHALLOW_QUEUE_DEPTH),
+        ),
+        context.binding.clone(),
+        EncoderProfile::whisper_medium_encoder(),
+        |_| context.whisper_pair(),
+    );
+    let mut loadgen = LoadGen::new(EXPERIMENT_SEED, qps);
+    let workload = (0..REQUESTS_PER_CELL).map(|index| (policy, pool[index % pool.len()]));
+    let report = run_open_loop(&mut router, &mut loadgen, workload);
+    assert_eq!(
+        report.outcomes.len() + report.rejected,
+        REQUESTS_PER_CELL,
+        "every request either completes or is shed"
+    );
+
+    let fleet = router.fleet_stats();
+    let offered = report.submitted + report.rejected;
+    ReportRow::new(format!("w1-fifo@q{qps:.0}-shallow{SHALLOW_QUEUE_DEPTH}"))
+        .with("target_qps", qps)
+        .with("offered_qps", report.offered_qps())
+        .with("queue_depth", SHALLOW_QUEUE_DEPTH as f64)
+        .with("rejection_rate", report.rejected as f64 / offered as f64)
+        .with("goodput_utps", report.completed_qps())
+        .with("throughput_utps", report.completed_qps())
+        .with("e2e_p50_ms", fleet.e2e_p50_ms())
+        .with("e2e_p99_ms", fleet.e2e_p99_ms())
+        .with("completed", report.outcomes.len() as f64)
+        .with("rejected", report.rejected as f64)
+}
+
 fn main() {
     let context = ExperimentContext::with_size(UTTERANCES_PER_SPLIT);
     let pool: Vec<&Utterance> = Split::ALL
@@ -161,6 +211,12 @@ fn main() {
             kv_blocks,
         ));
     }
+    // Shedding study: production-depth queues under overload — P99 stays
+    // bounded while the overflow turns into rejections, and goodput tracks
+    // the worker's service capacity rather than collapsing.
+    for qps in SHED_QPS_LEVELS {
+        record.push_row(run_shed_cell(&context, &pool, qps));
+    }
 
     emit(&record);
     if std::env::var_os("SPECASR_WRITE_BASELINE").is_some() {
@@ -176,6 +232,8 @@ fn main() {
          same knee position.  In the kv sweep, shrinking the pool caps peak occupancy \
          at the budget and turns the shortfall into preemptions (throughput dips, P99 \
          grows) while the prefix hit rate stays put — sharing depends on the workload, \
-         not the budget."
+         not the budget.  In the shallow-queue shedding rows, overload converts the \
+         deep-queue P99 blow-up into a rising rejection rate while goodput plateaus \
+         at the worker's service capacity."
     );
 }

@@ -1,0 +1,167 @@
+//! `serve_streaming` — the streaming-ASR serving sweep.
+//!
+//! Open-loop Poisson arrivals of *chunked* audio streams against one
+//! continuous-batching scheduler: every request's audio lands chunk by chunk
+//! (per-request cadence drawn by [`specasr_server::LoadGen`]), each chunk
+//! triggers an incremental re-decode from the committed prefix, and partial
+//! transcripts are emitted under the stream commit rule (horizon margin +
+//! K-stability; final transcripts stay byte-identical to offline decoding).
+//!
+//! The sweep crosses chunk duration × batch concurrency × decode policy and
+//! reports the numbers that matter for live captioning:
+//!
+//! * `first_partial_p50/p99_ms` — arrival → first partial (the streaming
+//!   TTFT; the paper's latency target),
+//! * `retraction_rate` — shown hypothesis tokens later retracted (partial
+//!   stability),
+//! * `final_e2e_p50/p99_ms` — arrival → final transcript,
+//! * `partials_per_utt`, `throughput_utps`, and the KV-pool gauges.
+//!
+//! Deterministic end to end, so the record doubles as a perf baseline:
+//! always written to `target/experiments/serve_streaming.json`, and to the
+//! committed `BENCH_stream.json` when `SPECASR_WRITE_BASELINE` is set (the
+//! CI gate compares fresh records against the committed baseline).
+//!
+//! Run with: `cargo run -p specasr-bench --release --bin serve_streaming`
+
+use specasr::{AdaptiveConfig, Policy, SpeculativeConfig};
+use specasr_audio::{EncoderProfile, Split, Utterance};
+use specasr_bench::{emit, ExperimentContext, EXPERIMENT_SEED};
+use specasr_metrics::{ExperimentRecord, ReportRow};
+use specasr_server::{run_open_loop_streaming, LoadGen, Scheduler, ServerConfig, StreamConfig};
+
+/// Utterances per split in the streaming corpus.
+const UTTERANCES_PER_SPLIT: usize = 8;
+
+/// Streams offered per cell (the corpus pool is cycled).
+const REQUESTS_PER_CELL: usize = 32;
+
+/// Offered stream-arrival rate (streams per second).  Streams are long-lived
+/// (they span their audio duration), so even a modest rate keeps several
+/// streams concurrently in flight.
+const ARRIVAL_QPS: f64 = 12.0;
+
+/// Chunk durations swept (milliseconds of audio per chunk).
+const CHUNK_MS: [u64; 3] = [300, 600, 1_200];
+
+/// Batch concurrency levels swept.
+const BATCH_SIZES: [usize; 2] = [2, 8];
+
+/// Per-request cadence spread around the nominal chunk duration.
+const CADENCE_SPREAD: f64 = 0.25;
+
+fn policies() -> Vec<(&'static str, Policy)> {
+    vec![
+        (
+            "adaptive",
+            Policy::AdaptiveSingleSequence(AdaptiveConfig::paper()),
+        ),
+        (
+            "spec8",
+            Policy::Speculative(SpeculativeConfig::short_single()),
+        ),
+    ]
+}
+
+fn run_cell(
+    context: &ExperimentContext,
+    pool: &[&Utterance],
+    policy_name: &str,
+    policy: Policy,
+    chunk_ms: u64,
+    max_batch: usize,
+) -> ReportRow {
+    let (draft, target) = context.whisper_pair();
+    let mut scheduler = Scheduler::new(
+        draft,
+        target,
+        context.binding.clone(),
+        EncoderProfile::whisper_medium_encoder(),
+        ServerConfig::default()
+            .with_max_batch(max_batch)
+            // Deep queue: this sweep measures partial latency, not shedding.
+            .with_queue_depth(4 * REQUESTS_PER_CELL),
+    );
+    let mut loadgen = LoadGen::new(EXPERIMENT_SEED ^ chunk_ms, ARRIVAL_QPS);
+    let stream = StreamConfig::default()
+        .with_chunk_seconds(chunk_ms as f64 / 1_000.0)
+        .with_seed(EXPERIMENT_SEED);
+    let workload = (0..REQUESTS_PER_CELL).map(|index| (policy, pool[index % pool.len()]));
+    let report = run_open_loop_streaming(
+        &mut scheduler,
+        &mut loadgen,
+        stream,
+        CADENCE_SPREAD,
+        workload,
+    );
+    assert_eq!(report.outcomes.len(), REQUESTS_PER_CELL);
+    assert_eq!(report.rejected, 0, "deep queues must never shed");
+
+    let stats = scheduler.stats();
+    assert_eq!(stats.streaming_completed(), REQUESTS_PER_CELL);
+    let memory = stats.memory();
+    ReportRow::new(format!("{policy_name}-c{chunk_ms}ms-b{max_batch}"))
+        .with("chunk_ms", chunk_ms as f64)
+        .with("max_batch", max_batch as f64)
+        .with("offered_qps", report.offered_qps())
+        .with("throughput_utps", report.completed_qps())
+        .with("first_partial_p50_ms", stats.first_partial_p50_ms())
+        .with("first_partial_p99_ms", stats.first_partial_p99_ms())
+        .with("partial_span_p99_ms", stats.partial_span_p99_ms())
+        .with("retraction_rate", stats.retraction_rate())
+        .with(
+            "partials_per_utt",
+            stats.partials_emitted() as f64 / REQUESTS_PER_CELL as f64,
+        )
+        .with("final_e2e_p50_ms", stats.e2e_p50_ms())
+        .with("final_e2e_p99_ms", stats.e2e_p99_ms())
+        .with("acceptance", stats.mean_acceptance())
+        .with("peak_kv_blocks", memory.peak_kv_blocks() as f64)
+        .with("preemptions", memory.preemptions() as f64)
+}
+
+fn main() {
+    let context = ExperimentContext::with_size(UTTERANCES_PER_SPLIT);
+    let pool: Vec<&Utterance> = Split::ALL
+        .iter()
+        .flat_map(|&split| context.corpus.split(split))
+        .collect();
+    let mut record = ExperimentRecord::new(
+        "serve_streaming",
+        format!(
+            "Open-loop streaming serving, {REQUESTS_PER_CELL} chunked streams/cell at \
+             {ARRIVAL_QPS} QPS, chunk duration × batch × policy sweep"
+        ),
+    );
+    for (policy_name, policy) in policies() {
+        for chunk_ms in CHUNK_MS {
+            for max_batch in BATCH_SIZES {
+                record.push_row(run_cell(
+                    &context,
+                    &pool,
+                    policy_name,
+                    policy,
+                    chunk_ms,
+                    max_batch,
+                ));
+            }
+        }
+    }
+
+    emit(&record);
+    if std::env::var_os("SPECASR_WRITE_BASELINE").is_some() {
+        match std::fs::write("BENCH_stream.json", record.to_json()) {
+            Ok(()) => println!("(baseline record written to BENCH_stream.json)"),
+            Err(error) => eprintln!("warning: could not write BENCH_stream.json: {error}"),
+        }
+    }
+    println!(
+        "shape check: first-partial latency tracks the chunk duration (smaller chunks \
+         hear a decodable prefix sooner), sitting far below the final-transcript \
+         latency — the TTFT win streaming exists for.  The retraction rate stays in \
+         the low single-digit percents across chunkings (only the boundary-window \
+         tail ever flickers) and speculative policies keep their acceptance under \
+         chunked re-decoding; committed transcripts are byte-identical to offline \
+         decodes by construction."
+    );
+}

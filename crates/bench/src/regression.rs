@@ -18,11 +18,19 @@ use specasr_metrics::ExperimentRecord;
 /// regression even when throughput holds, and a baseline of zero
 /// preemptions must stay at zero (any fresh preemption blows the relative
 /// band wide open by construction).
-pub const GATED_METRICS: [&str; 4] = [
+///
+/// The streaming metrics (`first_partial_p99_ms`, `retraction_rate`) gate
+/// the `serve_streaming` sweep: first-partial latency is the product metric
+/// streaming exists for, and the retraction rate is the partial-stability
+/// contract — a commit-rule change that silently makes partials flickier is
+/// a regression even when throughput holds.
+pub const GATED_METRICS: [&str; 6] = [
     "throughput_utps",
     "e2e_p99_ms",
     "peak_kv_blocks",
     "preemptions",
+    "first_partial_p99_ms",
+    "retraction_rate",
 ];
 
 /// Default relative tolerance band (±15%).
@@ -252,6 +260,41 @@ mod tests {
         let violations = compare_records(&base, &preempting, DEFAULT_TOLERANCE);
         assert_eq!(violations.len(), 1);
         assert!(violations[0].to_string().contains("preemptions"));
+    }
+
+    #[test]
+    fn streaming_metrics_are_gated_when_present() {
+        let base = ExperimentRecord::new("serve_streaming", "t").with_row(
+            ReportRow::new("adaptive-c300ms-b8")
+                .with("first_partial_p99_ms", 400.0)
+                .with("retraction_rate", 0.10),
+        );
+        let fresh_ok = ExperimentRecord::new("serve_streaming", "t").with_row(
+            ReportRow::new("adaptive-c300ms-b8")
+                .with("first_partial_p99_ms", 430.0)
+                .with("retraction_rate", 0.11),
+        );
+        assert!(compare_records(&base, &fresh_ok, DEFAULT_TOLERANCE).is_empty());
+
+        // A commit rule that makes partials flickier fails the gate even
+        // when latency holds.
+        let flicky = ExperimentRecord::new("serve_streaming", "t").with_row(
+            ReportRow::new("adaptive-c300ms-b8")
+                .with("first_partial_p99_ms", 400.0)
+                .with("retraction_rate", 0.20),
+        );
+        let violations = compare_records(&base, &flicky, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].to_string().contains("retraction_rate"));
+
+        let slow = ExperimentRecord::new("serve_streaming", "t").with_row(
+            ReportRow::new("adaptive-c300ms-b8")
+                .with("first_partial_p99_ms", 600.0)
+                .with("retraction_rate", 0.10),
+        );
+        let violations = compare_records(&base, &slow, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].to_string().contains("first_partial_p99_ms"));
     }
 
     #[test]

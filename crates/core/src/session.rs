@@ -267,6 +267,77 @@ impl DecodeSession {
         ))
     }
 
+    /// Starts a session that continues decoding after `committed` transcript
+    /// tokens (the streaming re-decode path): the context and both KV tables
+    /// are seeded as if those tokens had just been committed, and the next
+    /// round drafts from the end of the committed prefix.
+    ///
+    /// Committed tokens produced by any lossless decode are exactly the
+    /// target's greedy choices, and every policy's continuation is a
+    /// deterministic function of `(audio, committed prefix)` — so a resumed
+    /// session commits exactly the tokens the original session would have
+    /// committed after the same prefix, for every policy.  (The recycle
+    /// buffer starts empty, which can change round boundaries but never the
+    /// committed transcript.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy carries an invalid configuration (mirroring
+    /// [`DecodeSession::new`]).
+    pub fn resume(policy: Policy, audio: UtteranceTokens, committed: &[TokenId]) -> Self {
+        let mut session = DecodeSession::new(policy, audio);
+        session
+            .seed_committed(None, committed)
+            .expect("an unbounded pool always accepts the committed prefix");
+        session
+    }
+
+    /// The shared-pool form of [`DecodeSession::resume`]: like
+    /// [`DecodeSession::new_in`], prefix blocks are shared where possible,
+    /// allocation failures surface as typed errors, and nothing stays
+    /// allocated on error.  Sessions built this way must be stepped with
+    /// [`DecodeSession::verify_round_in`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy carries an invalid configuration.
+    pub fn resume_in(
+        policy: Policy,
+        audio: UtteranceTokens,
+        committed: &[TokenId],
+        pool: &mut KvPool,
+    ) -> Result<Self, PoolError> {
+        let mut session = DecodeSession::new_in(policy, audio, pool)?;
+        if let Err(error) = session.seed_committed(Some(pool), committed) {
+            session.release_kv(pool);
+            return Err(error);
+        }
+        Ok(session)
+    }
+
+    /// Seeds the committed prefix into a freshly prefilled session: the
+    /// transcript takes the tokens and both KV tables grow by the committed
+    /// width (the state a session holds right after committing them).
+    fn seed_committed(
+        &mut self,
+        pool: Option<&mut KvPool>,
+        committed: &[TokenId],
+    ) -> Result<(), PoolError> {
+        if committed.is_empty() {
+            return Ok(());
+        }
+        // Autoregressive sessions never touch the draft cache; every other
+        // policy holds prefill + committed positions in both tables.
+        let draft_width = if matches!(self.policy, Policy::Autoregressive) {
+            0
+        } else {
+            committed.len()
+        };
+        self.kv_append(pool, draft_width, committed.len())?;
+        self.tokens.extend_from_slice(committed);
+        Ok(())
+    }
+
     fn validate_policy(policy: &Policy) {
         match policy {
             Policy::AdaptiveSingleSequence(config) => config.validate(),
@@ -1098,6 +1169,73 @@ mod tests {
         session.release_kv(&mut pool);
         session.release_kv(&mut pool); // idempotent
         assert_eq!(pool.used_blocks(), 0);
+    }
+
+    #[test]
+    fn resumed_sessions_complete_the_offline_transcript_for_all_policies() {
+        let (draft, target, audio) = setup(Split::TestOther);
+        for policy in all_policies() {
+            for utt in audio.iter().take(3) {
+                let reference = policy.decode(&draft, &target, utt);
+                for cut in [0, 1, reference.tokens.len() / 2, reference.tokens.len()] {
+                    let committed = &reference.tokens[..cut];
+                    let mut session = DecodeSession::resume(policy, utt.clone(), committed);
+                    assert_eq!(session.tokens(), committed);
+                    while !session.is_finished() {
+                        session.step(&draft, &target);
+                    }
+                    assert_eq!(
+                        session.into_outcome().tokens,
+                        reference.tokens,
+                        "policy {} cut {cut}",
+                        policy.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_resume_matches_private_resume_and_releases_cleanly() {
+        let (draft, target, audio) = setup(Split::TestClean);
+        let mut pool = KvPool::bounded(2048, 16);
+        let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+        let reference = policy.decode(&draft, &target, &audio[0]);
+        let committed = &reference.tokens[..reference.tokens.len() / 2];
+        let mut session = DecodeSession::resume_in(policy, audio[0].clone(), committed, &mut pool)
+            .expect("pool has room");
+        while !session.is_finished() {
+            let drafted = session.draft_round(&draft);
+            session
+                .verify_round_in(&mut pool, &target, drafted)
+                .expect("pool has room");
+        }
+        session.release_kv(&mut pool);
+        assert_eq!(session.into_outcome().tokens, reference.tokens);
+        assert_eq!(pool.used_blocks(), 0);
+    }
+
+    #[test]
+    fn pooled_resume_on_an_exhausted_pool_leaks_nothing() {
+        let (draft, target, audio) = setup(Split::DevOther);
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        let reference = policy.decode(&draft, &target, &audio[0]);
+        // Enough blocks for the prefill but not for the committed appends.
+        let prefill_blocks = {
+            let probe = KvPool::bounded(4096, 16);
+            probe.target().blocks_for(audio[0].prefill_tokens())
+        };
+        let tail_slack = prefill_blocks * 16 - audio[0].prefill_tokens();
+        assert!(
+            reference.tokens.len() > tail_slack,
+            "precondition: the committed prefix must overflow the prefill tail"
+        );
+        let mut pool = KvPool::bounded(prefill_blocks, 16);
+        let error =
+            DecodeSession::resume_in(policy, audio[0].clone(), &reference.tokens, &mut pool)
+                .expect_err("the committed appends cannot fit");
+        assert!(matches!(error, PoolError::OutOfBlocks { .. }));
+        assert_eq!(pool.used_blocks(), 0, "failed resume must not leak");
     }
 
     #[test]

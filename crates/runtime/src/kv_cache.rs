@@ -43,7 +43,7 @@ impl std::error::Error for PrefillError {}
 /// use specasr_runtime::KvCache;
 ///
 /// let mut cache = KvCache::new();
-/// cache.prefill(100);
+/// cache.try_prefill(100).expect("empty cache");
 /// cache.append(8);
 /// assert_eq!(cache.len(), 108);
 /// cache.rollback_to(103);
@@ -68,11 +68,19 @@ impl KvCache {
     /// Records the prefill of `tokens` context positions (audio embeddings
     /// plus prompt).  May only be called on an empty cache.
     ///
+    /// Deprecated: every in-tree call site now uses the fallible
+    /// [`KvCache::try_prefill`], which surfaces the double-prefill case as a
+    /// typed [`PrefillError`] a serving worker can handle instead of dying.
+    /// This panicking wrapper stays for one more release for downstream
+    /// compatibility.
+    ///
     /// # Panics
     ///
-    /// Panics if the cache already holds positions.  Use
-    /// [`KvCache::try_prefill`] where a panic must not take down the caller
-    /// (serving workers).
+    /// Panics if the cache already holds positions.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_prefill` and handle the typed `PrefillError`"
+    )]
     pub fn prefill(&mut self, tokens: usize) {
         self.try_prefill(tokens)
             .expect("prefill must happen on an empty cache");
@@ -163,7 +171,7 @@ mod tests {
     fn prefill_then_append_tracks_lengths() {
         let mut cache = KvCache::new();
         assert!(cache.is_empty());
-        cache.prefill(50);
+        cache.try_prefill(50).expect("empty cache");
         cache.append(10);
         cache.append(5);
         assert_eq!(cache.len(), 65);
@@ -176,7 +184,7 @@ mod tests {
     #[test]
     fn rollback_discards_and_counts() {
         let mut cache = KvCache::new();
-        cache.prefill(10);
+        cache.try_prefill(10).expect("empty cache");
         cache.append(20);
         cache.rollback_to(15);
         assert_eq!(cache.len(), 15);
@@ -192,7 +200,7 @@ mod tests {
     #[should_panic(expected = "cannot roll forward")]
     fn rollforward_panics() {
         let mut cache = KvCache::new();
-        cache.prefill(5);
+        cache.try_prefill(5).expect("empty cache");
         cache.rollback_to(10);
     }
 
@@ -200,7 +208,7 @@ mod tests {
     #[should_panic(expected = "past the prefilled context")]
     fn rollback_past_prefill_panics() {
         let mut cache = KvCache::new();
-        cache.prefill(5);
+        cache.try_prefill(5).expect("empty cache");
         cache.append(3);
         cache.rollback_to(2);
     }
@@ -227,6 +235,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "empty cache")]
+    #[allow(deprecated)] // compatibility coverage for the panicking wrapper
     fn double_prefill_panics() {
         let mut cache = KvCache::new();
         cache.prefill(5);
@@ -248,7 +257,7 @@ mod proptests {
             ops in proptest::collection::vec((0usize..2, 1usize..30), 0..40),
         ) {
             let mut cache = KvCache::new();
-            cache.prefill(prefill);
+            cache.try_prefill(prefill).expect("empty cache");
             let mut appended = 0usize;
             for (kind, amount) in ops {
                 if kind == 0 {

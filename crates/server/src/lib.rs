@@ -91,8 +91,8 @@ mod worker;
 
 pub use batch::{grouped_verify_ms, TickCost};
 pub use config::{AdmissionPolicy, PreemptPolicy, RouterConfig, ServerConfig};
-pub use loadgen::{run_open_loop, LoadGen, OpenLoopReport};
-pub use request::{RequestId, RequestLatency, RequestOutcome, SubmitError};
+pub use loadgen::{run_open_loop, run_open_loop_streaming, LoadGen, OpenLoopReport};
+pub use request::{PartialSpan, RequestId, RequestLatency, RequestOutcome, SubmitError};
 pub use router::Router;
 pub use scheduler::Scheduler;
 pub use stats::{MemoryStats, ServerStats};
@@ -101,3 +101,7 @@ pub use worker::{Worker, WorkerId};
 // Serving code configures and inspects the paged KV pool directly; re-export
 // its runtime types so downstream users don't need the runtime crate.
 pub use specasr_runtime::{KvPool, PoolCounters, PoolError};
+
+// Streaming requests are configured with the stream crate's types; re-export
+// them so callers can submit streams without a direct dependency.
+pub use specasr_stream::{PartialTranscript, StreamConfig, StreamingSession};

@@ -16,9 +16,11 @@ use rand_chacha::ChaCha8Rng;
 use specasr::Policy;
 use specasr_audio::Utterance;
 use specasr_models::AsrDecoderModel;
+use specasr_stream::StreamConfig;
 
 use crate::request::RequestOutcome;
 use crate::router::Router;
+use crate::scheduler::Scheduler;
 
 /// A deterministic Poisson arrival process targeting a fixed request rate.
 ///
@@ -86,6 +88,29 @@ impl LoadGen {
     /// Generates the next `count` arrival timestamps.
     pub fn arrivals_ms(&mut self, count: usize) -> Vec<f64> {
         (0..count).map(|_| self.next_arrival_ms()).collect()
+    }
+
+    /// Draws one request's chunk cadence for the streaming workload mode:
+    /// uniform in `[base × (1 − spread), base × (1 + spread)]` seconds, from
+    /// the same seeded generator as the arrival process (microphones and
+    /// capture stacks chunk at different rates; a fleet never sees one
+    /// uniform cadence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_chunk_seconds` is not finite and positive, or
+    /// `spread` is not within `[0, 1)`.
+    pub fn next_chunk_seconds(&mut self, base_chunk_seconds: f64, spread: f64) -> f64 {
+        assert!(
+            base_chunk_seconds.is_finite() && base_chunk_seconds > 0.0,
+            "base_chunk_seconds must be finite and positive"
+        );
+        assert!(
+            spread.is_finite() && (0.0..1.0).contains(&spread),
+            "spread must be within [0, 1)"
+        );
+        let uniform: f64 = self.rng.gen();
+        base_chunk_seconds * (1.0 - spread + 2.0 * spread * uniform)
     }
 }
 
@@ -157,6 +182,47 @@ where
         rejected,
         last_arrival_ms: loadgen.clock_ms(),
         drained_ms: router.fleet_stats().wall_ms(),
+    }
+}
+
+/// Plays an open-loop *streaming* workload against one scheduler: each
+/// request arrives at its [`LoadGen`] timestamp as a chunked stream with its
+/// own cadence (drawn via [`LoadGen::next_chunk_seconds`]), the scheduler
+/// keeps serving between arrivals, and after the last arrival it drains.
+///
+/// The run is a pure function of the scheduler construction, the workload
+/// order, the stream configuration, and the load generator's seed/rate.
+pub fn run_open_loop_streaming<'a, D, T>(
+    scheduler: &mut Scheduler<D, T>,
+    loadgen: &mut LoadGen,
+    stream: StreamConfig,
+    cadence_spread: f64,
+    workload: impl IntoIterator<Item = (Policy, &'a Utterance)>,
+) -> OpenLoopReport
+where
+    D: AsrDecoderModel,
+    T: AsrDecoderModel,
+{
+    let base_chunk_seconds = stream.chunk.chunk_seconds;
+    let mut outcomes = Vec::new();
+    let mut submitted = 0;
+    let mut rejected = 0;
+    for (policy, utterance) in workload {
+        let arrival_ms = loadgen.next_arrival_ms();
+        outcomes.extend(scheduler.advance_to(arrival_ms));
+        let cadence = loadgen.next_chunk_seconds(base_chunk_seconds, cadence_spread);
+        match scheduler.submit_streaming(policy, utterance, stream.with_chunk_seconds(cadence)) {
+            Ok(_) => submitted += 1,
+            Err(_) => rejected += 1,
+        }
+    }
+    outcomes.extend(scheduler.run_until_idle());
+    OpenLoopReport {
+        outcomes,
+        submitted,
+        rejected,
+        last_arrival_ms: loadgen.clock_ms(),
+        drained_ms: scheduler.stats().wall_ms(),
     }
 }
 
@@ -248,6 +314,78 @@ mod tests {
             );
         }
         assert_eq!(latencies[0], latencies[1]);
+    }
+
+    #[test]
+    fn chunk_cadences_are_seeded_bounded_and_spread() {
+        let mut a = LoadGen::new(3, 10.0);
+        let mut b = LoadGen::new(3, 10.0);
+        let cadences: Vec<f64> = (0..64).map(|_| a.next_chunk_seconds(0.5, 0.4)).collect();
+        let repeat: Vec<f64> = (0..64).map(|_| b.next_chunk_seconds(0.5, 0.4)).collect();
+        assert_eq!(cadences, repeat, "cadences are deterministic per seed");
+        for &cadence in &cadences {
+            assert!((0.3..=0.7).contains(&cadence), "cadence {cadence}");
+        }
+        let spread = cadences
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &c| {
+                (lo.min(c), hi.max(c))
+            });
+        assert!(spread.1 - spread.0 > 0.1, "cadences must actually vary");
+        // Zero spread collapses to the base cadence.
+        assert_eq!(a.next_chunk_seconds(0.5, 0.0), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "spread")]
+    fn out_of_range_cadence_spread_panics() {
+        LoadGen::new(1, 1.0).next_chunk_seconds(0.5, 1.0);
+    }
+
+    #[test]
+    fn open_loop_streaming_runs_are_deterministic_and_emit_partials() {
+        use specasr_audio::EncoderProfile;
+        use specasr_models::{ModelProfile, SimulatedAsrModel, TokenizerBinding};
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        let mut finals = Vec::new();
+        for _ in 0..2 {
+            let corpus = Corpus::librispeech_like(88, 4);
+            let binding = TokenizerBinding::for_corpus(&corpus);
+            let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 7);
+            let draft =
+                SimulatedAsrModel::draft_paired(ModelProfile::whisper_tiny_en(), 8, &target);
+            let mut scheduler = Scheduler::new(
+                draft,
+                target,
+                binding,
+                EncoderProfile::whisper_medium_encoder(),
+                crate::config::ServerConfig::default(),
+            );
+            let mut gen = LoadGen::new(21, 4.0);
+            let report = run_open_loop_streaming(
+                &mut scheduler,
+                &mut gen,
+                StreamConfig::default(),
+                0.3,
+                corpus
+                    .split(Split::TestClean)
+                    .iter()
+                    .map(|utterance| (policy, utterance)),
+            );
+            assert_eq!(report.outcomes.len(), 4);
+            assert_eq!(report.rejected, 0);
+            assert!(scheduler.stats().partials_emitted() >= 4);
+            assert!(report.offered_qps() > 0.0);
+            assert!(report.completed_qps() > 0.0);
+            finals.push(
+                report
+                    .outcomes
+                    .iter()
+                    .map(|o| (o.text.clone(), o.latency.time_to_first_token_ms))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(finals[0], finals[1]);
     }
 
     #[test]

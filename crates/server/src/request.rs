@@ -73,6 +73,45 @@ impl RequestLatency {
     }
 }
 
+/// One partial transcript emitted while a streaming request was in flight:
+/// the serving-side record of a [`specasr_stream::PartialTranscript`], with
+/// its latency span on the scheduler wall clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartialSpan {
+    /// Position of this partial in the request's emission order (0-based).
+    pub partial_index: usize,
+    /// Index of the newest audio chunk this partial's decode had heard.
+    pub chunk_index: usize,
+    /// Wall time that chunk arrived at the server.
+    pub chunk_arrival_ms: f64,
+    /// Wall time the partial was emitted.
+    pub emitted_ms: f64,
+    /// Incremental encoder milliseconds charged to this partial (the chunks
+    /// delivered since the previous partial).
+    pub encoder_ms: f64,
+    /// Total committed (never-retracted) tokens after this partial.
+    pub committed_tokens: usize,
+    /// Tokens this partial newly committed.
+    pub newly_committed: usize,
+    /// Full hypothesis length (committed prefix plus unstable tail).
+    pub hypothesis_tokens: usize,
+    /// Uncommitted hypothesis positions that changed versus the previous
+    /// partial.
+    pub retracted_tokens: usize,
+    /// `true` for the final partial (full audio received, everything
+    /// committed).
+    pub is_final: bool,
+}
+
+impl PartialSpan {
+    /// The per-partial latency span: newest-chunk arrival → partial
+    /// emission, plus the incremental encoder time the chunk cost (clamped
+    /// non-negative under router clock skew, like every latency span).
+    pub fn span_ms(&self) -> f64 {
+        (self.emitted_ms - self.chunk_arrival_ms).max(0.0) + self.encoder_ms
+    }
+}
+
 /// Everything the server produces for one finished request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RequestOutcome {
@@ -93,6 +132,10 @@ pub struct RequestOutcome {
     /// Times this request was preempted (evicted to free KV-pool blocks and
     /// later restored by a deterministic re-decode) before completing.
     pub preemptions: usize,
+    /// Partial transcripts emitted while the request streamed, in order —
+    /// empty for offline requests.  For streaming requests the latency's
+    /// time-to-first-token is the first partial's arrival-to-emission span.
+    pub partials: Vec<PartialSpan>,
 }
 
 impl RequestOutcome {
@@ -104,6 +147,19 @@ impl RequestOutcome {
     /// Number of transcript tokens produced.
     pub fn token_count(&self) -> usize {
         self.outcome.tokens.len()
+    }
+
+    /// `true` when this request streamed its audio chunk by chunk.
+    pub fn is_streaming(&self) -> bool {
+        !self.partials.is_empty()
+    }
+
+    /// The first partial's chunk-arrival → emission span (streaming requests
+    /// only).  First-partial latency measured from request *arrival* is the
+    /// streaming time-to-first-token, reported in
+    /// [`RequestLatency::time_to_first_token_ms`].
+    pub fn first_partial_span_ms(&self) -> Option<f64> {
+        self.partials.first().map(PartialSpan::span_ms)
     }
 }
 
@@ -127,6 +183,31 @@ mod tests {
         assert!(RequestId::new(2) > RequestId::new(1));
         assert_eq!(RequestId::new(7).to_string(), "req-7");
         assert_eq!(RequestId::new(7).value(), 7);
+    }
+
+    #[test]
+    fn partial_spans_clamp_skew_and_charge_the_encoder() {
+        let span = PartialSpan {
+            partial_index: 0,
+            chunk_index: 2,
+            chunk_arrival_ms: 100.0,
+            emitted_ms: 130.0,
+            encoder_ms: 4.0,
+            committed_tokens: 6,
+            newly_committed: 2,
+            hypothesis_tokens: 9,
+            retracted_tokens: 1,
+            is_final: false,
+        };
+        assert!((span.span_ms() - 34.0).abs() < 1e-12);
+        let skewed = PartialSpan {
+            chunk_arrival_ms: 200.0,
+            ..span
+        };
+        assert!(
+            (skewed.span_ms() - 4.0).abs() < 1e-12,
+            "clamped at zero + encoder"
+        );
     }
 
     #[test]

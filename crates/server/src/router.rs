@@ -212,6 +212,9 @@ where
                 .latency_ms_for_audio(utterance.duration_seconds()),
             arrival_ms: self.now_ms,
             preemptions: 0,
+            ttft_budget_ms: None,
+            first_output_emitted: false,
+            stream: None,
         };
         let worker = &mut self.workers[candidate];
         if worker.is_idle() {

@@ -4,15 +4,16 @@
 
 use std::collections::VecDeque;
 
-use specasr::Policy;
-use specasr_audio::{EncoderProfile, Utterance};
-use specasr_models::{AsrDecoderModel, TokenizerBinding};
+use specasr::{DecodeOutcome, Policy};
+use specasr_audio::{chunk_schedule, EncoderProfile, Utterance};
+use specasr_models::{splitmix64, AsrDecoderModel, TokenizerBinding};
 use specasr_runtime::KvPool;
+use specasr_stream::{StreamConfig, StreamingSession};
 
 use crate::batch::TickCost;
 use crate::config::{AdmissionPolicy, PreemptPolicy, ServerConfig};
-use crate::request::{RequestId, RequestLatency, RequestOutcome, SubmitError};
-use crate::session::{QueuedRequest, ServerSession};
+use crate::request::{PartialSpan, RequestId, RequestLatency, RequestOutcome, SubmitError};
+use crate::session::{QueuedRequest, ServerSession, StreamState};
 use crate::stats::ServerStats;
 
 /// How one in-flight session leaves (or stays in) the batch at tick end.
@@ -79,6 +80,9 @@ pub struct Scheduler<D, T> {
     encoder: EncoderProfile,
     config: ServerConfig,
     queue: VecDeque<QueuedRequest>,
+    /// Streaming requests parked between chunks: their current view is fully
+    /// decoded (or not yet audible) and the next chunk has not arrived.
+    waiting: Vec<QueuedRequest>,
     active: Vec<ServerSession>,
     kv: KvPool,
     wall_ms: f64,
@@ -113,6 +117,7 @@ where
             encoder,
             config,
             queue: VecDeque::new(),
+            waiting: Vec::new(),
             active: Vec::with_capacity(config.max_batch),
             kv: KvPool::bounded(config.kv_blocks, config.block_size),
             wall_ms: 0.0,
@@ -146,14 +151,19 @@ where
         self.queue.len()
     }
 
+    /// Number of streaming requests parked between chunks.
+    pub fn waiting_streams(&self) -> usize {
+        self.waiting.len()
+    }
+
     /// Number of sessions decoding right now.
     pub fn in_flight(&self) -> usize {
         self.active.len()
     }
 
-    /// `true` when no request is queued or in flight.
+    /// `true` when no request is queued, in flight, or awaiting a chunk.
     pub fn is_idle(&self) -> bool {
-        self.queue.is_empty() && self.active.is_empty()
+        self.queue.is_empty() && self.active.is_empty() && self.waiting.is_empty()
     }
 
     /// Submits one utterance for transcription under `policy`.
@@ -167,6 +177,20 @@ where
         &mut self,
         policy: Policy,
         utterance: &Utterance,
+    ) -> Result<RequestId, SubmitError> {
+        self.submit_with_budget(policy, utterance, None)
+    }
+
+    /// Like [`Scheduler::submit`], with an optional time-to-first-token
+    /// budget: if the request is still unadmitted once its queue wait
+    /// exceeds the budget, it is shed with a `rejected_deadline` count
+    /// instead of being served uselessly late (latency-SLO admission
+    /// groundwork; the admission ordering itself stays policy-driven).
+    pub fn submit_with_budget(
+        &mut self,
+        policy: Policy,
+        utterance: &Utterance,
+        ttft_budget_ms: Option<f64>,
     ) -> Result<RequestId, SubmitError> {
         // Reject before tokenizing: under overload, rejected submissions are
         // the common case and must not pay for work that gets dropped.
@@ -186,7 +210,94 @@ where
                 .latency_ms_for_audio(utterance.duration_seconds()),
             arrival_ms: self.wall_ms,
             preemptions: 0,
+            ttft_budget_ms,
+            first_output_emitted: false,
+            stream: None,
         })?;
+        self.next_id += 1;
+        Ok(id)
+    }
+
+    /// Submits one utterance as a *streaming* request: its audio arrives in
+    /// chunks on the timed schedule derived from `stream.chunk` (jitter
+    /// seeded per utterance), each chunk triggers a re-decode of the audio
+    /// heard so far from the committed prefix, and partial transcripts are
+    /// emitted under the stream's commit rule.  The request re-enters the
+    /// admission queue for every chunk and competes with offline requests
+    /// under the configured admission policy; the final transcript is
+    /// byte-identical to an offline decode of the full utterance.
+    ///
+    /// Backpressure counts parked streams against the queue depth, so an
+    /// accepted stream is never shed by *queue* pressure mid-utterance.  A
+    /// KV pool too small for the stream's grown footprint (the committed
+    /// prefix is re-appended on every per-chunk resume) can still drop it
+    /// mid-utterance with a `rejected_memory` count — in that case no final
+    /// outcome is produced and already-emitted partials stay with the
+    /// caller; size `ServerConfig::kv_blocks` so a full utterance fits.
+    pub fn submit_streaming(
+        &mut self,
+        policy: Policy,
+        utterance: &Utterance,
+        stream: StreamConfig,
+    ) -> Result<RequestId, SubmitError> {
+        self.submit_streaming_with_budget(policy, utterance, stream, None)
+    }
+
+    /// [`Scheduler::submit_streaming`] with a first-partial deadline budget
+    /// (see [`Scheduler::submit_with_budget`]; the budget only applies until
+    /// the first partial is emitted).
+    pub fn submit_streaming_with_budget(
+        &mut self,
+        policy: Policy,
+        utterance: &Utterance,
+        stream: StreamConfig,
+        ttft_budget_ms: Option<f64>,
+    ) -> Result<RequestId, SubmitError> {
+        stream.validate();
+        if self.queue.len() + self.waiting.len() >= self.config.queue_depth {
+            return Err(self.reject());
+        }
+        let id = RequestId::new(self.next_id);
+        let audio = self.binding.bind(utterance);
+        // Per-utterance jitter: the same utterance streams identically for a
+        // given seed, and distinct requests decorrelate through their id.
+        let seeded = stream.with_seed(splitmix64(
+            stream.chunk.seed ^ utterance.id().value() ^ (id.value() << 17),
+        ));
+        let chunks = chunk_schedule(utterance.duration_seconds(), &seeded.chunk);
+        let chunk_encoder_ms = chunks
+            .iter()
+            .map(|chunk| {
+                self.encoder
+                    .incremental_latency_ms(chunk.duration_seconds(), chunk.index == 0)
+            })
+            .collect();
+        let state = StreamState {
+            session: StreamingSession::new(policy, audio.clone(), seeded),
+            chunks,
+            chunk_encoder_ms,
+            submitted_ms: self.wall_ms,
+            delivered: 0,
+            newest_chunk_arrival_ms: self.wall_ms,
+            pending_encoder_ms: 0.0,
+            first_admitted_ms: None,
+            partials: Vec::new(),
+        };
+        self.waiting.push(QueuedRequest {
+            id,
+            policy,
+            audio,
+            utterance_id: utterance.id(),
+            audio_seconds: utterance.duration_seconds(),
+            encoder_ms: self
+                .encoder
+                .latency_ms_for_audio(utterance.duration_seconds()),
+            arrival_ms: self.wall_ms,
+            preemptions: 0,
+            ttft_budget_ms,
+            first_output_emitted: false,
+            stream: Some(Box::new(state)),
+        });
         self.next_id += 1;
         Ok(id)
     }
@@ -231,11 +342,22 @@ where
         self.wall_ms = self.wall_ms.max(ms);
     }
 
-    /// Runs one scheduler iteration: admit → draft → grouped verify (with
-    /// KV-pool preemption when memory runs out) → retire.
+    /// Runs one scheduler iteration: deliver due stream chunks → admit →
+    /// draft → grouped verify (with KV-pool preemption when memory runs
+    /// out) → retire / emit partials.
     ///
     /// Returns the requests that finished this tick, in retirement order.
     pub fn tick(&mut self) -> Vec<RequestOutcome> {
+        self.release_due_streams();
+        // With nothing decodable but streams parked between chunks, the only
+        // next event is a chunk arrival: fast-forward the wall clock to it
+        // (a real server would sleep here).
+        if self.active.is_empty() && self.queue.is_empty() && !self.waiting.is_empty() {
+            if let Some(next) = self.next_chunk_arrival_ms() {
+                self.wall_ms = self.wall_ms.max(next);
+                self.release_due_streams();
+            }
+        }
         self.admit();
         if self.active.is_empty() {
             return Vec::new();
@@ -306,9 +428,10 @@ where
             counters.cow_copies,
         );
 
-        // Retire finished sessions (their batch slots refill next tick) and
-        // re-queue preempted ones at the front, preserving admission order
-        // among them.
+        // Retire finished sessions (their batch slots refill next tick;
+        // streaming sessions whose *view* finished emit a partial and either
+        // retire or park for their next chunk) and re-queue preempted ones
+        // at the front, preserving admission order among them.
         let drained: Vec<(ServerSession, Removal)> = self.active.drain(..).zip(removal).collect();
         let mut outcomes = Vec::new();
         let mut kept = Vec::with_capacity(drained.len());
@@ -316,10 +439,14 @@ where
         for (session, removal) in drained {
             match removal {
                 Removal::Keep if session.decode.is_finished() => {
-                    outcomes.push(self.retire(session));
+                    if session.stream.is_some() {
+                        outcomes.extend(self.finish_stream_view(session));
+                    } else {
+                        outcomes.push(self.retire(session));
+                    }
                 }
                 Removal::Keep => kept.push(session),
-                Removal::Preempted => requeued.push(session.into_requeued()),
+                Removal::Preempted => requeued.push(session.into_requeued(true)),
                 Removal::Rejected => {}
             }
         }
@@ -327,6 +454,146 @@ where
         for request in requeued.into_iter().rev() {
             self.queue.push_front(request);
         }
+        outcomes
+    }
+
+    /// Delivers every due chunk into the parked streams and moves the ones
+    /// that gained decodable audio back into the admission queue.
+    fn release_due_streams(&mut self) {
+        let wall = self.wall_ms;
+        let mut index = 0;
+        while index < self.waiting.len() {
+            let request = &mut self.waiting[index];
+            let stream = request
+                .stream
+                .as_mut()
+                .expect("only streaming requests park between chunks");
+            let delivered = stream.deliver_due(wall);
+            if delivered && stream.decodable() {
+                let mut request = self.waiting.remove(index);
+                request.refresh_stream_view();
+                self.queue.push_back(request);
+            } else {
+                index += 1;
+            }
+        }
+    }
+
+    /// Wall time of the earliest undelivered chunk across parked streams.
+    fn next_chunk_arrival_ms(&self) -> Option<f64> {
+        self.waiting
+            .iter()
+            .filter_map(|request| {
+                request
+                    .stream
+                    .as_ref()
+                    .and_then(|stream| stream.next_arrival_ms())
+            })
+            .min_by(|a, b| a.partial_cmp(b).expect("wall clocks are finite"))
+    }
+
+    /// Absorbs a streaming session whose current-view decode completed:
+    /// applies the commit rule, records the partial span, and either retires
+    /// the request (final partial) or parks it for the next chunk.
+    fn finish_stream_view(&mut self, mut session: ServerSession) -> Option<RequestOutcome> {
+        let mut stream = session.stream.take().expect("caller checked the stream");
+        // The finished session is cheap to clone here: a pooled session's KV
+        // blocks were already released, leaving tokens and bookkeeping.
+        let view_outcome = session.decode.clone().into_outcome();
+        let partial = stream.session.absorb(&view_outcome);
+        let span = PartialSpan {
+            partial_index: partial.partial_index,
+            chunk_index: stream.delivered.saturating_sub(1),
+            chunk_arrival_ms: stream.newest_chunk_arrival_ms,
+            emitted_ms: self.wall_ms,
+            encoder_ms: stream.pending_encoder_ms,
+            committed_tokens: partial.committed_tokens,
+            newly_committed: partial.newly_committed,
+            hypothesis_tokens: partial.hypothesis_tokens,
+            retracted_tokens: partial.retracted_tokens,
+            is_final: partial.is_final,
+        };
+        stream.pending_encoder_ms = 0.0;
+        stream.partials.push(span);
+        if partial.is_final {
+            return Some(self.retire_stream(session, *stream, view_outcome));
+        }
+        // Park for the next chunk; the original arrival keeps accumulating
+        // aging credit across re-entries, and the emitted partial keeps the
+        // request exempt from deadline shedding.
+        session.stream = Some(stream);
+        self.waiting.push(session.into_requeued(false));
+        None
+    }
+
+    /// Builds the final outcome of a completed stream: the committed
+    /// transcript (byte-identical to the offline decode), the decode
+    /// statistics pooled across every per-chunk re-decode, and the full
+    /// partial-span history.  Time-to-first-token is the first partial's
+    /// arrival-to-emission latency.
+    fn retire_stream(
+        &mut self,
+        session: ServerSession,
+        stream: StreamState,
+        last_view_outcome: DecodeOutcome,
+    ) -> RequestOutcome {
+        let arrival_ms = session.arrival_ms;
+        let first_admitted = stream.first_admitted_ms.unwrap_or(arrival_ms);
+        let first_partial = stream
+            .partials
+            .first()
+            .expect("a finished stream emitted at least one partial");
+        let latency = RequestLatency {
+            queue_ms: (first_admitted - arrival_ms).max(0.0),
+            encoder_ms: session.encoder_ms,
+            decode_wall_ms: self.wall_ms - first_admitted,
+            time_to_first_token_ms: (first_partial.emitted_ms - arrival_ms).max(0.0)
+                + first_partial.encoder_ms,
+        };
+        let outcome = DecodeOutcome {
+            tokens: stream.session.final_tokens().to_vec(),
+            stats: stream.session.decode_stats().clone(),
+            clock: stream.session.clock().clone(),
+            draft_cache: last_view_outcome.draft_cache,
+            target_cache: last_view_outcome.target_cache,
+        };
+        let text = self
+            .binding
+            .tokenizer()
+            .decode(&outcome.tokens)
+            .expect("decoded tokens always come from the shared vocabulary");
+        let outcome = RequestOutcome {
+            id: session.id,
+            policy: session.policy,
+            utterance_id: session.utterance_id,
+            text,
+            outcome,
+            latency,
+            audio_seconds: session.audio_seconds,
+            preemptions: session.preemptions,
+            partials: stream.partials,
+        };
+        self.stats.record_completion(&outcome);
+        outcome
+    }
+
+    /// Advances the scheduler to wall time `ms`, ticking while there is work
+    /// (the open-loop driver: submit at arrival timestamps, advance between
+    /// them).  Never fast-forwards a chunk arrival later than `ms`.
+    pub fn advance_to(&mut self, ms: f64) -> Vec<RequestOutcome> {
+        let mut outcomes = Vec::new();
+        while !self.is_idle() && self.wall_ms < ms {
+            if self.active.is_empty() && self.queue.is_empty() {
+                // Only a chunk arrival can create work; don't jump past
+                // `ms` to reach one.
+                match self.next_chunk_arrival_ms() {
+                    Some(next) if next <= ms => {}
+                    _ => break,
+                }
+            }
+            outcomes.extend(self.tick());
+        }
+        self.sync_wall_to(ms);
         outcomes
     }
 
@@ -461,6 +728,17 @@ where
                 }
             };
             let request = self.queue.remove(index).expect("index is in range");
+            // Latency-SLO shedding: a request whose queue wait already blew
+            // its TTFT budget is served uselessly late — drop it (per-class
+            // `rejected_deadline` accounting) and admit the next one.  Only
+            // applies before the first output; a stream that already emitted
+            // a partial is never shed mid-utterance.
+            if let Some(budget) = request.ttft_budget_ms {
+                if !request.first_output_emitted() && self.wall_ms - request.arrival_ms > budget {
+                    self.stats.record_deadline_rejection();
+                    continue;
+                }
+            }
             match request.try_admit(self.wall_ms, &mut self.kv) {
                 Ok(session) => self.active.push(session),
                 Err(returned) => {
@@ -478,13 +756,20 @@ where
         }
     }
 
-    /// Whether the request's prefill could fit an otherwise empty pool
-    /// (with one block of generation headroom; draft and target sub-pools
-    /// carry the same budget).  Requests failing this can never be admitted
-    /// and must be shed rather than parked.
+    /// Whether the request's admission footprint could fit an otherwise
+    /// empty pool (with one block of generation headroom; draft and target
+    /// sub-pools carry the same budget).  Requests failing this can never be
+    /// admitted and must be shed rather than parked — for a streaming
+    /// request the footprint includes the committed prefix it re-appends on
+    /// resume, which grows chunk by chunk, so a stream can become
+    /// unfittable mid-utterance on a pool that admitted its first chunks.
     fn prefill_can_ever_fit(&self, request: &QueuedRequest) -> bool {
-        let prefill_blocks = self.kv.target().blocks_for(request.audio.prefill_tokens());
-        prefill_blocks < self.config.kv_blocks
+        let mut admission_tokens = request.audio.prefill_tokens();
+        if let Some(stream) = &request.stream {
+            admission_tokens += stream.session.committed().len();
+        }
+        let admission_blocks = self.kv.target().blocks_for(admission_tokens);
+        admission_blocks < self.config.kv_blocks
     }
 
     /// Converts a finished session into its outcome and records statistics.
@@ -522,6 +807,7 @@ where
             latency,
             audio_seconds: session.audio_seconds,
             preemptions: session.preemptions,
+            partials: Vec::new(),
         };
         self.stats.record_completion(&outcome);
         outcome
@@ -890,6 +1176,246 @@ mod tests {
         scheduler.run_until_idle();
         assert_eq!(scheduler.stats().completed(), 8);
         assert_eq!(scheduler.kv_pool().used_blocks(), 0);
+    }
+
+    #[test]
+    fn streaming_requests_complete_losslessly_alongside_offline_traffic() {
+        let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+        let (mut scheduler, corpus) = scheduler(ServerConfig::default().with_max_batch(4));
+        let split = corpus.split(Split::TestClean);
+        let stream_config = StreamConfig::default();
+        let mut streaming_ids = Vec::new();
+        for (index, utterance) in split.iter().take(8).enumerate() {
+            if index % 2 == 0 {
+                streaming_ids.push(
+                    scheduler
+                        .submit_streaming(policy, utterance, stream_config)
+                        .expect("queue has room"),
+                );
+            } else {
+                scheduler.submit(policy, utterance).expect("queue has room");
+            }
+        }
+        let outcomes = scheduler.run_until_idle();
+        assert_eq!(outcomes.len(), 8);
+        assert!(scheduler.is_idle());
+        assert_eq!(scheduler.kv_pool().used_blocks(), 0);
+        assert_eq!(scheduler.stats().streaming_completed(), 4);
+        assert!(scheduler.stats().partials_emitted() >= 4);
+        assert!(scheduler.stats().first_partial_p99_ms() > 0.0);
+
+        // Losslessness: every transcript (streamed or not) is byte-identical
+        // to the offline decode of its utterance.
+        for outcome in &outcomes {
+            let utterance = split
+                .iter()
+                .find(|u| u.id() == outcome.utterance_id)
+                .expect("known utterance");
+            let audio = scheduler.binding.bind(utterance);
+            let offline = policy.decode(&scheduler.draft, &scheduler.target, &audio);
+            assert_eq!(outcome.outcome.tokens, offline.tokens);
+            let streamed = streaming_ids.contains(&outcome.id);
+            assert_eq!(outcome.is_streaming(), streamed);
+            if streamed {
+                // Commits only ever grow, and the last partial is final.
+                for pair in outcome.partials.windows(2) {
+                    assert!(pair[1].committed_tokens >= pair[0].committed_tokens);
+                    assert!(pair[1].emitted_ms >= pair[0].emitted_ms);
+                }
+                let last = outcome.partials.last().expect("non-empty");
+                assert!(last.is_final);
+                assert_eq!(last.committed_tokens, outcome.outcome.tokens.len());
+                // The first partial lands before the final transcript does.
+                assert!(
+                    outcome.latency.time_to_first_token_ms <= outcome.e2e_ms() + 1e-9,
+                    "first partial cannot come after completion"
+                );
+                assert!(outcome.first_partial_span_ms().expect("streamed") >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_first_partial_beats_offline_first_token_on_long_audio() {
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        let (mut offline, corpus) = scheduler(ServerConfig::default());
+        let utterance = corpus
+            .split(Split::TestClean)
+            .iter()
+            .max_by(|a, b| {
+                a.duration_seconds()
+                    .partial_cmp(&b.duration_seconds())
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        offline.submit(policy, utterance).expect("queue has room");
+        let offline_outcome = &offline.run_until_idle()[0];
+
+        let (mut streaming, _) = scheduler(ServerConfig::default());
+        streaming
+            .submit_streaming(
+                policy,
+                utterance,
+                StreamConfig::default().with_chunk_seconds(0.4),
+            )
+            .expect("queue has room");
+        let streamed_outcome = &streaming.run_until_idle()[0];
+        assert_eq!(
+            streamed_outcome.outcome.tokens,
+            offline_outcome.outcome.tokens
+        );
+        // The whole point of streaming: the first partial arrives long
+        // before the offline pipeline has even finished hearing the audio.
+        assert!(
+            streamed_outcome.latency.time_to_first_token_ms
+                < utterance.duration_seconds() * 1_000.0,
+            "first partial ({:.0} ms) must precede the end of the {:.1} s utterance",
+            streamed_outcome.latency.time_to_first_token_ms,
+            utterance.duration_seconds()
+        );
+    }
+
+    #[test]
+    fn streaming_sessions_survive_constrained_pools_with_preemptions() {
+        let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+        let (mut reference, corpus) = scheduler(ServerConfig::default().with_max_batch(8));
+        let split = corpus.split(Split::TestOther);
+        for utterance in split {
+            reference
+                .submit_streaming(policy, utterance, StreamConfig::default())
+                .expect("queue has room");
+        }
+        let mut unconstrained = reference.run_until_idle();
+        assert_eq!(reference.stats().memory().preemptions(), 0);
+
+        let (mut constrained, _) =
+            scheduler(ServerConfig::default().with_max_batch(8).with_kv_blocks(12));
+        for utterance in split {
+            constrained
+                .submit_streaming(policy, utterance, StreamConfig::default())
+                .expect("queue has room");
+        }
+        let mut outcomes = constrained.run_until_idle();
+        assert!(
+            constrained.stats().memory().preemptions() > 0,
+            "a 12-block pool must preempt streaming sessions"
+        );
+        assert_eq!(constrained.stats().rejected_memory(), 0);
+        assert_eq!(outcomes.len(), unconstrained.len());
+        unconstrained.sort_by_key(|o| o.id);
+        outcomes.sort_by_key(|o| o.id);
+        for (constrained, unconstrained) in outcomes.iter().zip(&unconstrained) {
+            assert_eq!(constrained.outcome.tokens, unconstrained.outcome.tokens);
+            assert_eq!(constrained.text, unconstrained.text);
+        }
+        assert_eq!(constrained.kv_pool().used_blocks(), 0);
+    }
+
+    #[test]
+    fn streaming_backpressure_counts_parked_streams() {
+        let (mut scheduler, corpus) = scheduler(ServerConfig::default().with_queue_depth(2));
+        let policy = Policy::Autoregressive;
+        let split = corpus.split(Split::DevClean);
+        assert!(scheduler
+            .submit_streaming(policy, &split[0], StreamConfig::default())
+            .is_ok());
+        assert!(scheduler
+            .submit_streaming(policy, &split[1], StreamConfig::default())
+            .is_ok());
+        assert_eq!(scheduler.waiting_streams(), 2);
+        assert!(scheduler
+            .submit_streaming(policy, &split[2], StreamConfig::default())
+            .is_err());
+        assert_eq!(scheduler.stats().rejected(), 1);
+        scheduler.run_until_idle();
+        assert_eq!(scheduler.stats().streaming_completed(), 2);
+    }
+
+    #[test]
+    fn deadline_budgets_shed_requests_that_queued_too_long() {
+        // A batch of 1 forces later submissions to queue behind a slow
+        // autoregressive decode; a tight TTFT budget sheds them at admission.
+        let (mut scheduler, corpus) = scheduler(ServerConfig::default().with_max_batch(1));
+        let policy = Policy::Autoregressive;
+        let split = corpus.split(Split::TestOther);
+        scheduler
+            .submit_with_budget(policy, &split[0], None)
+            .expect("queue has room");
+        scheduler
+            .submit_with_budget(policy, &split[1], Some(1e9))
+            .expect("generous budget");
+        scheduler
+            .submit_with_budget(policy, &split[2], Some(0.001))
+            .expect("tight budget");
+        let outcomes = scheduler.run_until_idle();
+        assert_eq!(outcomes.len(), 2, "the blown-deadline request is shed");
+        assert_eq!(scheduler.stats().rejected_deadline(), 1);
+        assert_eq!(scheduler.stats().rejected(), 0);
+        assert_eq!(
+            scheduler.stats().rejected_total(),
+            1,
+            "deadline shedding counts toward total rejections"
+        );
+        assert!(scheduler.is_idle());
+    }
+
+    #[test]
+    fn advance_to_never_jumps_past_the_target_time() {
+        let (mut scheduler, corpus) = scheduler(ServerConfig::default());
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        scheduler
+            .submit_streaming(
+                policy,
+                &corpus.split(Split::DevClean)[0],
+                StreamConfig::default(),
+            )
+            .expect("queue has room");
+        // The first chunk arrives hundreds of ms in; a short advance must
+        // stop at the target, not leap to the chunk.
+        let outcomes = scheduler.advance_to(1.0);
+        assert!(outcomes.is_empty());
+        assert!((scheduler.wall_ms() - 1.0).abs() < 1e-9);
+        // Advancing far enough drains the stream completely.
+        scheduler.advance_to(1e12);
+        assert!(scheduler.is_idle());
+        assert_eq!(scheduler.stats().streaming_completed(), 1);
+    }
+
+    #[test]
+    fn preempted_requests_with_committed_output_stay_exempt_from_deadline_shedding() {
+        let (scheduler, corpus) = scheduler(ServerConfig::default());
+        let utterance = &corpus.split(Split::DevClean)[0];
+        let request = crate::session::QueuedRequest {
+            id: RequestId::new(0),
+            policy: Policy::Autoregressive,
+            audio: scheduler.binding.bind(utterance),
+            utterance_id: utterance.id(),
+            audio_seconds: utterance.duration_seconds(),
+            encoder_ms: 1.0,
+            arrival_ms: 0.0,
+            preemptions: 0,
+            ttft_budget_ms: Some(5.0),
+            first_output_emitted: false,
+            stream: None,
+        };
+        assert!(!request.first_output_emitted());
+        let mut pool = KvPool::bounded(4096, 16);
+        let mut session = request.try_admit(1.0, &mut pool).expect("pool has room");
+        session.first_token_ms = Some(2.0); // the first token was committed
+        session.decode.release_kv(&mut pool);
+        let requeued = session.into_requeued(true);
+        assert_eq!(requeued.preemptions, 1);
+        assert!(
+            requeued.first_output_emitted(),
+            "a preempted request that already committed output must never be deadline-shed"
+        );
+        // The exemption survives further admission / park cycles.
+        let mut session = requeued.try_admit(3.0, &mut pool).expect("pool has room");
+        assert!(session.first_output_emitted);
+        session.decode.release_kv(&mut pool);
+        let parked = session.into_requeued(false);
+        assert_eq!(parked.preemptions, 1, "parking counts no preemption");
+        assert!(parked.first_output_emitted());
     }
 
     #[test]

@@ -111,6 +111,11 @@ pub struct ServerStats {
     completed: usize,
     rejected: usize,
     rejected_memory: usize,
+    rejected_deadline: usize,
+    streaming_completed: usize,
+    partials_emitted: usize,
+    retracted_tokens: usize,
+    shown_hypothesis_tokens: usize,
     memory: MemoryStats,
     ticks: usize,
     wall_ms: f64,
@@ -122,6 +127,8 @@ pub struct ServerStats {
     e2e_samples: Vec<f64>,
     ttft_samples: Vec<f64>,
     queue_samples: Vec<f64>,
+    first_partial_samples: Vec<f64>,
+    partial_span_samples: Vec<f64>,
 }
 
 impl ServerStats {
@@ -138,7 +145,8 @@ impl ServerStats {
         self.peak_in_flight = self.peak_in_flight.max(in_flight);
     }
 
-    /// Records one completed request.
+    /// Records one completed request (offline or streaming; streaming
+    /// requests additionally feed the partial-latency and stability gauges).
     pub(crate) fn record_completion(&mut self, outcome: &RequestOutcome) {
         self.completed += 1;
         self.total_tokens += outcome.token_count();
@@ -148,6 +156,19 @@ impl ServerStats {
         self.ttft_samples
             .push(outcome.latency.time_to_first_token_ms);
         self.queue_samples.push(outcome.latency.queue_ms);
+        if outcome.is_streaming() {
+            self.streaming_completed += 1;
+            // Streaming TTFT *is* the first-partial latency from arrival.
+            self.first_partial_samples
+                .push(outcome.latency.time_to_first_token_ms);
+            for partial in &outcome.partials {
+                self.partials_emitted += 1;
+                self.partial_span_samples.push(partial.span_ms());
+                self.retracted_tokens += partial.retracted_tokens;
+                self.shown_hypothesis_tokens +=
+                    partial.hypothesis_tokens - partial.committed_tokens;
+            }
+        }
     }
 
     /// Records one rejected submission (queue full).
@@ -158,6 +179,12 @@ impl ServerStats {
     /// Records one request dropped because it can never fit the KV pool.
     pub(crate) fn record_memory_rejection(&mut self) {
         self.rejected_memory += 1;
+    }
+
+    /// Records one request shed because its queue wait already exceeded its
+    /// time-to-first-token budget (the latency-SLO admission class).
+    pub(crate) fn record_deadline_rejection(&mut self) {
+        self.rejected_deadline += 1;
     }
 
     /// Records one preemption (a session evicted to free pool blocks).
@@ -206,6 +233,11 @@ impl ServerStats {
         // queue-depth shedding and memory rejections apart.
         self.rejected += other.rejected;
         self.rejected_memory += other.rejected_memory;
+        self.rejected_deadline += other.rejected_deadline;
+        self.streaming_completed += other.streaming_completed;
+        self.partials_emitted += other.partials_emitted;
+        self.retracted_tokens += other.retracted_tokens;
+        self.shown_hypothesis_tokens += other.shown_hypothesis_tokens;
         self.memory.merge(&other.memory);
         self.ticks += other.ticks;
         self.wall_ms = self.wall_ms.max(other.wall_ms);
@@ -217,6 +249,10 @@ impl ServerStats {
         self.e2e_samples.extend_from_slice(&other.e2e_samples);
         self.ttft_samples.extend_from_slice(&other.ttft_samples);
         self.queue_samples.extend_from_slice(&other.queue_samples);
+        self.first_partial_samples
+            .extend_from_slice(&other.first_partial_samples);
+        self.partial_span_samples
+            .extend_from_slice(&other.partial_span_samples);
     }
 
     /// Number of completed requests.
@@ -236,9 +272,47 @@ impl ServerStats {
         self.rejected_memory
     }
 
+    /// Number of requests shed because their queue wait already exceeded
+    /// their time-to-first-token budget (reported separately so SLO tuning
+    /// can tell deadline shedding from capacity shedding).
+    pub fn rejected_deadline(&self) -> usize {
+        self.rejected_deadline
+    }
+
     /// All rejections, whatever the reason.
     pub fn rejected_total(&self) -> usize {
-        self.rejected + self.rejected_memory
+        self.rejected + self.rejected_memory + self.rejected_deadline
+    }
+
+    /// Completed requests that streamed their audio chunk by chunk.
+    pub fn streaming_completed(&self) -> usize {
+        self.streaming_completed
+    }
+
+    /// Partial transcripts emitted across completed streaming requests.
+    pub fn partials_emitted(&self) -> usize {
+        self.partials_emitted
+    }
+
+    /// Uncommitted hypothesis tokens shown across all partials (the
+    /// denominator of [`ServerStats::retraction_rate`]).
+    pub fn shown_hypothesis_tokens(&self) -> usize {
+        self.shown_hypothesis_tokens
+    }
+
+    /// Hypothesis tokens retracted between consecutive partials.
+    pub fn retracted_tokens(&self) -> usize {
+        self.retracted_tokens
+    }
+
+    /// Fraction of shown (uncommitted) hypothesis tokens later retracted —
+    /// the fleet-wide partial-stability metric (0.0 when nothing streamed).
+    pub fn retraction_rate(&self) -> f64 {
+        if self.shown_hypothesis_tokens == 0 {
+            0.0
+        } else {
+            self.retracted_tokens as f64 / self.shown_hypothesis_tokens as f64
+        }
     }
 
     /// Paged KV-pool memory statistics.
@@ -333,6 +407,33 @@ impl ServerStats {
     /// P99 of time-to-first-token latency in milliseconds.
     pub fn ttft_p99_ms(&self) -> f64 {
         self.ttft_histogram().percentile(0.99)
+    }
+
+    /// Histogram of first-partial latency (request arrival → first partial
+    /// emission) across streaming requests.
+    pub fn first_partial_histogram(&self) -> Histogram {
+        Histogram::of_samples(LATENCY_BINS, &self.first_partial_samples)
+    }
+
+    /// Histogram of per-partial latency spans (chunk arrival → partial
+    /// emission) across streaming requests.
+    pub fn partial_span_histogram(&self) -> Histogram {
+        Histogram::of_samples(LATENCY_BINS, &self.partial_span_samples)
+    }
+
+    /// P50 of streaming first-partial latency in milliseconds.
+    pub fn first_partial_p50_ms(&self) -> f64 {
+        self.first_partial_histogram().percentile(0.50)
+    }
+
+    /// P99 of streaming first-partial latency in milliseconds.
+    pub fn first_partial_p99_ms(&self) -> f64 {
+        self.first_partial_histogram().percentile(0.99)
+    }
+
+    /// P99 of per-partial latency spans in milliseconds.
+    pub fn partial_span_p99_ms(&self) -> f64 {
+        self.partial_span_histogram().percentile(0.99)
     }
 }
 

@@ -1,0 +1,146 @@
+//! Streaming configuration: chunk cadence plus the partial-commit rule.
+
+use serde::{Deserialize, Serialize};
+use specasr_audio::ChunkConfig;
+
+/// Configuration of one streaming session: how the audio arrives and when a
+/// partial-hypothesis token becomes final.
+///
+/// # Example
+///
+/// ```
+/// use specasr_stream::StreamConfig;
+///
+/// let config = StreamConfig::default()
+///     .with_chunk_seconds(0.8)
+///     .with_stability_rounds(3);
+/// assert_eq!(config.stability_rounds, 3);
+/// config.validate();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Chunk cadence and arrival jitter of the audio stream.
+    pub chunk: ChunkConfig,
+    /// A hypothesis token commits only after appearing unchanged in this
+    /// many consecutive re-decodes (K-stability).  `1` commits on first
+    /// sight; higher values trade commit latency for stability on backends
+    /// whose emissions can drift with context.
+    pub stability_rounds: usize,
+    /// A hypothesis token commits only once it sits at least this many
+    /// positions behind the audio horizon.  Positions inside this window
+    /// carry boosted acoustic difficulty (incomplete words are harder to
+    /// recognise), so they are exactly the positions that may still change.
+    pub boundary_tokens: usize,
+    /// How much acoustic difficulty the chunk boundary adds to the last
+    /// `boundary_tokens` heard positions (fading with distance from the
+    /// horizon; see `UtteranceTokens::prefix_view`).
+    pub boundary_boost: f64,
+}
+
+impl StreamConfig {
+    /// Returns this configuration with a different chunk duration.
+    pub fn with_chunk_seconds(mut self, chunk_seconds: f64) -> Self {
+        self.chunk.chunk_seconds = chunk_seconds;
+        self
+    }
+
+    /// Returns this configuration with a different chunk arrival jitter.
+    pub fn with_arrival_jitter(mut self, arrival_jitter: f64) -> Self {
+        self.chunk.arrival_jitter = arrival_jitter;
+        self
+    }
+
+    /// Returns this configuration with a different chunk-jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.chunk.seed = seed;
+        self
+    }
+
+    /// Returns this configuration with a different K-stability requirement.
+    pub fn with_stability_rounds(mut self, stability_rounds: usize) -> Self {
+        self.stability_rounds = stability_rounds;
+        self
+    }
+
+    /// Returns this configuration with a different horizon margin.
+    pub fn with_boundary_tokens(mut self, boundary_tokens: usize) -> Self {
+        self.boundary_tokens = boundary_tokens;
+        self
+    }
+
+    /// Returns this configuration with a different boundary difficulty boost.
+    pub fn with_boundary_boost(mut self, boundary_boost: f64) -> Self {
+        self.boundary_boost = boundary_boost;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk configuration is invalid, `stability_rounds` is
+    /// zero, or `boundary_boost` is negative or not finite.
+    pub fn validate(&self) {
+        self.chunk.validate();
+        assert!(
+            self.stability_rounds > 0,
+            "stability_rounds must be positive"
+        );
+        assert!(
+            self.boundary_boost.is_finite() && self.boundary_boost >= 0.0,
+            "boundary_boost must be finite and non-negative"
+        );
+    }
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            chunk: ChunkConfig::default(),
+            stability_rounds: 2,
+            boundary_tokens: 2,
+            boundary_boost: 0.35,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_update_their_fields() {
+        let config = StreamConfig::default()
+            .with_chunk_seconds(1.5)
+            .with_arrival_jitter(0.4)
+            .with_seed(11)
+            .with_stability_rounds(4)
+            .with_boundary_tokens(5)
+            .with_boundary_boost(0.1);
+        assert!((config.chunk.chunk_seconds - 1.5).abs() < 1e-12);
+        assert!((config.chunk.arrival_jitter - 0.4).abs() < 1e-12);
+        assert_eq!(config.chunk.seed, 11);
+        assert_eq!(config.stability_rounds, 4);
+        assert_eq!(config.boundary_tokens, 5);
+        assert!((config.boundary_boost - 0.1).abs() < 1e-12);
+        config.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "stability_rounds")]
+    fn zero_stability_rounds_fails_validation() {
+        StreamConfig::default().with_stability_rounds(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "boundary_boost")]
+    fn negative_boundary_boost_fails_validation() {
+        StreamConfig::default().with_boundary_boost(-1.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_seconds")]
+    fn invalid_chunk_config_fails_validation() {
+        StreamConfig::default().with_chunk_seconds(0.0).validate();
+    }
+}

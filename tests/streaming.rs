@@ -1,0 +1,208 @@
+//! Streaming-subsystem integration tests: chunked audio must flow through
+//! the scheduler alongside offline traffic, partials must never retract a
+//! committed token, and the final streamed transcript must stay
+//! byte-identical to sequential pipeline transcription for every policy —
+//! including under a constrained KV pool that forces preemptions of
+//! streaming sessions mid-utterance.
+
+use proptest::prelude::*;
+use specasr::{AdaptiveConfig, AsrPipeline, Policy, SparseTreeConfig, SpeculativeConfig};
+use specasr_audio::{EncoderProfile, Split};
+use specasr_server::{Scheduler, ServerConfig, StreamConfig};
+use specasr_suite::StandardSetup;
+
+fn serving_policies() -> Vec<Policy> {
+    vec![
+        Policy::Autoregressive,
+        Policy::Speculative(SpeculativeConfig::short_single()),
+        Policy::AdaptiveSingleSequence(AdaptiveConfig::paper()),
+        Policy::TwoPassSparseTree(SparseTreeConfig::paper()),
+    ]
+}
+
+fn scheduler_for(
+    setup: &StandardSetup,
+    config: ServerConfig,
+) -> Scheduler<specasr_models::SimulatedAsrModel, specasr_models::SimulatedAsrModel> {
+    Scheduler::new(
+        setup.draft.clone(),
+        setup.target.clone(),
+        setup.binding.clone(),
+        EncoderProfile::whisper_medium_encoder(),
+        config,
+    )
+}
+
+fn pipeline_for(
+    setup: &StandardSetup,
+    policy: Policy,
+) -> AsrPipeline<specasr_models::SimulatedAsrModel, specasr_models::SimulatedAsrModel> {
+    AsrPipeline::new(
+        setup.draft.clone(),
+        setup.target.clone(),
+        EncoderProfile::whisper_medium_encoder(),
+        policy,
+    )
+}
+
+/// The headline acceptance test: mixed streaming + offline traffic on a
+/// constrained pool.  Preemptions must occur, streaming partials must only
+/// ever extend, and every final transcript — streamed or offline — must be
+/// byte-identical to sequential pipeline transcription.
+#[test]
+fn mixed_streaming_and_offline_traffic_is_lossless_under_preemption() {
+    let setup = StandardSetup::new(411, 8);
+    let policies = serving_policies();
+    let split = setup.corpus.split(Split::TestOther);
+
+    let mut scheduler = scheduler_for(
+        &setup,
+        ServerConfig::default().with_max_batch(8).with_kv_blocks(12),
+    );
+    let mut expectations = Vec::new();
+    for (index, utterance) in split.iter().enumerate() {
+        let policy = policies[index % policies.len()];
+        let streamed = index % 2 == 0;
+        let id = if streamed {
+            scheduler
+                .submit_streaming(
+                    policy,
+                    utterance,
+                    StreamConfig::default().with_chunk_seconds(0.4),
+                )
+                .expect("queue has room")
+        } else {
+            scheduler.submit(policy, utterance).expect("queue has room")
+        };
+        expectations.push((id, policy, utterance, streamed));
+    }
+
+    let outcomes = scheduler.run_until_idle();
+    assert_eq!(outcomes.len(), split.len());
+    assert!(
+        scheduler.stats().memory().preemptions() > 0,
+        "a 12-block pool must preempt under mixed max-batch-8 traffic"
+    );
+    assert_eq!(scheduler.stats().rejected_memory(), 0);
+    assert_eq!(scheduler.kv_pool().used_blocks(), 0);
+    assert_eq!(
+        scheduler.stats().streaming_completed(),
+        split.len().div_ceil(2)
+    );
+
+    for (id, policy, utterance, streamed) in expectations {
+        let outcome = outcomes
+            .iter()
+            .find(|outcome| outcome.id == id)
+            .expect("every submission completes");
+        let reference = pipeline_for(&setup, policy).transcribe(&setup.binding, utterance);
+        assert_eq!(
+            outcome.outcome.tokens,
+            reference.outcome.tokens,
+            "policy {} streamed={streamed}",
+            policy.name()
+        );
+        assert_eq!(outcome.text, reference.text);
+        assert_eq!(outcome.is_streaming(), streamed);
+        if streamed {
+            // Partials only ever extend the committed transcript, and the
+            // final partial commits exactly the offline transcript.
+            for pair in outcome.partials.windows(2) {
+                assert!(pair[1].committed_tokens >= pair[0].committed_tokens);
+            }
+            let last = outcome.partials.last().expect("streams emit partials");
+            assert!(last.is_final);
+            assert_eq!(last.committed_tokens, reference.outcome.tokens.len());
+        }
+    }
+}
+
+/// Streaming TTFT: on every utterance, the first partial must arrive before
+/// the audio has even finished being spoken — the latency property that
+/// justifies the subsystem.
+#[test]
+fn first_partials_arrive_before_the_speaker_finishes() {
+    let setup = StandardSetup::new(77, 6);
+    let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+    let mut scheduler = scheduler_for(&setup, ServerConfig::default());
+    let split = setup.corpus.split(Split::TestClean);
+    for utterance in split {
+        scheduler
+            .submit_streaming(
+                policy,
+                utterance,
+                StreamConfig::default().with_chunk_seconds(0.3),
+            )
+            .expect("queue has room");
+    }
+    let outcomes = scheduler.run_until_idle();
+    assert_eq!(outcomes.len(), split.len());
+    for outcome in &outcomes {
+        assert!(
+            outcome.latency.time_to_first_token_ms < outcome.audio_seconds * 1_000.0,
+            "first partial at {:.0} ms must precede the end of {:.1} s of audio",
+            outcome.latency.time_to_first_token_ms,
+            outcome.audio_seconds
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random corpora, chunk cadences, pool budgets, and policy mixes: the
+    /// scheduler's streamed transcripts always equal offline pipeline
+    /// transcription, and committed partial counts never decrease.
+    #[test]
+    fn random_streaming_workloads_stay_lossless(
+        seed in 1u64..2_000,
+        chunk_ms in 200u64..1_500,
+        kv_blocks in 1usize..5,
+        max_batch in 1usize..6,
+    ) {
+        let setup = StandardSetup::new(seed, 3);
+        let policies = serving_policies();
+        // Budgets from generously constrained down to "every stream view
+        // must wait its turn" (scaled so single requests always fit).
+        let kv_blocks = kv_blocks * 16;
+        let mut scheduler = scheduler_for(
+            &setup,
+            ServerConfig::default()
+                .with_max_batch(max_batch)
+                .with_kv_blocks(kv_blocks),
+        );
+        let split = setup.corpus.split(Split::DevOther);
+        let mut submissions = Vec::new();
+        for (index, utterance) in split.iter().enumerate() {
+            let policy = policies[(index + seed as usize) % policies.len()];
+            let id = scheduler
+                .submit_streaming(
+                    policy,
+                    utterance,
+                    StreamConfig::default()
+                        .with_chunk_seconds(chunk_ms as f64 / 1_000.0)
+                        .with_seed(seed),
+                )
+                .expect("queue has room");
+            submissions.push((id, policy, utterance));
+        }
+        let outcomes = scheduler.run_until_idle();
+        // Tight pools may shed a stream whose committed prefix outgrows the
+        // budget mid-utterance; everything that completed must be lossless.
+        prop_assert_eq!(
+            outcomes.len() + scheduler.stats().rejected_memory(),
+            split.len()
+        );
+        prop_assert_eq!(scheduler.kv_pool().used_blocks(), 0);
+        for (id, policy, utterance) in submissions {
+            let Some(outcome) = outcomes.iter().find(|o| o.id == id) else {
+                continue; // shed on the tight pool
+            };
+            let reference = pipeline_for(&setup, policy).transcribe(&setup.binding, utterance);
+            prop_assert_eq!(&outcome.outcome.tokens, &reference.outcome.tokens);
+            for pair in outcome.partials.windows(2) {
+                prop_assert!(pair[1].committed_tokens >= pair[0].committed_tokens);
+            }
+        }
+    }
+}
