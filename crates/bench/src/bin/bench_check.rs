@@ -4,7 +4,8 @@
 //! against the committed `BENCH_*.json` baselines, failing (exit code 1)
 //! when any gated metric (see [`GATED_METRICS`]: throughput, P99 latency,
 //! KV-pool peaks/preemptions, streaming first-partial P99 and retraction
-//! rate) drifts outside the tolerance band in either direction.
+//! rate, decoder-backend verification batch occupancy) drifts outside the
+//! tolerance band in either direction.
 //!
 //! ```text
 //! # default pairs (serve_load + serve_open_loop + serve_streaming), ±15% tolerance:

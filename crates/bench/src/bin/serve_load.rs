@@ -95,6 +95,11 @@ fn main() {
                     .with("e2e_p50_ms", e2e.percentile(0.50))
                     .with("e2e_p99_ms", e2e.percentile(0.99))
                     .with("ttft_p50_ms", ttft.percentile(0.50))
+                    .with(
+                        "backend_batch_occupancy",
+                        stats.backend().verify_batch_occupancy(),
+                    )
+                    .with("in_flight_depth", stats.backend().peak_in_flight() as f64)
                     .with("wall_ms", stats.wall_ms()),
             );
         }

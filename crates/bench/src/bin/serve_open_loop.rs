@@ -130,6 +130,11 @@ fn run_cell(
         .with("avg_kv_blocks", memory.avg_kv_blocks())
         .with("preemptions", memory.preemptions() as f64)
         .with("prefix_hit_rate", memory.shared_prefix_hit_rate())
+        .with(
+            "backend_batch_occupancy",
+            fleet.backend().verify_batch_occupancy(),
+        )
+        .with("in_flight_depth", fleet.backend().peak_in_flight() as f64)
 }
 
 /// One shedding cell: a single FIFO worker with a production-depth queue
@@ -168,6 +173,10 @@ fn run_shed_cell(context: &ExperimentContext, pool: &[&Utterance], qps: f64) -> 
         .with("throughput_utps", report.completed_qps())
         .with("e2e_p50_ms", fleet.e2e_p50_ms())
         .with("e2e_p99_ms", fleet.e2e_p99_ms())
+        .with(
+            "backend_batch_occupancy",
+            fleet.backend().verify_batch_occupancy(),
+        )
         .with("completed", report.outcomes.len() as f64)
         .with("rejected", report.rejected as f64)
 }

@@ -24,13 +24,22 @@ use specasr_metrics::ExperimentRecord;
 /// streaming exists for, and the retraction rate is the partial-stability
 /// contract — a commit-rule change that silently makes partials flickier is
 /// a regression even when throughput holds.
-pub const GATED_METRICS: [&str; 6] = [
+///
+/// `backend_batch_occupancy` gates the decoder-backend batching behaviour:
+/// the mean verification requests per cross-session `BackendBatch`.  A drop
+/// toward 1.0 means the scheduler quietly stopped grouping verification
+/// across sessions — the throughput benefit may survive in a given sweep
+/// (the cost model is affine), but the backend is no longer being driven in
+/// the batched shape real accelerators need, and that is a regression in
+/// its own right.
+pub const GATED_METRICS: [&str; 7] = [
     "throughput_utps",
     "e2e_p99_ms",
     "peak_kv_blocks",
     "preemptions",
     "first_partial_p99_ms",
     "retraction_rate",
+    "backend_batch_occupancy",
 ];
 
 /// Default relative tolerance band (±15%).
@@ -295,6 +304,34 @@ mod tests {
         let violations = compare_records(&base, &slow, DEFAULT_TOLERANCE);
         assert_eq!(violations.len(), 1);
         assert!(violations[0].to_string().contains("first_partial_p99_ms"));
+    }
+
+    #[test]
+    fn backend_occupancy_is_gated_when_present() {
+        let base = ExperimentRecord::new("serve", "t").with_row(
+            ReportRow::new("specasr-asp@c8")
+                .with("throughput_utps", 25.0)
+                .with("backend_batch_occupancy", 8.0),
+        );
+        let fresh_ok = ExperimentRecord::new("serve", "t").with_row(
+            ReportRow::new("specasr-asp@c8")
+                .with("throughput_utps", 25.0)
+                .with("backend_batch_occupancy", 7.5),
+        );
+        assert!(compare_records(&base, &fresh_ok, DEFAULT_TOLERANCE).is_empty());
+
+        // A scheduler that quietly stops batching verification across
+        // sessions fails the gate even when throughput holds.
+        let unbatched = ExperimentRecord::new("serve", "t").with_row(
+            ReportRow::new("specasr-asp@c8")
+                .with("throughput_utps", 25.0)
+                .with("backend_batch_occupancy", 1.0),
+        );
+        let violations = compare_records(&base, &unbatched, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0]
+            .to_string()
+            .contains("backend_batch_occupancy"));
     }
 
     #[test]

@@ -22,7 +22,13 @@
 //! must process, which is what a continuous-batching scheduler needs to cost
 //! a grouped verification step before running it.
 
-use specasr_models::{AsrDecoderModel, DecodeClock, UtteranceTokens};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use specasr_models::{
+    AsrBackend, AsrDecoderModel, BackendModelBridge, DecodeClock, ForwardRequest, ForwardResult,
+    ModelProfile, TokenLogits, UtteranceTokens,
+};
 use specasr_runtime::{BlockTable, KvPool, NodeOrigin, PoolError, TokenTree};
 use specasr_tokenizer::TokenId;
 
@@ -84,6 +90,51 @@ impl DraftedRound {
             RoundPlan::Sequence { tokens, .. } => tokens.len(),
             RoundPlan::Tree { tree, .. } => tree.len(),
         }
+    }
+
+    /// The probe extensions one verification forward pass over this round
+    /// must score (relative to the committed prefix): the empty probe (the
+    /// correction/bonus position) plus every draft position — each prefix of
+    /// a drafted sequence, or each root-to-node path of a drafted token tree
+    /// (including the sparse-tree trunk, whose per-position target outputs
+    /// the recycle-buffer update reads off the same pass).
+    ///
+    /// This is the probe list [`DecodeSession::verify_request`] submits and
+    /// [`DecodeSession::verify_round_from_in`] re-derives to interpret the
+    /// returned logits, so the two always agree.
+    pub fn probe_extensions(&self) -> Vec<Vec<TokenId>> {
+        let mut probes: Vec<Vec<TokenId>> = vec![Vec::new()];
+        match &self.plan {
+            RoundPlan::Autoregressive => {}
+            RoundPlan::Sequence { tokens, .. } => {
+                for end in 1..=tokens.len() {
+                    probes.push(tokens[..end].to_vec());
+                }
+            }
+            RoundPlan::Tree {
+                tree, trunk_tokens, ..
+            } => {
+                // Distinct branches can in principle spell identical token
+                // paths; dedup keeps the probe list minimal (insertion order
+                // stays deterministic — the set only filters).
+                let mut seen: HashSet<Vec<TokenId>> = HashSet::new();
+                seen.insert(Vec::new());
+                let mut push_unique = |probe: Vec<TokenId>, probes: &mut Vec<Vec<TokenId>>| {
+                    if seen.insert(probe.clone()) {
+                        probes.push(probe);
+                    }
+                };
+                for id in tree.node_ids() {
+                    push_unique(tree.path_tokens(id), &mut probes);
+                }
+                if let Some(trunk) = trunk_tokens {
+                    for end in 1..=trunk.len() {
+                        push_unique(trunk[..end].to_vec(), &mut probes);
+                    }
+                }
+            }
+        }
+        probes
     }
 
     /// KV positions this round appends to the (draft, target) caches before
@@ -176,7 +227,8 @@ impl SessionKv {
 #[derive(Debug, Clone)]
 pub struct DecodeSession {
     policy: Policy,
-    audio: UtteranceTokens,
+    /// Shared so backend `ForwardRequest`s reference it without copying.
+    audio: Arc<UtteranceTokens>,
     tokens: Vec<TokenId>,
     stats: DecodeStats,
     clock: DecodeClock,
@@ -351,7 +403,7 @@ impl DecodeSession {
         let token_capacity = audio.len() + 1;
         DecodeSession {
             policy,
-            audio,
+            audio: Arc::new(audio),
             tokens: Vec::with_capacity(token_capacity),
             stats: DecodeStats::new(),
             clock: DecodeClock::new(),
@@ -537,6 +589,119 @@ impl DecodeSession {
         T: AsrDecoderModel + ?Sized,
     {
         self.verify_round_impl(Some(pool), target, drafted)
+    }
+
+    /// Runs the draft phase of the next round against an [`AsrBackend`]:
+    /// every draft-model query becomes a single-probe
+    /// [`specasr_models::ForwardRequest`] submitted (at `now_ms`) and
+    /// completed through the backend.  Outcome-identical to
+    /// [`DecodeSession::draft_round`] over the model the backend fronts —
+    /// draft steps are inherently sequential within a session (each depends
+    /// on the previous token), so the loop structure stays and only the
+    /// model boundary changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is already finished.
+    pub fn draft_round_via<B>(&mut self, backend: &mut B, now_ms: f64) -> DraftedRound
+    where
+        B: AsrBackend + Send,
+    {
+        // Seed the bridge with the session's shared audio context so the
+        // draft loop's requests reference it without ever copying it.
+        let bridge = BackendModelBridge::with_audio(backend, now_ms, Arc::clone(&self.audio));
+        self.draft_round(&bridge)
+    }
+
+    /// Builds the verification [`ForwardRequest`] for `drafted`: one target
+    /// forward pass scoring every probe of
+    /// [`DraftedRound::probe_extensions`] after the committed prefix, priced
+    /// at [`DraftedRound::verify_tokens`] parallel tokens.
+    ///
+    /// A scheduler collects these across all in-flight sessions into one
+    /// cross-session [`specasr_models::BackendBatch`], submits it, and
+    /// commits each session from its completion via
+    /// [`DecodeSession::verify_round_from_in`].
+    pub fn verify_request(&self, drafted: &DraftedRound) -> ForwardRequest {
+        ForwardRequest::verify(
+            Arc::clone(&self.audio),
+            self.tokens.clone(),
+            drafted.probe_extensions(),
+            drafted.verify_tokens(),
+        )
+    }
+
+    /// Verifies and commits one drafted round from a backend completion
+    /// instead of querying a target model: `result` must answer the request
+    /// built by [`DecodeSession::verify_request`] for the same `drafted`
+    /// round, and `target_profile` is the profile of the model the backend
+    /// fronts (verification latency is charged against it, exactly as the
+    /// synchronous path charges the target model).
+    ///
+    /// Outcome-identical to [`DecodeSession::verify_round`]: the acceptance
+    /// walk reads the pre-scored distributions, and the wrapped models are
+    /// pure, so the decisions cannot differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was built over a shared pool (use
+    /// [`DecodeSession::verify_round_from_in`]), or if `result` does not
+    /// carry one scored distribution per probe of `drafted`.
+    pub fn verify_round_from(
+        &mut self,
+        target_profile: &ModelProfile,
+        result: &ForwardResult,
+        drafted: DraftedRound,
+    ) -> bool {
+        assert!(
+            matches!(self.kv, SessionKv::Private { .. }),
+            "a pooled session must be stepped with verify_round_from_in"
+        );
+        self.verify_round_from_impl(None, target_profile, result, drafted)
+            .expect("a private pool never exhausts")
+    }
+
+    /// The shared-pool form of [`DecodeSession::verify_round_from`]: KV
+    /// appends allocate from `pool` and an exhausted pool surfaces as
+    /// [`PoolError::OutOfBlocks`] before any state was mutated, exactly like
+    /// [`DecodeSession::verify_round_in`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `result` does not carry one scored distribution per probe
+    /// of `drafted`.
+    pub fn verify_round_from_in(
+        &mut self,
+        pool: &mut KvPool,
+        target_profile: &ModelProfile,
+        result: &ForwardResult,
+        drafted: DraftedRound,
+    ) -> Result<bool, PoolError> {
+        self.verify_round_from_impl(Some(pool), target_profile, result, drafted)
+    }
+
+    fn verify_round_from_impl(
+        &mut self,
+        pool: Option<&mut KvPool>,
+        target_profile: &ModelProfile,
+        result: &ForwardResult,
+        drafted: DraftedRound,
+    ) -> Result<bool, PoolError> {
+        let probes = drafted.probe_extensions();
+        assert_eq!(
+            probes.len(),
+            result.logits.len(),
+            "one scored distribution per verification probe"
+        );
+        let table = ProbeTableModel {
+            profile: target_profile,
+            base_len: self.tokens.len(),
+            entries: probes
+                .into_iter()
+                .zip(result.logits.iter().cloned())
+                .collect(),
+        };
+        self.verify_round_impl(pool, &table, drafted)
     }
 
     fn verify_round_impl<T>(
@@ -871,6 +1036,39 @@ impl DecodeSession {
             }
         }
         (tree, steps)
+    }
+}
+
+/// A "model" backed by the pre-scored probe table of one backend
+/// completion: `next_logits` looks the queried context's extension (beyond
+/// the committed prefix) up in the table instead of running a forward pass.
+///
+/// The verification walk (`verify_sequence` / `verify_tree`) only ever
+/// queries contexts whose extensions are probes of the drafted round, so a
+/// missing entry is an invariant violation, not a recoverable condition.
+struct ProbeTableModel<'a> {
+    profile: &'a ModelProfile,
+    base_len: usize,
+    entries: HashMap<Vec<TokenId>, TokenLogits>,
+}
+
+impl AsrDecoderModel for ProbeTableModel<'_> {
+    fn profile(&self) -> &ModelProfile {
+        self.profile
+    }
+
+    fn next_logits(&self, _audio: &UtteranceTokens, prefix: &[TokenId]) -> TokenLogits {
+        assert!(
+            prefix.len() >= self.base_len,
+            "verification contexts always extend the committed prefix"
+        );
+        let extension = &prefix[self.base_len..];
+        self.entries.get(extension).cloned().unwrap_or_else(|| {
+            panic!(
+                "verification probed an unscored extension of {} tokens",
+                extension.len()
+            )
+        })
     }
 }
 
@@ -1236,6 +1434,116 @@ mod tests {
                 .expect_err("the committed appends cannot fit");
         assert!(matches!(error, PoolError::OutOfBlocks { .. }));
         assert_eq!(pool.used_blocks(), 0, "failed resume must not leak");
+    }
+
+    #[test]
+    fn backend_stepping_matches_blocking_decode_exactly() {
+        use specasr_models::{AsrBackend, BackendBatch, SyncBackendAdapter};
+        let (draft, target, audio) = setup(Split::TestClean);
+        let mut draft_backend = SyncBackendAdapter::new(&draft);
+        let mut target_backend = SyncBackendAdapter::new(&target);
+        for policy in all_policies() {
+            for utt in &audio {
+                let blocking = policy.decode(&draft, &target, utt);
+                let mut session = DecodeSession::new(policy, utt.clone());
+                let mut now = 0.0;
+                while !session.is_finished() {
+                    let drafted = session.draft_round_via(&mut draft_backend, now);
+                    let request = session.verify_request(&drafted);
+                    let tickets = target_backend.submit(BackendBatch::of(request), now);
+                    let result = target_backend
+                        .complete(tickets[0])
+                        .expect("computed at submit");
+                    now = result.completed_ms;
+                    session.verify_round_from(target.profile(), &result, drafted);
+                }
+                assert_eq!(session.into_outcome(), blocking, "policy {}", policy.name());
+            }
+        }
+        assert!(target_backend.counters().verify_requests > 0);
+        assert!(draft_backend.counters().draft_requests > 0);
+    }
+
+    #[test]
+    fn backend_stepping_over_a_shared_pool_matches_the_private_path() {
+        use specasr_models::{AsrBackend, BackendBatch, SyncBackendAdapter};
+        let (draft, target, audio) = setup(Split::TestOther);
+        let mut draft_backend = SyncBackendAdapter::new(&draft);
+        let mut target_backend = SyncBackendAdapter::new(&target);
+        let mut pool = KvPool::bounded(2048, 16);
+        for policy in all_policies() {
+            let utt = &audio[0];
+            let private = DecodeSession::new(policy, utt.clone()).run(&draft, &target);
+            let mut session =
+                DecodeSession::new_in(policy, utt.clone(), &mut pool).expect("pool has room");
+            while !session.is_finished() {
+                let drafted = session.draft_round_via(&mut draft_backend, 0.0);
+                let request = session.verify_request(&drafted);
+                let tickets = target_backend.submit(BackendBatch::of(request), 0.0);
+                let result = target_backend
+                    .complete(tickets[0])
+                    .expect("computed at submit");
+                session
+                    .verify_round_from_in(&mut pool, target.profile(), &result, drafted)
+                    .expect("pool has room");
+            }
+            session.release_kv(&mut pool);
+            assert_eq!(session.into_outcome(), private, "policy {}", policy.name());
+        }
+        assert_eq!(pool.used_blocks(), 0);
+    }
+
+    #[test]
+    fn probe_extensions_cover_every_verification_query() {
+        // The probe list must contain the empty probe and one entry per
+        // draft position (sequences) or per distinct node path (trees).
+        let (draft, _target, audio) = setup(Split::DevClean);
+        let mut ar = DecodeSession::new(Policy::Autoregressive, audio[0].clone());
+        let drafted = ar.draft_round(&draft);
+        assert_eq!(drafted.probe_extensions(), vec![Vec::new()]);
+
+        let mut spec = DecodeSession::new(
+            Policy::Speculative(SpeculativeConfig::short_single()),
+            audio[0].clone(),
+        );
+        let drafted = spec.draft_round(&draft);
+        let probes = drafted.probe_extensions();
+        assert_eq!(probes.len(), drafted.predicted_tokens() + 1);
+        assert_eq!(probes[0], Vec::<specasr_tokenizer::TokenId>::new());
+        for pair in probes.windows(2) {
+            assert_eq!(pair[1].len(), pair[0].len() + 1, "sequence prefixes grow");
+        }
+
+        let mut tree = DecodeSession::new(
+            Policy::TwoPassSparseTree(SparseTreeConfig::paper()),
+            audio[0].clone(),
+        );
+        let drafted = tree.draft_round(&draft);
+        let probes = drafted.probe_extensions();
+        assert!(probes.len() > 1);
+        let mut seen = probes.clone();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), probes.len(), "probes are unique");
+    }
+
+    #[test]
+    #[should_panic(expected = "one scored distribution per verification probe")]
+    fn mismatched_verify_results_panic() {
+        use specasr_models::{ForwardKind, ForwardResult, Ticket};
+        let (draft, target, audio) = setup(Split::DevOther);
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        let mut session = DecodeSession::new(policy, audio[0].clone());
+        let drafted = session.draft_round(&draft);
+        let bogus = ForwardResult {
+            ticket: Ticket::new(0),
+            kind: ForwardKind::Verify,
+            logits: Vec::new(),
+            submitted_ms: 0.0,
+            completed_ms: 0.0,
+            batch_requests: 1,
+        };
+        let _ = session.verify_round_from(target.profile(), &bogus, drafted);
     }
 
     #[test]

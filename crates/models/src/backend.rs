@@ -1,0 +1,852 @@
+//! The batched submit/complete decoder-backend API.
+//!
+//! [`crate::AsrDecoderModel::next_logits`] is a synchronous, one-token,
+//! one-sequence call — the wrong shape for a serving scheduler that wants to
+//! score an entire draft in one target forward pass and batch verification
+//! across sessions, and impossible to overlap when the backend is genuinely
+//! I/O-bound (GPU RPC, remote inference).  [`AsrBackend`] is the batched,
+//! completion-queue redesign of that boundary:
+//!
+//! 1. callers build a [`BackendBatch`] of [`ForwardRequest`]s — each request
+//!    is one forward pass: an audio context, a shared generated prefix, and
+//!    the *probe extensions* whose next-token distributions the pass must
+//!    score (a single-token draft step probes one position; verifying a
+//!    whole drafted sequence or token tree probes every draft position in
+//!    the same pass, which is exactly how speculative verification runs on
+//!    real hardware);
+//! 2. [`AsrBackend::submit`] enqueues the batch at a caller-supplied wall
+//!    time and returns one [`Ticket`] per request;
+//! 3. [`AsrBackend::poll`] / [`AsrBackend::complete`] drain the completion
+//!    queue: each [`ForwardResult`] carries the scored [`TokenLogits`] plus
+//!    the modeled in-flight span (submit → completion) of its batch.
+//!
+//! The design is deliberately futures-free — no executor, no `tokio` — so it
+//! works with the offline shims while mapping directly onto an asynchronous
+//! GPU-RPC backend later (tickets become RPC handles, `poll` becomes a
+//! completion-queue read).
+//!
+//! Two simulated backends are provided:
+//!
+//! * [`SyncBackendAdapter`] — the blanket adapter preserving every existing
+//!   [`AsrDecoderModel`]: results are computed at submit time and complete
+//!   after one forward-pass-priced service interval.  Batches are priced as
+//!   grouped passes (base cost once, per-token cost for every request), and
+//!   concurrent submissions overlap freely — the model for a pool of
+//!   identical accelerators, or per-session draft chains that genuinely run
+//!   in parallel.
+//! * [`InFlightSimBackend`] — adds a *device timeline*: batches execute
+//!   serially on one device, a batch submitted while another is executing
+//!   queues behind it, and every batch pays a dispatch overhead.  Submitting
+//!   work early therefore overlaps its service time with whatever the caller
+//!   does next, which is how scheduler-level draft/verify overlap becomes
+//!   visible in measured wall-clock.
+//!
+//! [`BackendModelBridge`] closes the loop in the other direction: it exposes
+//! an `&mut` backend as an [`AsrDecoderModel`], turning every `next_logits`
+//! call into a single-probe [`ForwardRequest`] submit + complete.  The
+//! inherently sequential draft loops (each step depends on the previous
+//! token) run unchanged against the bridge, so the whole decode path speaks
+//! [`ForwardRequest`] at the model boundary.
+
+use std::sync::{Arc, Mutex};
+
+use specasr_audio::UtteranceId;
+use specasr_tokenizer::TokenId;
+
+use crate::binding::UtteranceTokens;
+use crate::logits::TokenLogits;
+use crate::profiles::ModelProfile;
+use crate::traits::AsrDecoderModel;
+
+/// What a [`ForwardRequest`] is for, used for backend accounting (draft
+/// steps are serial per session; verify requests are the cross-session
+/// batching opportunity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ForwardKind {
+    /// One draft-model step: score the single position after the prefix.
+    DraftStep,
+    /// One verification pass: score every position of a drafted sequence or
+    /// token tree in parallel.
+    Verify,
+}
+
+/// One forward pass a backend must run: the audio context, the shared
+/// generated prefix, and the probe extensions to score.
+///
+/// Each probe is a token extension of `prefix`; the backend returns the
+/// next-token distribution *after* `prefix + probe`, one [`TokenLogits`] per
+/// probe, in probe order.  The empty probe scores the position directly
+/// after the prefix.  `charge_tokens` is the token width the pass occupies
+/// on the accelerator (what latency pricing is based on) — for a verify
+/// pass, the drafted-token count the verification processes, not the probe
+/// count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardRequest {
+    /// The audio context the model is conditioned on (shared — many requests
+    /// of one session reference the same context without copying it).
+    pub audio: Arc<UtteranceTokens>,
+    /// The committed generated prefix shared by every probe.
+    pub prefix: Vec<TokenId>,
+    /// Token extensions of `prefix` to score, in order.
+    pub probes: Vec<Vec<TokenId>>,
+    /// Token width the pass is priced at (parallel tokens processed).
+    pub charge_tokens: usize,
+    /// What the request is for.
+    pub kind: ForwardKind,
+}
+
+impl ForwardRequest {
+    /// A single draft step: score the position directly after `prefix`.
+    pub fn draft_step(audio: Arc<UtteranceTokens>, prefix: Vec<TokenId>) -> Self {
+        ForwardRequest {
+            audio,
+            prefix,
+            probes: vec![Vec::new()],
+            charge_tokens: 1,
+            kind: ForwardKind::DraftStep,
+        }
+    }
+
+    /// A verification pass scoring `probes` after `prefix`, priced at
+    /// `charge_tokens` parallel tokens.
+    pub fn verify(
+        audio: Arc<UtteranceTokens>,
+        prefix: Vec<TokenId>,
+        probes: Vec<Vec<TokenId>>,
+        charge_tokens: usize,
+    ) -> Self {
+        ForwardRequest {
+            audio,
+            prefix,
+            probes,
+            charge_tokens,
+            kind: ForwardKind::Verify,
+        }
+    }
+}
+
+/// Handle of one submitted [`ForwardRequest`], redeemed through
+/// [`AsrBackend::poll`] or [`AsrBackend::complete`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(u64);
+
+impl Ticket {
+    /// Builds a ticket from its raw value (tickets are normally issued by
+    /// [`AsrBackend::submit`]; constructing one directly is only useful for
+    /// tests and custom backend implementations).
+    pub const fn new(raw: u64) -> Self {
+        Ticket(raw)
+    }
+
+    /// The raw ticket value (monotonically increasing in submission order).
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// A group of [`ForwardRequest`]s submitted together: the backend runs them
+/// as one grouped pass (base cost paid once), which is where cross-session
+/// verification batching comes from.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BackendBatch {
+    requests: Vec<ForwardRequest>,
+}
+
+impl BackendBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        BackendBatch::default()
+    }
+
+    /// A batch holding a single request.
+    pub fn of(request: ForwardRequest) -> Self {
+        BackendBatch {
+            requests: vec![request],
+        }
+    }
+
+    /// Adds a request to the batch.
+    pub fn push(&mut self, request: ForwardRequest) {
+        self.requests.push(request);
+    }
+
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` when the batch holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The requests in submission order.
+    pub fn requests(&self) -> &[ForwardRequest] {
+        &self.requests
+    }
+
+    /// Total priced token width across the batch.
+    pub fn charge_tokens(&self) -> usize {
+        self.requests.iter().map(|r| r.charge_tokens).sum()
+    }
+}
+
+/// One completed [`ForwardRequest`]: the scored distributions plus the
+/// modeled in-flight span of the batch that served it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardResult {
+    /// The ticket of the request this result answers.
+    pub ticket: Ticket,
+    /// What the request was for.
+    pub kind: ForwardKind,
+    /// One distribution per probe, in probe order.
+    pub logits: Vec<TokenLogits>,
+    /// Wall time the batch was submitted.
+    pub submitted_ms: f64,
+    /// Wall time the batch completed (dispatch + queueing + service).
+    pub completed_ms: f64,
+    /// Number of requests in the batch that served this request.
+    pub batch_requests: usize,
+}
+
+impl ForwardResult {
+    /// The modeled submit-to-completion latency of this request.
+    pub fn latency_ms(&self) -> f64 {
+        (self.completed_ms - self.submitted_ms).max(0.0)
+    }
+}
+
+/// Cumulative counters of one backend's lifetime, for occupancy and
+/// in-flight-depth reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendCounters {
+    /// Batches submitted.
+    pub batches: usize,
+    /// Requests submitted across all batches.
+    pub requests: usize,
+    /// Requests of kind [`ForwardKind::DraftStep`].
+    pub draft_requests: usize,
+    /// Requests of kind [`ForwardKind::Verify`].
+    pub verify_requests: usize,
+    /// Batches containing at least one verify request.
+    pub verify_batches: usize,
+    /// Probe positions scored across all requests.
+    pub probes_scored: usize,
+    /// Largest number of requests that were in flight (submitted, not yet
+    /// completed on the modeled timeline) at any submission instant.
+    pub peak_in_flight: usize,
+}
+
+impl BackendCounters {
+    /// Mean verify requests per verify batch — the cross-session batching
+    /// gauge (1.0 means every verification ran alone; 0.0 when nothing was
+    /// verified yet).
+    pub fn verify_batch_occupancy(&self) -> f64 {
+        if self.verify_batches == 0 {
+            0.0
+        } else {
+            self.verify_requests as f64 / self.verify_batches as f64
+        }
+    }
+
+    /// Folds another backend's counters in with parallel-composition
+    /// semantics: everything sums, including the in-flight peaks (the
+    /// backends run concurrently, so their depths coexist).
+    pub fn absorb(&mut self, other: &BackendCounters) {
+        self.batches += other.batches;
+        self.requests += other.requests;
+        self.draft_requests += other.draft_requests;
+        self.verify_requests += other.verify_requests;
+        self.verify_batches += other.verify_batches;
+        self.probes_scored += other.probes_scored;
+        self.peak_in_flight += other.peak_in_flight;
+    }
+}
+
+/// The batched, completion-queue decoder-backend abstraction.
+///
+/// `submit` never blocks: it prices and enqueues the batch at `now_ms` and
+/// hands back tickets.  Completions are drained with `poll` (everything
+/// ready, in completion order) or `complete` (one specific ticket).  The
+/// simulated backends compute results eagerly, so `complete` always succeeds
+/// right after `submit`; an RPC-backed implementation would block or return
+/// `None` until the wire answers — callers that need lock-step behaviour
+/// (the draft loops) use [`BackendModelBridge`], callers that want overlap
+/// (the serving scheduler) submit everything first and drain afterwards.
+pub trait AsrBackend {
+    /// The profile of the model this backend fronts.
+    fn profile(&self) -> &ModelProfile;
+
+    /// Submits a batch at wall time `now_ms`, returning one ticket per
+    /// request in request order.
+    fn submit(&mut self, batch: BackendBatch, now_ms: f64) -> Vec<Ticket>;
+
+    /// Drains every completed result, ordered by completion time (ties by
+    /// ticket).
+    fn poll(&mut self) -> Vec<ForwardResult>;
+
+    /// Removes and returns the result for `ticket`, or `None` if the ticket
+    /// is unknown or not completed yet.
+    fn complete(&mut self, ticket: Ticket) -> Option<ForwardResult>;
+
+    /// Cumulative lifetime counters.
+    fn counters(&self) -> BackendCounters;
+}
+
+/// Shared bookkeeping of the simulated backends: ticket allocation, the
+/// completion queue, and the in-flight gauge.
+#[derive(Debug, Clone, Default)]
+struct BackendState {
+    next_ticket: u64,
+    pending: Vec<ForwardResult>,
+    /// `(completed_ms, requests)` of batches still in flight on the modeled
+    /// timeline, pruned on every submit.
+    in_flight: Vec<(f64, usize)>,
+    counters: BackendCounters,
+}
+
+impl BackendState {
+    /// Scores a batch against `model`, completing at `completed_ms`.
+    fn score_batch<M: AsrDecoderModel + ?Sized>(
+        &mut self,
+        model: &M,
+        batch: BackendBatch,
+        now_ms: f64,
+        completed_ms: f64,
+    ) -> Vec<Ticket> {
+        let batch_requests = batch.len();
+        self.counters.batches += 1;
+        self.counters.requests += batch_requests;
+        if batch.requests.iter().any(|r| r.kind == ForwardKind::Verify) {
+            self.counters.verify_batches += 1;
+        }
+        self.in_flight.retain(|&(done, _)| done > now_ms);
+        self.in_flight.push((completed_ms, batch_requests));
+        let in_flight: usize = self.in_flight.iter().map(|&(_, n)| n).sum();
+        self.counters.peak_in_flight = self.counters.peak_in_flight.max(in_flight);
+
+        let mut tickets = Vec::with_capacity(batch_requests);
+        let mut context = Vec::new();
+        for request in batch.requests {
+            match request.kind {
+                ForwardKind::DraftStep => self.counters.draft_requests += 1,
+                ForwardKind::Verify => self.counters.verify_requests += 1,
+            }
+            self.counters.probes_scored += request.probes.len();
+            let mut logits = Vec::with_capacity(request.probes.len());
+            for probe in &request.probes {
+                context.clear();
+                context.extend_from_slice(&request.prefix);
+                context.extend_from_slice(probe);
+                logits.push(model.next_logits(&request.audio, &context));
+            }
+            let ticket = Ticket(self.next_ticket);
+            self.next_ticket += 1;
+            self.pending.push(ForwardResult {
+                ticket,
+                kind: request.kind,
+                logits,
+                submitted_ms: now_ms,
+                completed_ms,
+                batch_requests,
+            });
+            tickets.push(ticket);
+        }
+        tickets
+    }
+
+    fn poll(&mut self) -> Vec<ForwardResult> {
+        let mut drained = std::mem::take(&mut self.pending);
+        drained.sort_by(|a, b| {
+            a.completed_ms
+                .partial_cmp(&b.completed_ms)
+                .expect("completion times are finite")
+                .then(a.ticket.cmp(&b.ticket))
+        });
+        drained
+    }
+
+    fn complete(&mut self, ticket: Ticket) -> Option<ForwardResult> {
+        let index = self.pending.iter().position(|r| r.ticket == ticket)?;
+        Some(self.pending.swap_remove(index))
+    }
+}
+
+/// Grouped-pass price of a batch: the base cost once, the per-token cost for
+/// every priced token in the batch.
+fn batch_service_ms(profile: &ModelProfile, batch: &BackendBatch) -> f64 {
+    profile.latency().forward_pass_ms(batch.charge_tokens())
+}
+
+/// The blanket adapter turning any [`AsrDecoderModel`] into an
+/// [`AsrBackend`].
+///
+/// Every batch completes one grouped forward pass after submission;
+/// concurrent submissions overlap freely (no shared device timeline), which
+/// models per-session draft chains running in parallel on a pool of
+/// accelerators.  Since the wrapped models are pure, results are computed
+/// eagerly and [`AsrBackend::complete`] always succeeds right after
+/// [`AsrBackend::submit`] — wrapped this way, every existing model keeps
+/// byte-identical decoding behaviour through the new API.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+///
+/// use specasr_audio::{Corpus, Split};
+/// use specasr_models::{
+///     AsrBackend, BackendBatch, ForwardRequest, ModelProfile, SimulatedAsrModel,
+///     SyncBackendAdapter, TokenizerBinding,
+/// };
+///
+/// let corpus = Corpus::librispeech_like(1, 1);
+/// let binding = TokenizerBinding::for_corpus(&corpus);
+/// let audio = Arc::new(binding.bind(&corpus.split(Split::TestClean)[0]));
+/// let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 7);
+///
+/// let mut backend = SyncBackendAdapter::new(target);
+/// let tickets = backend.submit(
+///     BackendBatch::of(ForwardRequest::draft_step(audio, Vec::new())),
+///     0.0,
+/// );
+/// let result = backend.complete(tickets[0]).expect("computed at submit");
+/// assert_eq!(result.logits.len(), 1);
+/// assert!(result.latency_ms() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyncBackendAdapter<M> {
+    model: M,
+    state: BackendState,
+}
+
+impl<M: AsrDecoderModel> SyncBackendAdapter<M> {
+    /// Wraps `model`.
+    pub fn new(model: M) -> Self {
+        SyncBackendAdapter {
+            model,
+            state: BackendState::default(),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Unwraps the adapter back into its model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+impl<M: AsrDecoderModel> AsrBackend for SyncBackendAdapter<M> {
+    fn profile(&self) -> &ModelProfile {
+        self.model.profile()
+    }
+
+    fn submit(&mut self, batch: BackendBatch, now_ms: f64) -> Vec<Ticket> {
+        let completed_ms = now_ms + batch_service_ms(self.model.profile(), &batch);
+        self.state
+            .score_batch(&self.model, batch, now_ms, completed_ms)
+    }
+
+    fn poll(&mut self) -> Vec<ForwardResult> {
+        self.state.poll()
+    }
+
+    fn complete(&mut self, ticket: Ticket) -> Option<ForwardResult> {
+        self.state.complete(ticket)
+    }
+
+    fn counters(&self) -> BackendCounters {
+        self.state.counters
+    }
+}
+
+/// A simulated backend with *in-flight* semantics: one device timeline,
+/// per-batch dispatch overhead, and queueing behind whatever is already
+/// executing.
+///
+/// A batch submitted at `now` starts at `max(now + dispatch_overhead_ms,
+/// device_free)` and runs for one grouped-pass service interval; the next
+/// batch queues behind it.  Work submitted *early* — before the caller
+/// actually needs the results — therefore overlaps its service time with the
+/// caller's other work, which is how a scheduler's draft/verify overlap
+/// shows up in measured wall-clock instead of in an analytic cost model.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+///
+/// use specasr_audio::{Corpus, Split};
+/// use specasr_models::{
+///     AsrBackend, BackendBatch, ForwardRequest, InFlightSimBackend, ModelProfile,
+///     SimulatedAsrModel, TokenizerBinding,
+/// };
+///
+/// let corpus = Corpus::librispeech_like(1, 1);
+/// let binding = TokenizerBinding::for_corpus(&corpus);
+/// let audio = Arc::new(binding.bind(&corpus.split(Split::TestClean)[0]));
+/// let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 7);
+///
+/// let mut backend = InFlightSimBackend::new(target);
+/// let a = ForwardRequest::draft_step(audio.clone(), Vec::new());
+/// let b = ForwardRequest::draft_step(audio, Vec::new());
+/// backend.submit(BackendBatch::of(a), 0.0);
+/// backend.submit(BackendBatch::of(b), 0.0); // queues behind the first
+/// let results = backend.poll();
+/// assert!(results[1].completed_ms > results[0].completed_ms);
+/// assert_eq!(backend.counters().peak_in_flight, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InFlightSimBackend<M> {
+    model: M,
+    dispatch_overhead_ms: f64,
+    device_free_ms: f64,
+    state: BackendState,
+}
+
+impl<M: AsrDecoderModel> InFlightSimBackend<M> {
+    /// Wraps `model` with no dispatch overhead.
+    pub fn new(model: M) -> Self {
+        InFlightSimBackend {
+            model,
+            dispatch_overhead_ms: 0.0,
+            device_free_ms: 0.0,
+            state: BackendState::default(),
+        }
+    }
+
+    /// Sets the per-batch dispatch overhead (kernel launch / RPC cost paid
+    /// before execution starts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overhead is negative or non-finite.
+    pub fn with_dispatch_overhead_ms(mut self, overhead_ms: f64) -> Self {
+        assert!(
+            overhead_ms.is_finite() && overhead_ms >= 0.0,
+            "dispatch overhead must be finite and non-negative"
+        );
+        self.dispatch_overhead_ms = overhead_ms;
+        self
+    }
+
+    /// The configured per-batch dispatch overhead.
+    pub fn dispatch_overhead_ms(&self) -> f64 {
+        self.dispatch_overhead_ms
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Unwraps the backend back into its model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+impl<M: AsrDecoderModel> AsrBackend for InFlightSimBackend<M> {
+    fn profile(&self) -> &ModelProfile {
+        self.model.profile()
+    }
+
+    fn submit(&mut self, batch: BackendBatch, now_ms: f64) -> Vec<Ticket> {
+        let start_ms = (now_ms + self.dispatch_overhead_ms).max(self.device_free_ms);
+        let completed_ms = start_ms + batch_service_ms(self.model.profile(), &batch);
+        self.device_free_ms = completed_ms;
+        self.state
+            .score_batch(&self.model, batch, now_ms, completed_ms)
+    }
+
+    fn poll(&mut self) -> Vec<ForwardResult> {
+        self.state.poll()
+    }
+
+    fn complete(&mut self, ticket: Ticket) -> Option<ForwardResult> {
+        self.state.complete(ticket)
+    }
+
+    fn counters(&self) -> BackendCounters {
+        self.state.counters
+    }
+}
+
+/// Exposes an `&mut` backend as an [`AsrDecoderModel`]: each `next_logits`
+/// call becomes a single-probe [`ForwardRequest`] submitted and completed in
+/// lock step.
+///
+/// This is how the inherently sequential draft loops (each step depends on
+/// the previous token, so there is nothing to batch *within* a session) run
+/// against a backend without being rewritten as state machines — the loop
+/// structure stays, the model boundary becomes [`ForwardRequest`].  `now_ms`
+/// stamps every submission (the serving scheduler passes its tick start).
+#[derive(Debug)]
+pub struct BackendModelBridge<'a, B> {
+    inner: Mutex<BridgeInner<'a, B>>,
+    profile: ModelProfile,
+    now_ms: f64,
+}
+
+#[derive(Debug)]
+struct BridgeInner<'a, B> {
+    backend: &'a mut B,
+    /// The shared audio context of this bridge's draft loop, cloned once on
+    /// first use and re-used for every subsequent step (a bridge lives for
+    /// one draft round, which always queries a single audio context — the
+    /// cache is keyed on the utterance id as a guard).
+    audio: Option<(UtteranceId, Arc<UtteranceTokens>)>,
+}
+
+impl<'a, B: AsrBackend> BackendModelBridge<'a, B> {
+    /// Bridges `backend`, stamping submissions at `now_ms`.
+    pub fn new(backend: &'a mut B, now_ms: f64) -> Self {
+        Self::construct(backend, now_ms, None)
+    }
+
+    /// Like [`BackendModelBridge::new`], with the draft loop's audio context
+    /// pre-seeded: callers that already hold the context behind an `Arc`
+    /// (decode sessions do) share it into the bridge so no clone ever
+    /// happens on the draft path.
+    pub fn with_audio(backend: &'a mut B, now_ms: f64, audio: Arc<UtteranceTokens>) -> Self {
+        let seeded = Some((audio.id(), audio));
+        Self::construct(backend, now_ms, seeded)
+    }
+
+    fn construct(
+        backend: &'a mut B,
+        now_ms: f64,
+        audio: Option<(UtteranceId, Arc<UtteranceTokens>)>,
+    ) -> Self {
+        let profile = backend.profile().clone();
+        BackendModelBridge {
+            inner: Mutex::new(BridgeInner { backend, audio }),
+            profile,
+            now_ms,
+        }
+    }
+}
+
+impl<B: AsrBackend + Send> AsrDecoderModel for BackendModelBridge<'_, B> {
+    fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    fn next_logits(&self, audio: &UtteranceTokens, prefix: &[TokenId]) -> TokenLogits {
+        let mut inner = self.inner.lock().expect("bridge lock is never poisoned");
+        let shared = match &inner.audio {
+            Some((id, shared)) if *id == audio.id() => Arc::clone(shared),
+            _ => {
+                let shared = Arc::new(audio.clone());
+                inner.audio = Some((audio.id(), Arc::clone(&shared)));
+                shared
+            }
+        };
+        let tickets = inner.backend.submit(
+            BackendBatch::of(ForwardRequest::draft_step(shared, prefix.to_vec())),
+            self.now_ms,
+        );
+        let result = inner
+            .backend
+            .complete(tickets[0])
+            .expect("a simulated backend completes at submit time");
+        result
+            .logits
+            .into_iter()
+            .next()
+            .expect("a draft step scores exactly one probe")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::TokenizerBinding;
+    use crate::simulated::SimulatedAsrModel;
+    use specasr_audio::{Corpus, Split};
+
+    fn setup() -> (
+        SimulatedAsrModel,
+        SimulatedAsrModel,
+        Vec<Arc<UtteranceTokens>>,
+    ) {
+        let corpus = Corpus::librispeech_like(17, 3);
+        let binding = TokenizerBinding::for_corpus(&corpus);
+        let audio = binding
+            .bind_all(corpus.split(Split::TestClean))
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 7);
+        let draft = SimulatedAsrModel::draft_paired(ModelProfile::whisper_tiny_en(), 8, &target);
+        (draft, target, audio)
+    }
+
+    #[test]
+    fn probe_results_match_direct_model_queries() {
+        let (_, target, audio) = setup();
+        let transcript = target.greedy_transcript(&audio[0]);
+        let probes: Vec<Vec<TokenId>> = (0..=transcript.len().min(4))
+            .map(|i| transcript[..i].to_vec())
+            .collect();
+        let request = ForwardRequest::verify(audio[0].clone(), Vec::new(), probes.clone(), 4);
+        let mut backend = SyncBackendAdapter::new(&target);
+        let tickets = backend.submit(BackendBatch::of(request), 10.0);
+        let result = backend.complete(tickets[0]).expect("computed at submit");
+        assert_eq!(result.logits.len(), probes.len());
+        for (probe, logits) in probes.iter().zip(&result.logits) {
+            assert_eq!(logits, &target.next_logits(&audio[0], probe));
+        }
+        assert_eq!(result.kind, ForwardKind::Verify);
+        assert!((result.submitted_ms - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batches_are_priced_as_one_grouped_pass() {
+        let (_, target, audio) = setup();
+        let latency = target.profile().latency().clone();
+        let mut batch = BackendBatch::new();
+        for widths in [3usize, 5, 1] {
+            batch.push(ForwardRequest::verify(
+                audio[0].clone(),
+                Vec::new(),
+                vec![Vec::new()],
+                widths,
+            ));
+        }
+        let mut backend = SyncBackendAdapter::new(&target);
+        let tickets = backend.submit(batch, 100.0);
+        let result = backend.complete(tickets[2]).expect("computed at submit");
+        assert!((result.completed_ms - (100.0 + latency.forward_pass_ms(9))).abs() < 1e-9);
+        assert_eq!(result.batch_requests, 3);
+        // The other two complete at the same instant (one grouped pass).
+        let rest = backend.poll();
+        assert_eq!(rest.len(), 2);
+        assert!(rest.iter().all(|r| r.completed_ms == result.completed_ms));
+    }
+
+    #[test]
+    fn sync_adapter_overlaps_concurrent_submissions() {
+        let (draft, _, audio) = setup();
+        let mut backend = SyncBackendAdapter::new(&draft);
+        let a = backend.submit(
+            BackendBatch::of(ForwardRequest::draft_step(audio[0].clone(), Vec::new())),
+            0.0,
+        );
+        let b = backend.submit(
+            BackendBatch::of(ForwardRequest::draft_step(audio[1].clone(), Vec::new())),
+            0.0,
+        );
+        let ra = backend.complete(a[0]).expect("completed");
+        let rb = backend.complete(b[0]).expect("completed");
+        // No shared device: both complete one pass after their submission.
+        assert!((ra.completed_ms - rb.completed_ms).abs() < 1e-12);
+        assert_eq!(backend.counters().peak_in_flight, 2);
+    }
+
+    #[test]
+    fn in_flight_backend_serialises_its_device_timeline() {
+        let (_, target, audio) = setup();
+        let latency = target.profile().latency().clone();
+        let mut backend = InFlightSimBackend::new(&target).with_dispatch_overhead_ms(2.0);
+        let a = ForwardRequest::verify(audio[0].clone(), Vec::new(), vec![Vec::new()], 8);
+        let b = ForwardRequest::verify(audio[1].clone(), Vec::new(), vec![Vec::new()], 4);
+        backend.submit(BackendBatch::of(a), 0.0);
+        backend.submit(BackendBatch::of(b), 1.0); // queues behind the first
+        let results = backend.poll();
+        let first_done = 2.0 + latency.forward_pass_ms(8);
+        assert!((results[0].completed_ms - first_done).abs() < 1e-9);
+        assert!((results[1].completed_ms - (first_done + latency.forward_pass_ms(4))).abs() < 1e-9);
+        // Submitting after the device drained starts immediately again.
+        let c = ForwardRequest::verify(audio[0].clone(), Vec::new(), vec![Vec::new()], 1);
+        let tickets = backend.submit(BackendBatch::of(c), 1e6);
+        let result = backend.complete(tickets[0]).expect("completed");
+        assert!((result.completed_ms - (1e6 + 2.0 + latency.forward_pass_ms(1))).abs() < 1e-6);
+        assert_eq!(backend.counters().verify_batches, 3);
+        assert_eq!(backend.counters().verify_requests, 3);
+        assert!((backend.counters().verify_batch_occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bridge_reproduces_the_wrapped_model_exactly() {
+        let (draft, _, audio) = setup();
+        let mut backend = SyncBackendAdapter::new(&draft);
+        let reference = draft.greedy_transcript(&audio[0]);
+        let transcript = {
+            let bridge = BackendModelBridge::new(&mut backend, 0.0);
+            bridge.greedy_transcript(&audio[0])
+        };
+        assert_eq!(transcript, reference);
+        let counters = backend.counters();
+        assert_eq!(counters.draft_requests, counters.requests);
+        assert!(counters.draft_requests > 0);
+        assert_eq!(counters.verify_batches, 0);
+        assert_eq!(counters.probes_scored, counters.requests);
+    }
+
+    #[test]
+    fn poll_orders_by_completion_time_and_complete_is_exact() {
+        let (_, target, audio) = setup();
+        let mut backend = InFlightSimBackend::new(&target);
+        let late = backend.submit(
+            BackendBatch::of(ForwardRequest::verify(
+                audio[0].clone(),
+                Vec::new(),
+                vec![Vec::new()],
+                16,
+            )),
+            0.0,
+        );
+        let early = backend.submit(
+            BackendBatch::of(ForwardRequest::verify(
+                audio[1].clone(),
+                Vec::new(),
+                vec![Vec::new()],
+                1,
+            )),
+            0.0,
+        );
+        assert!(backend.complete(Ticket(99)).is_none(), "unknown ticket");
+        let results = backend.poll();
+        assert_eq!(results[0].ticket, late[0], "device order, not ticket order");
+        assert_eq!(results[1].ticket, early[0]);
+        assert!(backend.poll().is_empty(), "poll drains the queue");
+        assert!(backend.complete(late[0]).is_none(), "already drained");
+    }
+
+    #[test]
+    fn occupancy_counts_only_verify_batches() {
+        let (draft, _, audio) = setup();
+        let mut backend = SyncBackendAdapter::new(&draft);
+        backend.submit(
+            BackendBatch::of(ForwardRequest::draft_step(audio[0].clone(), Vec::new())),
+            0.0,
+        );
+        let mut verify = BackendBatch::new();
+        for _ in 0..4 {
+            verify.push(ForwardRequest::verify(
+                audio[0].clone(),
+                Vec::new(),
+                vec![Vec::new()],
+                2,
+            ));
+        }
+        backend.submit(verify, 0.0);
+        let counters = backend.counters();
+        assert_eq!(counters.batches, 2);
+        assert_eq!(counters.verify_batches, 1);
+        assert_eq!(counters.verify_requests, 4);
+        assert!((counters.verify_batch_occupancy() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_dispatch_overhead_panics() {
+        let (_, target, _) = setup();
+        let _ = InFlightSimBackend::new(&target).with_dispatch_overhead_ms(-1.0);
+    }
+}

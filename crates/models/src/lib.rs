@@ -15,6 +15,9 @@
 //!   logits, the observable that adaptive truncation thresholds on,
 //! * [`traits`] — the [`traits::AsrDecoderModel`] abstraction every decoding
 //!   policy is written against (a real neural backend can be swapped in),
+//! * [`backend`] — the batched submit/complete [`backend::AsrBackend`] API
+//!   serving schedulers drive: [`backend::ForwardRequest`] batches, tickets,
+//!   a completion queue, and simulated in-flight backends,
 //! * [`simulated`] — the audio-conditioned simulated ASR model: scale-
 //!   dependent substitution errors, draft/target agreement driven by acoustic
 //!   difficulty, re-alignment after mismatches,
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod alignment;
+pub mod backend;
 pub mod binding;
 pub(crate) mod hashing;
 pub mod latency;
@@ -53,6 +57,10 @@ pub mod simulated;
 pub mod text_task;
 pub mod traits;
 
+pub use backend::{
+    AsrBackend, BackendBatch, BackendCounters, BackendModelBridge, ForwardKind, ForwardRequest,
+    ForwardResult, InFlightSimBackend, SyncBackendAdapter, Ticket,
+};
 pub use binding::{TokenizerBinding, UtteranceTokens};
 pub use hashing::splitmix64;
 pub use latency::{DecodeClock, LatencyBreakdown, LatencyModel};

@@ -66,28 +66,13 @@ impl KvCache {
     }
 
     /// Records the prefill of `tokens` context positions (audio embeddings
-    /// plus prompt).  May only be called on an empty cache.
+    /// plus prompt), or returns a typed [`PrefillError`] if the cache
+    /// already holds positions — prefill may only happen on an empty cache.
     ///
-    /// Deprecated: every in-tree call site now uses the fallible
-    /// [`KvCache::try_prefill`], which surfaces the double-prefill case as a
-    /// typed [`PrefillError`] a serving worker can handle instead of dying.
-    /// This panicking wrapper stays for one more release for downstream
-    /// compatibility.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cache already holds positions.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `try_prefill` and handle the typed `PrefillError`"
-    )]
-    pub fn prefill(&mut self, tokens: usize) {
-        self.try_prefill(tokens)
-            .expect("prefill must happen on an empty cache");
-    }
-
-    /// Fallible form of [`KvCache::prefill`]: records the prefill, or returns
-    /// a typed [`PrefillError`] if the cache already holds positions.
+    /// This is the only prefill entry point: the panicking `prefill` wrapper
+    /// it replaced was deprecated for one release and has been removed
+    /// (serving workers must see the double-prefill case as a typed error,
+    /// never a panic).
     pub fn try_prefill(&mut self, tokens: usize) -> Result<(), PrefillError> {
         if self.total_len != 0 {
             return Err(PrefillError {
@@ -231,15 +216,6 @@ mod tests {
         // The failed attempt left the bookkeeping untouched.
         assert_eq!(cache.len(), 8);
         assert_eq!(cache.prefill_len(), 6);
-    }
-
-    #[test]
-    #[should_panic(expected = "empty cache")]
-    #[allow(deprecated)] // compatibility coverage for the panicking wrapper
-    fn double_prefill_panics() {
-        let mut cache = KvCache::new();
-        cache.prefill(5);
-        cache.prefill(5);
     }
 }
 

@@ -72,6 +72,113 @@ pub fn grouped_verify_ms(target: &LatencyModel, verify_widths: &[usize]) -> f64 
     target.forward_pass_ms(verify_widths.iter().sum())
 }
 
+/// One tick's verification schedule against an in-flight target backend:
+/// which sessions verify in which cross-session batch (wave), when each
+/// wave is submitted, and the modeled makespan of the whole tick.
+///
+/// Produced by [`plan_verify_waves`]; the scheduler submits each wave as one
+/// [`specasr_models::BackendBatch`] at `tick_start + submit_offsets_ms[w]`
+/// and advances its wall clock to the last completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyPlan {
+    /// Session indices per wave, in draft-completion order (ties broken by
+    /// index, so the schedule is deterministic).
+    pub waves: Vec<Vec<usize>>,
+    /// Submission offset of each wave relative to the tick start — the
+    /// moment its slowest member finished drafting.
+    pub submit_offsets_ms: Vec<f64>,
+    /// Modeled completion of the last wave, relative to the tick start.
+    pub makespan_ms: f64,
+}
+
+/// Plans the tick's verification waves against a serialised device with
+/// per-batch `dispatch_overhead_ms` (the [`specasr_models::InFlightSimBackend`]
+/// timeline model).
+///
+/// The historical schedule — wait for the slowest draft, then one grouped
+/// verification pass over everyone — is always a candidate.  The overlap
+/// alternative splits the sessions (ordered by draft-completion time) into
+/// two waves: the early finishers' verification batch is submitted as soon
+/// as *their* slowest draft lands, so its service time executes in flight
+/// while the straggling draft phases are still running, and only the
+/// stragglers' (smaller) batch remains on the critical path.  The split is
+/// chosen per tick by evaluating the modeled makespan of every cut point
+/// and keeping the single grouped batch unless a split is strictly faster —
+/// so the plan never costs more wall-clock than the historical schedule,
+/// and wins exactly when one session's long adaptive draft phase used to
+/// stall everyone else's verification (the `serve_load` bottleneck at high
+/// concurrency).
+///
+/// # Panics
+///
+/// Panics if `draft_ms` and `verify_widths` differ in length.
+pub fn plan_verify_waves(
+    draft_ms: &[f64],
+    verify_widths: &[usize],
+    target: &LatencyModel,
+    dispatch_overhead_ms: f64,
+) -> VerifyPlan {
+    assert_eq!(
+        draft_ms.len(),
+        verify_widths.len(),
+        "one draft time and one verify width per batched session"
+    );
+    let n = draft_ms.len();
+    if n == 0 {
+        return VerifyPlan {
+            waves: Vec::new(),
+            submit_offsets_ms: Vec::new(),
+            makespan_ms: 0.0,
+        };
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        draft_ms[a]
+            .partial_cmp(&draft_ms[b])
+            .expect("draft times are finite")
+            .then(a.cmp(&b))
+    });
+    // Prefix token widths over the draft-completion order.
+    let mut width_prefix = Vec::with_capacity(n + 1);
+    width_prefix.push(0usize);
+    for &index in &order {
+        width_prefix.push(width_prefix.last().unwrap() + verify_widths[index]);
+    }
+    let total_width = width_prefix[n];
+    let d_max = draft_ms[order[n - 1]];
+    let single_makespan = d_max + dispatch_overhead_ms + target.forward_pass_ms(total_width);
+
+    let mut best_split = None;
+    let mut best_makespan = single_makespan;
+    for cut in 1..n {
+        let wave1_submit = draft_ms[order[cut - 1]];
+        let wave1_done =
+            wave1_submit + dispatch_overhead_ms + target.forward_pass_ms(width_prefix[cut]);
+        let wave2_start = (d_max + dispatch_overhead_ms).max(wave1_done);
+        let makespan = wave2_start + target.forward_pass_ms(total_width - width_prefix[cut]);
+        if makespan < best_makespan - 1e-9 {
+            best_makespan = makespan;
+            best_split = Some(cut);
+        }
+    }
+    match best_split {
+        None => VerifyPlan {
+            waves: vec![order],
+            submit_offsets_ms: vec![d_max],
+            makespan_ms: single_makespan,
+        },
+        Some(cut) => {
+            let wave2 = order.split_off(cut);
+            let wave1_submit = draft_ms[*order.last().expect("cut >= 1")];
+            VerifyPlan {
+                waves: vec![order, wave2],
+                submit_offsets_ms: vec![wave1_submit, d_max],
+                makespan_ms: best_makespan,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +223,79 @@ mod tests {
     #[should_panic(expected = "one draft time and one verify width")]
     fn mismatched_lengths_panic() {
         TickCost::of_round(&[1.0], &[], &target());
+    }
+
+    #[test]
+    fn uniform_drafts_plan_one_grouped_batch() {
+        // With no straggler there is nothing to overlap: splitting would pay
+        // the pass base cost twice for no gain.
+        let plan = plan_verify_waves(&[5.0, 5.0, 5.0], &[8, 8, 8], &target(), 0.0);
+        assert_eq!(plan.waves.len(), 1);
+        assert_eq!(plan.waves[0].len(), 3);
+        assert!((plan.submit_offsets_ms[0] - 5.0).abs() < 1e-12);
+        let analytic = TickCost::of_round(&[5.0, 5.0, 5.0], &[8, 8, 8], &target());
+        assert!((plan.makespan_ms - analytic.wall_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_long_straggler_draft_hides_the_early_wave() {
+        // Three fast drafters (3 ms) and one 100 ms straggler: the fast
+        // sessions' verification (20 + 0.5·24 = 32 ms) fully executes while
+        // the straggler drafts, leaving only its own pass on the critical
+        // path.
+        let draft_ms = [3.0, 3.0, 100.0, 3.0];
+        let widths = [8usize, 8, 8, 8];
+        let plan = plan_verify_waves(&draft_ms, &widths, &target(), 0.0);
+        assert_eq!(plan.waves.len(), 2);
+        assert_eq!(plan.waves[0], vec![0, 1, 3]);
+        assert_eq!(plan.waves[1], vec![2]);
+        assert!((plan.submit_offsets_ms[0] - 3.0).abs() < 1e-12);
+        assert!((plan.submit_offsets_ms[1] - 100.0).abs() < 1e-12);
+        // Makespan: straggler draft + its own verification pass.
+        assert!((plan.makespan_ms - (100.0 + 20.0 + 0.5 * 8.0)).abs() < 1e-12);
+        let analytic = TickCost::of_round(&draft_ms, &widths, &target());
+        assert!(
+            plan.makespan_ms < analytic.wall_ms,
+            "overlap must beat the wait-for-all schedule"
+        );
+    }
+
+    #[test]
+    fn the_plan_never_exceeds_the_single_batch_makespan() {
+        let cases: [(&[f64], &[usize]); 4] = [
+            (&[1.0], &[4]),
+            (&[10.0, 12.0], &[8, 2]),
+            (&[1.0, 2.0, 3.0, 50.0, 4.0], &[8, 8, 8, 8, 8]),
+            (&[0.0, 0.0, 90.0], &[24, 1, 3]),
+        ];
+        for (draft_ms, widths) in cases {
+            for overhead in [0.0, 2.5] {
+                let plan = plan_verify_waves(draft_ms, widths, &target(), overhead);
+                let d_max = draft_ms.iter().copied().fold(0.0f64, f64::max);
+                let single = d_max + overhead + grouped_verify_ms(&target(), widths);
+                assert!(plan.makespan_ms <= single + 1e-9);
+                assert!(plan.makespan_ms >= d_max, "verification follows drafting");
+                let scheduled: usize = plan.waves.iter().map(Vec::len).sum();
+                assert_eq!(scheduled, draft_ms.len(), "every session is verified");
+            }
+        }
+    }
+
+    #[test]
+    fn small_straggler_gaps_keep_the_single_grouped_batch() {
+        // The gap between the slowest and the second-slowest draft (4 ms) is
+        // far smaller than an extra pass base cost (20 ms): splitting would
+        // push the early wave's completion past the straggler and pay the
+        // base twice, so the plan must keep one grouped batch.
+        let plan = plan_verify_waves(&[1.0, 1.0, 5.0], &[8, 8, 8], &target(), 0.0);
+        assert_eq!(plan.waves.len(), 1);
+        assert!((plan.makespan_ms - (5.0 + 20.0 + 0.5 * 24.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ticks_plan_nothing() {
+        let plan = plan_verify_waves(&[], &[], &target(), 0.0);
+        assert!(plan.waves.is_empty());
+        assert_eq!(plan.makespan_ms, 0.0);
     }
 }

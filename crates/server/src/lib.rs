@@ -89,13 +89,13 @@ mod session;
 mod stats;
 mod worker;
 
-pub use batch::{grouped_verify_ms, TickCost};
+pub use batch::{grouped_verify_ms, plan_verify_waves, TickCost, VerifyPlan};
 pub use config::{AdmissionPolicy, PreemptPolicy, RouterConfig, ServerConfig};
 pub use loadgen::{run_open_loop, run_open_loop_streaming, LoadGen, OpenLoopReport};
-pub use request::{PartialSpan, RequestId, RequestLatency, RequestOutcome, SubmitError};
+pub use request::{PartialSpan, RequestId, RequestLatency, RequestOutcome, SloClass, SubmitError};
 pub use router::Router;
 pub use scheduler::Scheduler;
-pub use stats::{MemoryStats, ServerStats};
+pub use stats::{BackendStats, MemoryStats, ServerStats, SloClassStats};
 pub use worker::{Worker, WorkerId};
 
 // Serving code configures and inspects the paged KV pool directly; re-export

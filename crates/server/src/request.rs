@@ -27,6 +27,69 @@ impl std::fmt::Display for RequestId {
     }
 }
 
+/// Latency-SLO class of a request, derived from its time-to-first-token
+/// budget at submission: tighter budgets land in stricter classes, budgets
+/// of `None` are best-effort.  The scheduler keys its per-class latency
+/// histograms and deadline-shedding counters on this (see
+/// [`crate::ServerStats::slo_class`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SloClass {
+    /// TTFT budget ≤ 500 ms (live captioning, voice UI).
+    Interactive,
+    /// TTFT budget ≤ 2 000 ms (conversational transcription).
+    Standard,
+    /// Any larger finite TTFT budget (near-line processing).
+    Relaxed,
+    /// No budget: batch/offline traffic, never deadline-shed.
+    BestEffort,
+}
+
+impl SloClass {
+    /// Every class, in strictness order.
+    pub const ALL: [SloClass; 4] = [
+        SloClass::Interactive,
+        SloClass::Standard,
+        SloClass::Relaxed,
+        SloClass::BestEffort,
+    ];
+
+    /// Classifies a time-to-first-token budget.
+    pub fn of_budget(ttft_budget_ms: Option<f64>) -> Self {
+        match ttft_budget_ms {
+            None => SloClass::BestEffort,
+            Some(budget) if budget <= 500.0 => SloClass::Interactive,
+            Some(budget) if budget <= 2_000.0 => SloClass::Standard,
+            Some(_) => SloClass::Relaxed,
+        }
+    }
+
+    /// Dense index of this class (position in [`SloClass::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            SloClass::Interactive => 0,
+            SloClass::Standard => 1,
+            SloClass::Relaxed => 2,
+            SloClass::BestEffort => 3,
+        }
+    }
+
+    /// Stable lowercase name, for report rows and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            SloClass::Interactive => "interactive",
+            SloClass::Standard => "standard",
+            SloClass::Relaxed => "relaxed",
+            SloClass::BestEffort => "best-effort",
+        }
+    }
+}
+
+impl std::fmt::Display for SloClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Why a submission was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitError {
@@ -132,6 +195,9 @@ pub struct RequestOutcome {
     /// Times this request was preempted (evicted to free KV-pool blocks and
     /// later restored by a deterministic re-decode) before completing.
     pub preemptions: usize,
+    /// The latency-SLO class the request was served under (derived from its
+    /// TTFT budget at submission).
+    pub slo: SloClass,
     /// Partial transcripts emitted while the request streamed, in order —
     /// empty for offline requests.  For streaming requests the latency's
     /// time-to-first-token is the first partial's arrival-to-emission span.
@@ -208,6 +274,19 @@ mod tests {
             (skewed.span_ms() - 4.0).abs() < 1e-12,
             "clamped at zero + encoder"
         );
+    }
+
+    #[test]
+    fn slo_classes_bucket_budgets_by_strictness() {
+        assert_eq!(SloClass::of_budget(None), SloClass::BestEffort);
+        assert_eq!(SloClass::of_budget(Some(100.0)), SloClass::Interactive);
+        assert_eq!(SloClass::of_budget(Some(500.0)), SloClass::Interactive);
+        assert_eq!(SloClass::of_budget(Some(1_500.0)), SloClass::Standard);
+        assert_eq!(SloClass::of_budget(Some(60_000.0)), SloClass::Relaxed);
+        for (index, class) in SloClass::ALL.into_iter().enumerate() {
+            assert_eq!(class.index(), index);
+        }
+        assert_eq!(SloClass::Interactive.to_string(), "interactive");
     }
 
     #[test]

@@ -6,13 +6,18 @@ use std::collections::VecDeque;
 
 use specasr::{DecodeOutcome, Policy};
 use specasr_audio::{chunk_schedule, EncoderProfile, Utterance};
-use specasr_models::{splitmix64, AsrDecoderModel, TokenizerBinding};
+use specasr_models::{
+    splitmix64, AsrBackend, AsrDecoderModel, BackendBatch, ForwardResult, InFlightSimBackend,
+    SyncBackendAdapter, TokenizerBinding,
+};
 use specasr_runtime::KvPool;
 use specasr_stream::{StreamConfig, StreamingSession};
 
-use crate::batch::TickCost;
+use crate::batch::{plan_verify_waves, TickCost};
 use crate::config::{AdmissionPolicy, PreemptPolicy, ServerConfig};
-use crate::request::{PartialSpan, RequestId, RequestLatency, RequestOutcome, SubmitError};
+use crate::request::{
+    PartialSpan, RequestId, RequestLatency, RequestOutcome, SloClass, SubmitError,
+};
 use crate::session::{QueuedRequest, ServerSession, StreamState};
 use crate::stats::ServerStats;
 
@@ -74,8 +79,15 @@ enum Removal {
 /// ```
 #[derive(Debug)]
 pub struct Scheduler<D, T> {
-    draft: D,
-    target: T,
+    /// The draft backend: per-session draft chains run through it as
+    /// single-token `ForwardRequest`s.  The blanket adapter has no shared
+    /// device timeline — sessions draft in parallel, the model for a pool of
+    /// draft-sized accelerators.
+    draft: SyncBackendAdapter<D>,
+    /// The target backend: cross-session verification batches run through
+    /// it.  One serialised device timeline, so verification waves submitted
+    /// while straggler draft phases still run genuinely overlap them.
+    target: InFlightSimBackend<T>,
     binding: TokenizerBinding,
     encoder: EncoderProfile,
     config: ServerConfig,
@@ -111,8 +123,8 @@ where
         let mut stats = ServerStats::new();
         stats.set_kv_capacity(2 * config.kv_blocks);
         Scheduler {
-            draft,
-            target,
+            draft: SyncBackendAdapter::new(draft),
+            target: InFlightSimBackend::new(target),
             binding,
             encoder,
             config,
@@ -129,6 +141,27 @@ where
     /// The paged KV pool this scheduler allocates session caches from.
     pub fn kv_pool(&self) -> &KvPool {
         &self.kv
+    }
+
+    /// The draft model (behind its backend adapter).
+    pub fn draft_model(&self) -> &D {
+        self.draft.model()
+    }
+
+    /// The target model (behind its in-flight backend).
+    pub fn target_model(&self) -> &T {
+        self.target.model()
+    }
+
+    /// The backend the per-session draft chains are submitted through.
+    pub fn draft_backend(&self) -> &SyncBackendAdapter<D> {
+        &self.draft
+    }
+
+    /// The backend the cross-session verification batches are submitted
+    /// through.
+    pub fn target_backend(&self) -> &InFlightSimBackend<T> {
+        &self.target
     }
 
     /// The scheduler configuration.
@@ -363,33 +396,80 @@ where
             return Vec::new();
         }
 
-        // Draft phase: every active session speculates its next round.  The
-        // per-session draft device time is read off the session clock delta.
+        // Draft phase: every active session speculates its next round
+        // through the draft backend (each draft query is a single-probe
+        // `ForwardRequest` submit + complete).  The per-session draft device
+        // time is read off the session clock delta; sessions draft in
+        // parallel on the accelerator.
+        let tick_start = self.wall_ms;
         let mut drafted = Vec::with_capacity(self.active.len());
         let mut draft_ms = Vec::with_capacity(self.active.len());
         let mut verify_widths = Vec::with_capacity(self.active.len());
         for session in &mut self.active {
             let before = session.decode.clock().breakdown().draft_ms;
-            let round = session.decode.draft_round(&self.draft);
+            let round = session.decode.draft_round_via(&mut self.draft, tick_start);
             draft_ms.push(session.decode.clock().breakdown().draft_ms - before);
             verify_widths.push(round.verify_tokens());
             drafted.push(round);
         }
 
-        // Advance the shared wall clock by the batched tick cost: drafting in
-        // parallel, then one grouped verification pass over all sessions.
-        // (A session preempted below still paid for its draft — evicted
-        // speculation is wasted device time, exactly as on real hardware.)
-        let cost = TickCost::of_round(&draft_ms, &verify_widths, self.target.profile().latency());
-        self.wall_ms += cost.wall_ms;
+        // Verification schedule: collect every session's verify request into
+        // cross-session `BackendBatch` waves.  Sessions whose drafts
+        // finished early can have their wave submitted — and executing in
+        // flight — while the slowest draft phases are still running; the
+        // plan keeps the single grouped batch whenever overlap cannot win,
+        // so the tick never costs more than the historical
+        // wait-for-all-then-verify schedule.
+        let target_latency = self.target.model().profile().latency().clone();
+        let plan = plan_verify_waves(
+            &draft_ms,
+            &verify_widths,
+            &target_latency,
+            self.target.dispatch_overhead_ms(),
+        );
+        let mut ticket_owner = Vec::with_capacity(self.active.len());
+        for (wave, offset) in plan.waves.iter().zip(&plan.submit_offsets_ms) {
+            let mut batch = BackendBatch::new();
+            for &index in wave {
+                batch.push(self.active[index].decode.verify_request(&drafted[index]));
+            }
+            let tickets = self.target.submit(batch, tick_start + offset);
+            ticket_owner.extend(tickets.into_iter().zip(wave.iter().copied()));
+        }
+        let mut results: Vec<Option<ForwardResult>> = self.active.iter().map(|_| None).collect();
+        let mut tick_end = tick_start;
+        for result in self.target.poll() {
+            tick_end = tick_end.max(result.completed_ms);
+            let &(_, owner) = ticket_owner
+                .iter()
+                .find(|(ticket, _)| *ticket == result.ticket)
+                .expect("every completion answers a ticket submitted this tick");
+            results[owner] = Some(result);
+        }
+
+        // Advance the shared wall clock to the measured completion of the
+        // last verification wave (drafting in parallel, verification
+        // overlapping the stragglers).  (A session preempted below still
+        // paid for its draft and its share of the verification pass —
+        // evicted speculation is wasted device time, exactly as on real
+        // hardware.)
+        let analytic = TickCost::of_round(&draft_ms, &verify_widths, &target_latency);
+        let cost = TickCost {
+            wall_ms: tick_end - tick_start,
+            sequential_ms: analytic.sequential_ms,
+        };
+        self.wall_ms = tick_end;
         self.stats.record_tick(cost, self.active.len());
 
-        // Verification + commit per session (the grouped pass was costed
-        // above; per-session acceptance decisions are independent).  Before
-        // each session's commit its round's block demand is checked against
-        // the pool; on exhaustion the preemption policy evicts sessions
-        // until the round fits — or, when nothing is left to evict, the
-        // triggering request itself is dropped with a memory rejection.
+        // Commit per session from its pre-scored verification completion
+        // (acceptance decisions are independent, and the models are pure, so
+        // committing from the backend results is byte-identical to querying
+        // the target inline).  Before each session's commit its round's
+        // block demand is checked against the pool; on exhaustion the
+        // preemption policy evicts sessions until the round fits — or, when
+        // nothing is left to evict, the triggering request itself is dropped
+        // with a memory rejection.
+        let target_profile = self.target.model().profile().clone();
         let mut removal = vec![Removal::Keep; self.active.len()];
         for (index, round) in drafted.into_iter().enumerate() {
             if removal[index] != Removal::Keep {
@@ -399,10 +479,13 @@ where
             if removal[index] != Removal::Keep {
                 continue;
             }
+            let result = results[index]
+                .take()
+                .expect("every drafted session was scored by a verification wave");
             let session = &mut self.active[index];
             session
                 .decode
-                .verify_round_in(&mut self.kv, &self.target, round)
+                .verify_round_from_in(&mut self.kv, &target_profile, &result, round)
                 .expect("headroom was ensured before verification");
             if session.first_token_ms.is_none() && !session.decode.tokens().is_empty() {
                 session.first_token_ms = Some(self.wall_ms);
@@ -414,6 +497,8 @@ where
                 session.decode.release_kv(&mut self.kv);
             }
         }
+        self.stats
+            .sync_backend_gauges(&self.draft.counters(), &self.target.counters());
 
         // Mirror the allocator's exact gauges into the statistics: the
         // per-sub-pool high-water marks catch intra-tick peaks (before
@@ -571,6 +656,7 @@ where
             latency,
             audio_seconds: session.audio_seconds,
             preemptions: session.preemptions,
+            slo: SloClass::of_budget(session.ttft_budget_ms),
             partials: stream.partials,
         };
         self.stats.record_completion(&outcome);
@@ -735,7 +821,8 @@ where
             // a partial is never shed mid-utterance.
             if let Some(budget) = request.ttft_budget_ms {
                 if !request.first_output_emitted() && self.wall_ms - request.arrival_ms > budget {
-                    self.stats.record_deadline_rejection();
+                    self.stats
+                        .record_deadline_rejection(SloClass::of_budget(request.ttft_budget_ms));
                     continue;
                 }
             }
@@ -807,6 +894,7 @@ where
             latency,
             audio_seconds: session.audio_seconds,
             preemptions: session.preemptions,
+            slo: SloClass::of_budget(session.ttft_budget_ms),
             partials: Vec::new(),
         };
         self.stats.record_completion(&outcome);
@@ -1212,7 +1300,7 @@ mod tests {
                 .find(|u| u.id() == outcome.utterance_id)
                 .expect("known utterance");
             let audio = scheduler.binding.bind(utterance);
-            let offline = policy.decode(&scheduler.draft, &scheduler.target, &audio);
+            let offline = policy.decode(scheduler.draft_model(), scheduler.target_model(), &audio);
             assert_eq!(outcome.outcome.tokens, offline.tokens);
             let streamed = streaming_ids.contains(&outcome.id);
             assert_eq!(outcome.is_streaming(), streamed);
@@ -1416,6 +1504,90 @@ mod tests {
         let parked = session.into_requeued(false);
         assert_eq!(parked.preemptions, 1, "parking counts no preemption");
         assert!(parked.first_output_emitted());
+    }
+
+    #[test]
+    fn verification_batches_across_sessions_through_the_backend() {
+        let (mut scheduler, corpus) = scheduler(ServerConfig::default().with_max_batch(8));
+        let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+        for utterance in corpus.split(Split::TestClean) {
+            scheduler.submit(policy, utterance).expect("queue has room");
+        }
+        scheduler.run_until_idle();
+        let backend = scheduler.stats().backend();
+        assert!(
+            backend.verify_batch_occupancy() > 1.0,
+            "verification must batch across sessions, got occupancy {:.2}",
+            backend.verify_batch_occupancy()
+        );
+        assert!(
+            backend.peak_in_flight() >= 2,
+            "waves carry multiple requests"
+        );
+        assert!(
+            backend.draft_requests() > 0,
+            "draft chains go through the backend"
+        );
+        assert!(backend.verify_requests() >= scheduler.stats().completed());
+        assert!(
+            backend.verify_batches() <= scheduler.stats().ticks() * 2,
+            "at most two verification waves per tick"
+        );
+    }
+
+    #[test]
+    fn solo_serving_submits_one_verification_request_per_batch() {
+        let (mut scheduler, corpus) = scheduler(ServerConfig::default().with_max_batch(1));
+        let policy = Policy::Speculative(SpeculativeConfig::short_single());
+        for utterance in corpus.split(Split::DevClean).iter().take(3) {
+            scheduler.submit(policy, utterance).expect("queue has room");
+        }
+        scheduler.run_until_idle();
+        let backend = scheduler.stats().backend();
+        assert!((backend.verify_batch_occupancy() - 1.0).abs() < 1e-12);
+        assert_eq!(backend.verify_batches(), scheduler.stats().ticks());
+    }
+
+    #[test]
+    fn completions_and_deadline_shedding_are_recorded_per_slo_class() {
+        let (mut scheduler, corpus) = scheduler(ServerConfig::default().with_max_batch(1));
+        let policy = Policy::Autoregressive;
+        let split = corpus.split(Split::TestOther);
+        scheduler
+            .submit_with_budget(policy, &split[0], None)
+            .expect("queue has room");
+        scheduler
+            .submit_with_budget(policy, &split[1], Some(1e9))
+            .expect("generous budget: relaxed class");
+        scheduler
+            .submit_with_budget(policy, &split[2], Some(0.001))
+            .expect("tight budget: interactive class, will be shed");
+        let outcomes = scheduler.run_until_idle();
+        assert_eq!(outcomes.len(), 2);
+        let stats = scheduler.stats();
+        let interactive = stats.slo_class(SloClass::Interactive);
+        assert_eq!(interactive.rejected_deadline(), 1);
+        assert_eq!(interactive.completed(), 0);
+        let best_effort = stats.slo_class(SloClass::BestEffort);
+        assert_eq!(best_effort.completed(), 1);
+        assert!(best_effort.e2e_p99_ms() > 0.0);
+        let relaxed = stats.slo_class(SloClass::Relaxed);
+        assert_eq!(relaxed.completed(), 1);
+        assert!(relaxed.ttft_p99_ms() > 0.0);
+        assert_eq!(relaxed.rejected_deadline(), 0);
+        // The per-class counters reconcile with the aggregate gauges.
+        let class_completed: usize = SloClass::ALL
+            .iter()
+            .map(|&class| stats.slo_class(class).completed())
+            .sum();
+        assert_eq!(class_completed, stats.completed());
+        assert_eq!(
+            outcomes
+                .iter()
+                .filter(|o| o.slo == SloClass::Relaxed)
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -3,9 +3,10 @@
 
 use specasr::DecodeStats;
 use specasr_metrics::Histogram;
+use specasr_models::BackendCounters;
 
 use crate::batch::TickCost;
-use crate::request::RequestOutcome;
+use crate::request::{RequestOutcome, SloClass};
 
 /// Number of histogram bins used when summarising latency samples.
 const LATENCY_BINS: usize = 512;
@@ -102,6 +103,140 @@ impl MemoryStats {
     }
 }
 
+/// Decoder-backend statistics of one scheduler (or, after
+/// [`ServerStats::merge`], of a fleet): how the scheduler's
+/// [`specasr_models::AsrBackend`] was driven.
+///
+/// Verification is where cross-session batching lives, so the occupancy
+/// gauge is computed over verify batches only — per-session draft chains
+/// are inherently serial single-token requests and would wash the signal
+/// out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Summed counters of the draft and target backends, with
+    /// `peak_in_flight` normalised to the target backend's depth (the draft
+    /// adapter has no shared device timeline, so its "peak" is just the
+    /// number of steps stamped at the same instant — not a depth signal).
+    counters: BackendCounters,
+}
+
+impl BackendStats {
+    /// Builds the gauge snapshot from the scheduler's two backend counters.
+    pub(crate) fn from_counters(draft: &BackendCounters, target: &BackendCounters) -> Self {
+        let mut counters = *draft;
+        counters.absorb(target);
+        // The verify backend owns the shared device timeline; its peak is
+        // the meaningful concurrent-request depth.
+        counters.peak_in_flight = target.peak_in_flight;
+        BackendStats { counters }
+    }
+
+    /// Batches submitted across both backends.
+    pub fn batches(&self) -> usize {
+        self.counters.batches
+    }
+
+    /// Requests submitted across both backends.
+    pub fn requests(&self) -> usize {
+        self.counters.requests
+    }
+
+    /// Single-token draft-step requests submitted.
+    pub fn draft_requests(&self) -> usize {
+        self.counters.draft_requests
+    }
+
+    /// Verification requests submitted.
+    pub fn verify_requests(&self) -> usize {
+        self.counters.verify_requests
+    }
+
+    /// Cross-session verification batches submitted.
+    pub fn verify_batches(&self) -> usize {
+        self.counters.verify_batches
+    }
+
+    /// Mean verification requests per verification batch — the
+    /// cross-session batching gauge (1.0 means every session verified
+    /// alone; 0.0 before anything verified).  Delegates to
+    /// [`BackendCounters::verify_batch_occupancy`], the single definition of
+    /// the gauge.
+    pub fn verify_batch_occupancy(&self) -> f64 {
+        self.counters.verify_batch_occupancy()
+    }
+
+    /// Largest number of verification requests that were in flight on the
+    /// target backend simultaneously (early waves executing while straggler
+    /// draft phases still run push this above the batch size of a single
+    /// wave).
+    pub fn peak_in_flight(&self) -> usize {
+        self.counters.peak_in_flight
+    }
+
+    /// Folds another worker's backend statistics in (parallel-fleet
+    /// semantics: counters sum; workers run concurrently, so their in-flight
+    /// peaks coexist and sum too).
+    fn merge(&mut self, other: &BackendStats) {
+        self.counters.absorb(&other.counters);
+    }
+}
+
+/// Latency statistics of one SLO class (see [`SloClass`]): completions,
+/// deadline shedding, and the class's own latency histograms, merged
+/// fleet-wide like every other gauge.
+#[derive(Debug, Clone, Default)]
+pub struct SloClassStats {
+    completed: usize,
+    rejected_deadline: usize,
+    e2e_samples: Vec<f64>,
+    ttft_samples: Vec<f64>,
+}
+
+impl SloClassStats {
+    /// Completed requests of this class.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Requests of this class shed because their queue wait exceeded their
+    /// time-to-first-token budget.
+    pub fn rejected_deadline(&self) -> usize {
+        self.rejected_deadline
+    }
+
+    /// Histogram of this class's end-to-end latency (ms).
+    pub fn e2e_histogram(&self) -> Histogram {
+        Histogram::of_samples(LATENCY_BINS, &self.e2e_samples)
+    }
+
+    /// Histogram of this class's time-to-first-token latency (ms).
+    pub fn ttft_histogram(&self) -> Histogram {
+        Histogram::of_samples(LATENCY_BINS, &self.ttft_samples)
+    }
+
+    /// P50 of this class's end-to-end latency in milliseconds.
+    pub fn e2e_p50_ms(&self) -> f64 {
+        self.e2e_histogram().percentile(0.50)
+    }
+
+    /// P99 of this class's end-to-end latency in milliseconds.
+    pub fn e2e_p99_ms(&self) -> f64 {
+        self.e2e_histogram().percentile(0.99)
+    }
+
+    /// P99 of this class's time-to-first-token latency in milliseconds.
+    pub fn ttft_p99_ms(&self) -> f64 {
+        self.ttft_histogram().percentile(0.99)
+    }
+
+    fn merge(&mut self, other: &SloClassStats) {
+        self.completed += other.completed;
+        self.rejected_deadline += other.rejected_deadline;
+        self.e2e_samples.extend_from_slice(&other.e2e_samples);
+        self.ttft_samples.extend_from_slice(&other.ttft_samples);
+    }
+}
+
 /// Aggregate statistics of one scheduler's lifetime.
 ///
 /// Populated incrementally by the scheduler; latency percentiles are read
@@ -117,6 +252,8 @@ pub struct ServerStats {
     retracted_tokens: usize,
     shown_hypothesis_tokens: usize,
     memory: MemoryStats,
+    backend: BackendStats,
+    slo: [SloClassStats; 4],
     ticks: usize,
     wall_ms: f64,
     sequential_ms: f64,
@@ -156,6 +293,11 @@ impl ServerStats {
         self.ttft_samples
             .push(outcome.latency.time_to_first_token_ms);
         self.queue_samples.push(outcome.latency.queue_ms);
+        let slo = &mut self.slo[outcome.slo.index()];
+        slo.completed += 1;
+        slo.e2e_samples.push(outcome.latency.e2e_ms());
+        slo.ttft_samples
+            .push(outcome.latency.time_to_first_token_ms);
         if outcome.is_streaming() {
             self.streaming_completed += 1;
             // Streaming TTFT *is* the first-partial latency from arrival.
@@ -182,9 +324,10 @@ impl ServerStats {
     }
 
     /// Records one request shed because its queue wait already exceeded its
-    /// time-to-first-token budget (the latency-SLO admission class).
-    pub(crate) fn record_deadline_rejection(&mut self) {
+    /// time-to-first-token budget, against its SLO class.
+    pub(crate) fn record_deadline_rejection(&mut self, class: SloClass) {
         self.rejected_deadline += 1;
+        self.slo[class.index()].rejected_deadline += 1;
     }
 
     /// Records one preemption (a session evicted to free pool blocks).
@@ -219,6 +362,17 @@ impl ServerStats {
         self.memory.cow_copies = cow;
     }
 
+    /// Overwrites the backend gauges from the backends' own cumulative
+    /// counters (called at tick boundaries; the backends are the source of
+    /// truth for this worker's submission accounting).
+    pub(crate) fn sync_backend_gauges(
+        &mut self,
+        draft: &BackendCounters,
+        target: &BackendCounters,
+    ) {
+        self.backend = BackendStats::from_counters(draft, target);
+    }
+
     /// Merges another worker's statistics into this one, with
     /// parallel-fleet semantics: counters, samples, and device time sum,
     /// while wall time takes the maximum (workers run concurrently, so the
@@ -239,6 +393,10 @@ impl ServerStats {
         self.retracted_tokens += other.retracted_tokens;
         self.shown_hypothesis_tokens += other.shown_hypothesis_tokens;
         self.memory.merge(&other.memory);
+        self.backend.merge(&other.backend);
+        for (class, other_class) in self.slo.iter_mut().zip(&other.slo) {
+            class.merge(other_class);
+        }
         self.ticks += other.ticks;
         self.wall_ms = self.wall_ms.max(other.wall_ms);
         self.sequential_ms += other.sequential_ms;
@@ -318,6 +476,17 @@ impl ServerStats {
     /// Paged KV-pool memory statistics.
     pub fn memory(&self) -> &MemoryStats {
         &self.memory
+    }
+
+    /// Decoder-backend submission statistics (batch occupancy, in-flight
+    /// depth).
+    pub fn backend(&self) -> &BackendStats {
+        &self.backend
+    }
+
+    /// Latency statistics of one SLO class.
+    pub fn slo_class(&self, class: SloClass) -> &SloClassStats {
+        &self.slo[class.index()]
     }
 
     /// Number of scheduler iterations executed.
@@ -571,5 +740,88 @@ mod tests {
         assert_eq!(stats.memory().avg_kv_blocks(), 0.0);
         assert_eq!(stats.memory().shared_prefix_hit_rate(), 0.0);
         assert_eq!(stats.memory().peak_utilization(), 0.0);
+    }
+
+    #[test]
+    fn backend_stats_merge_with_parallel_fleet_semantics() {
+        use specasr_models::BackendCounters;
+        let mut a = ServerStats::new();
+        a.sync_backend_gauges(
+            &BackendCounters {
+                batches: 10,
+                requests: 10,
+                draft_requests: 10,
+                ..BackendCounters::default()
+            },
+            &BackendCounters {
+                batches: 4,
+                requests: 12,
+                verify_requests: 12,
+                verify_batches: 4,
+                peak_in_flight: 8,
+                ..BackendCounters::default()
+            },
+        );
+        let mut b = ServerStats::new();
+        b.sync_backend_gauges(
+            &BackendCounters::default(),
+            &BackendCounters {
+                batches: 2,
+                requests: 4,
+                verify_requests: 4,
+                verify_batches: 2,
+                peak_in_flight: 3,
+                ..BackendCounters::default()
+            },
+        );
+        assert!((a.backend().verify_batch_occupancy() - 3.0).abs() < 1e-12);
+        a.merge(&b);
+        let backend = a.backend();
+        assert_eq!(backend.batches(), 16);
+        assert_eq!(backend.requests(), 26);
+        assert_eq!(backend.draft_requests(), 10);
+        assert_eq!(backend.verify_requests(), 16);
+        assert_eq!(backend.verify_batches(), 6);
+        // Workers run concurrently: their in-flight peaks coexist and sum.
+        assert_eq!(backend.peak_in_flight(), 11);
+        assert!((backend.verify_batch_occupancy() - 16.0 / 6.0).abs() < 1e-12);
+        // An idle fleet reports zero occupancy, not NaN.
+        assert_eq!(ServerStats::new().backend().verify_batch_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn slo_class_stats_merge_per_class() {
+        use crate::request::SloClass;
+        let mut a = ServerStats::new();
+        a.slo[SloClass::Interactive.index()].completed = 2;
+        a.slo[SloClass::Interactive.index()]
+            .e2e_samples
+            .extend([10.0, 20.0]);
+        a.record_deadline_rejection(SloClass::Interactive);
+        let mut b = ServerStats::new();
+        b.slo[SloClass::Interactive.index()].completed = 1;
+        b.slo[SloClass::Interactive.index()].e2e_samples.push(400.0);
+        b.record_deadline_rejection(SloClass::Standard);
+
+        a.merge(&b);
+        let interactive = a.slo_class(SloClass::Interactive);
+        assert_eq!(interactive.completed(), 3);
+        assert_eq!(interactive.rejected_deadline(), 1);
+        assert_eq!(interactive.e2e_histogram().count(), 3);
+        assert!(interactive.e2e_p99_ms() > 300.0);
+        assert!(interactive.e2e_p50_ms() < 100.0);
+        assert_eq!(a.slo_class(SloClass::Standard).rejected_deadline(), 1);
+        assert_eq!(a.slo_class(SloClass::BestEffort).completed(), 0);
+        // Per-class deadline rejections reconcile with the aggregate.
+        let per_class: usize = SloClass::ALL
+            .iter()
+            .map(|&class| a.slo_class(class).rejected_deadline())
+            .sum();
+        assert_eq!(per_class, a.rejected_deadline());
+        assert_eq!(
+            a.slo_class(SloClass::Relaxed).ttft_p99_ms(),
+            0.0,
+            "empty class histograms read as zero"
+        );
     }
 }

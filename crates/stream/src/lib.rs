@@ -44,6 +44,13 @@
 //! difficulty of the last few heard tokens.  Those retractions are what the
 //! partial-stability metrics measure.
 //!
+//! Streaming sessions own no model calls of their own: each per-chunk
+//! re-decode is an ordinary [`specasr::DecodeSession`] driven by the serving
+//! scheduler, so when the scheduler speaks the batched
+//! [`specasr_models::AsrBackend`] API, streamed re-decodes ride the same
+//! cross-session verification batches (and draft/verify overlap) as offline
+//! traffic — no streaming-specific backend path exists or is needed.
+//!
 //! # Example
 //!
 //! ```

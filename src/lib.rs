@@ -16,12 +16,14 @@ pub mod prelude {
     pub use specasr_audio::{Corpus, EncoderProfile, Split, Utterance};
     pub use specasr_metrics::{wer_between, ExperimentRecord, Histogram, ReportRow};
     pub use specasr_models::{
-        AsrDecoderModel, ModelProfile, SimulatedAsrModel, TokenizerBinding, UtteranceTokens,
+        AsrBackend, AsrDecoderModel, BackendBatch, ForwardRequest, ForwardResult,
+        InFlightSimBackend, ModelProfile, SimulatedAsrModel, SyncBackendAdapter, TokenizerBinding,
+        UtteranceTokens,
     };
     pub use specasr_server::{
-        run_open_loop, AdmissionPolicy, KvPool, LoadGen, MemoryStats, OpenLoopReport,
+        run_open_loop, AdmissionPolicy, BackendStats, KvPool, LoadGen, MemoryStats, OpenLoopReport,
         PreemptPolicy, RequestOutcome, Router, RouterConfig, Scheduler, ServerConfig, ServerStats,
-        Worker, WorkerId,
+        SloClass, Worker, WorkerId,
     };
     pub use specasr_tokenizer::{TokenId, Tokenizer};
 }
