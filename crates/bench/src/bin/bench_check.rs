@@ -22,7 +22,9 @@
 use std::process::ExitCode;
 
 use specasr_bench::experiments_dir;
-use specasr_bench::regression::{compare_records, DEFAULT_TOLERANCE, GATED_METRICS};
+use specasr_bench::regression::{
+    breach_table, compare_records, Violation, DEFAULT_TOLERANCE, GATED_METRICS,
+};
 use specasr_metrics::ExperimentRecord;
 
 fn load(path: &str) -> Result<ExperimentRecord, String> {
@@ -126,8 +128,30 @@ fn main() -> ExitCode {
         } else {
             failed = true;
             eprintln!("  FAIL {fresh_path} vs {baseline_path}:");
+            // One full diagnostic table per breached row (not just the
+            // tripped metrics), so the whole row's health is visible.
+            let mut reported: Vec<&str> = Vec::new();
             for violation in &violations {
-                eprintln!("       {violation}");
+                let label = match violation {
+                    Violation::MissingRow { label: _ } => {
+                        eprintln!("       {violation}");
+                        continue;
+                    }
+                    Violation::MissingMetric { label, .. } | Violation::Drift { label, .. } => {
+                        label.as_str()
+                    }
+                };
+                if reported.contains(&label) {
+                    continue;
+                }
+                reported.push(label);
+                let base_row = baseline
+                    .row(label)
+                    .expect("violation labels come from baseline rows");
+                eprintln!("       row `{label}`:");
+                for line in breach_table(base_row, fresh.row(label), tolerance).lines() {
+                    eprintln!("         {line}");
+                }
             }
         }
     }

@@ -16,12 +16,16 @@
 //! baseline is an explicit act, never a side effect of running the sweep.
 //!
 //! Run with: `cargo run -p specasr-bench --release --bin serve_load`
+//!
+//! Pass `--trace-out <path>` to record one cell (default `specasr-asp@c8`,
+//! override with `--trace-cell <label>`) in the flight recorder and write
+//! its Chrome/Perfetto trace JSON.
 
 use specasr::{AdaptiveConfig, Policy, SparseTreeConfig, SpeculativeConfig};
 use specasr_audio::{EncoderProfile, Split};
-use specasr_bench::{emit, ExperimentContext};
+use specasr_bench::{emit, ExperimentContext, TraceArgs};
 use specasr_metrics::{ExperimentRecord, ReportRow};
-use specasr_server::{Scheduler, ServerConfig, ServerStats};
+use specasr_server::{FlightRecording, Scheduler, ServerConfig, ServerStats};
 
 /// Utterances per split in the serving corpus (all four splits are served,
 /// mixing clean and noisy audio as production traffic would).
@@ -47,7 +51,13 @@ fn policies() -> Vec<(&'static str, Policy)> {
     ]
 }
 
-fn run_cell(context: &ExperimentContext, policy: Policy, concurrency: usize) -> ServerStats {
+fn run_cell(
+    context: &ExperimentContext,
+    policy: Policy,
+    concurrency: usize,
+    trace: &TraceArgs,
+    label: &str,
+) -> (ServerStats, Option<FlightRecording>) {
     let (draft, target) = context.whisper_pair();
     let mut scheduler = Scheduler::new(
         draft,
@@ -58,6 +68,9 @@ fn run_cell(context: &ExperimentContext, policy: Policy, concurrency: usize) -> 
             .with_max_batch(concurrency)
             .with_queue_depth(4 * Split::ALL.len() * UTTERANCES_PER_SPLIT),
     );
+    if trace.wants(label) {
+        scheduler.set_trace(trace.config());
+    }
     for split in Split::ALL {
         for utterance in context.corpus.split(split) {
             scheduler
@@ -66,10 +79,12 @@ fn run_cell(context: &ExperimentContext, policy: Policy, concurrency: usize) -> 
         }
     }
     scheduler.run_until_idle();
-    scheduler.stats().clone()
+    let recording = scheduler.take_trace_recording();
+    (scheduler.stats().clone(), recording)
 }
 
 fn main() {
+    let trace = TraceArgs::parse("specasr-asp@c8");
     let context = ExperimentContext::with_size(UTTERANCES_PER_SPLIT);
     let total_requests = Split::ALL.len() * UTTERANCES_PER_SPLIT;
     let mut record = ExperimentRecord::new(
@@ -81,12 +96,16 @@ fn main() {
 
     for (name, policy) in policies() {
         for concurrency in CONCURRENCY_LEVELS {
-            let stats = run_cell(&context, policy, concurrency);
+            let label = format!("{name}@c{concurrency}");
+            let (stats, recording) = run_cell(&context, policy, concurrency, &trace, &label);
+            if let Some(recording) = &recording {
+                trace.write(&[("worker-0", recording)]);
+            }
             assert_eq!(stats.completed(), total_requests);
             let e2e = stats.e2e_histogram();
             let ttft = stats.ttft_histogram();
             record.push_row(
-                ReportRow::new(format!("{name}@c{concurrency}"))
+                ReportRow::new(label)
                     .with("concurrency", concurrency as f64)
                     .with("throughput_utps", stats.utterances_per_second())
                     .with("tokens_per_s", stats.tokens_per_second())

@@ -18,10 +18,16 @@
 //! one, so regenerating the baseline is an explicit act).
 //!
 //! Run with: `cargo run -p specasr-bench --release --bin serve_open_loop`
+//!
+//! Pass `--trace-out <path>` to record one cell (default `w2-fifo@q50`,
+//! override with `--trace-cell <label>`) in the flight recorder and write
+//! its Chrome/Perfetto trace JSON (one lane per worker).  `--smoke` runs
+//! only the default trace cell and skips record emission — the CI trace
+//! smoke step.
 
 use specasr::{AdaptiveConfig, Policy};
 use specasr_audio::{EncoderProfile, Split, Utterance};
-use specasr_bench::{emit, ExperimentContext, EXPERIMENT_SEED};
+use specasr_bench::{emit, ExperimentContext, TraceArgs, EXPERIMENT_SEED};
 use specasr_metrics::{ExperimentRecord, ReportRow};
 use specasr_server::{run_open_loop, AdmissionPolicy, LoadGen, Router, RouterConfig, ServerConfig};
 
@@ -71,7 +77,21 @@ fn run_cell(
     workers: usize,
     qps: f64,
     kv_blocks: usize,
+    trace: &TraceArgs,
 ) -> ReportRow {
+    let default_kv = ServerConfig::default().kv_blocks;
+    let kv_suffix = if kv_blocks == default_kv {
+        String::new()
+    } else {
+        format!("-kv{kv_blocks}")
+    };
+    let label = format!(
+        "w{workers}-{}@q{qps:.0}{kv_suffix}",
+        match admission {
+            AdmissionPolicy::Fifo => "fifo",
+            AdmissionPolicy::ShortestAudioFirst => "saf",
+        }
+    );
     let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
     let mut router = Router::new(
         RouterConfig::default()
@@ -88,11 +108,22 @@ fn run_cell(
         EncoderProfile::whisper_medium_encoder(),
         |_| context.whisper_pair(),
     );
+    if trace.wants(&label) {
+        router.set_trace(trace.config());
+    }
     let mut loadgen = LoadGen::new(EXPERIMENT_SEED, qps);
     let workload = (0..REQUESTS_PER_CELL).map(|index| (policy, pool[index % pool.len()]));
     let report = run_open_loop(&mut router, &mut loadgen, workload);
     assert_eq!(report.outcomes.len(), REQUESTS_PER_CELL);
     assert_eq!(report.rejected, 0, "deep queues must never shed");
+    let recordings = router.take_recordings();
+    if !recordings.is_empty() {
+        let lanes: Vec<(&str, &specasr_server::FlightRecording)> = recordings
+            .iter()
+            .map(|(name, recording)| (name.as_str(), recording))
+            .collect();
+        trace.write(&lanes);
+    }
 
     let fleet = router.fleet_stats();
     assert_eq!(
@@ -101,19 +132,6 @@ fn run_cell(
         "every pool admits every request"
     );
     let memory = fleet.memory();
-    let default_kv = ServerConfig::default().kv_blocks;
-    let kv_suffix = if kv_blocks == default_kv {
-        String::new()
-    } else {
-        format!("-kv{kv_blocks}")
-    };
-    let label = format!(
-        "w{workers}-{}@q{qps:.0}{kv_suffix}",
-        match admission {
-            AdmissionPolicy::Fifo => "fifo",
-            AdmissionPolicy::ShortestAudioFirst => "saf",
-        }
-    );
     ReportRow::new(label)
         .with("workers", workers as f64)
         .with("target_qps", qps)
@@ -182,11 +200,32 @@ fn run_shed_cell(context: &ExperimentContext, pool: &[&Utterance], qps: f64) -> 
 }
 
 fn main() {
+    let trace = TraceArgs::parse("w2-fifo@q50");
     let context = ExperimentContext::with_size(UTTERANCES_PER_SPLIT);
     let pool: Vec<&Utterance> = Split::ALL
         .iter()
         .flat_map(|&split| context.corpus.split(split))
         .collect();
+    let default_kv = specasr_server::ServerConfig::default().kv_blocks;
+    if trace.smoke {
+        // CI smoke: run only the default trace cell and dump its trace —
+        // no record emission, no baseline comparison.
+        let row = run_cell(
+            &context,
+            &pool,
+            AdmissionPolicy::Fifo,
+            2,
+            50.0,
+            default_kv,
+            &trace,
+        );
+        println!(
+            "smoke cell `{}` OK: {:.2} utt/s",
+            row.label,
+            row.value("throughput_utps").unwrap_or(0.0)
+        );
+        return;
+    }
     let mut record = ExperimentRecord::new(
         "serve_open_loop",
         format!(
@@ -195,12 +234,11 @@ fn main() {
         ),
     );
 
-    let default_kv = specasr_server::ServerConfig::default().kv_blocks;
     for (_, admission) in admissions() {
         for workers in WORKER_COUNTS {
             for qps in QPS_LEVELS {
                 record.push_row(run_cell(
-                    &context, &pool, admission, workers, qps, default_kv,
+                    &context, &pool, admission, workers, qps, default_kv, &trace,
                 ));
             }
         }
@@ -218,6 +256,7 @@ fn main() {
             2,
             50.0,
             kv_blocks,
+            &trace,
         ));
     }
     // Shedding study: production-depth queues under overload — P99 stays

@@ -23,10 +23,14 @@
 //! CI gate compares fresh records against the committed baseline).
 //!
 //! Run with: `cargo run -p specasr-bench --release --bin serve_streaming`
+//!
+//! Pass `--trace-out <path>` to record one cell (default
+//! `adaptive-c600ms-b8`, override with `--trace-cell <label>`) in the
+//! flight recorder and write its Chrome/Perfetto trace JSON.
 
 use specasr::{AdaptiveConfig, Policy, SpeculativeConfig};
 use specasr_audio::{EncoderProfile, Split, Utterance};
-use specasr_bench::{emit, ExperimentContext, EXPERIMENT_SEED};
+use specasr_bench::{emit, ExperimentContext, TraceArgs, EXPERIMENT_SEED};
 use specasr_metrics::{ExperimentRecord, ReportRow};
 use specasr_server::{run_open_loop_streaming, LoadGen, Scheduler, ServerConfig, StreamConfig};
 
@@ -70,7 +74,9 @@ fn run_cell(
     policy: Policy,
     chunk_ms: u64,
     max_batch: usize,
+    trace: &TraceArgs,
 ) -> ReportRow {
+    let label = format!("{policy_name}-c{chunk_ms}ms-b{max_batch}");
     let (draft, target) = context.whisper_pair();
     let mut scheduler = Scheduler::new(
         draft,
@@ -82,6 +88,9 @@ fn run_cell(
             // Deep queue: this sweep measures partial latency, not shedding.
             .with_queue_depth(4 * REQUESTS_PER_CELL),
     );
+    if trace.wants(&label) {
+        scheduler.set_trace(trace.config());
+    }
     let mut loadgen = LoadGen::new(EXPERIMENT_SEED ^ chunk_ms, ARRIVAL_QPS);
     let stream = StreamConfig::default()
         .with_chunk_seconds(chunk_ms as f64 / 1_000.0)
@@ -96,11 +105,14 @@ fn run_cell(
     );
     assert_eq!(report.outcomes.len(), REQUESTS_PER_CELL);
     assert_eq!(report.rejected, 0, "deep queues must never shed");
+    if let Some(recording) = scheduler.take_trace_recording() {
+        trace.write(&[("worker-0", &recording)]);
+    }
 
     let stats = scheduler.stats();
     assert_eq!(stats.streaming_completed(), REQUESTS_PER_CELL);
     let memory = stats.memory();
-    ReportRow::new(format!("{policy_name}-c{chunk_ms}ms-b{max_batch}"))
+    ReportRow::new(label)
         .with("chunk_ms", chunk_ms as f64)
         .with("max_batch", max_batch as f64)
         .with("offered_qps", report.offered_qps())
@@ -121,6 +133,7 @@ fn run_cell(
 }
 
 fn main() {
+    let trace = TraceArgs::parse("adaptive-c600ms-b8");
     let context = ExperimentContext::with_size(UTTERANCES_PER_SPLIT);
     let pool: Vec<&Utterance> = Split::ALL
         .iter()
@@ -143,6 +156,7 @@ fn main() {
                     policy,
                     chunk_ms,
                     max_batch,
+                    &trace,
                 ));
             }
         }

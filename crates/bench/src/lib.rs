@@ -165,10 +165,142 @@ pub fn emit(record: &ExperimentRecord) {
     }
 }
 
+/// Trace-capture CLI arguments shared by the serving binaries
+/// (`serve_load`, `serve_open_loop`, `serve_streaming`):
+///
+/// * `--trace-out <path>` — enable the flight recorder for one sweep cell
+///   and write its Chrome/Perfetto trace JSON to `path`.
+/// * `--trace-cell <label>` — which cell to trace (row label, e.g.
+///   `specasr-asp@c8`); each binary picks a representative default.
+/// * `--smoke` — run only the traced cell and skip record emission
+///   (`serve_open_loop` only; the CI trace smoke step).
+#[derive(Debug, Clone)]
+pub struct TraceArgs {
+    out: Option<PathBuf>,
+    cell: String,
+    /// Run only the traced cell, skipping record emission.
+    pub smoke: bool,
+}
+
+impl TraceArgs {
+    /// Parses the process arguments, tracing `default_cell` unless
+    /// `--trace-cell` overrides it.  Unknown arguments are ignored (each
+    /// binary owns its remaining flags).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--trace-out` or `--trace-cell` is missing its value.
+    pub fn parse(default_cell: &str) -> Self {
+        Self::parse_from(default_cell, std::env::args().skip(1))
+    }
+
+    /// [`Self::parse`] over an explicit argument iterator (testable form).
+    pub fn parse_from(default_cell: &str, args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = None;
+        let mut cell = default_cell.to_owned();
+        let mut smoke = false;
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--trace-out" => {
+                    let value = args.next().expect("--trace-out needs a path");
+                    out = Some(PathBuf::from(value));
+                }
+                "--trace-cell" => {
+                    cell = args.next().expect("--trace-cell needs a row label");
+                }
+                "--smoke" => smoke = true,
+                _ => {}
+            }
+        }
+        TraceArgs { out, cell, smoke }
+    }
+
+    /// Whether any cell should be traced at all.
+    pub fn enabled(&self) -> bool {
+        self.out.is_some()
+    }
+
+    /// The row label of the cell to trace.
+    pub fn cell(&self) -> &str {
+        &self.cell
+    }
+
+    /// Whether the cell labelled `label` should run with tracing on.
+    pub fn wants(&self, label: &str) -> bool {
+        self.enabled() && label == self.cell
+    }
+
+    /// The recorder configuration for a traced cell.
+    pub fn config(&self) -> specasr_trace::TraceConfig {
+        specasr_trace::TraceConfig::enabled()
+    }
+
+    /// Validates and writes the Chrome/Perfetto trace of the traced cell's
+    /// recording lanes to the `--trace-out` path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the exporter emits JSON the trace schema rejects (an
+    /// exporter bug, never an input condition) or the file cannot be
+    /// written.
+    pub fn write(&self, lanes: &[(&str, &specasr_trace::FlightRecording)]) {
+        let Some(path) = &self.out else {
+            return;
+        };
+        let json = specasr_trace::chrome_trace(lanes);
+        let summary = specasr_trace::validate_chrome_trace(&json)
+            .expect("the exporter emits schema-valid traces");
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("trace output directory is creatable");
+            }
+        }
+        std::fs::write(path, &json).expect("trace output path is writable");
+        let dropped: u64 = lanes.iter().map(|(_, r)| r.dropped_events()).sum();
+        println!(
+            "(trace for cell `{}` written to {}: {} events, {} slices, {} counter samples, \
+             {dropped} dropped)",
+            self.cell,
+            path.display(),
+            summary.events,
+            summary.duration_slices,
+            summary.counter_samples,
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use specasr::SpeculativeConfig;
+
+    #[test]
+    fn trace_args_parse_flags_and_ignore_unknowns() {
+        let args = TraceArgs::parse_from(
+            "default@c8",
+            ["--tolerance", "0.1", "--trace-out", "out.json", "--smoke"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert!(args.enabled());
+        assert!(args.smoke);
+        assert!(args.wants("default@c8"));
+        assert!(!args.wants("other@c1"));
+
+        let overridden = TraceArgs::parse_from(
+            "default@c8",
+            ["--trace-out", "t.json", "--trace-cell", "other@c1"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert!(overridden.wants("other@c1"));
+        assert!(!overridden.wants("default@c8"));
+
+        let off = TraceArgs::parse_from("default@c8", std::iter::empty());
+        assert!(!off.enabled());
+        assert!(!off.wants("default@c8"));
+    }
 
     #[test]
     fn context_is_reproducible() {

@@ -9,7 +9,7 @@
 //! alike, in either direction (an unexplained 40% "improvement" usually
 //! means the benchmark stopped measuring what it used to).
 
-use specasr_metrics::ExperimentRecord;
+use specasr_metrics::{ExperimentRecord, ReportRow};
 
 /// Metrics gated by the regression check, when present in a row.
 ///
@@ -168,10 +168,52 @@ pub fn compare_records(
     violations
 }
 
+/// Formats the full gated-metric diagnostic table of one breached row:
+/// every gated metric the baseline row carries, with its baseline value,
+/// current value, relative delta, the allowed band, and a per-metric
+/// verdict (`ok` / `DRIFT` / `MISSING`).
+///
+/// `bench_check` prints this for each row with at least one violation, so a
+/// gate breach shows the whole row's health at a glance instead of only the
+/// first metric that tripped.  `fresh_row` is `None` when the row vanished
+/// from the fresh record entirely.
+pub fn breach_table(base_row: &ReportRow, fresh_row: Option<&ReportRow>, tolerance: f64) -> String {
+    let allowed = format!("\u{b1}{:.1}%", tolerance * 100.0);
+    let mut lines = vec![format!(
+        "{:<26} {:>14} {:>14} {:>9} {:>9}  status",
+        "metric", "baseline", "current", "delta", "allowed"
+    )];
+    for metric in GATED_METRICS {
+        let Some(base_value) = base_row.value(metric) else {
+            continue;
+        };
+        match fresh_row.and_then(|row| row.value(metric)) {
+            None => lines.push(format!(
+                "{metric:<26} {base_value:>14.4} {:>14} {:>9} {allowed:>9}  MISSING",
+                "-", "-"
+            )),
+            Some(fresh_value) => {
+                let scale = base_value.abs().max(f64::EPSILON);
+                let relative = (fresh_value - base_value) / scale;
+                let status = if relative.abs() > tolerance {
+                    "DRIFT"
+                } else {
+                    "ok"
+                };
+                lines.push(format!(
+                    "{metric:<26} {base_value:>14.4} {fresh_value:>14.4} {:>+8.1}% {allowed:>9}  \
+                     {status}",
+                    relative * 100.0
+                ));
+            }
+        }
+    }
+    lines.join("\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use specasr_metrics::ReportRow;
 
     fn record(throughput: f64, p99: f64) -> ExperimentRecord {
         ExperimentRecord::new("serve", "t").with_row(
@@ -232,6 +274,42 @@ mod tests {
                 metric: "e2e_p99_ms".into()
             }]
         );
+    }
+
+    #[test]
+    fn breach_table_reports_every_gated_metric_with_verdicts() {
+        let base = record(20.0, 900.0);
+        let fresh = record(20.0 * 0.8, 900.0 * 1.05);
+        let table = breach_table(&base.rows[0], fresh.row("w1@q10"), DEFAULT_TOLERANCE);
+        let lines: Vec<&str> = table.lines().collect();
+        // Header + the two gated metrics the row carries; the ungated
+        // metric never appears.
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("baseline") && lines[0].contains("allowed"));
+        assert!(lines[1].contains("throughput_utps"));
+        assert!(lines[1].contains("-20.0%"));
+        assert!(lines[1].ends_with("DRIFT"));
+        assert!(lines[2].contains("e2e_p99_ms"));
+        assert!(lines[2].contains("+5.0%"));
+        assert!(lines[2].ends_with("ok"));
+        assert!(!table.contains("ungated_metric"));
+    }
+
+    #[test]
+    fn breach_table_marks_missing_metrics_and_rows() {
+        let base = record(20.0, 900.0);
+        let mut gutted = record(20.0, 900.0);
+        gutted.rows[0].values.remove("e2e_p99_ms");
+        let table = breach_table(&base.rows[0], gutted.row("w1@q10"), DEFAULT_TOLERANCE);
+        assert!(table
+            .lines()
+            .any(|l| l.contains("e2e_p99_ms") && l.ends_with("MISSING")));
+
+        let vanished = breach_table(&base.rows[0], None, DEFAULT_TOLERANCE);
+        assert!(vanished
+            .lines()
+            .skip(1)
+            .all(|line| line.ends_with("MISSING")));
     }
 
     #[test]

@@ -1540,6 +1540,7 @@ mod tests {
             kind: ForwardKind::Verify,
             logits: Vec::new(),
             submitted_ms: 0.0,
+            started_ms: 0.0,
             completed_ms: 0.0,
             batch_requests: 1,
         };

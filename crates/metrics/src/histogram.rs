@@ -109,6 +109,15 @@ impl Histogram {
         self.total
     }
 
+    /// Exact sum of the recorded observations (0 if none).
+    ///
+    /// Kept alongside the bin counts so exports that need `sum`/`count`
+    /// pairs (e.g. Prometheus histogram exposition) do not round-trip
+    /// through the mean.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
     /// Mean of the recorded observations (0 if none).
     pub fn mean(&self) -> f64 {
         if self.total == 0 {

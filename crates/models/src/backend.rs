@@ -203,6 +203,10 @@ pub struct ForwardResult {
     pub logits: Vec<TokenLogits>,
     /// Wall time the batch was submitted.
     pub submitted_ms: f64,
+    /// Wall time the device actually started executing the batch (equals
+    /// `submitted_ms` for overlapping backends; later when dispatch overhead
+    /// or an earlier batch held the device).
+    pub started_ms: f64,
     /// Wall time the batch completed (dispatch + queueing + service).
     pub completed_ms: f64,
     /// Number of requests in the batch that served this request.
@@ -213,6 +217,11 @@ impl ForwardResult {
     /// The modeled submit-to-completion latency of this request.
     pub fn latency_ms(&self) -> f64 {
         (self.completed_ms - self.submitted_ms).max(0.0)
+    }
+
+    /// The modeled device execution time (start-to-completion).
+    pub fn service_ms(&self) -> f64 {
+        (self.completed_ms - self.started_ms).max(0.0)
     }
 }
 
@@ -306,12 +315,14 @@ struct BackendState {
 }
 
 impl BackendState {
-    /// Scores a batch against `model`, completing at `completed_ms`.
+    /// Scores a batch against `model`, starting device execution at
+    /// `started_ms` and completing at `completed_ms`.
     fn score_batch<M: AsrDecoderModel + ?Sized>(
         &mut self,
         model: &M,
         batch: BackendBatch,
         now_ms: f64,
+        started_ms: f64,
         completed_ms: f64,
     ) -> Vec<Ticket> {
         let batch_requests = batch.len();
@@ -347,6 +358,7 @@ impl BackendState {
                 kind: request.kind,
                 logits,
                 submitted_ms: now_ms,
+                started_ms,
                 completed_ms,
                 batch_requests,
             });
@@ -448,7 +460,7 @@ impl<M: AsrDecoderModel> AsrBackend for SyncBackendAdapter<M> {
     fn submit(&mut self, batch: BackendBatch, now_ms: f64) -> Vec<Ticket> {
         let completed_ms = now_ms + batch_service_ms(self.model.profile(), &batch);
         self.state
-            .score_batch(&self.model, batch, now_ms, completed_ms)
+            .score_batch(&self.model, batch, now_ms, now_ms, completed_ms)
     }
 
     fn poll(&mut self) -> Vec<ForwardResult> {
@@ -560,7 +572,7 @@ impl<M: AsrDecoderModel> AsrBackend for InFlightSimBackend<M> {
         let completed_ms = start_ms + batch_service_ms(self.model.profile(), &batch);
         self.device_free_ms = completed_ms;
         self.state
-            .score_batch(&self.model, batch, now_ms, completed_ms)
+            .score_batch(&self.model, batch, now_ms, start_ms, completed_ms)
     }
 
     fn poll(&mut self) -> Vec<ForwardResult> {

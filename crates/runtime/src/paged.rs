@@ -575,6 +575,12 @@ impl KvPool {
         self.draft.used_blocks() + self.target.used_blocks()
     }
 
+    /// Blocks in use per sub-pool, `(draft, target)` — the flight recorder
+    /// samples this every tick for the per-sub-pool occupancy counter track.
+    pub fn sub_pool_used_blocks(&self) -> (usize, usize) {
+        (self.draft.used_blocks(), self.target.used_blocks())
+    }
+
     /// Total block budget across both sub-pools (`None` when unbounded).
     pub fn capacity_blocks(&self) -> Option<usize> {
         match (self.draft.capacity(), self.target.capacity()) {

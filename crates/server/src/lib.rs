@@ -105,3 +105,17 @@ pub use specasr_runtime::{KvPool, PoolCounters, PoolError};
 // Streaming requests are configured with the stream crate's types; re-export
 // them so callers can submit streams without a direct dependency.
 pub use specasr_stream::{PartialTranscript, StreamConfig, StreamingSession};
+
+// Observability rides on the trace crate: the scheduler records into its
+// flight recorder and the stats publish into its metrics registry.
+// Re-export the surface so serving callers enable tracing, export traces,
+// and render metrics without a direct dependency.
+pub use specasr_trace::{
+    assemble_spans, chrome_trace, validate_chrome_trace, FlightRecording, MetricsRegistry,
+    RequestSpans, RoundSpan, ShedReason, TraceConfig, TraceEvent, TraceSummary, Tracer,
+};
+
+// The latency percentiles above and the registry's histogram exposition are
+// both built on the metrics crate's `Histogram`; re-export it so callers
+// consume either without a direct metrics dependency.
+pub use specasr_metrics::Histogram;

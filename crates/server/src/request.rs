@@ -114,6 +114,13 @@ impl std::error::Error for SubmitError {}
 
 /// The serving-latency breakdown of one completed request, all in simulated
 /// milliseconds on the scheduler's wall clock.
+///
+/// When the scheduler runs with its flight recorder enabled
+/// (`Scheduler::set_trace`), the `specasr-trace` span assembly reconstructs
+/// the same components from the event stream — `RequestSpans::queue_ms`,
+/// `decode_wall_ms`, and `e2e_ms` must agree with this breakdown *exactly*
+/// (same clock, same clamping); the workspace `trace.rs` integration tests
+/// assert the reconciliation per request.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct RequestLatency {
     /// Time spent waiting for admission into the batch.

@@ -32,6 +32,7 @@ use crate::scheduler::Scheduler;
 use crate::session::QueuedRequest;
 use crate::stats::ServerStats;
 use crate::worker::{Worker, WorkerId};
+use specasr_trace::{FlightRecording, MetricsRegistry, TraceConfig};
 
 /// A multi-worker sharded serving router.
 ///
@@ -311,6 +312,35 @@ where
             .map(|worker| worker.stats().e2e_histogram())
             .reduce(|a, b| a.merge(&b))
             .expect("a router always has at least one worker")
+    }
+
+    /// Applies `config` to every worker's flight recorder.  Enabling starts
+    /// a fresh ring on each worker; disabling drops any recorded events.
+    pub fn set_trace(&mut self, config: TraceConfig) {
+        for worker in &mut self.workers {
+            worker.scheduler.set_trace(config);
+        }
+    }
+
+    /// Takes every worker's flight recording, labelled by worker id (the
+    /// Perfetto exporter's lane list).  Workers without tracing enabled are
+    /// skipped; each enabled worker restarts with an empty ring.
+    pub fn take_recordings(&mut self) -> Vec<(String, FlightRecording)> {
+        self.workers
+            .iter_mut()
+            .filter_map(|worker| {
+                let recording = worker.scheduler.take_trace_recording()?;
+                Some((worker.id().to_string(), recording))
+            })
+            .collect()
+    }
+
+    /// Fleet-wide metrics registry: [`Self::fleet_stats`] published into a
+    /// fresh [`MetricsRegistry`] (the Prometheus-style exposition source).
+    pub fn fleet_metrics(&self) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        self.fleet_stats().publish_metrics(&mut registry);
+        registry
     }
 
     /// The busy worker furthest behind in wall time.

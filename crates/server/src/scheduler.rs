@@ -12,6 +12,7 @@ use specasr_models::{
 };
 use specasr_runtime::KvPool;
 use specasr_stream::{StreamConfig, StreamingSession};
+use specasr_trace::{FlightRecording, ShedReason, TraceConfig, TraceEvent, Tracer};
 
 use crate::batch::{plan_verify_waves, TickCost};
 use crate::config::{AdmissionPolicy, PreemptPolicy, ServerConfig};
@@ -100,6 +101,13 @@ pub struct Scheduler<D, T> {
     wall_ms: f64,
     next_id: u64,
     stats: ServerStats,
+    /// Flight recorder; the no-op sink unless [`Scheduler::set_trace`]
+    /// enabled it.
+    tracer: Tracer,
+    /// Ticks executed so far (the flight recorder's tick sequence).
+    ticks_seen: u64,
+    /// Copy-on-write copies already reported to the recorder.
+    cow_reported: u64,
 }
 
 impl<D, T> Scheduler<D, T>
@@ -135,7 +143,28 @@ where
             wall_ms: 0.0,
             next_id: 0,
             stats,
+            tracer: Tracer::disabled(),
+            ticks_seen: 0,
+            cow_reported: 0,
         }
+    }
+
+    /// Enables (or re-arms) the flight recorder.  Tracing is purely
+    /// observational: it reads the same simulated clock the scheduler
+    /// advances, so enabling it changes no decision, latency, or transcript.
+    pub fn set_trace(&mut self, config: TraceConfig) {
+        self.tracer = Tracer::new(config);
+    }
+
+    /// The flight recording so far, when tracing is enabled.
+    pub fn trace_recording(&self) -> Option<&FlightRecording> {
+        self.tracer.recording()
+    }
+
+    /// Takes the recording out, leaving the recorder armed with a fresh
+    /// empty ring.  `None` when tracing is disabled.
+    pub fn take_trace_recording(&mut self) -> Option<FlightRecording> {
+        self.tracer.take_recording()
     }
 
     /// The paged KV pool this scheduler allocates session caches from.
@@ -316,16 +345,26 @@ where
             first_admitted_ms: None,
             partials: Vec::new(),
         };
+        let encoder_ms = self
+            .encoder
+            .latency_ms_for_audio(utterance.duration_seconds());
+        let arrival_ms = self.wall_ms;
+        let audio_seconds = utterance.duration_seconds();
+        self.tracer.record_with(|| TraceEvent::RequestSubmitted {
+            ts_ms: arrival_ms,
+            request: id.value(),
+            encoder_ms,
+            audio_seconds,
+            streaming: true,
+        });
         self.waiting.push(QueuedRequest {
             id,
             policy,
             audio,
             utterance_id: utterance.id(),
-            audio_seconds: utterance.duration_seconds(),
-            encoder_ms: self
-                .encoder
-                .latency_ms_for_audio(utterance.duration_seconds()),
-            arrival_ms: self.wall_ms,
+            audio_seconds,
+            encoder_ms,
+            arrival_ms,
             preemptions: 0,
             ttft_budget_ms,
             first_output_emitted: false,
@@ -343,6 +382,13 @@ where
         if self.queue.len() >= self.config.queue_depth {
             return Err(self.reject());
         }
+        self.tracer.record_with(|| TraceEvent::RequestSubmitted {
+            ts_ms: request.arrival_ms,
+            request: request.id.value(),
+            encoder_ms: request.encoder_ms,
+            audio_seconds: request.audio_seconds,
+            streaming: request.stream.is_some(),
+        });
         self.queue.push_back(request);
         Ok(())
     }
@@ -351,6 +397,12 @@ where
     /// the error (the router's cheap pre-bind backpressure path).
     pub(crate) fn reject(&mut self) -> SubmitError {
         self.stats.record_rejection();
+        let wall_ms = self.wall_ms;
+        self.tracer.record_with(|| TraceEvent::RequestShed {
+            ts_ms: wall_ms,
+            request: None,
+            reason: ShedReason::QueueFull,
+        });
         SubmitError::QueueFull {
             queue_depth: self.config.queue_depth,
         }
@@ -402,13 +454,33 @@ where
         // time is read off the session clock delta; sessions draft in
         // parallel on the accelerator.
         let tick_start = self.wall_ms;
+        self.ticks_seen += 1;
+        let tick = self.ticks_seen;
+        {
+            let active = self.active.len() as u64;
+            let queued = self.queue.len() as u64;
+            self.tracer.record_with(|| TraceEvent::TickStart {
+                ts_ms: tick_start,
+                tick,
+                active,
+                queued,
+            });
+        }
         let mut drafted = Vec::with_capacity(self.active.len());
         let mut draft_ms = Vec::with_capacity(self.active.len());
         let mut verify_widths = Vec::with_capacity(self.active.len());
         for session in &mut self.active {
             let before = session.decode.clock().breakdown().draft_ms;
             let round = session.decode.draft_round_via(&mut self.draft, tick_start);
-            draft_ms.push(session.decode.clock().breakdown().draft_ms - before);
+            let spent = session.decode.clock().breakdown().draft_ms - before;
+            let request = session.id.value();
+            self.tracer.record_with(|| TraceEvent::DraftPhase {
+                start_ms: tick_start,
+                end_ms: tick_start + spent,
+                tick,
+                request,
+            });
+            draft_ms.push(spent);
             verify_widths.push(round.verify_tokens());
             drafted.push(round);
         }
@@ -428,23 +500,81 @@ where
             self.target.dispatch_overhead_ms(),
         );
         let mut ticket_owner = Vec::with_capacity(self.active.len());
-        for (wave, offset) in plan.waves.iter().zip(&plan.submit_offsets_ms) {
+        for (wave_index, (wave, offset)) in
+            plan.waves.iter().zip(&plan.submit_offsets_ms).enumerate()
+        {
             let mut batch = BackendBatch::new();
             for &index in wave {
                 batch.push(self.active[index].decode.verify_request(&drafted[index]));
             }
             let tickets = self.target.submit(batch, tick_start + offset);
-            ticket_owner.extend(tickets.into_iter().zip(wave.iter().copied()));
+            if self.tracer.is_enabled() {
+                let ts_ms = tick_start + offset;
+                let ticket_ids: Vec<u64> = tickets.iter().map(|t| t.value()).collect();
+                let requests: Vec<u64> = wave
+                    .iter()
+                    .map(|&index| self.active[index].id.value())
+                    .collect();
+                self.tracer.record_with(|| TraceEvent::VerifyWaveSubmitted {
+                    ts_ms,
+                    tick,
+                    wave: wave_index as u64,
+                    tickets: ticket_ids,
+                    requests,
+                });
+            }
+            ticket_owner.extend(
+                tickets
+                    .into_iter()
+                    .zip(wave.iter().copied())
+                    .map(|(ticket, owner)| (ticket, owner, wave_index)),
+            );
         }
         let mut results: Vec<Option<ForwardResult>> = self.active.iter().map(|_| None).collect();
         let mut tick_end = tick_start;
+        // Per-wave device spans for the recorder: every request of a wave
+        // shares its batch's (submitted, started, completed) triple.
+        let mut wave_spans: Vec<Option<(f64, f64, f64)>> = if self.tracer.is_enabled() {
+            vec![None; plan.waves.len()]
+        } else {
+            Vec::new()
+        };
         for result in self.target.poll() {
             tick_end = tick_end.max(result.completed_ms);
-            let &(_, owner) = ticket_owner
+            let &(_, owner, wave_index) = ticket_owner
                 .iter()
-                .find(|(ticket, _)| *ticket == result.ticket)
+                .find(|(ticket, _, _)| *ticket == result.ticket)
                 .expect("every completion answers a ticket submitted this tick");
+            if let Some(span) = wave_spans.get_mut(wave_index) {
+                *span = Some((result.submitted_ms, result.started_ms, result.completed_ms));
+            }
             results[owner] = Some(result);
+        }
+        if self.tracer.is_enabled() {
+            for (wave_index, span) in wave_spans.into_iter().enumerate() {
+                let Some((submitted_ms, started_ms, completed_ms)) = span else {
+                    continue;
+                };
+                let ticket_ids: Vec<u64> = ticket_owner
+                    .iter()
+                    .filter(|&&(_, _, wave)| wave == wave_index)
+                    .map(|&(ticket, _, _)| ticket.value())
+                    .collect();
+                let requests: Vec<u64> = ticket_owner
+                    .iter()
+                    .filter(|&&(_, _, wave)| wave == wave_index)
+                    .map(|&(_, owner, _)| self.active[owner].id.value())
+                    .collect();
+                self.tracer.record_with(|| TraceEvent::VerifyWaveCompleted {
+                    tick,
+                    wave: wave_index as u64,
+                    submitted_ms,
+                    started_ms,
+                    completed_ms,
+                    tickets: ticket_ids,
+                    requests,
+                });
+            }
         }
 
         // Advance the shared wall clock to the measured completion of the
@@ -494,7 +624,14 @@ where
                 // A finished session keeps only its position bookkeeping;
                 // releasing its blocks eagerly gives later sessions in this
                 // same tick the headroom first.
+                let request = session.id.value();
+                let blocks = session.decode.kv_blocks_held() as u64;
                 session.decode.release_kv(&mut self.kv);
+                self.tracer.record_with(|| TraceEvent::KvFree {
+                    ts_ms: tick_end,
+                    request,
+                    blocks,
+                });
             }
         }
         self.stats
@@ -512,6 +649,23 @@ where
             counters.shared_hits,
             counters.cow_copies,
         );
+        if self.tracer.is_enabled() {
+            let (draft_blocks, target_blocks) = self.kv.sub_pool_used_blocks();
+            self.tracer.record_with(|| TraceEvent::KvOccupancy {
+                ts_ms: tick_end,
+                draft_blocks: draft_blocks as u64,
+                target_blocks: target_blocks as u64,
+            });
+            let cow_copies = counters.cow_copies as u64;
+            let fresh_copies = cow_copies - self.cow_reported;
+            if fresh_copies > 0 {
+                self.tracer.record_with(|| TraceEvent::CowCopy {
+                    ts_ms: tick_end,
+                    copies: fresh_copies,
+                });
+            }
+            self.cow_reported = cow_copies;
+        }
 
         // Retire finished sessions (their batch slots refill next tick;
         // streaming sessions whose *view* finished emit a partial and either
@@ -539,6 +693,12 @@ where
         for request in requeued.into_iter().rev() {
             self.queue.push_front(request);
         }
+        let completed = outcomes.len() as u64;
+        self.tracer.record_with(|| TraceEvent::TickEnd {
+            ts_ms: tick_end,
+            tick,
+            completed,
+        });
         outcomes
     }
 
@@ -549,11 +709,12 @@ where
         let mut index = 0;
         while index < self.waiting.len() {
             let request = &mut self.waiting[index];
+            let id = request.id;
             let stream = request
                 .stream
                 .as_mut()
                 .expect("only streaming requests park between chunks");
-            let delivered = stream.deliver_due(wall);
+            let delivered = stream.deliver_due(wall, id, &mut self.tracer);
             if delivered && stream.decodable() {
                 let mut request = self.waiting.remove(index);
                 request.refresh_stream_view();
@@ -599,6 +760,30 @@ where
             is_final: partial.is_final,
         };
         stream.pending_encoder_ms = 0.0;
+        if self.tracer.is_enabled() {
+            let ts_ms = self.wall_ms;
+            let request = session.id.value();
+            let partial_index = span.partial_index as u64;
+            let committed = span.committed_tokens as u64;
+            let hypothesis = span.hypothesis_tokens as u64;
+            let retracted = span.retracted_tokens as u64;
+            let is_final = span.is_final;
+            self.tracer.record_with(|| TraceEvent::PartialEmitted {
+                ts_ms,
+                request,
+                partial: partial_index,
+                committed,
+                hypothesis,
+                is_final,
+            });
+            if retracted > 0 {
+                self.tracer.record_with(|| TraceEvent::Retraction {
+                    ts_ms,
+                    request,
+                    tokens: retracted,
+                });
+            }
+        }
         stream.partials.push(span);
         if partial.is_final {
             return Some(self.retire_stream(session, *stream, view_outcome));
@@ -660,6 +845,14 @@ where
             partials: stream.partials,
         };
         self.stats.record_completion(&outcome);
+        let ts_ms = self.wall_ms;
+        let request = outcome.id.value();
+        let tokens = outcome.token_count() as u64;
+        self.tracer.record_with(|| TraceEvent::RequestCompleted {
+            ts_ms,
+            request,
+            tokens,
+        });
         outcome
     }
 
@@ -714,9 +907,17 @@ where
             });
             match victim {
                 Some(victim) if victim != index || other_holds_blocks => {
+                    let request = self.active[victim].id.value();
+                    let blocks = self.active[victim].decode.kv_blocks_held() as u64;
                     self.active[victim].decode.release_kv(&mut self.kv);
                     removal[victim] = Removal::Preempted;
                     self.stats.record_preemption();
+                    let ts_ms = self.wall_ms;
+                    self.tracer.record_with(|| TraceEvent::KvPreempt {
+                        ts_ms,
+                        request,
+                        blocks,
+                    });
                     if victim == index {
                         return; // the triggering session evicted itself
                     }
@@ -724,9 +925,22 @@ where
                 _ => {
                     // Nothing (useful) left to evict: this round can never
                     // fit, now or after any deterministic restore.
+                    let request = self.active[index].id.value();
+                    let blocks = self.active[index].decode.kv_blocks_held() as u64;
                     self.active[index].decode.release_kv(&mut self.kv);
                     removal[index] = Removal::Rejected;
                     self.stats.record_memory_rejection();
+                    let ts_ms = self.wall_ms;
+                    self.tracer.record_with(|| TraceEvent::KvFree {
+                        ts_ms,
+                        request,
+                        blocks,
+                    });
+                    self.tracer.record_with(|| TraceEvent::RequestShed {
+                        ts_ms,
+                        request: Some(request),
+                        reason: ShedReason::Memory,
+                    });
                     return;
                 }
             }
@@ -823,11 +1037,43 @@ where
                 if !request.first_output_emitted() && self.wall_ms - request.arrival_ms > budget {
                     self.stats
                         .record_deadline_rejection(SloClass::of_budget(request.ttft_budget_ms));
+                    let ts_ms = self.wall_ms;
+                    let shed = request.id.value();
+                    self.tracer.record_with(|| TraceEvent::RequestShed {
+                        ts_ms,
+                        request: Some(shed),
+                        reason: ShedReason::Deadline,
+                    });
                     continue;
                 }
             }
+            let restored = request.preemptions > 0;
             match request.try_admit(self.wall_ms, &mut self.kv) {
-                Ok(session) => self.active.push(session),
+                Ok(session) => {
+                    if self.tracer.is_enabled() {
+                        let ts_ms = self.wall_ms;
+                        let admitted = session.id.value();
+                        let kv_blocks = session.decode.kv_blocks_held() as u64;
+                        self.tracer.record_with(|| TraceEvent::RequestAdmitted {
+                            ts_ms,
+                            request: admitted,
+                            kv_blocks,
+                            restored,
+                        });
+                        if restored {
+                            self.tracer.record_with(|| TraceEvent::KvRestore {
+                                ts_ms,
+                                request: admitted,
+                            });
+                        }
+                        self.tracer.record_with(|| TraceEvent::KvAlloc {
+                            ts_ms,
+                            request: admitted,
+                            blocks: kv_blocks,
+                        });
+                    }
+                    self.active.push(session);
+                }
                 Err(returned) => {
                     let (request, _error) = *returned;
                     if self.prefill_can_ever_fit(&request) {
@@ -836,6 +1082,13 @@ where
                         self.queue.insert(index.min(self.queue.len()), request);
                     } else {
                         self.stats.record_memory_rejection();
+                        let ts_ms = self.wall_ms;
+                        let shed = request.id.value();
+                        self.tracer.record_with(|| TraceEvent::RequestShed {
+                            ts_ms,
+                            request: Some(shed),
+                            reason: ShedReason::Memory,
+                        });
                     }
                     break;
                 }
@@ -898,6 +1151,14 @@ where
             partials: Vec::new(),
         };
         self.stats.record_completion(&outcome);
+        let ts_ms = self.wall_ms;
+        let request = outcome.id.value();
+        let tokens = outcome.token_count() as u64;
+        self.tracer.record_with(|| TraceEvent::RequestCompleted {
+            ts_ms,
+            request,
+            tokens,
+        });
         outcome
     }
 }

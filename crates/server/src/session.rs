@@ -6,6 +6,7 @@ use specasr_audio::{StreamChunk, UtteranceId};
 use specasr_models::UtteranceTokens;
 use specasr_runtime::{KvPool, PoolError};
 use specasr_stream::StreamingSession;
+use specasr_trace::{TraceEvent, Tracer};
 
 use crate::request::{PartialSpan, RequestId};
 
@@ -45,8 +46,9 @@ impl StreamState {
 
     /// Delivers every chunk that has arrived by `wall_ms` into the stream
     /// session (extending the audio horizon) and returns whether anything
-    /// was delivered.
-    pub fn deliver_due(&mut self, wall_ms: f64) -> bool {
+    /// was delivered.  Each delivery is recorded as a `ChunkArrived` event
+    /// on `request`'s behalf, stamped at the chunk's true arrival time.
+    pub fn deliver_due(&mut self, wall_ms: f64, request: RequestId, tracer: &mut Tracer) -> bool {
         let mut delivered_any = false;
         while let Some(chunk) = self.chunks.get(self.delivered) {
             let arrival = self.submitted_ms + chunk.arrival_offset_ms;
@@ -56,6 +58,12 @@ impl StreamState {
             self.session.push_audio(chunk.end_seconds);
             self.newest_chunk_arrival_ms = arrival;
             self.pending_encoder_ms += self.chunk_encoder_ms[self.delivered];
+            let chunk_index = self.delivered as u64;
+            tracer.record_with(|| TraceEvent::ChunkArrived {
+                ts_ms: arrival,
+                request: request.value(),
+                chunk: chunk_index,
+            });
             self.delivered += 1;
             delivered_any = true;
         }

@@ -4,6 +4,7 @@
 use specasr::DecodeStats;
 use specasr_metrics::Histogram;
 use specasr_models::BackendCounters;
+use specasr_trace::MetricsRegistry;
 
 use crate::batch::TickCost;
 use crate::request::{RequestOutcome, SloClass};
@@ -89,6 +90,53 @@ impl MemoryStats {
         self.cow_copies
     }
 
+    /// Publishes the memory gauges and counters into `registry` under the
+    /// `specasr_kv_*` namespace of the Prometheus-style exposition.
+    pub fn publish_metrics(&self, registry: &mut MetricsRegistry) {
+        registry.set_gauge(
+            "specasr_kv_capacity_blocks",
+            "Total KV-block budget across sub-pools.",
+            &[],
+            self.kv_capacity_blocks as f64,
+        );
+        registry.set_gauge(
+            "specasr_kv_peak_blocks",
+            "High-water mark of simultaneously live KV blocks.",
+            &[],
+            self.peak_kv_blocks as f64,
+        );
+        registry.set_gauge(
+            "specasr_kv_avg_blocks",
+            "Mean sampled KV-block occupancy per tick.",
+            &[],
+            self.avg_kv_blocks(),
+        );
+        registry.set_counter(
+            "specasr_kv_preemptions_total",
+            "Sessions evicted mid-decode to free pool blocks.",
+            &[],
+            self.preemptions as f64,
+        );
+        registry.set_counter(
+            "specasr_kv_prefix_lookups_total",
+            "Prefill blocks requested under a prefix key.",
+            &[],
+            self.prefix_lookups as f64,
+        );
+        registry.set_counter(
+            "specasr_kv_prefix_hits_total",
+            "Prefill blocks served from resident shared blocks.",
+            &[],
+            self.prefix_hits as f64,
+        );
+        registry.set_counter(
+            "specasr_kv_cow_copies_total",
+            "Copy-on-write block copies performed.",
+            &[],
+            self.cow_copies as f64,
+        );
+    }
+
     /// Folds another worker's memory statistics in (parallel-fleet
     /// semantics: everything sums — each worker owns an independent pool).
     fn merge(&mut self, other: &MemoryStats) {
@@ -171,6 +219,53 @@ impl BackendStats {
     /// wave).
     pub fn peak_in_flight(&self) -> usize {
         self.counters.peak_in_flight
+    }
+
+    /// Publishes the backend counters and gauges into `registry` under the
+    /// `specasr_backend_*` namespace of the Prometheus-style exposition.
+    pub fn publish_metrics(&self, registry: &mut MetricsRegistry) {
+        registry.set_counter(
+            "specasr_backend_batches_total",
+            "Batches submitted across draft and target backends.",
+            &[],
+            self.batches() as f64,
+        );
+        registry.set_counter(
+            "specasr_backend_requests_total",
+            "Forward requests submitted across both backends.",
+            &[],
+            self.requests() as f64,
+        );
+        registry.set_counter(
+            "specasr_backend_draft_requests_total",
+            "Single-token draft-step requests submitted.",
+            &[],
+            self.draft_requests() as f64,
+        );
+        registry.set_counter(
+            "specasr_backend_verify_requests_total",
+            "Verification requests submitted.",
+            &[],
+            self.verify_requests() as f64,
+        );
+        registry.set_counter(
+            "specasr_backend_verify_batches_total",
+            "Cross-session verification batches submitted.",
+            &[],
+            self.verify_batches() as f64,
+        );
+        registry.set_gauge(
+            "specasr_backend_verify_batch_occupancy",
+            "Mean verification requests per verification batch.",
+            &[],
+            self.verify_batch_occupancy(),
+        );
+        registry.set_gauge(
+            "specasr_backend_peak_in_flight",
+            "Peak simultaneous verification requests on the target backend.",
+            &[],
+            self.peak_in_flight() as f64,
+        );
     }
 
     /// Folds another worker's backend statistics in (parallel-fleet
@@ -603,6 +698,171 @@ impl ServerStats {
     /// P99 of per-partial latency spans in milliseconds.
     pub fn partial_span_p99_ms(&self) -> f64 {
         self.partial_span_histogram().percentile(0.99)
+    }
+
+    /// Publishes every served gauge, counter, and latency histogram into
+    /// `registry` in the Prometheus-style exposition namespace
+    /// (`specasr_*`).  Includes the [`MemoryStats`] and [`BackendStats`]
+    /// families and a per-[`SloClass`] breakdown under a `class` label.
+    ///
+    /// Publishing the *merged* fleet stats and merging per-worker
+    /// registries with [`MetricsRegistry::merge`] land on the same scalars;
+    /// histograms published from merged stats re-bin over the pooled
+    /// samples and are the exact path.
+    pub fn publish_metrics(&self, registry: &mut MetricsRegistry) {
+        registry.set_counter(
+            "specasr_requests_completed_total",
+            "Requests served to completion.",
+            &[],
+            self.completed as f64,
+        );
+        registry.set_counter(
+            "specasr_requests_rejected_total",
+            "Requests shed, by reason.",
+            &[("reason", "queue_full")],
+            self.rejected as f64,
+        );
+        registry.set_counter(
+            "specasr_requests_rejected_total",
+            "Requests shed, by reason.",
+            &[("reason", "memory")],
+            self.rejected_memory as f64,
+        );
+        registry.set_counter(
+            "specasr_requests_rejected_total",
+            "Requests shed, by reason.",
+            &[("reason", "deadline")],
+            self.rejected_deadline as f64,
+        );
+        registry.set_counter(
+            "specasr_streaming_completed_total",
+            "Streaming requests finalised.",
+            &[],
+            self.streaming_completed as f64,
+        );
+        registry.set_counter(
+            "specasr_partials_emitted_total",
+            "Partial transcripts emitted across streaming requests.",
+            &[],
+            self.partials_emitted as f64,
+        );
+        registry.set_counter(
+            "specasr_hypothesis_tokens_total",
+            "Hypothesis tokens shown ahead of commitment.",
+            &[],
+            self.shown_hypothesis_tokens as f64,
+        );
+        registry.set_counter(
+            "specasr_retracted_tokens_total",
+            "Shown hypothesis tokens later retracted.",
+            &[],
+            self.retracted_tokens as f64,
+        );
+        registry.set_counter(
+            "specasr_ticks_total",
+            "Scheduler ticks executed.",
+            &[],
+            self.ticks as f64,
+        );
+        registry.set_counter(
+            "specasr_tokens_total",
+            "Output tokens committed.",
+            &[],
+            self.total_tokens() as f64,
+        );
+        registry.set_counter(
+            "specasr_audio_seconds_total",
+            "Audio seconds served.",
+            &[],
+            self.total_audio_seconds(),
+        );
+        registry.set_gauge(
+            "specasr_wall_ms",
+            "Simulated wall-clock time spent ticking.",
+            &[],
+            self.wall_ms,
+        );
+        registry.set_gauge(
+            "specasr_peak_in_flight",
+            "Peak simultaneously decoding sessions.",
+            &[],
+            self.peak_in_flight as f64,
+        );
+        registry.set_gauge(
+            "specasr_mean_acceptance",
+            "Mean speculative acceptance rate.",
+            &[],
+            self.mean_acceptance(),
+        );
+        registry.set_gauge(
+            "specasr_batching_speedup",
+            "Sequential device time divided by batched wall time.",
+            &[],
+            self.batching_speedup(),
+        );
+        registry.set_histogram(
+            "specasr_e2e_latency_ms",
+            "End-to-end request latency in milliseconds.",
+            &[],
+            self.e2e_histogram(),
+        );
+        registry.set_histogram(
+            "specasr_ttft_latency_ms",
+            "Time-to-first-token latency in milliseconds.",
+            &[],
+            self.ttft_histogram(),
+        );
+        registry.set_histogram(
+            "specasr_queue_latency_ms",
+            "Admission-queue wait in milliseconds.",
+            &[],
+            self.queue_histogram(),
+        );
+        registry.set_histogram(
+            "specasr_first_partial_latency_ms",
+            "Streaming arrival-to-first-partial latency in milliseconds.",
+            &[],
+            self.first_partial_histogram(),
+        );
+        registry.set_histogram(
+            "specasr_partial_span_latency_ms",
+            "Streaming chunk-arrival-to-partial latency in milliseconds.",
+            &[],
+            self.partial_span_histogram(),
+        );
+        for class in SloClass::ALL {
+            let stats = self.slo_class(class);
+            let labels = [("class", class.name())];
+            registry.set_counter(
+                "specasr_slo_completed_total",
+                "Completed requests per SLO class.",
+                &labels,
+                stats.completed() as f64,
+            );
+            registry.set_counter(
+                "specasr_slo_rejected_deadline_total",
+                "Deadline-shed requests per SLO class.",
+                &labels,
+                stats.rejected_deadline() as f64,
+            );
+            registry.set_histogram(
+                "specasr_slo_e2e_latency_ms",
+                "End-to-end latency per SLO class in milliseconds.",
+                &labels,
+                stats.e2e_histogram(),
+            );
+        }
+        self.memory.publish_metrics(registry);
+        self.backend.publish_metrics(registry);
+    }
+
+    /// Renders this worker's metrics as a Prometheus-style text snapshot —
+    /// [`Self::publish_metrics`] into a fresh registry, then
+    /// [`MetricsRegistry::render`].
+    pub fn metrics_text(&self) -> String {
+        let mut registry = MetricsRegistry::new();
+        self.publish_metrics(&mut registry);
+        registry.render()
     }
 }
 

@@ -42,6 +42,12 @@ pub struct PartialTranscript {
 /// [`StreamingSession::absorb`] pair (serving use: the scheduler steps the
 /// session round by round against its shared paged pool, and may preempt and
 /// deterministically restore it between rounds).
+///
+/// Under a tracing-enabled scheduler, every chunk arrival, emitted partial,
+/// and retraction of a served stream is also stamped into the
+/// `specasr-trace` flight recorder (`ChunkArrived` / `PartialEmitted` /
+/// `Retraction` events), so a Perfetto timeline shows the same commit-rule
+/// behaviour these counters summarise.
 #[derive(Debug, Clone)]
 pub struct StreamingSession {
     policy: Policy,

@@ -1,0 +1,530 @@
+//! The typed event taxonomy recorded by the flight recorder.
+//!
+//! Every event is stamped on the *simulated* clock (milliseconds since the
+//! scheduler was created), which is what makes recordings byte-deterministic
+//! per seed: two runs with the same seed produce the same clock and therefore
+//! the same event stream.
+
+use serde::{Serialize, Value};
+
+/// Why a request was shed instead of admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The wait queue was at `ServerConfig::queue_depth`.
+    QueueFull,
+    /// Admission-time deadline check: the TTFT budget could no longer be met.
+    Deadline,
+    /// The paged KV pool could never fit the request's prefill.
+    Memory,
+}
+
+impl ShedReason {
+    /// Stable lower-case label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::Deadline => "deadline",
+            ShedReason::Memory => "memory",
+        }
+    }
+}
+
+/// One flight-recorder event.
+///
+/// Timestamps are simulated milliseconds.  Request ids are the raw `u64`
+/// behind `RequestId`, ticket ids the raw `u64` behind the backend `Ticket`;
+/// the trace crate stays dependency-light so every layer of the stack can
+/// record into it without cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A request entered the scheduler (wait queue or streaming parking lot).
+    RequestSubmitted {
+        /// Arrival time.
+        ts_ms: f64,
+        /// Request id.
+        request: u64,
+        /// Encoder latency charged to the request (timeline-independent).
+        encoder_ms: f64,
+        /// Seconds of audio carried by the request.
+        audio_seconds: f64,
+        /// Whether the request is a streaming session.
+        streaming: bool,
+    },
+    /// A request was admitted into the in-flight batch.
+    RequestAdmitted {
+        /// Admission time.
+        ts_ms: f64,
+        /// Request id.
+        request: u64,
+        /// KV blocks held right after prefill allocation.
+        kv_blocks: u64,
+        /// True when this admission restores a previously preempted request.
+        restored: bool,
+    },
+    /// A request was shed (queue-full, deadline, or memory).
+    RequestShed {
+        /// Shed time.
+        ts_ms: f64,
+        /// Request id, when one had already been assigned.
+        request: Option<u64>,
+        /// Why the request was shed.
+        reason: ShedReason,
+    },
+    /// A request retired with a final transcript.
+    RequestCompleted {
+        /// Completion time (end of the retiring tick).
+        ts_ms: f64,
+        /// Request id.
+        request: u64,
+        /// Tokens in the final transcript.
+        tokens: u64,
+    },
+    /// A scheduler tick began (draft phases start here).
+    TickStart {
+        /// Tick start time.
+        ts_ms: f64,
+        /// Monotonic tick sequence number (1-based).
+        tick: u64,
+        /// Sessions in flight this tick.
+        active: u64,
+        /// Requests still waiting in the queue.
+        queued: u64,
+    },
+    /// A scheduler tick finished (all verify waves completed, commits done).
+    TickEnd {
+        /// Tick end time.
+        ts_ms: f64,
+        /// Tick sequence number matching the `TickStart`.
+        tick: u64,
+        /// Requests retired by this tick.
+        completed: u64,
+    },
+    /// One session's draft phase within a tick.
+    DraftPhase {
+        /// Draft start (== tick start; drafts run in parallel).
+        start_ms: f64,
+        /// Draft end.
+        end_ms: f64,
+        /// Tick sequence number.
+        tick: u64,
+        /// Request id.
+        request: u64,
+    },
+    /// A verification wave was submitted to the target backend.
+    VerifyWaveSubmitted {
+        /// Submission time (tick start + wave offset).
+        ts_ms: f64,
+        /// Tick sequence number.
+        tick: u64,
+        /// Wave index within the tick (0-based).
+        wave: u64,
+        /// Backend ticket ids of the wave's forward requests.
+        tickets: Vec<u64>,
+        /// Request ids verified by the wave.
+        requests: Vec<u64>,
+    },
+    /// A verification wave completed on the target backend.
+    VerifyWaveCompleted {
+        /// Tick sequence number.
+        tick: u64,
+        /// Wave index within the tick (0-based).
+        wave: u64,
+        /// When the wave was submitted.
+        submitted_ms: f64,
+        /// When the device actually started executing it.
+        started_ms: f64,
+        /// When it completed.
+        completed_ms: f64,
+        /// Backend ticket ids of the completed forward requests.
+        tickets: Vec<u64>,
+        /// Request ids verified by the wave.
+        requests: Vec<u64>,
+    },
+    /// KV blocks were allocated for a request's prefill.
+    KvAlloc {
+        /// Allocation time.
+        ts_ms: f64,
+        /// Request id.
+        request: u64,
+        /// Blocks held after the allocation.
+        blocks: u64,
+    },
+    /// A request's KV blocks were released.
+    KvFree {
+        /// Release time.
+        ts_ms: f64,
+        /// Request id.
+        request: u64,
+        /// Blocks released.
+        blocks: u64,
+    },
+    /// A session was preempted and its blocks reclaimed.
+    KvPreempt {
+        /// Preemption time.
+        ts_ms: f64,
+        /// Request id of the victim.
+        request: u64,
+        /// Blocks reclaimed.
+        blocks: u64,
+    },
+    /// A previously preempted request was re-admitted (deterministic
+    /// re-prefill + re-decode).
+    KvRestore {
+        /// Restore time.
+        ts_ms: f64,
+        /// Request id.
+        request: u64,
+    },
+    /// Copy-on-write block copies performed since the last sample.
+    CowCopy {
+        /// Sample time (end of the tick that performed the copies).
+        ts_ms: f64,
+        /// Number of block copies.
+        copies: u64,
+    },
+    /// Per-sub-pool block occupancy sample (one per tick).
+    KvOccupancy {
+        /// Sample time.
+        ts_ms: f64,
+        /// Blocks in use in the draft sub-pool.
+        draft_blocks: u64,
+        /// Blocks in use in the target sub-pool.
+        target_blocks: u64,
+    },
+    /// A streaming chunk crossed its arrival time and was delivered.
+    ChunkArrived {
+        /// Chunk arrival time.
+        ts_ms: f64,
+        /// Request id.
+        request: u64,
+        /// Chunk index (0-based).
+        chunk: u64,
+    },
+    /// A partial transcript was served for a streaming request.
+    PartialEmitted {
+        /// Emission time.
+        ts_ms: f64,
+        /// Request id.
+        request: u64,
+        /// Partial index (0-based).
+        partial: u64,
+        /// Committed (stable) tokens in the partial.
+        committed: u64,
+        /// Hypothesis tokens shown beyond the committed prefix.
+        hypothesis: u64,
+        /// Whether this partial is the final transcript.
+        is_final: bool,
+    },
+    /// Previously shown hypothesis tokens were retracted by a partial.
+    Retraction {
+        /// Retraction time.
+        ts_ms: f64,
+        /// Request id.
+        request: u64,
+        /// Tokens retracted.
+        tokens: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case name of the event type.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::RequestSubmitted { .. } => "request_submitted",
+            TraceEvent::RequestAdmitted { .. } => "request_admitted",
+            TraceEvent::RequestShed { .. } => "request_shed",
+            TraceEvent::RequestCompleted { .. } => "request_completed",
+            TraceEvent::TickStart { .. } => "tick_start",
+            TraceEvent::TickEnd { .. } => "tick_end",
+            TraceEvent::DraftPhase { .. } => "draft_phase",
+            TraceEvent::VerifyWaveSubmitted { .. } => "verify_wave_submitted",
+            TraceEvent::VerifyWaveCompleted { .. } => "verify_wave_completed",
+            TraceEvent::KvAlloc { .. } => "kv_alloc",
+            TraceEvent::KvFree { .. } => "kv_free",
+            TraceEvent::KvPreempt { .. } => "kv_preempt",
+            TraceEvent::KvRestore { .. } => "kv_restore",
+            TraceEvent::CowCopy { .. } => "cow_copy",
+            TraceEvent::KvOccupancy { .. } => "kv_occupancy",
+            TraceEvent::ChunkArrived { .. } => "chunk_arrived",
+            TraceEvent::PartialEmitted { .. } => "partial_emitted",
+            TraceEvent::Retraction { .. } => "retraction",
+        }
+    }
+
+    /// The event's primary timestamp: when it happened (for spans, when the
+    /// span *ended* — `DraftPhase` reports its start because drafts are
+    /// anchored at tick start).
+    pub fn ts_ms(&self) -> f64 {
+        match self {
+            TraceEvent::RequestSubmitted { ts_ms, .. }
+            | TraceEvent::RequestAdmitted { ts_ms, .. }
+            | TraceEvent::RequestShed { ts_ms, .. }
+            | TraceEvent::RequestCompleted { ts_ms, .. }
+            | TraceEvent::TickStart { ts_ms, .. }
+            | TraceEvent::TickEnd { ts_ms, .. }
+            | TraceEvent::VerifyWaveSubmitted { ts_ms, .. }
+            | TraceEvent::KvAlloc { ts_ms, .. }
+            | TraceEvent::KvFree { ts_ms, .. }
+            | TraceEvent::KvPreempt { ts_ms, .. }
+            | TraceEvent::KvRestore { ts_ms, .. }
+            | TraceEvent::CowCopy { ts_ms, .. }
+            | TraceEvent::KvOccupancy { ts_ms, .. }
+            | TraceEvent::ChunkArrived { ts_ms, .. }
+            | TraceEvent::PartialEmitted { ts_ms, .. }
+            | TraceEvent::Retraction { ts_ms, .. } => *ts_ms,
+            TraceEvent::DraftPhase { start_ms, .. } => *start_ms,
+            TraceEvent::VerifyWaveCompleted { completed_ms, .. } => *completed_ms,
+        }
+    }
+}
+
+fn ids(values: &[u64]) -> Value {
+    Value::Array(values.iter().map(|&v| Value::Number(v as f64)).collect())
+}
+
+fn num(value: u64) -> Value {
+    Value::Number(value as f64)
+}
+
+impl Serialize for TraceEvent {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> =
+            vec![("type".to_string(), Value::String(self.name().to_string()))];
+        let mut push = |key: &str, value: Value| fields.push((key.to_string(), value));
+        match self {
+            TraceEvent::RequestSubmitted {
+                ts_ms,
+                request,
+                encoder_ms,
+                audio_seconds,
+                streaming,
+            } => {
+                push("ts_ms", Value::Number(*ts_ms));
+                push("request", num(*request));
+                push("encoder_ms", Value::Number(*encoder_ms));
+                push("audio_seconds", Value::Number(*audio_seconds));
+                push("streaming", Value::Bool(*streaming));
+            }
+            TraceEvent::RequestAdmitted {
+                ts_ms,
+                request,
+                kv_blocks,
+                restored,
+            } => {
+                push("ts_ms", Value::Number(*ts_ms));
+                push("request", num(*request));
+                push("kv_blocks", num(*kv_blocks));
+                push("restored", Value::Bool(*restored));
+            }
+            TraceEvent::RequestShed {
+                ts_ms,
+                request,
+                reason,
+            } => {
+                push("ts_ms", Value::Number(*ts_ms));
+                push(
+                    "request",
+                    match request {
+                        Some(id) => num(*id),
+                        None => Value::Null,
+                    },
+                );
+                push("reason", Value::String(reason.label().to_string()));
+            }
+            TraceEvent::RequestCompleted {
+                ts_ms,
+                request,
+                tokens,
+            } => {
+                push("ts_ms", Value::Number(*ts_ms));
+                push("request", num(*request));
+                push("tokens", num(*tokens));
+            }
+            TraceEvent::TickStart {
+                ts_ms,
+                tick,
+                active,
+                queued,
+            } => {
+                push("ts_ms", Value::Number(*ts_ms));
+                push("tick", num(*tick));
+                push("active", num(*active));
+                push("queued", num(*queued));
+            }
+            TraceEvent::TickEnd {
+                ts_ms,
+                tick,
+                completed,
+            } => {
+                push("ts_ms", Value::Number(*ts_ms));
+                push("tick", num(*tick));
+                push("completed", num(*completed));
+            }
+            TraceEvent::DraftPhase {
+                start_ms,
+                end_ms,
+                tick,
+                request,
+            } => {
+                push("start_ms", Value::Number(*start_ms));
+                push("end_ms", Value::Number(*end_ms));
+                push("tick", num(*tick));
+                push("request", num(*request));
+            }
+            TraceEvent::VerifyWaveSubmitted {
+                ts_ms,
+                tick,
+                wave,
+                tickets,
+                requests,
+            } => {
+                push("ts_ms", Value::Number(*ts_ms));
+                push("tick", num(*tick));
+                push("wave", num(*wave));
+                push("tickets", ids(tickets));
+                push("requests", ids(requests));
+            }
+            TraceEvent::VerifyWaveCompleted {
+                tick,
+                wave,
+                submitted_ms,
+                started_ms,
+                completed_ms,
+                tickets,
+                requests,
+            } => {
+                push("tick", num(*tick));
+                push("wave", num(*wave));
+                push("submitted_ms", Value::Number(*submitted_ms));
+                push("started_ms", Value::Number(*started_ms));
+                push("completed_ms", Value::Number(*completed_ms));
+                push("tickets", ids(tickets));
+                push("requests", ids(requests));
+            }
+            TraceEvent::KvAlloc {
+                ts_ms,
+                request,
+                blocks,
+            }
+            | TraceEvent::KvFree {
+                ts_ms,
+                request,
+                blocks,
+            }
+            | TraceEvent::KvPreempt {
+                ts_ms,
+                request,
+                blocks,
+            } => {
+                push("ts_ms", Value::Number(*ts_ms));
+                push("request", num(*request));
+                push("blocks", num(*blocks));
+            }
+            TraceEvent::KvRestore { ts_ms, request } => {
+                push("ts_ms", Value::Number(*ts_ms));
+                push("request", num(*request));
+            }
+            TraceEvent::CowCopy { ts_ms, copies } => {
+                push("ts_ms", Value::Number(*ts_ms));
+                push("copies", num(*copies));
+            }
+            TraceEvent::KvOccupancy {
+                ts_ms,
+                draft_blocks,
+                target_blocks,
+            } => {
+                push("ts_ms", Value::Number(*ts_ms));
+                push("draft_blocks", num(*draft_blocks));
+                push("target_blocks", num(*target_blocks));
+            }
+            TraceEvent::ChunkArrived {
+                ts_ms,
+                request,
+                chunk,
+            } => {
+                push("ts_ms", Value::Number(*ts_ms));
+                push("request", num(*request));
+                push("chunk", num(*chunk));
+            }
+            TraceEvent::PartialEmitted {
+                ts_ms,
+                request,
+                partial,
+                committed,
+                hypothesis,
+                is_final,
+            } => {
+                push("ts_ms", Value::Number(*ts_ms));
+                push("request", num(*request));
+                push("partial", num(*partial));
+                push("committed", num(*committed));
+                push("hypothesis", num(*hypothesis));
+                push("is_final", Value::Bool(*is_final));
+            }
+            TraceEvent::Retraction {
+                ts_ms,
+                request,
+                tokens,
+            } => {
+                push("ts_ms", Value::Number(*ts_ms));
+                push("request", num(*request));
+                push("tokens", num(*tokens));
+            }
+        }
+        Value::Object(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_with_type_tag_first() {
+        let event = TraceEvent::RequestAdmitted {
+            ts_ms: 12.5,
+            request: 3,
+            kv_blocks: 8,
+            restored: false,
+        };
+        let json = serde_json::to_string(&event).expect("serializes");
+        assert!(
+            json.starts_with("{\"type\":\"request_admitted\""),
+            "tag leads: {json}"
+        );
+        assert!(json.contains("\"kv_blocks\":8"));
+    }
+
+    #[test]
+    fn shed_without_id_serializes_null_request() {
+        let event = TraceEvent::RequestShed {
+            ts_ms: 1.0,
+            request: None,
+            reason: ShedReason::QueueFull,
+        };
+        let json = serde_json::to_string(&event).expect("serializes");
+        assert!(json.contains("\"request\":null"), "{json}");
+        assert!(json.contains("\"reason\":\"queue_full\""), "{json}");
+    }
+
+    #[test]
+    fn primary_timestamps_pick_span_anchors() {
+        let draft = TraceEvent::DraftPhase {
+            start_ms: 5.0,
+            end_ms: 9.0,
+            tick: 1,
+            request: 0,
+        };
+        assert_eq!(draft.ts_ms(), 5.0);
+        let wave = TraceEvent::VerifyWaveCompleted {
+            tick: 1,
+            wave: 0,
+            submitted_ms: 9.0,
+            started_ms: 9.5,
+            completed_ms: 20.0,
+            tickets: vec![1],
+            requests: vec![0],
+        };
+        assert_eq!(wave.ts_ms(), 20.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! `specasr-trace`: a deterministic flight recorder for the serving stack.
+//!
+//! End-of-run aggregates ([`ServerStats`]-style counters and percentiles)
+//! answer *how much*; they cannot answer *why* — why a P99 outlier queued for
+//! three ticks, whether a verify wave actually hid under the straggler draft
+//! phase it was planned to overlap, or which preemption evicted a session
+//! right before its final round.  This crate records the event-level truth:
+//!
+//! * [`Tracer`] / [`FlightRecording`] — a bounded ring buffer of typed
+//!   [`TraceEvent`]s stamped on the *simulated* clock.  Recording is
+//!   byte-deterministic per seed (no wall-clock reads, no map iteration
+//!   order) and zero-cost when disabled: the no-op sink behind
+//!   [`TraceConfig::disabled`] rejects events before their payloads are even
+//!   built.
+//! * [`assemble_spans`] — folds an event stream back into per-request span
+//!   timelines (queue → encoder → per-round draft/verify → commit) whose
+//!   components reconcile exactly with the `RequestLatency` breakdown the
+//!   scheduler reports.
+//! * [`chrome_trace`] — a Chrome/Perfetto trace-event JSON exporter: one
+//!   process lane per worker with tick, draft, and device-timeline tracks
+//!   plus a per-sub-pool KV occupancy counter track.  Load the output in
+//!   [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
+//! * [`MetricsRegistry`] — a Prometheus-style counter/gauge/histogram
+//!   registry (histograms are [`specasr_metrics::Histogram`]) with a
+//!   deterministic text exposition and fleet-wide [`MetricsRegistry::merge`].
+//!
+//! [`ServerStats`]: ../specasr_server/struct.ServerStats.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod perfetto;
+mod prom;
+mod recorder;
+mod span;
+
+pub use event::{ShedReason, TraceEvent};
+pub use perfetto::{chrome_trace, validate_chrome_trace, TraceSummary};
+pub use prom::MetricsRegistry;
+pub use recorder::{FlightRecording, TraceConfig, Tracer, DEFAULT_TRACE_CAPACITY};
+pub use span::{assemble_spans, RequestSpans, RoundSpan};

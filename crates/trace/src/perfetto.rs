@@ -1,0 +1,543 @@
+//! Chrome/Perfetto trace-event JSON export and schema validation.
+//!
+//! The exporter emits the [trace-event format] consumed by
+//! [Perfetto](https://ui.perfetto.dev) and `chrome://tracing`: one *process*
+//! per worker lane, with thread tracks for scheduler ticks, draft phases,
+//! and the backend device timeline, plus per-sub-pool KV occupancy counter
+//! tracks.  Timestamps are microseconds (the format's unit), converted from
+//! the recorder's simulated milliseconds.
+//!
+//! [trace-event format]:
+//!     https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use serde::Value;
+
+use crate::event::TraceEvent;
+use crate::recorder::FlightRecording;
+
+/// Thread id of the tick track within a worker process lane.
+const TID_TICKS: u64 = 1;
+/// Thread id of the draft-phase track.
+const TID_DRAFT: u64 = 2;
+/// Thread id of the backend device timeline.
+const TID_DEVICE: u64 = 3;
+
+fn object(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(key, value)| (key.to_string(), value))
+            .collect(),
+    )
+}
+
+fn micros(ms: f64) -> Value {
+    Value::Number(ms * 1000.0)
+}
+
+fn base(name: &str, ph: &str, ts_ms: f64, pid: u64, tid: u64) -> Vec<(&'static str, Value)> {
+    let mut fields: Vec<(&'static str, Value)> = Vec::with_capacity(7);
+    fields.push(("name", Value::String(name.to_string())));
+    fields.push(("ph", Value::String(ph.to_string())));
+    fields.push(("ts", micros(ts_ms)));
+    fields.push(("pid", Value::Number(pid as f64)));
+    fields.push(("tid", Value::Number(tid as f64)));
+    fields
+}
+
+fn metadata(name: &str, value: &str, pid: u64, tid: u64) -> Value {
+    let mut fields = base(name, "M", 0.0, pid, tid);
+    fields.push((
+        "args",
+        object(vec![("name", Value::String(value.to_string()))]),
+    ));
+    object(fields)
+}
+
+fn slice(name: &str, start_ms: f64, end_ms: f64, pid: u64, tid: u64, args: Value) -> Value {
+    let mut fields = base(name, "X", start_ms, pid, tid);
+    fields.push(("dur", micros((end_ms - start_ms).max(0.0))));
+    fields.push(("args", args));
+    object(fields)
+}
+
+fn instant(name: &str, ts_ms: f64, pid: u64, tid: u64, args: Value) -> Value {
+    let mut fields = base(name, "i", ts_ms, pid, tid);
+    fields.push(("s", Value::String("t".to_string())));
+    fields.push(("args", args));
+    object(fields)
+}
+
+fn counter(name: &str, ts_ms: f64, pid: u64, args: Value) -> Value {
+    let mut fields = base(name, "C", ts_ms, pid, 0);
+    fields.push(("args", args));
+    object(fields)
+}
+
+fn num(value: u64) -> Value {
+    Value::Number(value as f64)
+}
+
+/// Exports worker-lane recordings as Chrome trace-event JSON.
+///
+/// `lanes` pairs a lane name (e.g. `worker-0`) with its recording; each lane
+/// becomes one process in the trace, numbered in order.  The output is
+/// deterministic: lanes and events are walked in order and object keys are
+/// emitted in a fixed sequence.
+pub fn chrome_trace(lanes: &[(&str, &FlightRecording)]) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    for (index, (lane, recording)) in lanes.iter().enumerate() {
+        let pid = index as u64 + 1;
+        events.push(metadata("process_name", lane, pid, 0));
+        events.push(metadata("thread_name", "scheduler ticks", pid, TID_TICKS));
+        events.push(metadata("thread_name", "draft phases", pid, TID_DRAFT));
+        events.push(metadata("thread_name", "target device", pid, TID_DEVICE));
+        let mut tick_open: Option<(u64, f64, u64, u64)> = None;
+        let mut cow_total: u64 = 0;
+        for event in recording.events() {
+            match event {
+                TraceEvent::TickStart {
+                    ts_ms,
+                    tick,
+                    active,
+                    queued,
+                } => tick_open = Some((*tick, *ts_ms, *active, *queued)),
+                TraceEvent::TickEnd {
+                    ts_ms,
+                    tick,
+                    completed,
+                } => {
+                    if let Some((open_tick, start_ms, active, queued)) = tick_open.take() {
+                        if open_tick == *tick {
+                            events.push(slice(
+                                &format!("tick {tick}"),
+                                start_ms,
+                                *ts_ms,
+                                pid,
+                                TID_TICKS,
+                                object(vec![
+                                    ("active", num(active)),
+                                    ("queued", num(queued)),
+                                    ("completed", num(*completed)),
+                                ]),
+                            ));
+                        }
+                    }
+                }
+                TraceEvent::DraftPhase {
+                    start_ms,
+                    end_ms,
+                    tick,
+                    request,
+                } => events.push(slice(
+                    &format!("draft req-{request}"),
+                    *start_ms,
+                    *end_ms,
+                    pid,
+                    TID_DRAFT,
+                    object(vec![("tick", num(*tick)), ("request", num(*request))]),
+                )),
+                TraceEvent::VerifyWaveSubmitted {
+                    ts_ms, tick, wave, ..
+                } => events.push(instant(
+                    &format!("submit t{tick} w{wave}"),
+                    *ts_ms,
+                    pid,
+                    TID_DEVICE,
+                    object(vec![("tick", num(*tick)), ("wave", num(*wave))]),
+                )),
+                TraceEvent::VerifyWaveCompleted {
+                    tick,
+                    wave,
+                    submitted_ms,
+                    started_ms,
+                    completed_ms,
+                    requests,
+                    ..
+                } => events.push(slice(
+                    &format!("verify t{tick} w{wave}"),
+                    *started_ms,
+                    *completed_ms,
+                    pid,
+                    TID_DEVICE,
+                    object(vec![
+                        ("tick", num(*tick)),
+                        ("wave", num(*wave)),
+                        ("requests", num(requests.len() as u64)),
+                        ("dispatch_wait_ms", Value::Number(started_ms - submitted_ms)),
+                    ]),
+                )),
+                TraceEvent::KvOccupancy {
+                    ts_ms,
+                    draft_blocks,
+                    target_blocks,
+                } => events.push(counter(
+                    "kv blocks",
+                    *ts_ms,
+                    pid,
+                    object(vec![
+                        ("draft", num(*draft_blocks)),
+                        ("target", num(*target_blocks)),
+                    ]),
+                )),
+                TraceEvent::CowCopy { ts_ms, copies } => {
+                    cow_total += copies;
+                    events.push(counter(
+                        "cow copies",
+                        *ts_ms,
+                        pid,
+                        object(vec![("copies", num(cow_total))]),
+                    ));
+                }
+                TraceEvent::RequestAdmitted {
+                    ts_ms,
+                    request,
+                    kv_blocks,
+                    restored,
+                } => events.push(instant(
+                    &format!(
+                        "{} req-{request}",
+                        if *restored { "restore" } else { "admit" }
+                    ),
+                    *ts_ms,
+                    pid,
+                    TID_TICKS,
+                    object(vec![
+                        ("request", num(*request)),
+                        ("kv_blocks", num(*kv_blocks)),
+                        ("restored", Value::Bool(*restored)),
+                    ]),
+                )),
+                TraceEvent::RequestShed {
+                    ts_ms,
+                    request,
+                    reason,
+                } => events.push(instant(
+                    &format!("shed ({})", reason.label()),
+                    *ts_ms,
+                    pid,
+                    TID_TICKS,
+                    object(vec![(
+                        "request",
+                        match request {
+                            Some(id) => num(*id),
+                            None => Value::Null,
+                        },
+                    )]),
+                )),
+                TraceEvent::KvPreempt {
+                    ts_ms,
+                    request,
+                    blocks,
+                } => events.push(instant(
+                    &format!("preempt req-{request}"),
+                    *ts_ms,
+                    pid,
+                    TID_TICKS,
+                    object(vec![("request", num(*request)), ("blocks", num(*blocks))]),
+                )),
+                TraceEvent::ChunkArrived {
+                    ts_ms,
+                    request,
+                    chunk,
+                } => events.push(instant(
+                    &format!("chunk {chunk} req-{request}"),
+                    *ts_ms,
+                    pid,
+                    TID_TICKS,
+                    object(vec![("request", num(*request)), ("chunk", num(*chunk))]),
+                )),
+                TraceEvent::PartialEmitted {
+                    ts_ms,
+                    request,
+                    partial,
+                    committed,
+                    hypothesis,
+                    is_final,
+                } => events.push(instant(
+                    &format!(
+                        "{} req-{request}",
+                        if *is_final { "final" } else { "partial" }
+                    ),
+                    *ts_ms,
+                    pid,
+                    TID_TICKS,
+                    object(vec![
+                        ("request", num(*request)),
+                        ("partial", num(*partial)),
+                        ("committed", num(*committed)),
+                        ("hypothesis", num(*hypothesis)),
+                    ]),
+                )),
+                TraceEvent::Retraction {
+                    ts_ms,
+                    request,
+                    tokens,
+                } => events.push(instant(
+                    &format!("retract req-{request}"),
+                    *ts_ms,
+                    pid,
+                    TID_TICKS,
+                    object(vec![("request", num(*request)), ("tokens", num(*tokens))]),
+                )),
+                // Lifecycle bookkeeping that has no visual track of its own.
+                TraceEvent::RequestSubmitted { .. }
+                | TraceEvent::RequestCompleted { .. }
+                | TraceEvent::KvAlloc { .. }
+                | TraceEvent::KvFree { .. }
+                | TraceEvent::KvRestore { .. } => {}
+            }
+        }
+    }
+    let trace = object(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::String("ms".to_string())),
+    ]);
+    serde_json::to_string(&trace).expect("chrome trace serializes")
+}
+
+/// Summary counts returned by [`validate_chrome_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceSummary {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// `ph == "X"` duration slices.
+    pub duration_slices: usize,
+    /// `ph == "C"` counter samples.
+    pub counter_samples: usize,
+    /// `ph == "i"` instant markers.
+    pub instants: usize,
+    /// `ph == "M"` metadata records.
+    pub metadata: usize,
+}
+
+fn field<'a>(event: &'a Value, key: &str, at: usize) -> Result<&'a Value, String> {
+    event
+        .field(key)
+        .ok()
+        .ok_or_else(|| format!("event {at}: missing \"{key}\""))
+}
+
+fn number(event: &Value, key: &str, at: usize) -> Result<f64, String> {
+    match field(event, key, at)? {
+        Value::Number(n) if n.is_finite() => Ok(*n),
+        _ => Err(format!("event {at}: \"{key}\" must be a finite number")),
+    }
+}
+
+fn string<'a>(event: &'a Value, key: &str, at: usize) -> Result<&'a str, String> {
+    match field(event, key, at)? {
+        Value::String(s) => Ok(s),
+        _ => Err(format!("event {at}: \"{key}\" must be a string")),
+    }
+}
+
+/// Validates Chrome trace-event JSON against the subset of the schema the
+/// exporter relies on, returning per-phase counts on success.
+///
+/// Checked invariants: the top level is an object with a `traceEvents`
+/// array; every event is an object with a non-empty `name`, a known `ph`
+/// (`X`, `C`, `i`, or `M`), finite non-negative `ts`, numeric `pid`/`tid`;
+/// `X` slices carry a non-negative `dur`; `C` counters carry a non-empty
+/// numeric `args` object; `i` instants carry a scope `s`.
+pub fn validate_chrome_trace(json: &str) -> Result<TraceSummary, String> {
+    let root: Value = serde_json::from_str(json).map_err(|err| format!("invalid JSON: {err}"))?;
+    let events = match root.field("traceEvents").ok() {
+        Some(Value::Array(events)) => events,
+        Some(_) => return Err("\"traceEvents\" must be an array".to_string()),
+        None => return Err("top level must be an object with \"traceEvents\"".to_string()),
+    };
+    let mut summary = TraceSummary {
+        events: events.len(),
+        ..TraceSummary::default()
+    };
+    for (at, event) in events.iter().enumerate() {
+        if !matches!(event, Value::Object(_)) {
+            return Err(format!("event {at}: not an object"));
+        }
+        if string(event, "name", at)?.is_empty() {
+            return Err(format!("event {at}: empty \"name\""));
+        }
+        let ts = number(event, "ts", at)?;
+        if ts < 0.0 {
+            return Err(format!("event {at}: negative \"ts\""));
+        }
+        number(event, "pid", at)?;
+        number(event, "tid", at)?;
+        match string(event, "ph", at)? {
+            "X" => {
+                if number(event, "dur", at)? < 0.0 {
+                    return Err(format!("event {at}: negative \"dur\""));
+                }
+                summary.duration_slices += 1;
+            }
+            "C" => {
+                match field(event, "args", at)? {
+                    Value::Object(args) if !args.is_empty() => {
+                        for (key, value) in args {
+                            if !matches!(value, Value::Number(n) if n.is_finite()) {
+                                return Err(format!(
+                                    "event {at}: counter arg \"{key}\" must be a finite number"
+                                ));
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(format!(
+                            "event {at}: counters need a non-empty \"args\" object"
+                        ))
+                    }
+                }
+                summary.counter_samples += 1;
+            }
+            "i" => {
+                string(event, "s", at)?;
+                summary.instants += 1;
+            }
+            "M" => summary.metadata += 1,
+            other => return Err(format!("event {at}: unknown ph {other:?}")),
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ShedReason;
+
+    fn sample_recording() -> FlightRecording {
+        let mut recording = FlightRecording::new(64);
+        recording.push(TraceEvent::TickStart {
+            ts_ms: 0.0,
+            tick: 1,
+            active: 2,
+            queued: 1,
+        });
+        recording.push(TraceEvent::DraftPhase {
+            start_ms: 0.0,
+            end_ms: 4.0,
+            tick: 1,
+            request: 0,
+        });
+        recording.push(TraceEvent::VerifyWaveSubmitted {
+            ts_ms: 4.0,
+            tick: 1,
+            wave: 0,
+            tickets: vec![1],
+            requests: vec![0],
+        });
+        recording.push(TraceEvent::VerifyWaveCompleted {
+            tick: 1,
+            wave: 0,
+            submitted_ms: 4.0,
+            started_ms: 4.5,
+            completed_ms: 12.0,
+            tickets: vec![1],
+            requests: vec![0],
+        });
+        recording.push(TraceEvent::KvOccupancy {
+            ts_ms: 12.0,
+            draft_blocks: 3,
+            target_blocks: 5,
+        });
+        recording.push(TraceEvent::CowCopy {
+            ts_ms: 12.0,
+            copies: 2,
+        });
+        recording.push(TraceEvent::RequestShed {
+            ts_ms: 12.0,
+            request: None,
+            reason: ShedReason::QueueFull,
+        });
+        recording.push(TraceEvent::TickEnd {
+            ts_ms: 12.0,
+            tick: 1,
+            completed: 1,
+        });
+        recording
+    }
+
+    #[test]
+    fn exported_trace_validates() {
+        let recording = sample_recording();
+        let json = chrome_trace(&[("worker-0", &recording)]);
+        let summary = validate_chrome_trace(&json).expect("valid trace");
+        // tick + draft + verify slices.
+        assert_eq!(summary.duration_slices, 3);
+        // kv occupancy + cow copies.
+        assert_eq!(summary.counter_samples, 2);
+        // submit marker + shed marker.
+        assert_eq!(summary.instants, 2);
+        // process name + three thread names.
+        assert_eq!(summary.metadata, 4);
+        assert_eq!(
+            summary.events,
+            summary.duration_slices + summary.counter_samples + summary.instants + summary.metadata
+        );
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let recording = sample_recording();
+        let a = chrome_trace(&[("worker-0", &recording)]);
+        let b = chrome_trace(&[("worker-0", &recording)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lanes_become_processes_in_order() {
+        let recording = sample_recording();
+        let json = chrome_trace(&[("alpha", &recording), ("beta", &recording)]);
+        let root: Value = serde_json::from_str(&json).expect("parses");
+        let events = match root.field("traceEvents").ok() {
+            Some(Value::Array(events)) => events,
+            _ => panic!("traceEvents missing"),
+        };
+        let lane_names: Vec<(f64, String)> = events
+            .iter()
+            .filter(|event| matches!(event.field("ph").ok(), Some(Value::String(ph)) if ph == "M"))
+            .filter(|event| {
+                matches!(event.field("name").ok(), Some(Value::String(n)) if n == "process_name")
+            })
+            .map(|event| {
+                let pid = match event.field("pid").ok() {
+                    Some(Value::Number(pid)) => *pid,
+                    _ => panic!("pid missing"),
+                };
+                let name = match event.field("args").ok().and_then(|args| args.field("name").ok()) {
+                    Some(Value::String(name)) => name.clone(),
+                    _ => panic!("lane name missing"),
+                };
+                (pid, name)
+            })
+            .collect();
+        assert_eq!(
+            lane_names,
+            vec![(1.0, "alpha".to_string()), (2.0, "beta".to_string())]
+        );
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":3}").is_err());
+        // Unknown phase.
+        let bad_ph =
+            "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"Q\",\"ts\":0,\"pid\":1,\"tid\":1}]}";
+        assert!(validate_chrome_trace(bad_ph).is_err());
+        // X slice without dur.
+        let no_dur =
+            "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\",\"ts\":0,\"pid\":1,\"tid\":1}]}";
+        assert!(validate_chrome_trace(no_dur).is_err());
+        // Counter without args.
+        let no_args =
+            "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\"tid\":0}]}";
+        assert!(validate_chrome_trace(no_args).is_err());
+        // Negative timestamp.
+        let neg_ts =
+            "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"M\",\"ts\":-1,\"pid\":1,\"tid\":0}]}";
+        assert!(validate_chrome_trace(neg_ts).is_err());
+    }
+}

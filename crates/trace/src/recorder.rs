@@ -1,0 +1,317 @@
+//! The flight recorder: a bounded ring buffer behind a zero-cost sink.
+
+use std::collections::VecDeque;
+
+use serde::Serialize;
+
+use crate::event::TraceEvent;
+
+/// Default ring capacity: enough for every event of the bench sweeps' traced
+/// cells while bounding memory for long open-loop runs.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// Configuration for the flight recorder.
+///
+/// The default is [`TraceConfig::disabled`]: recording costs one branch per
+/// call site and never builds event payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Whether events are recorded at all.
+    pub enabled: bool,
+    /// Ring-buffer capacity in events; once full, the oldest events are
+    /// dropped (and counted) to admit new ones.
+    pub capacity: usize,
+}
+
+impl TraceConfig {
+    /// Tracing off: the no-op sink.
+    pub fn disabled() -> Self {
+        TraceConfig {
+            enabled: false,
+            capacity: 0,
+        }
+    }
+
+    /// Tracing on with [`DEFAULT_TRACE_CAPACITY`].
+    pub fn enabled() -> Self {
+        TraceConfig {
+            enabled: true,
+            capacity: DEFAULT_TRACE_CAPACITY,
+        }
+    }
+
+    /// Overrides the ring capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero — an enabled recorder must be able to
+    /// hold at least one event.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        self.capacity = capacity;
+        self
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::disabled()
+    }
+}
+
+/// A bounded, ordered recording of [`TraceEvent`]s.
+///
+/// The buffer never exceeds its capacity: pushing into a full ring drops the
+/// *oldest* event and increments [`FlightRecording::dropped_events`], so the
+/// recording always holds the most recent window of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecording {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl FlightRecording {
+    /// Creates an empty recording with the given ring capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        FlightRecording {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, dropping the oldest one when the ring is full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded (or everything was dropped).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted by wraparound since the recording began.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Serializes the recording as JSON lines, one event per line, oldest
+    /// first.  Byte-identical across runs with the same seed — the
+    /// determinism tests compare exactly this form.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&serde_json::to_string(event).expect("trace events serialize"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Serialize for FlightRecording {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "capacity".to_string(),
+                serde::Value::Number(self.capacity as f64),
+            ),
+            (
+                "dropped_events".to_string(),
+                serde::Value::Number(self.dropped as f64),
+            ),
+            (
+                "events".to_string(),
+                serde::Value::Array(self.events.iter().map(|event| event.to_value()).collect()),
+            ),
+        ])
+    }
+}
+
+/// The recording sink handed to the scheduler: either a live ring buffer or
+/// a no-op.
+///
+/// Call sites record through [`Tracer::record_with`], passing a closure that
+/// builds the event; when tracing is disabled the closure is never invoked,
+/// so a disabled tracer performs no allocation and no formatting — one
+/// `Option` discriminant check per site.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Tracer {
+    recording: Option<FlightRecording>,
+}
+
+impl Tracer {
+    /// Builds a tracer from a config; disabled configs yield the no-op sink.
+    pub fn new(config: TraceConfig) -> Self {
+        Tracer {
+            recording: if config.enabled {
+                Some(FlightRecording::new(config.capacity))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// The no-op sink.
+    pub fn disabled() -> Self {
+        Tracer { recording: None }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.recording.is_some()
+    }
+
+    /// Records the event built by `build` — or does nothing, without calling
+    /// `build`, when tracing is disabled.
+    #[inline]
+    pub fn record_with(&mut self, build: impl FnOnce() -> TraceEvent) {
+        if let Some(recording) = &mut self.recording {
+            recording.push(build());
+        }
+    }
+
+    /// The recording so far, if tracing is enabled.
+    pub fn recording(&self) -> Option<&FlightRecording> {
+        self.recording.as_ref()
+    }
+
+    /// Takes the recording out, leaving a fresh empty ring of the same
+    /// capacity (so the tracer keeps recording).  `None` when disabled.
+    pub fn take_recording(&mut self) -> Option<FlightRecording> {
+        let capacity = self.recording.as_ref()?.capacity();
+        self.recording.replace(FlightRecording::new(capacity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    fn marker(id: u64) -> TraceEvent {
+        TraceEvent::KvRestore {
+            ts_ms: id as f64,
+            request: id,
+        }
+    }
+
+    fn marker_id(event: &TraceEvent) -> u64 {
+        match event {
+            TraceEvent::KvRestore { request, .. } => *request,
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_config_is_disabled() {
+        assert_eq!(TraceConfig::default(), TraceConfig::disabled());
+        assert!(!Tracer::new(TraceConfig::default()).is_enabled());
+    }
+
+    #[test]
+    fn disabled_tracer_never_builds_events() {
+        let mut tracer = Tracer::disabled();
+        tracer.record_with(|| panic!("closure must not run when disabled"));
+        assert!(tracer.recording().is_none());
+        assert!(tracer.take_recording().is_none());
+    }
+
+    #[test]
+    fn enabled_tracer_records_in_order() {
+        let mut tracer = Tracer::new(TraceConfig::enabled());
+        for id in 0..4 {
+            tracer.record_with(|| marker(id));
+        }
+        let recording = tracer.recording().expect("enabled");
+        let ids: Vec<u64> = recording.events().map(marker_id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(recording.dropped_events(), 0);
+    }
+
+    #[test]
+    fn wraparound_drops_oldest_first() {
+        let mut recording = FlightRecording::new(3);
+        for id in 0..5 {
+            recording.push(marker(id));
+        }
+        let ids: Vec<u64> = recording.events().map(marker_id).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+        assert_eq!(recording.dropped_events(), 2);
+        assert_eq!(recording.len(), 3);
+    }
+
+    #[test]
+    fn take_recording_leaves_fresh_ring() {
+        let mut tracer = Tracer::new(TraceConfig::enabled().with_capacity(8));
+        tracer.record_with(|| marker(1));
+        let taken = tracer.take_recording().expect("enabled");
+        assert_eq!(taken.len(), 1);
+        let fresh = tracer.recording().expect("still enabled");
+        assert!(fresh.is_empty());
+        assert_eq!(fresh.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        FlightRecording::new(0);
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_event() {
+        let mut recording = FlightRecording::new(4);
+        recording.push(marker(0));
+        recording.push(marker(1));
+        let jsonl = recording.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.ends_with('\n'));
+    }
+
+    proptest! {
+        /// The ring never exceeds capacity; wraparound evicts oldest-first
+        /// and `dropped_events` counts every eviction exactly.
+        #[test]
+        fn ring_bounds_and_oldest_first(
+            capacity in 1usize..32,
+            pushes in 0usize..200,
+        ) {
+            let mut recording = FlightRecording::new(capacity);
+            for id in 0..pushes {
+                recording.push(marker(id as u64));
+                prop_assert!(recording.len() <= capacity);
+            }
+            let expected_dropped = pushes.saturating_sub(capacity) as u64;
+            prop_assert_eq!(recording.dropped_events(), expected_dropped);
+            let ids: Vec<u64> = recording.events().map(marker_id).collect();
+            let expected: Vec<u64> =
+                (expected_dropped..pushes as u64).collect();
+            prop_assert_eq!(ids, expected);
+        }
+    }
+}

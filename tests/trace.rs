@@ -1,0 +1,268 @@
+//! Flight-recorder integration tests: traces must be byte-deterministic per
+//! seed, reassembled per-request spans must agree *exactly* with the latency
+//! breakdown the scheduler reports, and both exporters (Chrome/Perfetto
+//! trace JSON, Prometheus-style metrics text) must be schema-valid and
+//! deterministic.
+
+use specasr::{AdaptiveConfig, Policy, SparseTreeConfig, SpeculativeConfig};
+use specasr_audio::{EncoderProfile, Split};
+use specasr_server::{
+    assemble_spans, chrome_trace, validate_chrome_trace, FlightRecording, RequestOutcome, Router,
+    RouterConfig, Scheduler, ServerConfig, TraceConfig, TraceEvent,
+};
+use specasr_suite::StandardSetup;
+
+fn policies() -> Vec<Policy> {
+    vec![
+        Policy::Autoregressive,
+        Policy::Speculative(SpeculativeConfig::short_single()),
+        Policy::AdaptiveSingleSequence(AdaptiveConfig::paper()),
+        Policy::TwoPassSparseTree(SparseTreeConfig::paper()),
+    ]
+}
+
+/// Runs one traced closed-loop cell and returns its recording + outcomes.
+fn traced_run(
+    setup: &StandardSetup,
+    policy: Policy,
+    max_batch: usize,
+) -> (FlightRecording, Vec<RequestOutcome>) {
+    let mut scheduler = Scheduler::new(
+        setup.draft.clone(),
+        setup.target.clone(),
+        setup.binding.clone(),
+        EncoderProfile::whisper_medium_encoder(),
+        ServerConfig::default().with_max_batch(max_batch),
+    );
+    // A deep enough ring that nothing wraps: span reconciliation needs the
+    // full history.
+    scheduler.set_trace(TraceConfig::enabled().with_capacity(1 << 20));
+    for utterance in setup.corpus.split(Split::TestOther) {
+        scheduler.submit(policy, utterance).expect("queue has room");
+    }
+    let outcomes = scheduler.run_until_idle();
+    let recording = scheduler
+        .take_trace_recording()
+        .expect("tracing was enabled");
+    (recording, outcomes)
+}
+
+#[test]
+fn same_seed_yields_byte_identical_event_streams_for_every_policy() {
+    let setup = StandardSetup::new(900, 6);
+    for policy in policies() {
+        let (first, _) = traced_run(&setup, policy, 4);
+        let (second, _) = traced_run(&setup, policy, 4);
+        assert_eq!(
+            first.to_jsonl(),
+            second.to_jsonl(),
+            "policy {} trace diverged across identical runs",
+            policy.name()
+        );
+        assert!(
+            !first.is_empty(),
+            "policy {} recorded nothing",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn spans_reconcile_exactly_with_reported_latency_breakdowns() {
+    let setup = StandardSetup::new(900, 12);
+    let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+    let (recording, outcomes) = traced_run(&setup, policy, 8);
+    let spans = assemble_spans(recording.events());
+    assert_eq!(spans.len(), outcomes.len());
+    for outcome in &outcomes {
+        let span = spans
+            .iter()
+            .find(|span| span.request == outcome.id.value())
+            .expect("every outcome has a span");
+        // Exact equality, not approximate: the recorder stamps the same
+        // simulated clock the latency breakdown is computed from.
+        assert_eq!(span.queue_ms(), Some(outcome.latency.queue_ms));
+        assert_eq!(span.encoder_ms, outcome.latency.encoder_ms);
+        assert_eq!(span.decode_wall_ms(), Some(outcome.latency.decode_wall_ms));
+        assert_eq!(span.e2e_ms(), Some(outcome.latency.e2e_ms()));
+        assert!(!span.rounds.is_empty(), "decoded requests ran rounds");
+    }
+}
+
+#[test]
+fn a_verify_wave_overlaps_a_straggler_draft_phase_on_the_device_timeline() {
+    let setup = StandardSetup::new(900, 12);
+    let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+    let (recording, _) = traced_run(&setup, policy, 8);
+    let mut drafts: Vec<(u64, u64, f64, f64)> = Vec::new(); // (tick, request, start, end)
+    let mut waves: Vec<(u64, Vec<u64>, f64, f64)> = Vec::new(); // (tick, requests, started, completed)
+    for event in recording.events() {
+        match event {
+            TraceEvent::DraftPhase {
+                tick,
+                request,
+                start_ms,
+                end_ms,
+            } => drafts.push((*tick, *request, *start_ms, *end_ms)),
+            TraceEvent::VerifyWaveCompleted {
+                tick,
+                requests,
+                started_ms,
+                completed_ms,
+                ..
+            } => waves.push((*tick, requests.clone(), *started_ms, *completed_ms)),
+            _ => {}
+        }
+    }
+    // Early waves dispatch as soon as their members finish drafting, so the
+    // device executes a verify wave while stragglers of the same tick are
+    // still in their draft phase.
+    let overlapping = waves.iter().any(|(tick, members, started, completed)| {
+        drafts.iter().any(|(draft_tick, request, start, end)| {
+            draft_tick == tick
+                && !members.contains(request)
+                && start.max(*started) < end.min(*completed)
+        })
+    });
+    assert!(
+        overlapping,
+        "no verify wave overlapped a non-member draft phase at c=8"
+    );
+}
+
+#[test]
+fn perfetto_export_is_schema_valid_and_deterministic() {
+    let setup = StandardSetup::new(900, 6);
+    let policy = Policy::TwoPassSparseTree(SparseTreeConfig::paper());
+    let (first, _) = traced_run(&setup, policy, 4);
+    let (second, _) = traced_run(&setup, policy, 4);
+    let json = chrome_trace(&[("worker-0", &first)]);
+    let summary = validate_chrome_trace(&json).expect("exporter emits schema-valid traces");
+    assert!(summary.duration_slices > 0, "ticks and waves export slices");
+    assert!(summary.counter_samples > 0, "KV occupancy exports counters");
+    assert_eq!(json, chrome_trace(&[("worker-0", &second)]));
+}
+
+#[test]
+fn streaming_trace_carries_partials_and_reconciles_spans() {
+    let setup = StandardSetup::new(901, 6);
+    let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+    let run = || {
+        let mut scheduler = Scheduler::new(
+            setup.draft.clone(),
+            setup.target.clone(),
+            setup.binding.clone(),
+            EncoderProfile::whisper_medium_encoder(),
+            ServerConfig::default().with_max_batch(4),
+        );
+        scheduler.set_trace(TraceConfig::enabled().with_capacity(1 << 20));
+        let stream = specasr_server::StreamConfig::default().with_chunk_seconds(0.6);
+        for utterance in setup.corpus.split(Split::TestClean) {
+            scheduler
+                .submit_streaming(policy, utterance, stream)
+                .expect("queue has room");
+        }
+        let outcomes = scheduler.run_until_idle();
+        let recording = scheduler
+            .take_trace_recording()
+            .expect("tracing was enabled");
+        (recording, outcomes)
+    };
+    let (recording, outcomes) = run();
+    let (second, _) = run();
+    assert_eq!(recording.to_jsonl(), second.to_jsonl());
+
+    let partials = recording
+        .events()
+        .filter(|event| matches!(event, TraceEvent::PartialEmitted { .. }))
+        .count();
+    let emitted: usize = outcomes.iter().map(|outcome| outcome.partials.len()).sum();
+    assert_eq!(partials, emitted, "every partial span has a trace event");
+    let chunks = recording
+        .events()
+        .filter(|event| matches!(event, TraceEvent::ChunkArrived { .. }))
+        .count();
+    assert!(chunks > 0, "chunk arrivals are recorded");
+
+    let spans = assemble_spans(recording.events());
+    for outcome in &outcomes {
+        let span = spans
+            .iter()
+            .find(|span| span.request == outcome.id.value())
+            .expect("every outcome has a span");
+        assert!(span.streaming);
+        assert_eq!(span.queue_ms(), Some(outcome.latency.queue_ms));
+        assert_eq!(span.decode_wall_ms(), Some(outcome.latency.decode_wall_ms));
+        assert_eq!(span.e2e_ms(), Some(outcome.latency.e2e_ms()));
+    }
+}
+
+#[test]
+fn fleet_metrics_exposition_is_deterministic_and_complete() {
+    let setup = StandardSetup::new(902, 8);
+    let policy = Policy::Speculative(SpeculativeConfig::short_single());
+    let run = || {
+        let mut router = Router::new(
+            RouterConfig::default().with_workers(2),
+            setup.binding.clone(),
+            EncoderProfile::whisper_medium_encoder(),
+            |_| (setup.draft.clone(), setup.target.clone()),
+        );
+        router.set_trace(TraceConfig::enabled());
+        for utterance in setup.corpus.split(Split::DevClean) {
+            router.submit(policy, utterance).expect("queues have room");
+        }
+        router.run_until_idle();
+        router
+    };
+    let mut first = run();
+    let mut second = run();
+    let text = first.fleet_metrics().render();
+    assert_eq!(text, second.fleet_metrics().render());
+    for family in [
+        "# TYPE specasr_requests_completed_total counter",
+        "# TYPE specasr_e2e_latency_ms histogram",
+        "# TYPE specasr_kv_peak_blocks gauge",
+        "# TYPE specasr_backend_verify_batches_total counter",
+        "specasr_slo_completed_total{class=\"best-effort\"}",
+        "specasr_requests_rejected_total{reason=\"memory\"} 0",
+    ] {
+        assert!(
+            text.contains(family),
+            "exposition missing `{family}`:\n{text}"
+        );
+    }
+    // Per-worker recordings come back labelled with the worker lanes, and
+    // the combined Perfetto export validates.
+    let recordings = first.take_recordings();
+    assert_eq!(recordings.len(), 2);
+    assert_eq!(recordings[0].0, "worker-0");
+    assert_eq!(recordings[1].0, "worker-1");
+    let lanes: Vec<(&str, &FlightRecording)> = recordings
+        .iter()
+        .map(|(name, recording)| (name.as_str(), recording))
+        .collect();
+    let json = chrome_trace(&lanes);
+    let lane_summary = validate_chrome_trace(&json).expect("fleet trace validates");
+    assert!(lane_summary.events > 0);
+    let _ = second.take_recordings();
+}
+
+#[test]
+fn disabled_tracing_records_nothing() {
+    let setup = StandardSetup::new(900, 4);
+    let policy = Policy::Speculative(SpeculativeConfig::short_single());
+    let mut scheduler = Scheduler::new(
+        setup.draft.clone(),
+        setup.target.clone(),
+        setup.binding.clone(),
+        EncoderProfile::whisper_medium_encoder(),
+        ServerConfig::default().with_max_batch(4),
+    );
+    for utterance in setup.corpus.split(Split::DevOther) {
+        scheduler.submit(policy, utterance).expect("queue has room");
+    }
+    scheduler.run_until_idle();
+    assert!(scheduler.trace_recording().is_none());
+    assert!(scheduler.take_trace_recording().is_none());
+}
