@@ -7,6 +7,13 @@
 //! speedup realised by grouped verification, and end-to-end latency
 //! percentiles (P50/P99) plus median time-to-first-token.
 //!
+//! A second block of cells re-serves every policy with the two draft-free
+//! drafters (CTC-encoder collapse and the token-map index) at a fixed
+//! concurrency, so the record directly compares acceptance and throughput of
+//! model-draft vs `+ctc` vs `+token-map` speculation per policy. Draft-free
+//! sessions hold no draft KV sub-pool blocks and dispatch no draft-lane
+//! backend batches, which is visible in the occupancy/throughput columns.
+//!
 //! The whole simulation is deterministic, so the emitted record doubles as a
 //! perf baseline: the run is always written to `target/experiments/` (like
 //! every figure binary), and additionally to the committed
@@ -21,11 +28,17 @@
 //! override with `--trace-cell <label>`) in the flight recorder and write
 //! its Chrome/Perfetto trace JSON.
 
-use specasr::{AdaptiveConfig, Policy, SparseTreeConfig, SpeculativeConfig};
+use std::sync::Arc;
+
+use specasr::{
+    AdaptiveConfig, DrafterKind, Policy, SparseTreeConfig, SpeculativeConfig, TokenMapDrafter,
+};
 use specasr_audio::{EncoderProfile, Split};
 use specasr_bench::{emit, ExperimentContext, TraceArgs};
 use specasr_metrics::{ExperimentRecord, ReportRow};
+use specasr_models::CtcDrafter;
 use specasr_server::{FlightRecording, Scheduler, ServerConfig, ServerStats};
+use specasr_tokenizer::TokenMapIndex;
 
 /// Utterances per split in the serving corpus (all four splits are served,
 /// mixing clean and noisy audio as production traffic would).
@@ -51,14 +64,24 @@ fn policies() -> Vec<(&'static str, Policy)> {
     ]
 }
 
+/// Concurrency at which the drafter-comparison cells run: high enough for the
+/// freed draft sub-pool to matter, low enough to keep the sweep cheap.
+const DRAFTER_CONCURRENCY: usize = 8;
+
+/// Draft-free drafter kinds compared against the model-draft baseline.
+const DRAFT_FREE_KINDS: [DrafterKind; 2] = [DrafterKind::CtcEncoder, DrafterKind::TokenMap];
+
 fn run_cell(
     context: &ExperimentContext,
     policy: Policy,
+    drafter: DrafterKind,
+    token_map: &Arc<TokenMapIndex>,
     concurrency: usize,
     trace: &TraceArgs,
     label: &str,
 ) -> (ServerStats, Option<FlightRecording>) {
     let (draft, target) = context.whisper_pair();
+    let ctc = CtcDrafter::paired(&target);
     let mut scheduler = Scheduler::new(
         draft,
         target,
@@ -68,13 +91,20 @@ fn run_cell(
             .with_max_batch(concurrency)
             .with_queue_depth(4 * Split::ALL.len() * UTTERANCES_PER_SPLIT),
     );
+    match drafter {
+        DrafterKind::ModelDraft => {}
+        DrafterKind::CtcEncoder => scheduler.install_drafter(Arc::new(ctc)),
+        DrafterKind::TokenMap => {
+            scheduler.install_drafter(Arc::new(TokenMapDrafter::new(Arc::clone(token_map))));
+        }
+    }
     if trace.wants(label) {
         scheduler.set_trace(trace.config());
     }
     for split in Split::ALL {
         for utterance in context.corpus.split(split) {
             scheduler
-                .submit(policy, utterance)
+                .submit_with_drafter(policy, drafter, utterance)
                 .expect("queue depth covers the whole request set");
         }
     }
@@ -94,33 +124,67 @@ fn main() {
         ),
     );
 
+    let token_map = context.token_map_index();
+    let run_one = |record: &mut ExperimentRecord,
+                   policy: Policy,
+                   drafter: DrafterKind,
+                   concurrency: usize,
+                   label: String| {
+        let (stats, recording) = run_cell(
+            &context,
+            policy,
+            drafter,
+            &token_map,
+            concurrency,
+            &trace,
+            &label,
+        );
+        if let Some(recording) = &recording {
+            trace.write(&[("worker-0", recording)]);
+        }
+        assert_eq!(stats.completed(), total_requests);
+        let e2e = stats.e2e_histogram();
+        let ttft = stats.ttft_histogram();
+        record.push_row(
+            ReportRow::new(label)
+                .with("concurrency", concurrency as f64)
+                .with("drafter", drafter as u8 as f64)
+                .with("throughput_utps", stats.utterances_per_second())
+                .with("tokens_per_s", stats.tokens_per_second())
+                .with("acceptance", stats.mean_acceptance())
+                .with("batch_speedup", stats.batching_speedup())
+                .with("e2e_p50_ms", e2e.percentile(0.50))
+                .with("e2e_p99_ms", e2e.percentile(0.99))
+                .with("ttft_p50_ms", ttft.percentile(0.50))
+                .with(
+                    "backend_batch_occupancy",
+                    stats.backend().verify_batch_occupancy(),
+                )
+                .with("in_flight_depth", stats.backend().peak_in_flight() as f64)
+                .with("wall_ms", stats.wall_ms()),
+        );
+    };
+
     for (name, policy) in policies() {
         for concurrency in CONCURRENCY_LEVELS {
             let label = format!("{name}@c{concurrency}");
-            let (stats, recording) = run_cell(&context, policy, concurrency, &trace, &label);
-            if let Some(recording) = &recording {
-                trace.write(&[("worker-0", recording)]);
-            }
-            assert_eq!(stats.completed(), total_requests);
-            let e2e = stats.e2e_histogram();
-            let ttft = stats.ttft_histogram();
-            record.push_row(
-                ReportRow::new(label)
-                    .with("concurrency", concurrency as f64)
-                    .with("throughput_utps", stats.utterances_per_second())
-                    .with("tokens_per_s", stats.tokens_per_second())
-                    .with("acceptance", stats.mean_acceptance())
-                    .with("batch_speedup", stats.batching_speedup())
-                    .with("e2e_p50_ms", e2e.percentile(0.50))
-                    .with("e2e_p99_ms", e2e.percentile(0.99))
-                    .with("ttft_p50_ms", ttft.percentile(0.50))
-                    .with(
-                        "backend_batch_occupancy",
-                        stats.backend().verify_batch_occupancy(),
-                    )
-                    .with("in_flight_depth", stats.backend().peak_in_flight() as f64)
-                    .with("wall_ms", stats.wall_ms()),
+            run_one(
+                &mut record,
+                policy,
+                DrafterKind::ModelDraft,
+                concurrency,
+                label,
             );
+        }
+    }
+
+    // Drafter comparison: the same policies re-served with draft-free
+    // speculation at one fixed concurrency. The model-draft rows above
+    // (`<policy>@c8`) are the baseline these compare against.
+    for (name, policy) in policies() {
+        for kind in DRAFT_FREE_KINDS {
+            let label = format!("{name}+{}@c{DRAFTER_CONCURRENCY}", kind.label());
+            run_one(&mut record, policy, kind, DRAFTER_CONCURRENCY, label);
         }
     }
 

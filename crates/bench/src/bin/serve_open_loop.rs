@@ -9,6 +9,11 @@
 //! time while the offered rate is below the fleet's saturation QPS, then
 //! grows by an order of magnitude once arrivals outpace service.
 //!
+//! Three companion studies ride along: a KV-budget sweep, a shallow-queue
+//! shedding study, and a drafter comparison (`w2-fifo+ctc@q50` /
+//! `w2-fifo+token-map@q50`) that re-serves the 2-worker FIFO operating point
+//! with draft-free speculation via [`specasr_server::Router::install_drafter`].
+//!
 //! The run is deterministic (seeded arrivals over a seeded corpus and model
 //! pair), so the emitted record doubles as a perf baseline: it is always
 //! written to `target/experiments/serve_open_loop.json`, and additionally to
@@ -25,11 +30,18 @@
 //! only the default trace cell and skips record emission — the CI trace
 //! smoke step.
 
-use specasr::{AdaptiveConfig, Policy};
+use std::sync::Arc;
+
+use specasr::{AdaptiveConfig, DrafterKind, Policy, TokenMapDrafter};
 use specasr_audio::{EncoderProfile, Split, Utterance};
 use specasr_bench::{emit, ExperimentContext, TraceArgs, EXPERIMENT_SEED};
 use specasr_metrics::{ExperimentRecord, ReportRow};
-use specasr_server::{run_open_loop, AdmissionPolicy, LoadGen, Router, RouterConfig, ServerConfig};
+use specasr_models::CtcDrafter;
+use specasr_server::{
+    run_open_loop, run_open_loop_drafted, AdmissionPolicy, LoadGen, Router, RouterConfig,
+    ServerConfig,
+};
+use specasr_tokenizer::TokenMapIndex;
 
 /// Utterances per split in the serving corpus.
 const UTTERANCES_PER_SPLIT: usize = 12;
@@ -155,6 +167,67 @@ fn run_cell(
         .with("in_flight_depth", fleet.backend().peak_in_flight() as f64)
 }
 
+/// One drafter-comparison cell: the 2-worker FIFO fleet at 50 QPS re-served
+/// with a draft-free drafter (CTC-encoder collapse or the token-map index).
+/// The grid's `w2-fifo@q50` row is the model-draft baseline these compare
+/// against: the lossless verifier commits byte-identical transcripts, so any
+/// movement is pure serving economics — zero draft-lane backend batches and
+/// zero draft KV sub-pool demand.
+fn run_drafter_cell(
+    context: &ExperimentContext,
+    pool: &[&Utterance],
+    kind: DrafterKind,
+    token_map: &Arc<TokenMapIndex>,
+    qps: f64,
+) -> ReportRow {
+    let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+    let mut router = Router::new(
+        RouterConfig::default().with_workers(2).with_worker_config(
+            ServerConfig::default()
+                .with_admission(AdmissionPolicy::Fifo)
+                .with_queue_depth(4 * REQUESTS_PER_CELL),
+        ),
+        context.binding.clone(),
+        EncoderProfile::whisper_medium_encoder(),
+        |_| context.whisper_pair(),
+    );
+    match kind {
+        DrafterKind::ModelDraft => {}
+        DrafterKind::CtcEncoder => {
+            let (_, target) = context.whisper_pair();
+            router.install_drafter(Arc::new(CtcDrafter::paired(&target)));
+        }
+        DrafterKind::TokenMap => {
+            router.install_drafter(Arc::new(TokenMapDrafter::new(Arc::clone(token_map))));
+        }
+    }
+    let mut loadgen = LoadGen::new(EXPERIMENT_SEED, qps);
+    let workload = (0..REQUESTS_PER_CELL).map(|index| (policy, kind, pool[index % pool.len()]));
+    let report = run_open_loop_drafted(&mut router, &mut loadgen, workload);
+    assert_eq!(report.outcomes.len(), REQUESTS_PER_CELL);
+    assert_eq!(report.rejected, 0, "deep queues must never shed");
+
+    let fleet = router.fleet_stats();
+    let memory = fleet.memory();
+    ReportRow::new(format!("w2-fifo+{}@q{qps:.0}", kind.label()))
+        .with("workers", 2.0)
+        .with("drafter", kind as u8 as f64)
+        .with("target_qps", qps)
+        .with("offered_qps", report.offered_qps())
+        .with("throughput_utps", report.completed_qps())
+        .with("e2e_p50_ms", fleet.e2e_p50_ms())
+        .with("e2e_p99_ms", fleet.e2e_p99_ms())
+        .with("ttft_p50_ms", fleet.ttft_p50_ms())
+        .with("acceptance", fleet.mean_acceptance())
+        .with("wall_ms", fleet.wall_ms())
+        .with("peak_kv_blocks", memory.peak_kv_blocks() as f64)
+        .with("preemptions", memory.preemptions() as f64)
+        .with(
+            "backend_batch_occupancy",
+            fleet.backend().verify_batch_occupancy(),
+        )
+}
+
 /// One shedding cell: a single FIFO worker with a production-depth queue
 /// under overload.  Unlike [`run_cell`], rejections are the point — the row
 /// reports the realised rejection rate and the goodput (completions per
@@ -258,6 +331,13 @@ fn main() {
             kv_blocks,
             &trace,
         ));
+    }
+    // Drafter study: the same operating point served draft-free. Acceptance
+    // moves with the draft source while transcripts stay byte-identical;
+    // draft-lane batches and draft sub-pool demand drop to zero.
+    let token_map = context.token_map_index();
+    for kind in [DrafterKind::CtcEncoder, DrafterKind::TokenMap] {
+        record.push_row(run_drafter_cell(&context, &pool, kind, &token_map, 50.0));
     }
     // Shedding study: production-depth queues under overload — P99 stays
     // bounded while the overflow turns into rejections, and goodput tracks

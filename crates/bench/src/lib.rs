@@ -72,6 +72,23 @@ impl ExperimentContext {
         (draft, target)
     }
 
+    /// Builds the token-map drafting index from every corpus reference
+    /// transcript (EOS-terminated) — the "decode history" a production
+    /// deployment would mine offline for draft-free speculation.
+    pub fn token_map_index(&self) -> std::sync::Arc<specasr_tokenizer::TokenMapIndex> {
+        let mut sequences = Vec::new();
+        for split in Split::ALL {
+            for utt in self.binding.bind_all(self.corpus.split(split)) {
+                let mut seq = utt.reference_tokens().to_vec();
+                seq.push(utt.eos());
+                sequences.push(seq);
+            }
+        }
+        std::sync::Arc::new(specasr_tokenizer::TokenMapIndex::build_default(
+            sequences.iter().map(Vec::as_slice),
+        ))
+    }
+
     /// The TinyLlama → `llm_target` replay pair used for Fig. 11: token
     /// decisions follow the Whisper-pair behaviour while latency follows the
     /// LLM profiles, exactly as the paper's replay methodology does.

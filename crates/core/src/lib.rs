@@ -24,6 +24,18 @@
 //! The [`Policy`] enum names each configuration and dispatches to the right
 //! decoder, which is what the benchmark harness sweeps over.
 //!
+//! # Drafters
+//!
+//! *Where draft tokens come from* is orthogonal to the policy: the
+//! [`Drafter`] trait decouples the draft source from the decoder model.
+//! [`ModelDrafter`] is the paper's configuration (a small draft model);
+//! [`specasr_models::CtcDrafter`] and [`TokenMapDrafter`] are **draft-free**
+//! — they propose from the encoder's CTC posterior or a precomputed domain
+//! token map, run zero draft forward passes, and hold zero draft KV cache,
+//! trading shorter accepted drafts for roughly double effective serving
+//! capacity.  [`DrafterKind`] threads the per-session choice through the
+//! serving stack.
+//!
 //! # Losslessness
 //!
 //! Every policy produces exactly the target model's greedy transcription.
@@ -58,6 +70,7 @@
 mod adaptive;
 mod autoregressive;
 mod config;
+mod drafter;
 mod outcome;
 mod pipeline;
 mod policy;
@@ -72,6 +85,7 @@ mod verify;
 pub use adaptive::AdaptiveDecoder;
 pub use autoregressive::AutoregressiveDecoder;
 pub use config::{AdaptiveConfig, SparseTreeConfig, SpeculativeConfig};
+pub use drafter::{DraftRequest, Drafter, DrafterKind, ModelDrafter, TokenMapDrafter};
 pub use outcome::DecodeOutcome;
 pub use pipeline::{AsrPipeline, PipelineOutput};
 pub use policy::{FeatureRow, Policy, Rating};

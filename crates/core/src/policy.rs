@@ -1,5 +1,28 @@
 //! The [`Policy`] enum: a named decoding configuration that the benchmark
 //! harness can sweep over, plus the qualitative feature matrix of Tab. I.
+//!
+//! A policy answers one question — *how is the next round drafted and
+//! verified?* — and is deliberately small: four variants covering the
+//! paper's baselines (target-only autoregressive decoding and fixed-length
+//! speculative decoding with one or more beams) and its two contributions
+//! (adaptive single-sequence prediction and two-pass sparse-tree
+//! prediction).  Everything else in the stack is policy-agnostic and
+//! receives the policy as data:
+//!
+//! - [`Policy::decode`] runs a one-shot blocking decode by driving a
+//!   [`crate::DecodeSession`] to completion — the offline path used by the
+//!   figure binaries and as the byte-identical reference in tests.
+//! - The serving scheduler carries the policy inside each queued request and
+//!   steps the same session type round by round, interleaved across a batch.
+//! - The draft phase of a round is produced by a [`crate::Drafter`]; the
+//!   policy only fixes the draft *budget* and the verification shape
+//!   (sequence vs tree), so model-based and draft-free drafters slot in
+//!   without the policy knowing.
+//!
+//! Policies serialize (they appear in benchmark JSON records) and carry the
+//! paper-exact configurations via [`SpeculativeConfig`], [`AdaptiveConfig`],
+//! and [`SparseTreeConfig`] constructors such as
+//! [`AdaptiveConfig::paper`].
 
 use serde::{Deserialize, Serialize};
 use specasr_models::{AsrDecoderModel, UtteranceTokens};

@@ -1,4 +1,17 @@
 //! Shared commit logic for one speculative round.
+//!
+//! Every decoding policy — autoregressive, fixed-length speculative,
+//! adaptive, sparse-tree, and every [`crate::Drafter`] source feeding them —
+//! funnels through the single [`commit_round`] function at the end of a
+//! round: append the accepted draft tokens, append the target's correction
+//! token, stop on EOS or the safety cap.  Centralising the append is what
+//! makes the lossless invariant auditable in one place: accepted tokens
+//! equal the target's greedy choices *by definition* (that is what the
+//! verifier accepted), so the committed transcript can only ever be the
+//! target's greedy transcript, regardless of where the draft came from.
+//!
+//! The safety cap mirrors the generation limit a production decoder applies
+//! to runaway hypotheses; hitting it ends the utterance exactly as EOS does.
 
 use specasr_tokenizer::TokenId;
 

@@ -4,9 +4,13 @@
 //! scheduler cannot interleave work across utterances through such a loop.
 //! [`DecodeSession`] splits one utterance's decode into explicit *rounds*:
 //!
-//! 1. [`DecodeSession::draft_round`] — the draft model speculates this
-//!    round's material (a token sequence or a sparse token tree, depending on
-//!    the policy) and the session records the draft-side latency;
+//! 1. [`DecodeSession::draft_round`] — the session's draft source speculates
+//!    this round's material (a token sequence or a sparse token tree,
+//!    depending on the policy) and the session records the draft-side
+//!    latency.  The source is any [`crate::Drafter`]: the classic draft
+//!    *model* ([`crate::ModelDrafter`], the historical `draft_round` path),
+//!    or a draft-free source (CTC collapse, token-map walk) stepped through
+//!    [`DecodeSession::draft_round_with`];
 //! 2. [`DecodeSession::verify_round`] — the target model verifies the drafted
 //!    material, the accepted prefix plus correction token are committed, and
 //!    KV caches, statistics, and the recycle buffer are updated.
@@ -29,14 +33,14 @@ use specasr_models::{
     AsrBackend, AsrDecoderModel, BackendModelBridge, DecodeClock, ForwardRequest, ForwardResult,
     ModelProfile, TokenLogits, UtteranceTokens,
 };
-use specasr_runtime::{BlockTable, KvPool, NodeOrigin, PoolError, TokenTree};
+use specasr_runtime::{BlockTable, KvPool, PoolError, TokenTree};
 use specasr_tokenizer::TokenId;
 
+use crate::drafter::{DraftRequest, Drafter, DrafterKind, ModelDrafter};
 use crate::outcome::DecodeOutcome;
 use crate::policy::Policy;
-use crate::recycle::{run_draft_phase, DraftPhase, RecycleBuffer};
+use crate::recycle::RecycleBuffer;
 use crate::round::commit_round;
-use crate::sparse_tree::merge_slot;
 use crate::stats::{DecodeStats, RoundRecord};
 use crate::verify::{verify_sequence, verify_tree};
 
@@ -47,11 +51,11 @@ use crate::verify::{verify_sequence, verify_tree};
 /// [`DecodeSession::verify_round`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct DraftedRound {
-    plan: RoundPlan,
+    pub(crate) plan: RoundPlan,
 }
 
 #[derive(Debug, Clone, PartialEq)]
-enum RoundPlan {
+pub(crate) enum RoundPlan {
     /// Autoregressive decoding drafts nothing; verification emits one token.
     Autoregressive,
     /// A single draft sequence (speculative baseline or adaptive prediction).
@@ -61,6 +65,11 @@ enum RoundPlan {
         recycled: usize,
         truncated: bool,
     },
+    /// A single draft sequence produced *without* the draft model (CTC
+    /// collapse, token-map walk): verified exactly like
+    /// [`RoundPlan::Sequence`] but appending zero draft-KV positions and
+    /// charging zero draft forward passes.
+    ExternalSequence { tokens: Vec<TokenId> },
     /// A draft token tree (beam baseline or two-pass sparse tree).  For the
     /// sparse tree the trunk is kept for the recycle-buffer update.
     Tree {
@@ -72,12 +81,38 @@ enum RoundPlan {
 }
 
 impl DraftedRound {
+    /// An autoregressive round: draft nothing, verify one token.  The plan
+    /// every [`crate::Drafter`] must return under
+    /// [`Policy::Autoregressive`].
+    pub fn autoregressive() -> Self {
+        DraftedRound {
+            plan: RoundPlan::Autoregressive,
+        }
+    }
+
+    /// A draft-free sequence round: `tokens` were produced outside the draft
+    /// model (e.g. CTC collapse or a token-map walk), so verification prices
+    /// a target pass over them but appends zero draft-KV positions and
+    /// charges zero draft latency.  An empty draft is valid and degrades the
+    /// round to a single correction token — losslessness is unaffected
+    /// either way, since verification only commits target-matching tokens.
+    ///
+    /// This is the constructor external [`crate::Drafter`] implementations
+    /// build their rounds with.
+    pub fn external(tokens: Vec<TokenId>) -> Self {
+        DraftedRound {
+            plan: RoundPlan::ExternalSequence { tokens },
+        }
+    }
+
     /// Number of tokens the target model will process when verifying this
     /// round (the width of the verification forward pass).
     pub fn verify_tokens(&self) -> usize {
         match &self.plan {
             RoundPlan::Autoregressive => 1,
-            RoundPlan::Sequence { tokens, .. } => tokens.len().max(1),
+            RoundPlan::Sequence { tokens, .. } | RoundPlan::ExternalSequence { tokens } => {
+                tokens.len().max(1)
+            }
             RoundPlan::Tree { tree, .. } => tree.len().max(1),
         }
     }
@@ -87,7 +122,9 @@ impl DraftedRound {
     pub fn predicted_tokens(&self) -> usize {
         match &self.plan {
             RoundPlan::Autoregressive => 0,
-            RoundPlan::Sequence { tokens, .. } => tokens.len(),
+            RoundPlan::Sequence { tokens, .. } | RoundPlan::ExternalSequence { tokens } => {
+                tokens.len()
+            }
             RoundPlan::Tree { tree, .. } => tree.len(),
         }
     }
@@ -106,7 +143,7 @@ impl DraftedRound {
         let mut probes: Vec<Vec<TokenId>> = vec![Vec::new()];
         match &self.plan {
             RoundPlan::Autoregressive => {}
-            RoundPlan::Sequence { tokens, .. } => {
+            RoundPlan::Sequence { tokens, .. } | RoundPlan::ExternalSequence { tokens } => {
                 for end in 1..=tokens.len() {
                     probes.push(tokens[..end].to_vec());
                 }
@@ -144,6 +181,9 @@ impl DraftedRound {
         match &self.plan {
             RoundPlan::Autoregressive => (0, 1),
             RoundPlan::Sequence { tokens, .. } => (tokens.len(), tokens.len()),
+            // Draft-free material never entered a draft model, so no draft
+            // KV positions exist to append — only the target cache grows.
+            RoundPlan::ExternalSequence { tokens } => (0, tokens.len()),
             RoundPlan::Tree {
                 tree,
                 trunk_tokens,
@@ -227,6 +267,7 @@ impl SessionKv {
 #[derive(Debug, Clone)]
 pub struct DecodeSession {
     policy: Policy,
+    drafter: DrafterKind,
     /// Shared so backend `ForwardRequest`s reference it without copying.
     audio: Arc<UtteranceTokens>,
     tokens: Vec<TokenId>,
@@ -251,13 +292,30 @@ impl DecodeSession {
     /// Panics if the policy carries an invalid configuration (mirroring the
     /// decoder constructors).
     pub fn new(policy: Policy, audio: UtteranceTokens) -> Self {
+        Self::new_with_drafter(policy, audio, DrafterKind::ModelDraft)
+    }
+
+    /// Starts a session drafting from `drafter` (see [`DrafterKind`]).
+    /// Draft-free kinds never prefill or append the draft KV cache — the
+    /// session's [`DecodeSession::round_kv_demand`] reports zero draft
+    /// blocks every round — and must be stepped with
+    /// [`DecodeSession::draft_round_with`] using a matching
+    /// [`crate::Drafter`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy carries an invalid configuration (mirroring
+    /// [`DecodeSession::new`]).
+    pub fn new_with_drafter(policy: Policy, audio: UtteranceTokens, drafter: DrafterKind) -> Self {
         Self::validate_policy(&policy);
         let mut pool = Box::new(KvPool::unbounded(PRIVATE_BLOCK_SIZE));
         let mut draft = BlockTable::new();
         let mut target = BlockTable::new();
-        // Autoregressive decoding never touches the draft model, so its draft
-        // cache stays empty, exactly as the blocking decoder reported it.
-        if !matches!(policy, Policy::Autoregressive) {
+        // Autoregressive decoding never touches the draft model, and
+        // draft-free drafters never hold a draft KV cache, so in both cases
+        // the draft table stays empty, exactly as the blocking decoder
+        // reported it.
+        if Self::holds_draft_kv(&policy, drafter) {
             pool.draft_mut()
                 .prefill(&mut draft, audio.prefill_tokens(), None)
                 .expect("an unbounded pool always accepts a first prefill");
@@ -267,6 +325,7 @@ impl DecodeSession {
             .expect("an unbounded pool always accepts a first prefill");
         Self::construct(
             policy,
+            drafter,
             audio,
             SessionKv::Private {
                 pool,
@@ -297,11 +356,29 @@ impl DecodeSession {
         audio: UtteranceTokens,
         pool: &mut KvPool,
     ) -> Result<Self, PoolError> {
+        Self::new_in_with_drafter(policy, audio, DrafterKind::ModelDraft, pool)
+    }
+
+    /// The shared-pool form of [`DecodeSession::new_with_drafter`]: a
+    /// draft-free session prefills only the target sub-pool, so its whole
+    /// KV footprint — admission, per-round demand, preemption-victim size —
+    /// is target-side only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy carries an invalid configuration (mirroring
+    /// [`DecodeSession::new_in`]).
+    pub fn new_in_with_drafter(
+        policy: Policy,
+        audio: UtteranceTokens,
+        drafter: DrafterKind,
+        pool: &mut KvPool,
+    ) -> Result<Self, PoolError> {
         Self::validate_policy(&policy);
         let key = Some(audio.prefix_key());
         let mut draft = BlockTable::new();
         let mut target = BlockTable::new();
-        if !matches!(policy, Policy::Autoregressive) {
+        if Self::holds_draft_kv(&policy, drafter) {
             pool.draft_mut()
                 .prefill(&mut draft, audio.prefill_tokens(), key)?;
         }
@@ -314,6 +391,7 @@ impl DecodeSession {
         }
         Ok(Self::construct(
             policy,
+            drafter,
             audio,
             SessionKv::Pooled { draft, target },
         ))
@@ -337,7 +415,23 @@ impl DecodeSession {
     /// Panics if the policy carries an invalid configuration (mirroring
     /// [`DecodeSession::new`]).
     pub fn resume(policy: Policy, audio: UtteranceTokens, committed: &[TokenId]) -> Self {
-        let mut session = DecodeSession::new(policy, audio);
+        Self::resume_with_drafter(policy, audio, DrafterKind::ModelDraft, committed)
+    }
+
+    /// [`DecodeSession::resume`] with an explicit draft source (see
+    /// [`DecodeSession::new_with_drafter`]).  Draft-free sessions seed the
+    /// committed prefix into the target cache only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy carries an invalid configuration.
+    pub fn resume_with_drafter(
+        policy: Policy,
+        audio: UtteranceTokens,
+        drafter: DrafterKind,
+        committed: &[TokenId],
+    ) -> Self {
+        let mut session = DecodeSession::new_with_drafter(policy, audio, drafter);
         session
             .seed_committed(None, committed)
             .expect("an unbounded pool always accepts the committed prefix");
@@ -359,12 +453,35 @@ impl DecodeSession {
         committed: &[TokenId],
         pool: &mut KvPool,
     ) -> Result<Self, PoolError> {
-        let mut session = DecodeSession::new_in(policy, audio, pool)?;
+        Self::resume_in_with_drafter(policy, audio, DrafterKind::ModelDraft, committed, pool)
+    }
+
+    /// The shared-pool form of [`DecodeSession::resume_with_drafter`]; see
+    /// [`DecodeSession::resume_in`] for the error contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy carries an invalid configuration.
+    pub fn resume_in_with_drafter(
+        policy: Policy,
+        audio: UtteranceTokens,
+        drafter: DrafterKind,
+        committed: &[TokenId],
+        pool: &mut KvPool,
+    ) -> Result<Self, PoolError> {
+        let mut session = DecodeSession::new_in_with_drafter(policy, audio, drafter, pool)?;
         if let Err(error) = session.seed_committed(Some(pool), committed) {
             session.release_kv(pool);
             return Err(error);
         }
         Ok(session)
+    }
+
+    /// Whether sessions under this `(policy, drafter)` pair hold a draft KV
+    /// cache at all: autoregressive decoding never queries a draft source,
+    /// and draft-free sources never hold draft state.
+    fn holds_draft_kv(policy: &Policy, drafter: DrafterKind) -> bool {
+        !matches!(policy, Policy::Autoregressive) && drafter.uses_draft_kv()
     }
 
     /// Seeds the committed prefix into a freshly prefilled session: the
@@ -378,12 +495,13 @@ impl DecodeSession {
         if committed.is_empty() {
             return Ok(());
         }
-        // Autoregressive sessions never touch the draft cache; every other
-        // policy holds prefill + committed positions in both tables.
-        let draft_width = if matches!(self.policy, Policy::Autoregressive) {
-            0
-        } else {
+        // Sessions without a draft KV cache (autoregressive, or draft-free
+        // drafters) never touch the draft table; every other configuration
+        // holds prefill + committed positions in both tables.
+        let draft_width = if Self::holds_draft_kv(&self.policy, self.drafter) {
             committed.len()
+        } else {
+            0
         };
         self.kv_append(pool, draft_width, committed.len())?;
         self.tokens.extend_from_slice(committed);
@@ -398,11 +516,17 @@ impl DecodeSession {
         }
     }
 
-    fn construct(policy: Policy, audio: UtteranceTokens, kv: SessionKv) -> Self {
+    fn construct(
+        policy: Policy,
+        drafter: DrafterKind,
+        audio: UtteranceTokens,
+        kv: SessionKv,
+    ) -> Self {
         let cap = audio.len() * 2 + 16;
         let token_capacity = audio.len() + 1;
         DecodeSession {
             policy,
+            drafter,
             audio: Arc::new(audio),
             tokens: Vec::with_capacity(token_capacity),
             stats: DecodeStats::new(),
@@ -417,6 +541,13 @@ impl DecodeSession {
     /// The policy this session decodes under.
     pub fn policy(&self) -> &Policy {
         &self.policy
+    }
+
+    /// The draft source this session was configured for.  Schedulers
+    /// dispatch the draft phase on this: model-draft sessions go to the
+    /// draft backend, draft-free sessions to the installed [`Drafter`].
+    pub fn drafter(&self) -> DrafterKind {
+        self.drafter
     }
 
     /// The bound utterance being decoded.
@@ -444,110 +575,50 @@ impl DecodeSession {
         self.finished
     }
 
-    /// Runs the draft phase of the next round.
+    /// Runs the draft phase of the next round against a draft *model* — the
+    /// historical API, equivalent to [`DecodeSession::draft_round_with`]
+    /// over [`ModelDrafter::new`]`(draft)`.
     ///
     /// # Panics
     ///
-    /// Panics if the session is already finished.
+    /// Panics if the session is already finished, or if it was configured
+    /// for a draft-free source (step those with
+    /// [`DecodeSession::draft_round_with`]).
     pub fn draft_round<D>(&mut self, draft: &D) -> DraftedRound
     where
         D: AsrDecoderModel + ?Sized,
     {
+        self.draft_round_with(&ModelDrafter::new(draft))
+    }
+
+    /// Runs the draft phase of the next round against any [`Drafter`].
+    ///
+    /// The drafter's kind must match the kind the session was constructed
+    /// with: the draft-KV prefill, per-round append widths, and scheduler
+    /// admission accounting were all sized at construction, so swapping
+    /// draft sources mid-session would corrupt the KV bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is already finished, or if `drafter.kind()`
+    /// differs from [`DecodeSession::drafter`].
+    pub fn draft_round_with<Dr>(&mut self, drafter: &Dr) -> DraftedRound
+    where
+        Dr: Drafter + ?Sized,
+    {
         assert!(!self.finished, "draft_round called on a finished session");
-        let plan = match self.policy {
-            Policy::Autoregressive => RoundPlan::Autoregressive,
-            Policy::Speculative(config) if config.beams <= 1 => {
-                let mut tokens = Vec::with_capacity(config.prediction_length);
-                let mut context = self.tokens.clone();
-                let mut steps = 0usize;
-                while tokens.len() < config.prediction_length {
-                    let next = draft.greedy_token(&self.audio, &context);
-                    self.clock.charge_draft(draft.profile().latency(), 1);
-                    steps += 1;
-                    tokens.push(next);
-                    context.push(next);
-                    if next == self.audio.eos() {
-                        break;
-                    }
-                }
-                RoundPlan::Sequence {
-                    tokens,
-                    steps,
-                    recycled: 0,
-                    truncated: false,
-                }
-            }
-            Policy::Speculative(config) => {
-                let (tree, steps) =
-                    self.draft_beam_tree(draft, config.beams, config.prediction_length);
-                RoundPlan::Tree {
-                    tree,
-                    trunk_tokens: None,
-                    steps,
-                    recycled: 0,
-                }
-            }
-            Policy::AdaptiveSingleSequence(config) => {
-                let retained: &[TokenId] = if config.recycling {
-                    self.recycle.tokens()
-                } else {
-                    &[]
-                };
-                let phase = run_draft_phase(
-                    draft,
-                    &self.audio,
-                    &self.tokens,
-                    retained,
-                    config.max_prediction_length,
-                    config.truncation_threshold,
-                    true,
-                    config.merge_offset,
-                    &mut self.clock,
-                );
-                RoundPlan::Sequence {
-                    tokens: phase.token_ids(),
-                    steps: phase.steps,
-                    recycled: phase.recycled,
-                    truncated: phase.truncated,
-                }
-            }
-            Policy::TwoPassSparseTree(config) => {
-                // Pass 1: greedy trunk, recording uncertainty but never
-                // truncating.
-                let retained: &[TokenId] = if config.recycling {
-                    self.recycle.tokens()
-                } else {
-                    &[]
-                };
-                let trunk = run_draft_phase(
-                    draft,
-                    &self.audio,
-                    &self.tokens,
-                    retained,
-                    config.max_prediction_length,
-                    config.uncertainty_threshold,
-                    false,
-                    config.merge_offset,
-                    &mut self.clock,
-                );
-                // Pass 2: sparse branch expansion at the uncertain positions.
-                let (tree, branch_steps, branch_recycled) = grow_sparse_tree(
-                    &config,
-                    draft,
-                    &self.audio,
-                    &self.tokens,
-                    &trunk,
-                    &mut self.clock,
-                );
-                RoundPlan::Tree {
-                    trunk_tokens: Some(trunk.token_ids()),
-                    tree,
-                    steps: trunk.steps + branch_steps,
-                    recycled: trunk.recycled + branch_recycled,
-                }
-            }
-        };
-        DraftedRound { plan }
+        assert_eq!(
+            drafter.kind(),
+            self.drafter,
+            "a session must be drafted by the drafter kind it was built for"
+        );
+        drafter.propose(DraftRequest {
+            audio: &self.audio,
+            committed: &self.tokens,
+            policy: &self.policy,
+            recycle: &self.recycle,
+            clock: &mut self.clock,
+        })
     }
 
     /// Verifies and commits one drafted round, returning `true` when the
@@ -720,7 +791,22 @@ impl DecodeSession {
         // visible before any transcript state changes.
         let (draft_width, target_width) = drafted.kv_widths();
         self.kv_append(pool.as_deref_mut(), draft_width, target_width)?;
-        match drafted.plan {
+        // Draft-free sequences verify exactly like model-drafted ones (the
+        // append widths above already excluded the draft cache); normalising
+        // here keeps a single sequence-verification arm.  Zero draft steps:
+        // no draft forward passes were run.
+        let plan = match drafted.plan {
+            RoundPlan::ExternalSequence { tokens } => RoundPlan::Sequence {
+                tokens,
+                steps: 0,
+                recycled: 0,
+                truncated: false,
+            },
+            plan => plan,
+        };
+        match plan {
+            // Normalised away above; kept irrefutable for the compiler.
+            RoundPlan::ExternalSequence { .. } => unreachable!("normalised to Sequence above"),
             RoundPlan::Autoregressive => {
                 let next = target.greedy_token(&self.audio, &self.tokens);
                 self.clock.charge_target(target.profile().latency(), 1);
@@ -973,70 +1059,6 @@ impl DecodeSession {
             }
         }
     }
-
-    /// The SpecInfer-style beam baseline draft: top-`beams` first-step
-    /// candidates extended greedily in parallel into a fixed token tree.
-    fn draft_beam_tree<D>(
-        &mut self,
-        draft: &D,
-        beams: usize,
-        prediction_length: usize,
-    ) -> (TokenTree, usize)
-    where
-        D: AsrDecoderModel + ?Sized,
-    {
-        let mut tree = TokenTree::new();
-        let mut steps = 0usize;
-
-        // First step: the top-`beams` candidates become branch roots.
-        let first_logits = draft.next_logits(&self.audio, &self.tokens);
-        self.clock.charge_draft(draft.profile().latency(), beams);
-        steps += 1;
-        let mut branch_tips = Vec::new();
-        for candidate in first_logits.iter().take(beams) {
-            let origin = if branch_tips.is_empty() {
-                NodeOrigin::Trunk
-            } else {
-                NodeOrigin::Branch
-            };
-            let node = tree.push_root(candidate.token, candidate.probability, origin);
-            branch_tips.push((node, candidate.token == self.audio.eos()));
-        }
-
-        // Subsequent steps: extend every live branch greedily in parallel.
-        for _ in 1..prediction_length {
-            let live: Vec<usize> = branch_tips
-                .iter()
-                .enumerate()
-                .filter(|(_, (_, done))| !done)
-                .map(|(i, _)| i)
-                .collect();
-            if live.is_empty() {
-                break;
-            }
-            self.clock
-                .charge_draft(draft.profile().latency(), live.len());
-            steps += 1;
-            for branch in live {
-                let (tip, _) = branch_tips[branch];
-                let mut context = self.tokens.clone();
-                context.extend(tree.path_tokens(tip));
-                let logits = draft.next_logits(&self.audio, &context);
-                let Some(top1) = logits.top1() else {
-                    branch_tips[branch].1 = true;
-                    continue;
-                };
-                let origin = if branch == 0 {
-                    NodeOrigin::Trunk
-                } else {
-                    NodeOrigin::Branch
-                };
-                let node = tree.push_child(tip, top1.token, top1.probability, origin);
-                branch_tips[branch] = (node, top1.token == self.audio.eos());
-            }
-        }
-        (tree, steps)
-    }
 }
 
 /// A "model" backed by the pre-scored probe table of one backend
@@ -1070,134 +1092,6 @@ impl AsrDecoderModel for ProbeTableModel<'_> {
             )
         })
     }
-}
-
-/// Builds the sparse token tree from the trunk draft: the trunk chain plus
-/// one side branch per uncertain position (up to `max_branches`).
-///
-/// Returns `(tree, branch_draft_steps, branch_recycled_tokens)`.
-fn grow_sparse_tree<D>(
-    config: &crate::config::SparseTreeConfig,
-    draft: &D,
-    audio: &UtteranceTokens,
-    prefix: &[TokenId],
-    trunk: &DraftPhase,
-    clock: &mut DecodeClock,
-) -> (TokenTree, usize, usize)
-where
-    D: AsrDecoderModel + ?Sized,
-{
-    let mut tree = TokenTree::new();
-    let trunk_tokens = trunk.token_ids();
-
-    // Trunk chain.
-    let mut trunk_nodes: Vec<specasr_runtime::NodeId> = Vec::with_capacity(trunk.tokens.len());
-    let mut previous: Option<specasr_runtime::NodeId> = None;
-    for drafted in &trunk.tokens {
-        let origin = if drafted.recycled {
-            NodeOrigin::Recycled
-        } else {
-            NodeOrigin::Trunk
-        };
-        let node = match previous {
-            None => tree.push_root(drafted.token, drafted.probability, origin),
-            Some(parent) => tree.push_child(parent, drafted.token, drafted.probability, origin),
-        };
-        trunk_nodes.push(node);
-        previous = Some(node);
-    }
-
-    // Uncertain positions: low-confidence, freshly generated, non-EOS trunk
-    // tokens with a recorded runner-up candidate.
-    let uncertain: Vec<(usize, TokenId, f64)> = trunk
-        .tokens
-        .iter()
-        .enumerate()
-        .filter(|(_, d)| {
-            !d.recycled && d.probability < config.uncertainty_threshold && d.token != audio.eos()
-        })
-        .filter_map(|(i, d)| d.runner_up.map(|(alt, p)| (i, alt, p)))
-        .take(config.max_branches)
-        .collect();
-
-    let mut branch_steps = 0usize;
-    let mut branch_recycled = 0usize;
-    let branch_width = config.branch_top_k.saturating_sub(1).max(1);
-
-    for &(position, alt_token, alt_probability) in &uncertain {
-        // Open `branch_top_k - 1` alternative branches at this position; the
-        // paper finds a single (top-2) branch optimal, so additional widths
-        // reuse lower-ranked candidates from a fresh draft query only when
-        // configured.
-        let mut alternatives: Vec<(TokenId, f64)> = vec![(alt_token, alt_probability)];
-        if branch_width > 1 {
-            let mut context = prefix.to_vec();
-            context.extend_from_slice(&trunk_tokens[..position]);
-            let logits = draft.next_logits(audio, &context);
-            clock.charge_draft(draft.profile().latency(), 1);
-            branch_steps += 1;
-            for candidate in logits.iter().skip(2).take(branch_width - 1) {
-                alternatives.push((candidate.token, candidate.probability));
-            }
-        }
-
-        for (token, probability) in alternatives {
-            let parent = if position == 0 {
-                None
-            } else {
-                Some(trunk_nodes[position - 1])
-            };
-            let mut tip = match parent {
-                None => tree.push_root(token, probability, NodeOrigin::Branch),
-                Some(p) => tree.push_child(p, token, probability, NodeOrigin::Branch),
-            };
-            let mut branch_tokens = vec![token];
-
-            // Extend the branch greedily, merging back onto the trunk as soon
-            // as a generated token matches it at the corresponding or an
-            // adjacent position.
-            for _ in 0..config.branch_extension {
-                let mut context = prefix.to_vec();
-                context.extend_from_slice(&trunk_tokens[..position]);
-                context.extend_from_slice(&branch_tokens);
-                let logits = draft.next_logits(audio, &context);
-                clock.charge_draft(draft.profile().latency(), 1);
-                branch_steps += 1;
-                let Some(top1) = logits.top1() else { break };
-
-                // Merge check against the trunk.
-                let trunk_slot = position + branch_tokens.len();
-                if let Some(merge_at) =
-                    merge_slot(&trunk_tokens, trunk_slot, top1.token, config.merge_offset)
-                {
-                    tip = tree.push_child(tip, top1.token, top1.probability, NodeOrigin::Branch);
-                    branch_tokens.push(top1.token);
-                    // Adopt the trunk continuation after the merge point.
-                    // Adoption is capped so side branches stay sparse and the
-                    // verification tree does not balloon.
-                    let adoption_cap = 2 * config.branch_extension;
-                    for &recycled_token in trunk_tokens.iter().skip(merge_at + 1).take(adoption_cap)
-                    {
-                        if recycled_token == audio.eos() {
-                            break;
-                        }
-                        tip = tree.push_child(tip, recycled_token, 1.0, NodeOrigin::Recycled);
-                        branch_tokens.push(recycled_token);
-                        branch_recycled += 1;
-                    }
-                    break;
-                }
-
-                tip = tree.push_child(tip, top1.token, top1.probability, NodeOrigin::Branch);
-                branch_tokens.push(top1.token);
-                if top1.token == audio.eos() {
-                    break;
-                }
-            }
-        }
-    }
-
-    (tree, branch_steps, branch_recycled)
 }
 
 #[cfg(test)]

@@ -9,6 +9,12 @@
 //! of a draft token tree — evaluated in a single target pass thanks to the
 //! 2-D tree attention mask — and keeps the branch with the longest accepted
 //! prefix.
+//!
+//! Verification is indifferent to where the draft tokens came from: a draft
+//! model, a CTC-encoder collapse, or a token-map lookup (see
+//! [`crate::Drafter`]) all produce candidate sequences that are checked
+//! against the same target greedy choices, which is why draft-free
+//! speculation is lossless by construction rather than by tuning.
 
 use specasr_models::{AsrDecoderModel, UtteranceTokens};
 use specasr_runtime::{TokenTree, TreeAttentionMask, VerificationBatch};

@@ -47,6 +47,13 @@
 //! inherently sequential draft loops (each step depends on the previous
 //! token) run unchanged against the bridge, so the whole decode path speaks
 //! [`ForwardRequest`] at the model boundary.
+//!
+//! Not every session exercises both lanes.  The serving scheduler keeps a
+//! draft backend and a verify backend; sessions drafted by a draft-free
+//! drafter (CTC-encoder collapse or token-map lookup — see the core crate's
+//! `Drafter` trait) submit *no* draft-lane batches at all, and their rounds
+//! appear on the verify lane only.  The per-lane request counters on the
+//! backend stats exist precisely so that capacity shift is measurable.
 
 use std::sync::{Arc, Mutex};
 

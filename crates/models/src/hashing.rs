@@ -30,6 +30,13 @@ pub(crate) enum Purpose {
     Confidence,
     /// Auxiliary candidate tokens filling the rest of the top-k list.
     Filler,
+    /// Whether the CTC head's greedy collapse agrees with the target decoder
+    /// at a position (the draft-free CTC drafter's error stream).
+    CtcAgreement,
+    /// Which wrong token the CTC collapse yields when it disagrees.
+    CtcChoice,
+    /// The per-frame peakiness of the CTC posterior (confidence gating).
+    CtcConfidence,
 }
 
 impl Purpose {
@@ -42,6 +49,9 @@ impl Purpose {
             Purpose::RunnerUpRank => 0x05,
             Purpose::Confidence => 0x06,
             Purpose::Filler => 0x07,
+            Purpose::CtcAgreement => 0x08,
+            Purpose::CtcChoice => 0x09,
+            Purpose::CtcConfidence => 0x0a,
         }
     }
 }

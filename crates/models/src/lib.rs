@@ -21,6 +21,9 @@
 //! * [`simulated`] — the audio-conditioned simulated ASR model: scale-
 //!   dependent substitution errors, draft/target agreement driven by acoustic
 //!   difficulty, re-alignment after mismatches,
+//! * [`ctc`] — the draft-free [`ctc::CtcDrafter`]: a simulated CTC head over
+//!   the encoder output whose greedy collapse supplies draft tokens without a
+//!   draft model (Saon et al.),
 //! * [`text_task`] — the non-audio-conditioned variant used for the paper's
 //!   ASR-vs-text comparison (Fig. 5b),
 //! * [`latency`] — the analytic forward-pass latency model and the
@@ -49,6 +52,7 @@
 pub mod alignment;
 pub mod backend;
 pub mod binding;
+pub mod ctc;
 pub(crate) mod hashing;
 pub mod latency;
 pub mod logits;
@@ -62,6 +66,7 @@ pub use backend::{
     ForwardResult, InFlightSimBackend, SyncBackendAdapter, Ticket,
 };
 pub use binding::{TokenizerBinding, UtteranceTokens};
+pub use ctc::CtcDrafter;
 pub use hashing::splitmix64;
 pub use latency::{DecodeClock, LatencyBreakdown, LatencyModel};
 pub use logits::TokenLogits;

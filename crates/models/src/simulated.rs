@@ -170,7 +170,10 @@ impl SimulatedAsrModel {
 
 /// The emission of a model defined by `(seed, accuracy)` at output position
 /// `position`: the reference token, or a substitution on difficult audio.
-fn emission(
+///
+/// Crate-visible so the draft-free [`crate::CtcDrafter`] can reconstruct the
+/// target decoder's audio-conditioned trajectory without holding the model.
+pub(crate) fn emission(
     seed: u64,
     accuracy: &AccuracyProfile,
     audio: &UtteranceTokens,
@@ -204,7 +207,7 @@ fn emission(
 }
 
 /// Deterministically picks a non-special token distinct from `avoid`.
-fn wrong_token_from_stream(
+pub(crate) fn wrong_token_from_stream(
     seed: u64,
     audio: &UtteranceTokens,
     position: usize,

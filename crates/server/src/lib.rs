@@ -91,7 +91,9 @@ mod worker;
 
 pub use batch::{grouped_verify_ms, plan_verify_waves, TickCost, VerifyPlan};
 pub use config::{AdmissionPolicy, PreemptPolicy, RouterConfig, ServerConfig};
-pub use loadgen::{run_open_loop, run_open_loop_streaming, LoadGen, OpenLoopReport};
+pub use loadgen::{
+    run_open_loop, run_open_loop_drafted, run_open_loop_streaming, LoadGen, OpenLoopReport,
+};
 pub use request::{PartialSpan, RequestId, RequestLatency, RequestOutcome, SloClass, SubmitError};
 pub use router::Router;
 pub use scheduler::Scheduler;

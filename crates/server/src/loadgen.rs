@@ -13,7 +13,7 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use specasr::Policy;
+use specasr::{DrafterKind, Policy};
 use specasr_audio::Utterance;
 use specasr_models::AsrDecoderModel;
 use specasr_stream::StreamConfig;
@@ -164,13 +164,36 @@ where
     D: AsrDecoderModel,
     T: AsrDecoderModel,
 {
+    run_open_loop_drafted(
+        router,
+        loadgen,
+        workload
+            .into_iter()
+            .map(|(policy, utterance)| (policy, DrafterKind::ModelDraft, utterance)),
+    )
+}
+
+/// [`run_open_loop`] with per-request drafter selection: each workload item
+/// names its draft source alongside its policy, so one run can measure a
+/// model-draft/CTC/token-map mix (or a pure draft-free fleet) under the same
+/// seeded arrival process.  Draft-free kinds must be installed on the router
+/// first ([`Router::install_drafter`]).
+pub fn run_open_loop_drafted<'a, D, T>(
+    router: &mut Router<D, T>,
+    loadgen: &mut LoadGen,
+    workload: impl IntoIterator<Item = (Policy, DrafterKind, &'a Utterance)>,
+) -> OpenLoopReport
+where
+    D: AsrDecoderModel,
+    T: AsrDecoderModel,
+{
     let mut outcomes = Vec::new();
     let mut submitted = 0;
     let mut rejected = 0;
-    for (policy, utterance) in workload {
+    for (policy, drafter, utterance) in workload {
         let arrival_ms = loadgen.next_arrival_ms();
         outcomes.extend(router.advance_to(arrival_ms));
-        match router.submit(policy, utterance) {
+        match router.submit_with_drafter(policy, drafter, utterance) {
             Ok(_) => submitted += 1,
             Err(_) => rejected += 1,
         }

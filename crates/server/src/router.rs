@@ -21,7 +21,9 @@
 //! idle workers when time passes them by ([`Router::advance_to`], the
 //! open-loop load-generation entry point).
 
-use specasr::Policy;
+use std::sync::Arc;
+
+use specasr::{Drafter, DrafterKind, Policy};
 use specasr_audio::{EncoderProfile, Utterance};
 use specasr_metrics::Histogram;
 use specasr_models::{splitmix64, AsrDecoderModel, TokenizerBinding};
@@ -71,6 +73,8 @@ pub struct Router<D, T> {
     workers: Vec<Worker<D, T>>,
     /// Sorted `(hash point, worker index)` ring for consistent placement.
     ring: Vec<(u64, usize)>,
+    /// Drafter kinds installed fleet-wide (submission-time validation).
+    installed: Vec<DrafterKind>,
     next_id: u64,
     now_ms: f64,
 }
@@ -127,6 +131,7 @@ where
             encoder,
             workers,
             ring,
+            installed: Vec::new(),
             next_id: 0,
             now_ms: 0.0,
         }
@@ -190,6 +195,26 @@ where
         policy: Policy,
         utterance: &Utterance,
     ) -> Result<RequestId, SubmitError> {
+        self.submit_with_drafter(policy, DrafterKind::ModelDraft, utterance)
+    }
+
+    /// [`Router::submit`] with an explicit draft source for this request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drafter` names a draft-free kind that was not installed
+    /// fleet-wide with [`Router::install_drafter`].
+    pub fn submit_with_drafter(
+        &mut self,
+        policy: Policy,
+        drafter: DrafterKind,
+        utterance: &Utterance,
+    ) -> Result<RequestId, SubmitError> {
+        assert!(
+            drafter == DrafterKind::ModelDraft || self.installed.contains(&drafter),
+            "no {} drafter installed; call install_drafter first",
+            drafter.label()
+        );
         let id = RequestId::new(self.next_id);
         let primary = self.placement(id).index();
         let candidate = if self.workers[primary].queue_depth() < self.config.worker.queue_depth {
@@ -205,6 +230,7 @@ where
         let request = QueuedRequest {
             id,
             policy,
+            drafter,
             audio: self.binding.bind(utterance),
             utterance_id: utterance.id(),
             audio_seconds: utterance.duration_seconds(),
@@ -312,6 +338,17 @@ where
             .map(|worker| worker.stats().e2e_histogram())
             .reduce(|a, b| a.merge(&b))
             .expect("a router always has at least one worker")
+    }
+
+    /// Installs a draft-free draft source on every worker (workers share the
+    /// `Arc`; drafters are immutable).  Required before submitting requests
+    /// with the matching [`DrafterKind`] — stealing and spilling can land a
+    /// request on any worker, so installation is fleet-wide by construction.
+    pub fn install_drafter(&mut self, drafter: Arc<dyn Drafter + Send + Sync>) {
+        self.installed.push(drafter.kind());
+        for worker in &mut self.workers {
+            worker.scheduler.install_drafter(Arc::clone(&drafter));
+        }
     }
 
     /// Applies `config` to every worker's flight recorder.  Enabling starts

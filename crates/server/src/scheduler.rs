@@ -3,8 +3,9 @@
 //! KV-pool preemption when memory runs out.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-use specasr::{DecodeOutcome, Policy};
+use specasr::{DecodeOutcome, Drafter, DrafterKind, Policy};
 use specasr_audio::{chunk_schedule, EncoderProfile, Utterance};
 use specasr_models::{
     splitmix64, AsrBackend, AsrDecoderModel, BackendBatch, ForwardResult, InFlightSimBackend,
@@ -92,6 +93,11 @@ pub struct Scheduler<D, T> {
     binding: TokenizerBinding,
     encoder: EncoderProfile,
     config: ServerConfig,
+    /// Installed draft-free draft sources, one per [`DrafterKind`].
+    /// Model-draft sessions go through the draft backend instead; draft-free
+    /// sessions dispatch their draft phase to the matching entry here (and
+    /// never touch the draft backend or the draft KV sub-pool).
+    drafters: Vec<(DrafterKind, Arc<dyn Drafter + Send + Sync>)>,
     queue: VecDeque<QueuedRequest>,
     /// Streaming requests parked between chunks: their current view is fully
     /// decoded (or not yet audible) and the next chunk has not arrived.
@@ -136,6 +142,7 @@ where
             binding,
             encoder,
             config,
+            drafters: Vec::new(),
             queue: VecDeque::new(),
             waiting: Vec::new(),
             active: Vec::with_capacity(config.max_batch),
@@ -154,6 +161,38 @@ where
     /// advances, so enabling it changes no decision, latency, or transcript.
     pub fn set_trace(&mut self, config: TraceConfig) {
         self.tracer = Tracer::new(config);
+    }
+
+    /// Installs (or replaces) a draft-free draft source.  Sessions submitted
+    /// with the matching [`DrafterKind`] dispatch their draft phases to it;
+    /// they submit no draft-lane backend batches and demand zero draft
+    /// sub-pool blocks, so admission and preemption see roughly double the
+    /// effective pool capacity for them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drafter reports [`DrafterKind::ModelDraft`] — the model
+    /// draft path runs through the scheduler's draft backend, not an
+    /// installed drafter.
+    pub fn install_drafter(&mut self, drafter: Arc<dyn Drafter + Send + Sync>) {
+        let kind = drafter.kind();
+        assert!(
+            kind != DrafterKind::ModelDraft,
+            "model drafting runs through the draft backend; install draft-free drafters only"
+        );
+        if let Some(slot) = self.drafters.iter_mut().find(|(k, _)| *k == kind) {
+            slot.1 = drafter;
+        } else {
+            self.drafters.push((kind, drafter));
+        }
+    }
+
+    /// The installed draft source for `kind`, if any.
+    fn drafter_for(&self, kind: DrafterKind) -> Option<&Arc<dyn Drafter + Send + Sync>> {
+        self.drafters
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, drafter)| drafter)
     }
 
     /// The flight recording so far, when tracing is enabled.
@@ -254,6 +293,39 @@ where
         utterance: &Utterance,
         ttft_budget_ms: Option<f64>,
     ) -> Result<RequestId, SubmitError> {
+        self.submit_request(policy, DrafterKind::ModelDraft, utterance, ttft_budget_ms)
+    }
+
+    /// Like [`Scheduler::submit`], with an explicit draft source for this
+    /// request (per-request drafter selection — different drafters batch
+    /// together just like different policies do).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drafter` names a draft-free kind without a matching
+    /// [`Scheduler::install_drafter`] call — drafter installation is server
+    /// configuration, not request payload, exactly like policy validation.
+    pub fn submit_with_drafter(
+        &mut self,
+        policy: Policy,
+        drafter: DrafterKind,
+        utterance: &Utterance,
+    ) -> Result<RequestId, SubmitError> {
+        self.submit_request(policy, drafter, utterance, None)
+    }
+
+    fn submit_request(
+        &mut self,
+        policy: Policy,
+        drafter: DrafterKind,
+        utterance: &Utterance,
+        ttft_budget_ms: Option<f64>,
+    ) -> Result<RequestId, SubmitError> {
+        assert!(
+            drafter == DrafterKind::ModelDraft || self.drafter_for(drafter).is_some(),
+            "no {} drafter installed; call install_drafter first",
+            drafter.label()
+        );
         // Reject before tokenizing: under overload, rejected submissions are
         // the common case and must not pay for work that gets dropped.
         if self.queue.len() >= self.config.queue_depth {
@@ -264,6 +336,7 @@ where
         self.enqueue(QueuedRequest {
             id,
             policy,
+            drafter,
             audio,
             utterance_id: utterance.id(),
             audio_seconds: utterance.duration_seconds(),
@@ -360,6 +433,7 @@ where
         self.waiting.push(QueuedRequest {
             id,
             policy,
+            drafter: DrafterKind::ModelDraft,
             audio,
             utterance_id: utterance.id(),
             audio_seconds,
@@ -471,7 +545,24 @@ where
         let mut verify_widths = Vec::with_capacity(self.active.len());
         for session in &mut self.active {
             let before = session.decode.clock().breakdown().draft_ms;
-            let round = session.decode.draft_round_via(&mut self.draft, tick_start);
+            // Model-draft sessions run their draft chains through the draft
+            // backend; draft-free sessions dispatch to the installed drafter
+            // (no backend batches, no draft latency charged — their `spent`
+            // stays 0.0 and the verify planner sorts them first).
+            let round = match session.decode.drafter() {
+                DrafterKind::ModelDraft => {
+                    session.decode.draft_round_via(&mut self.draft, tick_start)
+                }
+                kind => {
+                    let drafter = self
+                        .drafters
+                        .iter()
+                        .find(|(k, _)| *k == kind)
+                        .map(|(_, drafter)| drafter)
+                        .expect("draft-free sessions are only admitted with an installed drafter");
+                    session.decode.draft_round_with(drafter.as_ref())
+                }
+            };
             let spent = session.decode.clock().breakdown().draft_ms - before;
             let request = session.id.value();
             self.tracer.record_with(|| TraceEvent::DraftPhase {
@@ -1737,6 +1828,7 @@ mod tests {
         let request = crate::session::QueuedRequest {
             id: RequestId::new(0),
             policy: Policy::Autoregressive,
+            drafter: DrafterKind::ModelDraft,
             audio: scheduler.binding.bind(utterance),
             utterance_id: utterance.id(),
             audio_seconds: utterance.duration_seconds(),

@@ -1,7 +1,7 @@
 //! Per-request serving state: the queued form before admission and the
 //! in-flight form wrapping a core [`DecodeSession`].
 
-use specasr::{DecodeSession, Policy};
+use specasr::{DecodeSession, DrafterKind, Policy};
 use specasr_audio::{StreamChunk, UtteranceId};
 use specasr_models::UtteranceTokens;
 use specasr_runtime::{KvPool, PoolError};
@@ -83,6 +83,9 @@ impl StreamState {
 pub(crate) struct QueuedRequest {
     pub id: RequestId,
     pub policy: Policy,
+    /// Which draft source the decode session will speculate from.
+    /// Draft-free kinds admit with a target-only KV footprint.
+    pub drafter: DrafterKind,
     /// The decode context: the full utterance for offline requests, the
     /// current audio-horizon view for streaming requests (refreshed each
     /// time a chunk is delivered).
@@ -141,13 +144,24 @@ impl QueuedRequest {
         pool: &mut KvPool,
     ) -> Result<ServerSession, Box<(QueuedRequest, PoolError)>> {
         let started = match &self.stream {
-            None => DecodeSession::new_in(self.policy, self.audio.clone(), pool),
+            None => DecodeSession::new_in_with_drafter(
+                self.policy,
+                self.audio.clone(),
+                self.drafter,
+                pool,
+            ),
             Some(stream) => {
                 let view = stream
                     .session
                     .view()
                     .expect("queued streaming requests always have a decodable view");
-                DecodeSession::resume_in(self.policy, view, stream.session.committed(), pool)
+                DecodeSession::resume_in_with_drafter(
+                    self.policy,
+                    view,
+                    self.drafter,
+                    stream.session.committed(),
+                    pool,
+                )
             }
         };
         match started {
@@ -158,6 +172,7 @@ impl QueuedRequest {
                 Ok(ServerSession {
                     id: self.id,
                     policy: self.policy,
+                    drafter: self.drafter,
                     utterance_id: self.utterance_id,
                     audio_seconds: self.audio_seconds,
                     encoder_ms: self.encoder_ms,
@@ -182,6 +197,9 @@ impl QueuedRequest {
 pub(crate) struct ServerSession {
     pub id: RequestId,
     pub policy: Policy,
+    /// The draft source the decode session speculates from (mirrors
+    /// [`DecodeSession::drafter`]; kept here for re-queueing).
+    pub drafter: DrafterKind,
     pub utterance_id: UtteranceId,
     pub audio_seconds: f64,
     pub encoder_ms: f64,
@@ -213,6 +231,7 @@ impl ServerSession {
         QueuedRequest {
             id: self.id,
             policy: self.policy,
+            drafter: self.drafter,
             audio: self.decode.audio().clone(),
             utterance_id: self.utterance_id,
             audio_seconds: self.audio_seconds,

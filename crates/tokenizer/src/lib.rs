@@ -9,7 +9,9 @@
 //!   (`<bos>`, `<eos>`, `<pad>`, `<unk>`) and word-boundary markers,
 //! * [`VocabularyBuilder`] — deterministic frequency-based subword vocabulary
 //!   construction (BPE-style merges) from a text corpus,
-//! * [`Tokenizer`] — greedy longest-match encoding and lossless decoding.
+//! * [`Tokenizer`] — greedy longest-match encoding and lossless decoding,
+//! * [`TokenMapIndex`] — a precomputed n-gram index over domain token
+//!   sequences, the substrate of model-free token-map drafting.
 //!
 //! The tokenizer is intentionally deterministic: the same corpus and
 //! configuration always produce the same vocabulary, which is required for the
@@ -39,9 +41,11 @@
 mod builder;
 mod encode;
 mod error;
+mod token_map;
 mod vocab;
 
 pub use builder::VocabularyBuilder;
 pub use encode::Tokenizer;
 pub use error::TokenizeError;
+pub use token_map::TokenMapIndex;
 pub use vocab::{SpecialToken, TokenId, Vocabulary};

@@ -1,0 +1,234 @@
+//! Precomputed n-gram token-map index for model-free draft generation.
+//!
+//! Ho et al. (*Model-free Speculative Decoding with Token Map Drafting*)
+//! replace the draft model with a table: over a domain corpus, record which
+//! token most often follows each short token context, then at decode time
+//! walk the table from the committed prefix to produce draft tokens — zero
+//! forward passes, zero draft KV cache.  Drafting simply stops ("falls
+//! off-map") when the current context was never seen or its continuation is
+//! ambiguous, which yields shorter drafts on out-of-domain audio instead of
+//! wrong ones.
+//!
+//! [`TokenMapIndex`] is that table: counts of next-token continuations for
+//! every context window up to a configurable order, queried with
+//! longest-suffix backoff and a majority rule.  Construction is fully
+//! deterministic (ties break toward the smallest token id), so the same
+//! corpus always yields the same index — the reproducibility bar every other
+//! component of this workspace meets.
+//!
+//! The index is pure token-sequence machinery, which is why it lives in
+//! `specasr-tokenizer`; the drafter that walks it during decoding is
+//! `specasr::TokenMapDrafter` in the core crate.
+
+use std::collections::HashMap;
+
+use crate::vocab::TokenId;
+
+/// Default maximum context length (n-gram order minus one).
+const DEFAULT_MAX_CONTEXT: usize = 3;
+
+/// How often each token followed one context, plus the running best.
+#[derive(Debug, Clone, Default)]
+struct ContinuationCounts {
+    /// Total continuations observed after this context.
+    total: usize,
+    /// Count per continuation token.
+    counts: HashMap<TokenId, usize>,
+}
+
+impl ContinuationCounts {
+    fn record(&mut self, token: TokenId) {
+        self.total += 1;
+        *self.counts.entry(token).or_insert(0) += 1;
+    }
+
+    /// The majority continuation, if one token accounts for more than half of
+    /// everything seen after this context (ties cannot reach a majority, so
+    /// the argmax is unique; the smallest token id is still used as a
+    /// deterministic tie-break for the argmax scan itself).
+    fn majority(&self) -> Option<TokenId> {
+        let (&token, &count) = self
+            .counts
+            .iter()
+            .max_by(|(ta, ca), (tb, cb)| ca.cmp(cb).then(tb.cmp(ta)))?;
+        (count * 2 > self.total).then_some(token)
+    }
+}
+
+/// A precomputed n-gram/trie index over a domain token corpus, mapping short
+/// contexts to their dominant continuation.
+///
+/// # Example
+///
+/// ```
+/// use specasr_tokenizer::{TokenId, TokenMapIndex};
+///
+/// let t = |raw: u32| TokenId::new(raw);
+/// // A tiny "domain corpus" where 5 always follows [3, 4].
+/// let sequences = [vec![t(3), t(4), t(5), t(6)], vec![t(2), t(3), t(4), t(5)]];
+/// let index = TokenMapIndex::build(sequences.iter().map(Vec::as_slice), 2);
+///
+/// assert_eq!(index.predict(&[t(3), t(4)]), Some(t(5)));
+/// assert_eq!(index.predict(&[t(99)]), None); // off-map
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenMapIndex {
+    max_context: usize,
+    map: HashMap<Vec<TokenId>, ContinuationCounts>,
+}
+
+impl TokenMapIndex {
+    /// Builds the index from domain token sequences, recording continuation
+    /// counts for every context window of length `1..=max_context`.
+    ///
+    /// Sequences should be terminated the way decoding terminates (i.e.
+    /// include the EOS token) if the index is meant to predict end-of-
+    /// transcript; the builder itself is agnostic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_context` is zero.
+    pub fn build<'a, I>(sequences: I, max_context: usize) -> Self
+    where
+        I: IntoIterator<Item = &'a [TokenId]>,
+    {
+        assert!(max_context > 0, "context length must be positive");
+        let mut map: HashMap<Vec<TokenId>, ContinuationCounts> = HashMap::new();
+        for sequence in sequences {
+            for end in 1..sequence.len() {
+                let next = sequence[end];
+                let longest = end.min(max_context);
+                for order in 1..=longest {
+                    let context = sequence[end - order..end].to_vec();
+                    map.entry(context).or_default().record(next);
+                }
+            }
+        }
+        TokenMapIndex { max_context, map }
+    }
+
+    /// Builds the index with the default context length (3, i.e. 4-grams).
+    pub fn build_default<'a, I>(sequences: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [TokenId]>,
+    {
+        Self::build(sequences, DEFAULT_MAX_CONTEXT)
+    }
+
+    /// Predicts the continuation of `context` with longest-suffix backoff:
+    /// the longest recorded suffix (up to the index's context length) whose
+    /// continuation counts yield a majority token wins.  Returns `None` when
+    /// every suffix is off-map or ambiguous — the signal to stop drafting.
+    pub fn predict(&self, context: &[TokenId]) -> Option<TokenId> {
+        let longest = context.len().min(self.max_context);
+        for order in (1..=longest).rev() {
+            let suffix = &context[context.len() - order..];
+            if let Some(counts) = self.map.get(suffix) {
+                match counts.majority() {
+                    Some(token) => return Some(token),
+                    // An ambiguous long context is not rescued by a shorter
+                    // one: the longer window is strictly better informed, so
+                    // backing off would trade signal for noise.
+                    None => return None,
+                }
+            }
+        }
+        None
+    }
+
+    /// Maximum context length the index was built with.
+    pub fn max_context(&self) -> usize {
+        self.max_context
+    }
+
+    /// Number of distinct contexts recorded.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if the index recorded no contexts at all.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(raw: u32) -> TokenId {
+        TokenId::new(raw)
+    }
+
+    fn seq(raw: &[u32]) -> Vec<TokenId> {
+        raw.iter().copied().map(TokenId::new).collect()
+    }
+
+    #[test]
+    fn predicts_the_dominant_continuation() {
+        let sequences = [seq(&[1, 2, 3]), seq(&[1, 2, 3]), seq(&[1, 2, 4])];
+        let index = TokenMapIndex::build(sequences.iter().map(Vec::as_slice), 2);
+        assert_eq!(index.predict(&[t(1), t(2)]), Some(t(3)));
+        assert_eq!(index.predict(&[t(1)]), Some(t(2)));
+    }
+
+    #[test]
+    fn ambiguous_contexts_are_off_map() {
+        // After [1], tokens 2 and 3 each appear half the time: no majority.
+        let sequences = [seq(&[1, 2]), seq(&[1, 3])];
+        let index = TokenMapIndex::build(sequences.iter().map(Vec::as_slice), 2);
+        assert_eq!(index.predict(&[t(1)]), None);
+    }
+
+    #[test]
+    fn unseen_contexts_back_off_to_shorter_suffixes() {
+        let sequences = [seq(&[5, 6, 7])];
+        let index = TokenMapIndex::build(sequences.iter().map(Vec::as_slice), 2);
+        // [9, 6] was never recorded, but the suffix [6] was.
+        assert_eq!(index.predict(&[t(9), t(6)]), Some(t(7)));
+        assert_eq!(index.predict(&[t(42)]), None);
+    }
+
+    #[test]
+    fn longer_contexts_override_shorter_ones() {
+        // After [2], token 9 dominates globally, but after [1, 2] it is
+        // always 3 — the longer window must win.
+        let sequences = [seq(&[1, 2, 3]), seq(&[4, 2, 9]), seq(&[5, 2, 9])];
+        let index = TokenMapIndex::build(sequences.iter().map(Vec::as_slice), 2);
+        assert_eq!(index.predict(&[t(1), t(2)]), Some(t(3)));
+        assert_eq!(index.predict(&[t(4), t(2)]), Some(t(9)));
+        assert_eq!(index.predict(&[t(2)]), Some(t(9)));
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let sequences = [seq(&[1, 2, 3, 4, 5]), seq(&[2, 3, 4, 6])];
+        let a = TokenMapIndex::build(sequences.iter().map(Vec::as_slice), 3);
+        let b = TokenMapIndex::build(sequences.iter().map(Vec::as_slice), 3);
+        assert_eq!(a.len(), b.len());
+        for context in [&[t(2), t(3)][..], &[t(3)][..], &[t(2), t(3), t(4)][..]] {
+            assert_eq!(a.predict(context), b.predict(context));
+        }
+    }
+
+    #[test]
+    fn empty_corpus_yields_an_empty_index() {
+        let index = TokenMapIndex::build(std::iter::empty(), 3);
+        assert!(index.is_empty());
+        assert_eq!(index.len(), 0);
+        assert_eq!(index.predict(&[t(1)]), None);
+        assert_eq!(index.predict(&[]), None);
+    }
+
+    #[test]
+    fn default_order_is_four_grams() {
+        let index = TokenMapIndex::build_default(std::iter::empty());
+        assert_eq!(index.max_context(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "context length must be positive")]
+    fn zero_context_panics() {
+        let _ = TokenMapIndex::build(std::iter::empty(), 0);
+    }
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Fails when any relative markdown link in README.md or docs/*.md points at a
+# file that does not exist. External (http/https/mailto) links and pure
+# in-page anchors are skipped; a link's #anchor suffix is stripped before the
+# existence check.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+status=0
+for file in README.md docs/*.md; do
+    [ -f "$file" ] || continue
+    dir=$(dirname "$file")
+    # Inline markdown links: [text](target)
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "broken link in $file: ($target)" >&2
+            status=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "check_doc_links: FAILED" >&2
+else
+    echo "check_doc_links: all relative links resolve"
+fi
+exit "$status"

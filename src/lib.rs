@@ -10,22 +10,22 @@
 pub mod prelude {
     pub use specasr::{
         AdaptiveConfig, AdaptiveDecoder, AsrPipeline, AutoregressiveDecoder, DecodeOutcome,
-        DecodeSession, DecodeStats, Policy, SparseTreeConfig, SparseTreeDecoder, SpeculativeConfig,
-        SpeculativeDecoder,
+        DecodeSession, DecodeStats, Drafter, DrafterKind, ModelDrafter, Policy, SparseTreeConfig,
+        SparseTreeDecoder, SpeculativeConfig, SpeculativeDecoder, TokenMapDrafter,
     };
     pub use specasr_audio::{Corpus, EncoderProfile, Split, Utterance};
     pub use specasr_metrics::{wer_between, ExperimentRecord, Histogram, ReportRow};
     pub use specasr_models::{
-        AsrBackend, AsrDecoderModel, BackendBatch, ForwardRequest, ForwardResult,
+        AsrBackend, AsrDecoderModel, BackendBatch, CtcDrafter, ForwardRequest, ForwardResult,
         InFlightSimBackend, ModelProfile, SimulatedAsrModel, SyncBackendAdapter, TokenizerBinding,
         UtteranceTokens,
     };
     pub use specasr_server::{
-        run_open_loop, AdmissionPolicy, BackendStats, KvPool, LoadGen, MemoryStats, OpenLoopReport,
-        PreemptPolicy, RequestOutcome, Router, RouterConfig, Scheduler, ServerConfig, ServerStats,
-        SloClass, Worker, WorkerId,
+        run_open_loop, run_open_loop_drafted, AdmissionPolicy, BackendStats, KvPool, LoadGen,
+        MemoryStats, OpenLoopReport, PreemptPolicy, RequestOutcome, Router, RouterConfig,
+        Scheduler, ServerConfig, ServerStats, SloClass, Worker, WorkerId,
     };
-    pub use specasr_tokenizer::{TokenId, Tokenizer};
+    pub use specasr_tokenizer::{TokenId, TokenMapIndex, Tokenizer};
 }
 
 use specasr_audio::Corpus;
