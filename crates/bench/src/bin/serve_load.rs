@@ -14,6 +14,12 @@
 //! sessions hold no draft KV sub-pool blocks and dispatch no draft-lane
 //! backend batches, which is visible in the occupancy/throughput columns.
 //!
+//! Every cell serves under a depth-4 in-flight window
+//! (`max_in_flight_waves`), so verify waves and next-round drafts overlap
+//! across tick boundaries; a final `specasr-asp+rpc@c8` cell re-serves the
+//! adaptive operating point with the target model behind the `RpcBackend`
+//! process boundary and must match the in-process row digit for digit.
+//!
 //! The whole simulation is deterministic, so the emitted record doubles as a
 //! perf baseline: the run is always written to `target/experiments/` (like
 //! every figure binary), and additionally to the committed
@@ -68,29 +74,49 @@ fn policies() -> Vec<(&'static str, Policy)> {
 /// freed draft sub-pool to matter, low enough to keep the sweep cheap.
 const DRAFTER_CONCURRENCY: usize = 8;
 
+/// In-flight window every cell serves under (`max_in_flight_waves`): deep
+/// enough that the next round's drafts and verify waves submit while the
+/// previous tick's waves drain, which is where the c≥8 throughput comes
+/// from.  Transcripts are byte-identical to drain-per-tick at any depth.
+const PIPELINE_DEPTH: usize = 4;
+
 /// Draft-free drafter kinds compared against the model-draft baseline.
 const DRAFT_FREE_KINDS: [DrafterKind; 2] = [DrafterKind::CtcEncoder, DrafterKind::TokenMap];
 
+#[allow(clippy::too_many_arguments)]
 fn run_cell(
     context: &ExperimentContext,
     policy: Policy,
     drafter: DrafterKind,
     token_map: &Arc<TokenMapIndex>,
     concurrency: usize,
+    rpc: bool,
     trace: &TraceArgs,
     label: &str,
 ) -> (ServerStats, Option<FlightRecording>) {
     let (draft, target) = context.whisper_pair();
     let ctc = CtcDrafter::paired(&target);
-    let mut scheduler = Scheduler::new(
-        draft,
-        target,
-        context.binding.clone(),
-        EncoderProfile::whisper_medium_encoder(),
-        ServerConfig::default()
-            .with_max_batch(concurrency)
-            .with_queue_depth(4 * Split::ALL.len() * UTTERANCES_PER_SPLIT),
-    );
+    let config = ServerConfig::default()
+        .with_max_batch(concurrency)
+        .with_max_in_flight_waves(PIPELINE_DEPTH)
+        .with_queue_depth(4 * Split::ALL.len() * UTTERANCES_PER_SPLIT);
+    let mut scheduler = if rpc {
+        Scheduler::with_rpc_target(
+            draft,
+            target,
+            context.binding.clone(),
+            EncoderProfile::whisper_medium_encoder(),
+            config,
+        )
+    } else {
+        Scheduler::new(
+            draft,
+            target,
+            context.binding.clone(),
+            EncoderProfile::whisper_medium_encoder(),
+            config,
+        )
+    };
     match drafter {
         DrafterKind::ModelDraft => {}
         DrafterKind::CtcEncoder => scheduler.install_drafter(Arc::new(ctc)),
@@ -129,6 +155,7 @@ fn main() {
                    policy: Policy,
                    drafter: DrafterKind,
                    concurrency: usize,
+                   rpc: bool,
                    label: String| {
         let (stats, recording) = run_cell(
             &context,
@@ -136,6 +163,7 @@ fn main() {
             drafter,
             &token_map,
             concurrency,
+            rpc,
             &trace,
             &label,
         );
@@ -173,6 +201,7 @@ fn main() {
                 policy,
                 DrafterKind::ModelDraft,
                 concurrency,
+                false,
                 label,
             );
         }
@@ -184,9 +213,23 @@ fn main() {
     for (name, policy) in policies() {
         for kind in DRAFT_FREE_KINDS {
             let label = format!("{name}+{}@c{DRAFTER_CONCURRENCY}", kind.label());
-            run_one(&mut record, policy, kind, DRAFTER_CONCURRENCY, label);
+            run_one(&mut record, policy, kind, DRAFTER_CONCURRENCY, false, label);
         }
     }
+
+    // Process-boundary comparison: the adaptive c=8 operating point with
+    // the target model behind the RPC worker thread instead of in-process.
+    // The wire mirrors the in-process backend's modeled timing exactly, so
+    // against `specasr-asp@c8` every column must match to the digit — the
+    // row exists to prove the boundary costs nothing it shouldn't.
+    run_one(
+        &mut record,
+        Policy::AdaptiveSingleSequence(AdaptiveConfig::paper()),
+        DrafterKind::ModelDraft,
+        DRAFTER_CONCURRENCY,
+        true,
+        format!("specasr-asp+rpc@c{DRAFTER_CONCURRENCY}"),
+    );
 
     emit(&record);
     if std::env::var_os("SPECASR_WRITE_BASELINE").is_some() {

@@ -9,10 +9,14 @@
 //! time while the offered rate is below the fleet's saturation QPS, then
 //! grows by an order of magnitude once arrivals outpace service.
 //!
-//! Three companion studies ride along: a KV-budget sweep, a shallow-queue
-//! shedding study, and a drafter comparison (`w2-fifo+ctc@q50` /
+//! Four companion studies ride along: a KV-budget sweep, a shallow-queue
+//! shedding study, a drafter comparison (`w2-fifo+ctc@q50` /
 //! `w2-fifo+token-map@q50`) that re-serves the 2-worker FIFO operating point
-//! with draft-free speculation via [`specasr_server::Router::install_drafter`].
+//! with draft-free speculation via [`specasr_server::Router::install_drafter`],
+//! and a process-boundary comparison (`w2-fifo+rpc@q50`, also reachable with
+//! the `--rpc` flag) that re-serves it with every worker's target model
+//! behind the `RpcBackend` worker thread.  All cells run under a depth-4
+//! in-flight window (`max_in_flight_waves`).
 //!
 //! The run is deterministic (seeded arrivals over a seeded corpus and model
 //! pair), so the emitted record doubles as a perf baseline: it is always
@@ -75,6 +79,11 @@ const SHALLOW_QUEUE_DEPTH: usize = 4;
 /// of QPS; both cells sit at or past the knee where shedding engages).
 const SHED_QPS_LEVELS: [f64; 3] = [25.0, 50.0, 200.0];
 
+/// In-flight window every cell serves under (`max_in_flight_waves`):
+/// submit-ahead/complete-behind across tick boundaries, byte-identical
+/// transcripts to drain-per-tick.
+const PIPELINE_DEPTH: usize = 4;
+
 fn admissions() -> Vec<(&'static str, AdmissionPolicy)> {
     vec![
         ("fifo", AdmissionPolicy::Fifo),
@@ -82,6 +91,7 @@ fn admissions() -> Vec<(&'static str, AdmissionPolicy)> {
     ]
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_cell(
     context: &ExperimentContext,
     pool: &[&Utterance],
@@ -89,6 +99,7 @@ fn run_cell(
     workers: usize,
     qps: f64,
     kv_blocks: usize,
+    rpc: bool,
     trace: &TraceArgs,
 ) -> ReportRow {
     let default_kv = ServerConfig::default().kv_blocks;
@@ -98,20 +109,23 @@ fn run_cell(
         format!("-kv{kv_blocks}")
     };
     let label = format!(
-        "w{workers}-{}@q{qps:.0}{kv_suffix}",
+        "w{workers}-{}{}@q{qps:.0}{kv_suffix}",
         match admission {
             AdmissionPolicy::Fifo => "fifo",
             AdmissionPolicy::ShortestAudioFirst => "saf",
-        }
+        },
+        if rpc { "+rpc" } else { "" }
     );
     let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
     let mut router = Router::new(
         RouterConfig::default()
             .with_workers(workers)
+            .with_rpc_backend(rpc)
             .with_worker_config(
                 ServerConfig::default()
                     .with_admission(admission)
                     .with_kv_blocks(kv_blocks)
+                    .with_max_in_flight_waves(PIPELINE_DEPTH)
                     // Deep queues: this sweep measures the latency knee, not
                     // queue-depth shedding, so nothing may be rejected.
                     .with_queue_depth(4 * REQUESTS_PER_CELL),
@@ -185,6 +199,7 @@ fn run_drafter_cell(
         RouterConfig::default().with_workers(2).with_worker_config(
             ServerConfig::default()
                 .with_admission(AdmissionPolicy::Fifo)
+                .with_max_in_flight_waves(PIPELINE_DEPTH)
                 .with_queue_depth(4 * REQUESTS_PER_CELL),
         ),
         context.binding.clone(),
@@ -238,6 +253,7 @@ fn run_shed_cell(context: &ExperimentContext, pool: &[&Utterance], qps: f64) -> 
         RouterConfig::default().with_workers(1).with_worker_config(
             ServerConfig::default()
                 .with_admission(AdmissionPolicy::Fifo)
+                .with_max_in_flight_waves(PIPELINE_DEPTH)
                 .with_queue_depth(SHALLOW_QUEUE_DEPTH),
         ),
         context.binding.clone(),
@@ -273,7 +289,14 @@ fn run_shed_cell(context: &ExperimentContext, pool: &[&Utterance], qps: f64) -> 
 }
 
 fn main() {
-    let trace = TraceArgs::parse("w2-fifo@q50");
+    // `--rpc` moves every worker's target model behind the RpcBackend
+    // process boundary; the CI smoke job runs both ways.
+    let rpc = std::env::args().skip(1).any(|arg| arg == "--rpc");
+    let trace = TraceArgs::parse(if rpc {
+        "w2-fifo+rpc@q50"
+    } else {
+        "w2-fifo@q50"
+    });
     let context = ExperimentContext::with_size(UTTERANCES_PER_SPLIT);
     let pool: Vec<&Utterance> = Split::ALL
         .iter()
@@ -290,6 +313,7 @@ fn main() {
             2,
             50.0,
             default_kv,
+            rpc,
             &trace,
         );
         println!(
@@ -311,7 +335,7 @@ fn main() {
         for workers in WORKER_COUNTS {
             for qps in QPS_LEVELS {
                 record.push_row(run_cell(
-                    &context, &pool, admission, workers, qps, default_kv, &trace,
+                    &context, &pool, admission, workers, qps, default_kv, false, &trace,
                 ));
             }
         }
@@ -329,6 +353,7 @@ fn main() {
             2,
             50.0,
             kv_blocks,
+            false,
             &trace,
         ));
     }
@@ -339,6 +364,20 @@ fn main() {
     for kind in [DrafterKind::CtcEncoder, DrafterKind::TokenMap] {
         record.push_row(run_drafter_cell(&context, &pool, kind, &token_map, 50.0));
     }
+    // Process-boundary study: the `w2-fifo@q50` operating point with every
+    // worker's target behind the RPC worker thread.  The wire mirrors the
+    // in-process backend's modeled timing exactly, so every column must
+    // match the in-process row digit for digit.
+    record.push_row(run_cell(
+        &context,
+        &pool,
+        AdmissionPolicy::Fifo,
+        2,
+        50.0,
+        default_kv,
+        true,
+        &trace,
+    ));
     // Shedding study: production-depth queues under overload — P99 stays
     // bounded while the overflow turns into rejections, and goodput tracks
     // the worker's service capacity rather than collapsing.

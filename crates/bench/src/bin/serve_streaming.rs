@@ -85,6 +85,8 @@ fn run_cell(
         EncoderProfile::whisper_medium_encoder(),
         ServerConfig::default()
             .with_max_batch(max_batch)
+            // Pipelined scheduling: overlap verify waves across ticks.
+            .with_max_in_flight_waves(4)
             // Deep queue: this sweep measures partial latency, not shedding.
             .with_queue_depth(4 * REQUESTS_PER_CELL),
     );

@@ -32,7 +32,14 @@ use specasr_metrics::{ExperimentRecord, ReportRow};
 /// (the cost model is affine), but the backend is no longer being driven in
 /// the batched shape real accelerators need, and that is a regression in
 /// its own right.
-pub const GATED_METRICS: [&str; 7] = [
+///
+/// `in_flight_depth` gates the pipelined scheduler's submit-ahead window:
+/// the peak number of forward requests simultaneously outstanding on the
+/// target backend (by modeled timestamp overlap).  A collapse back toward
+/// the batch width means waves stopped overlapping across tick boundaries —
+/// the scheduler silently fell back to drain-per-tick and the device
+/// timeline has idle gaps again.
+pub const GATED_METRICS: [&str; 8] = [
     "throughput_utps",
     "e2e_p99_ms",
     "peak_kv_blocks",
@@ -40,6 +47,7 @@ pub const GATED_METRICS: [&str; 7] = [
     "first_partial_p99_ms",
     "retraction_rate",
     "backend_batch_occupancy",
+    "in_flight_depth",
 ];
 
 /// Default relative tolerance band (±15%).

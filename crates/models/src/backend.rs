@@ -57,6 +57,7 @@
 
 use std::sync::{Arc, Mutex};
 
+use serde::{Deserialize, Serialize};
 use specasr_audio::UtteranceId;
 use specasr_tokenizer::TokenId;
 
@@ -68,7 +69,7 @@ use crate::traits::AsrDecoderModel;
 /// What a [`ForwardRequest`] is for, used for backend accounting (draft
 /// steps are serial per session; verify requests are the cross-session
 /// batching opportunity).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ForwardKind {
     /// One draft-model step: score the single position after the prefix.
     DraftStep,
@@ -134,7 +135,7 @@ impl ForwardRequest {
 
 /// Handle of one submitted [`ForwardRequest`], redeemed through
 /// [`AsrBackend::poll`] or [`AsrBackend::complete`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Ticket(u64);
 
 impl Ticket {
@@ -200,7 +201,7 @@ impl BackendBatch {
 
 /// One completed [`ForwardRequest`]: the scored distributions plus the
 /// modeled in-flight span of the batch that served it.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ForwardResult {
     /// The ticket of the request this result answers.
     pub ticket: Ticket,
@@ -234,7 +235,7 @@ impl ForwardResult {
 
 /// Cumulative counters of one backend's lifetime, for occupancy and
 /// in-flight-depth reporting.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct BackendCounters {
     /// Batches submitted.
     pub batches: usize,
@@ -251,6 +252,12 @@ pub struct BackendCounters {
     /// Largest number of requests that were in flight (submitted, not yet
     /// completed on the modeled timeline) at any submission instant.
     pub peak_in_flight: usize,
+    /// Modeled milliseconds the device (all lanes) spent executing batches.
+    pub device_busy_ms: f64,
+    /// Modeled milliseconds a lane sat idle between consecutive device
+    /// spans — the gap a pipelined scheduler exists to close.  Zero for
+    /// backends without a serialised timeline.
+    pub device_idle_ms: f64,
 }
 
 impl BackendCounters {
@@ -276,6 +283,8 @@ impl BackendCounters {
         self.verify_batches += other.verify_batches;
         self.probes_scored += other.probes_scored;
         self.peak_in_flight += other.peak_in_flight;
+        self.device_busy_ms += other.device_busy_ms;
+        self.device_idle_ms += other.device_idle_ms;
     }
 }
 
@@ -395,6 +404,107 @@ impl BackendState {
 /// every priced token in the batch.
 fn batch_service_ms(profile: &ModelProfile, batch: &BackendBatch) -> f64 {
     profile.latency().forward_pass_ms(batch.charge_tokens())
+}
+
+/// A modeled pool of execution lanes with per-batch dispatch overhead and
+/// busy/idle accounting.
+///
+/// Each `occupy` call reserves one timed device span: the earliest-free lane
+/// takes the batch, which starts at `max(now + dispatch_overhead_ms,
+/// lane_free)` and holds the lane for `service_ms`.  With one lane (the
+/// default) this is exactly the serialized timeline of
+/// [`InFlightSimBackend`]; with `lanes = 0` the pool is unbounded and every
+/// span starts after dispatch overhead alone (the [`SyncBackendAdapter`]
+/// overlap model).  The gap between a lane's previous span and its next
+/// start accrues as `idle_ms` — the quantity a pipelined scheduler exists to
+/// drive toward zero.
+#[derive(Debug, Clone)]
+pub struct DeviceTimeline {
+    dispatch_overhead_ms: f64,
+    /// `(free_at_ms, ever_used)` per lane; empty means unbounded lanes.
+    lanes: Vec<(f64, bool)>,
+    busy_ms: f64,
+    idle_ms: f64,
+}
+
+impl DeviceTimeline {
+    /// A timeline with `lanes` execution lanes (0 = unbounded) and no
+    /// dispatch overhead.
+    pub fn new(lanes: usize) -> Self {
+        DeviceTimeline {
+            dispatch_overhead_ms: 0.0,
+            lanes: vec![(0.0, false); lanes],
+            busy_ms: 0.0,
+            idle_ms: 0.0,
+        }
+    }
+
+    /// Sets the per-span dispatch overhead (kernel launch / RPC cost paid
+    /// before execution starts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overhead is negative or non-finite.
+    pub fn with_dispatch_overhead_ms(mut self, overhead_ms: f64) -> Self {
+        assert!(
+            overhead_ms.is_finite() && overhead_ms >= 0.0,
+            "dispatch overhead must be finite and non-negative"
+        );
+        self.dispatch_overhead_ms = overhead_ms;
+        self
+    }
+
+    /// The configured per-span dispatch overhead.
+    pub fn dispatch_overhead_ms(&self) -> f64 {
+        self.dispatch_overhead_ms
+    }
+
+    /// Reserves a device span of `service_ms` submitted at `now_ms`,
+    /// returning `(started_ms, completed_ms)`.  The earliest-free lane wins
+    /// (ties to the lowest index, so replays are deterministic).
+    pub fn occupy(&mut self, now_ms: f64, service_ms: f64) -> (f64, f64) {
+        let earliest = now_ms + self.dispatch_overhead_ms;
+        let started = match self
+            .lanes
+            .iter_mut()
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("lane times are finite"))
+        {
+            None => earliest, // unbounded: a fresh lane is always free
+            Some(lane) => {
+                let started = earliest.max(lane.0);
+                if lane.1 {
+                    self.idle_ms += started - lane.0;
+                }
+                *lane = (started + service_ms, true);
+                started
+            }
+        };
+        self.busy_ms += service_ms;
+        (started, started + service_ms)
+    }
+
+    /// The earliest wall time a newly submitted span could start executing
+    /// (ignoring dispatch overhead): the free time of the earliest-free
+    /// lane, or 0 for an unbounded pool.  For a one-lane timeline this is
+    /// the classic `device_free_ms` backlog.
+    pub fn free_ms(&self) -> f64 {
+        self.lanes
+            .iter()
+            .map(|&(free, _)| free)
+            .min_by(|a, b| a.partial_cmp(b).expect("lane times are finite"))
+            .unwrap_or(0.0)
+    }
+
+    /// Total modeled execution milliseconds reserved so far.
+    pub fn busy_ms(&self) -> f64 {
+        self.busy_ms
+    }
+
+    /// Total modeled lane-idle milliseconds (gaps between consecutive spans
+    /// on the same lane).
+    pub fn idle_ms(&self) -> f64 {
+        self.idle_ms
+    }
 }
 
 /// The blanket adapter turning any [`AsrDecoderModel`] into an
@@ -522,18 +632,16 @@ impl<M: AsrDecoderModel> AsrBackend for SyncBackendAdapter<M> {
 #[derive(Debug, Clone)]
 pub struct InFlightSimBackend<M> {
     model: M,
-    dispatch_overhead_ms: f64,
-    device_free_ms: f64,
+    timeline: DeviceTimeline,
     state: BackendState,
 }
 
 impl<M: AsrDecoderModel> InFlightSimBackend<M> {
-    /// Wraps `model` with no dispatch overhead.
+    /// Wraps `model` with one execution lane and no dispatch overhead.
     pub fn new(model: M) -> Self {
         InFlightSimBackend {
             model,
-            dispatch_overhead_ms: 0.0,
-            device_free_ms: 0.0,
+            timeline: DeviceTimeline::new(1),
             state: BackendState::default(),
         }
     }
@@ -545,17 +653,27 @@ impl<M: AsrDecoderModel> InFlightSimBackend<M> {
     ///
     /// Panics if the overhead is negative or non-finite.
     pub fn with_dispatch_overhead_ms(mut self, overhead_ms: f64) -> Self {
-        assert!(
-            overhead_ms.is_finite() && overhead_ms >= 0.0,
-            "dispatch overhead must be finite and non-negative"
-        );
-        self.dispatch_overhead_ms = overhead_ms;
+        self.timeline = self.timeline.with_dispatch_overhead_ms(overhead_ms);
+        self
+    }
+
+    /// Sets the lane count of the modeled device pool (0 = unbounded).
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        let overhead = self.timeline.dispatch_overhead_ms();
+        self.timeline = DeviceTimeline::new(lanes).with_dispatch_overhead_ms(overhead);
         self
     }
 
     /// The configured per-batch dispatch overhead.
     pub fn dispatch_overhead_ms(&self) -> f64 {
-        self.dispatch_overhead_ms
+        self.timeline.dispatch_overhead_ms()
+    }
+
+    /// The wall time the device backlog drains: a batch submitted now cannot
+    /// start executing earlier than this (the pipelined wave planner feeds
+    /// it in as the cross-tick carry).
+    pub fn device_free_ms(&self) -> f64 {
+        self.timeline.free_ms()
     }
 
     /// The wrapped model.
@@ -575,9 +693,8 @@ impl<M: AsrDecoderModel> AsrBackend for InFlightSimBackend<M> {
     }
 
     fn submit(&mut self, batch: BackendBatch, now_ms: f64) -> Vec<Ticket> {
-        let start_ms = (now_ms + self.dispatch_overhead_ms).max(self.device_free_ms);
-        let completed_ms = start_ms + batch_service_ms(self.model.profile(), &batch);
-        self.device_free_ms = completed_ms;
+        let service_ms = batch_service_ms(self.model.profile(), &batch);
+        let (start_ms, completed_ms) = self.timeline.occupy(now_ms, service_ms);
         self.state
             .score_batch(&self.model, batch, now_ms, start_ms, completed_ms)
     }
@@ -591,7 +708,10 @@ impl<M: AsrDecoderModel> AsrBackend for InFlightSimBackend<M> {
     }
 
     fn counters(&self) -> BackendCounters {
-        self.state.counters
+        let mut counters = self.state.counters;
+        counters.device_busy_ms = self.timeline.busy_ms();
+        counters.device_idle_ms = self.timeline.idle_ms();
+        counters
     }
 }
 
@@ -867,5 +987,66 @@ mod tests {
     fn negative_dispatch_overhead_panics() {
         let (_, target, _) = setup();
         let _ = InFlightSimBackend::new(&target).with_dispatch_overhead_ms(-1.0);
+    }
+
+    #[test]
+    fn the_timeline_accrues_idle_only_between_spans() {
+        let mut timeline = DeviceTimeline::new(1).with_dispatch_overhead_ms(2.0);
+        let (s0, c0) = timeline.occupy(0.0, 10.0);
+        assert!((s0 - 2.0).abs() < 1e-12 && (c0 - 12.0).abs() < 1e-12);
+        assert!(timeline.idle_ms().abs() < 1e-12, "lead-in is not idle");
+        // Back-to-back: queues behind the first span, no gap.
+        let (s1, c1) = timeline.occupy(3.0, 4.0);
+        assert!((s1 - 12.0).abs() < 1e-12 && (c1 - 16.0).abs() < 1e-12);
+        assert!(timeline.idle_ms().abs() < 1e-12);
+        // A late submit leaves the device dark for 100 - 16 + 2 ms.
+        let (s2, _) = timeline.occupy(100.0, 1.0);
+        assert!((s2 - 102.0).abs() < 1e-12);
+        assert!((timeline.idle_ms() - 86.0).abs() < 1e-12);
+        assert!((timeline.busy_ms() - 15.0).abs() < 1e-12);
+        assert!((timeline.free_ms() - 103.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extra_lanes_run_spans_side_by_side() {
+        let mut timeline = DeviceTimeline::new(2);
+        let (a_start, a_done) = timeline.occupy(0.0, 10.0);
+        let (b_start, b_done) = timeline.occupy(0.0, 10.0);
+        assert!((a_start - b_start).abs() < 1e-12, "second lane is free");
+        assert!((a_done - b_done).abs() < 1e-12);
+        // Third span queues behind the earlier-free lane (index 0).
+        let (c_start, _) = timeline.occupy(0.0, 3.0);
+        assert!((c_start - 10.0).abs() < 1e-12);
+        assert!(timeline.idle_ms().abs() < 1e-12);
+        assert!((timeline.busy_ms() - 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn an_unbounded_timeline_never_queues() {
+        let mut timeline = DeviceTimeline::new(0).with_dispatch_overhead_ms(1.0);
+        let (a, _) = timeline.occupy(0.0, 50.0);
+        let (b, _) = timeline.occupy(0.0, 50.0);
+        assert!((a - 1.0).abs() < 1e-12 && (b - 1.0).abs() < 1e-12);
+        assert!(timeline.free_ms().abs() < 1e-12);
+        assert!(timeline.idle_ms().abs() < 1e-12);
+    }
+
+    #[test]
+    fn backend_counters_expose_the_device_busy_and_idle_time() {
+        let (_, target, audio) = setup();
+        let latency = target.profile().latency().clone();
+        let mut backend = InFlightSimBackend::new(&target);
+        let service = latency.forward_pass_ms(8);
+        let a = ForwardRequest::verify(audio[0].clone(), Vec::new(), vec![Vec::new()], 8);
+        let b = ForwardRequest::verify(audio[1].clone(), Vec::new(), vec![Vec::new()], 8);
+        backend.submit(BackendBatch::of(a), 0.0);
+        backend.submit(BackendBatch::of(b), service + 25.0);
+        let counters = backend.counters();
+        assert!((counters.device_busy_ms - 2.0 * service).abs() < 1e-9);
+        assert!((counters.device_idle_ms - 25.0).abs() < 1e-9);
+        let mut absorbed = BackendCounters::default();
+        absorbed.absorb(&counters);
+        absorbed.absorb(&counters);
+        assert!((absorbed.device_idle_ms - 50.0).abs() < 1e-9);
     }
 }

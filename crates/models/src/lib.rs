@@ -57,13 +57,15 @@ pub(crate) mod hashing;
 pub mod latency;
 pub mod logits;
 pub mod profiles;
+pub mod rpc;
 pub mod simulated;
 pub mod text_task;
 pub mod traits;
+pub mod wire;
 
 pub use backend::{
-    AsrBackend, BackendBatch, BackendCounters, BackendModelBridge, ForwardKind, ForwardRequest,
-    ForwardResult, InFlightSimBackend, SyncBackendAdapter, Ticket,
+    AsrBackend, BackendBatch, BackendCounters, BackendModelBridge, DeviceTimeline, ForwardKind,
+    ForwardRequest, ForwardResult, InFlightSimBackend, SyncBackendAdapter, Ticket,
 };
 pub use binding::{TokenizerBinding, UtteranceTokens};
 pub use ctc::CtcDrafter;
@@ -71,6 +73,7 @@ pub use hashing::splitmix64;
 pub use latency::{DecodeClock, LatencyBreakdown, LatencyModel};
 pub use logits::TokenLogits;
 pub use profiles::{AccuracyProfile, ModelProfile, ModelRole, ModelScale};
+pub use rpc::RpcBackend;
 pub use simulated::SimulatedAsrModel;
 pub use text_task::TextTaskModel;
 pub use traits::AsrDecoderModel;

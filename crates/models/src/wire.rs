@@ -1,0 +1,243 @@
+//! The serialized wire format of the process-boundary backend protocol.
+//!
+//! [`crate::RpcBackend`] drives a worker that owns the real (simulated)
+//! device through exactly the four [`crate::AsrBackend`] trait methods, each
+//! encoded as one [`WireCall`] and answered by one [`WireReply`].  Both
+//! directions serialize to JSON text — a deliberately boring, inspectable
+//! encoding that proves the trait boundary carries everything a remote
+//! device needs: no shared memory, no function pointers, no `Arc`s crossing
+//! the boundary.
+//!
+//! [`ForwardRequest`] holds its audio context behind an `Arc` (many requests
+//! of one session share the context without copying); an `Arc` cannot cross
+//! a process boundary, so [`WireRequest`] mirrors the request with the
+//! context inlined by value and the worker re-wraps it on decode.  Results,
+//! tickets, and counters serialize directly.
+//!
+//! The encoding is lossless by construction (the round-trip tests assert
+//! encode→decode identity for every variant), and because the worker prices
+//! batches with the same [`crate::InFlightSimBackend`] timeline, a scheduler
+//! driven over the wire produces byte-identical transcripts *and* identical
+//! latency stats to one holding the backend in-process.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use specasr_tokenizer::TokenId;
+
+use crate::backend::{BackendBatch, BackendCounters, ForwardKind, ForwardRequest, ForwardResult};
+use crate::binding::UtteranceTokens;
+
+/// A [`ForwardRequest`] flattened for the wire: the audio context inlined by
+/// value instead of shared behind an `Arc`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireRequest {
+    /// The audio context, inlined.
+    pub audio: UtteranceTokens,
+    /// The committed generated prefix shared by every probe.
+    pub prefix: Vec<TokenId>,
+    /// Token extensions of `prefix` to score, in order.
+    pub probes: Vec<Vec<TokenId>>,
+    /// Token width the pass is priced at.
+    pub charge_tokens: usize,
+    /// What the request is for.
+    pub kind: ForwardKind,
+}
+
+impl WireRequest {
+    /// Flattens `request` for the wire (clones the audio context out of its
+    /// `Arc`).
+    pub fn from_request(request: &ForwardRequest) -> Self {
+        WireRequest {
+            audio: (*request.audio).clone(),
+            prefix: request.prefix.clone(),
+            probes: request.probes.clone(),
+            charge_tokens: request.charge_tokens,
+            kind: request.kind,
+        }
+    }
+
+    /// Rebuilds the in-process request (re-wrapping the audio context in a
+    /// fresh `Arc`).
+    pub fn into_request(self) -> ForwardRequest {
+        ForwardRequest {
+            audio: Arc::new(self.audio),
+            prefix: self.prefix,
+            probes: self.probes,
+            charge_tokens: self.charge_tokens,
+            kind: self.kind,
+        }
+    }
+}
+
+/// One call from the client half of [`crate::RpcBackend`] to its worker —
+/// the four trait methods plus the shutdown handshake.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireCall {
+    /// [`crate::AsrBackend::submit`]: a batch stamped at a wall time.
+    Submit(f64, Vec<WireRequest>),
+    /// [`crate::AsrBackend::poll`].
+    Poll,
+    /// [`crate::AsrBackend::complete`] for the ticket with this raw value.
+    Complete(u64),
+    /// [`crate::AsrBackend::counters`].
+    Counters,
+    /// Stop the worker loop (sent once, on drop).
+    Shutdown,
+}
+
+/// The worker's answer to one [`WireCall`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireReply {
+    /// Tickets of a submitted batch, plus the worker's device backlog
+    /// (`device_free_ms`) after the submit — mirrored client-side so the
+    /// wave planner sees the same cross-tick carry as an in-process backend.
+    Submitted(Vec<u64>, f64),
+    /// Every completed result, in completion order.
+    Results(Vec<ForwardResult>),
+    /// The result of one completed ticket (or `None`).
+    Completed(Option<ForwardResult>),
+    /// Cumulative lifetime counters.
+    Counters(BackendCounters),
+    /// Acknowledges [`WireCall::Shutdown`]; the worker exits after sending.
+    Bye,
+}
+
+/// Encodes a call for the wire.
+pub fn encode_call(call: &WireCall) -> String {
+    serde_json::to_string(call).expect("wire calls encode infallibly")
+}
+
+/// Decodes a call off the wire.
+///
+/// # Panics
+///
+/// Panics on malformed input — the protocol is internal and lock-step, so a
+/// decode failure is a bug, not an input error.
+pub fn decode_call(wire: &str) -> WireCall {
+    serde_json::from_str(wire).expect("wire calls decode losslessly")
+}
+
+/// Encodes a reply for the wire.
+pub fn encode_reply(reply: &WireReply) -> String {
+    serde_json::to_string(reply).expect("wire replies encode infallibly")
+}
+
+/// Decodes a reply off the wire.
+///
+/// # Panics
+///
+/// Panics on malformed input (see [`decode_call`]).
+pub fn decode_reply(wire: &str) -> WireReply {
+    serde_json::from_str(wire).expect("wire replies decode losslessly")
+}
+
+/// Flattens a batch for the wire.
+pub fn encode_batch(batch: &BackendBatch) -> Vec<WireRequest> {
+    batch
+        .requests()
+        .iter()
+        .map(WireRequest::from_request)
+        .collect()
+}
+
+/// Rebuilds a batch from its wire form.
+pub fn decode_batch(requests: Vec<WireRequest>) -> BackendBatch {
+    let mut batch = BackendBatch::new();
+    for request in requests {
+        batch.push(request.into_request());
+    }
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Ticket;
+    use crate::binding::TokenizerBinding;
+    use crate::logits::TokenLogits;
+    use specasr_audio::{Corpus, Split};
+
+    fn audio() -> UtteranceTokens {
+        let corpus = Corpus::librispeech_like(5, 2);
+        let binding = TokenizerBinding::for_corpus(&corpus);
+        binding.bind(&corpus.split(Split::TestClean)[0])
+    }
+
+    fn call_round_trip(call: WireCall) {
+        assert_eq!(decode_call(&encode_call(&call)), call);
+    }
+
+    fn reply_round_trip(reply: WireReply) {
+        assert_eq!(decode_reply(&encode_reply(&reply)), reply);
+    }
+
+    #[test]
+    fn every_call_variant_round_trips_identically() {
+        let draft = ForwardRequest::draft_step(Arc::new(audio()), vec![TokenId::new(3)]);
+        let verify = ForwardRequest::verify(
+            Arc::new(audio()),
+            vec![TokenId::new(1), TokenId::new(4)],
+            vec![Vec::new(), vec![TokenId::new(9)]],
+            6,
+        );
+        let mut batch = BackendBatch::new();
+        batch.push(draft);
+        batch.push(verify);
+        call_round_trip(WireCall::Submit(1234.5, encode_batch(&batch)));
+        call_round_trip(WireCall::Poll);
+        call_round_trip(WireCall::Complete(42));
+        call_round_trip(WireCall::Counters);
+        call_round_trip(WireCall::Shutdown);
+    }
+
+    #[test]
+    fn every_reply_variant_round_trips_identically() {
+        let result = ForwardResult {
+            ticket: Ticket::new(7),
+            kind: ForwardKind::Verify,
+            logits: vec![TokenLogits::from_candidates(vec![
+                (TokenId::new(2), 0.625),
+                (TokenId::new(5), 0.25),
+            ])],
+            submitted_ms: 10.0,
+            started_ms: 12.5,
+            completed_ms: 31.25,
+            batch_requests: 3,
+        };
+        let counters = BackendCounters {
+            batches: 4,
+            requests: 9,
+            draft_requests: 2,
+            verify_requests: 7,
+            verify_batches: 3,
+            probes_scored: 21,
+            peak_in_flight: 5,
+            device_busy_ms: 123.5,
+            device_idle_ms: 4.25,
+        };
+        reply_round_trip(WireReply::Submitted(vec![0, 1, 2], 99.5));
+        reply_round_trip(WireReply::Results(vec![result.clone(), result.clone()]));
+        reply_round_trip(WireReply::Completed(Some(result)));
+        reply_round_trip(WireReply::Completed(None));
+        reply_round_trip(WireReply::Counters(counters));
+        reply_round_trip(WireReply::Bye);
+    }
+
+    #[test]
+    fn wire_requests_rebuild_the_exact_in_process_request() {
+        let shared = Arc::new(audio());
+        let request = ForwardRequest::verify(
+            shared,
+            vec![TokenId::new(8)],
+            vec![vec![TokenId::new(1)], Vec::new()],
+            4,
+        );
+        let rebuilt = WireRequest::from_request(&request).into_request();
+        assert_eq!(rebuilt, request);
+
+        let encoded = serde_json::to_string(&WireRequest::from_request(&request)).expect("encodes");
+        let decoded: WireRequest = serde_json::from_str(&encoded).expect("round trip");
+        assert_eq!(decoded.into_request(), request);
+    }
+}

@@ -109,6 +109,12 @@ pub struct VerifyPlan {
 /// stall everyone else's verification (the `serve_load` bottleneck at high
 /// concurrency).
 ///
+/// This is the two-wave, fresh-device specialisation of
+/// [`plan_verify_waves_pipelined`], retained as the drain-per-tick
+/// scheduler's planner (`max_in_flight_waves = 1`); the pipelined scheduler
+/// calls the N-wave form with absolute draft-completion times and the
+/// device backlog carried over from previous ticks.
+///
 /// # Panics
 ///
 /// Panics if `draft_ms` and `verify_widths` differ in length.
@@ -118,12 +124,54 @@ pub fn plan_verify_waves(
     target: &LatencyModel,
     dispatch_overhead_ms: f64,
 ) -> VerifyPlan {
+    plan_verify_waves_pipelined(
+        draft_ms,
+        verify_widths,
+        target,
+        dispatch_overhead_ms,
+        2,
+        0.0,
+    )
+}
+
+/// Plans up to `max_waves` verification waves over sessions whose draft
+/// phases complete at `draft_done_ms` (any shared reference frame: the
+/// drain-per-tick scheduler passes tick-relative durations, the pipelined
+/// scheduler passes absolute wall times), against a serialised device that
+/// is busy until `device_free_ms` with work from previous ticks.
+///
+/// Sessions are ordered by draft completion (ties by index) and partitioned
+/// into contiguous cohorts; each cohort's batch is submitted the moment its
+/// slowest member finishes drafting, pays `dispatch_overhead_ms`, then
+/// queues behind both the device backlog and every earlier wave.  The
+/// partition is chosen by a dynamic program minimising the modeled
+/// completion of the last wave: minimising each prefix's completion is
+/// optimal because a later wave's start is monotone in it.  Fewer waves are
+/// preferred whenever splitting is not strictly faster (an extra wave pays
+/// the pass base cost again), so the single grouped batch remains the plan
+/// whenever overlap cannot win.
+///
+/// `submit_offsets_ms` and `makespan_ms` come back in the caller's
+/// reference frame.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or `max_waves` is zero.
+pub fn plan_verify_waves_pipelined(
+    draft_done_ms: &[f64],
+    verify_widths: &[usize],
+    target: &LatencyModel,
+    dispatch_overhead_ms: f64,
+    max_waves: usize,
+    device_free_ms: f64,
+) -> VerifyPlan {
     assert_eq!(
-        draft_ms.len(),
+        draft_done_ms.len(),
         verify_widths.len(),
         "one draft time and one verify width per batched session"
     );
-    let n = draft_ms.len();
+    assert!(max_waves >= 1, "a plan needs at least one wave");
+    let n = draft_done_ms.len();
     if n == 0 {
         return VerifyPlan {
             waves: Vec::new(),
@@ -133,8 +181,8 @@ pub fn plan_verify_waves(
     }
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        draft_ms[a]
-            .partial_cmp(&draft_ms[b])
+        draft_done_ms[a]
+            .partial_cmp(&draft_done_ms[b])
             .expect("draft times are finite")
             .then(a.cmp(&b))
     });
@@ -144,38 +192,60 @@ pub fn plan_verify_waves(
     for &index in &order {
         width_prefix.push(width_prefix.last().unwrap() + verify_widths[index]);
     }
-    let total_width = width_prefix[n];
-    let d_max = draft_ms[order[n - 1]];
-    let single_makespan = d_max + dispatch_overhead_ms + target.forward_pass_ms(total_width);
-
-    let mut best_split = None;
-    let mut best_makespan = single_makespan;
-    for cut in 1..n {
-        let wave1_submit = draft_ms[order[cut - 1]];
-        let wave1_done =
-            wave1_submit + dispatch_overhead_ms + target.forward_pass_ms(width_prefix[cut]);
-        let wave2_start = (d_max + dispatch_overhead_ms).max(wave1_done);
-        let makespan = wave2_start + target.forward_pass_ms(total_width - width_prefix[cut]);
-        if makespan < best_makespan - 1e-9 {
-            best_makespan = makespan;
-            best_split = Some(cut);
-        }
+    // One wave over the sorted range `j..i`, entering a device free at
+    // `free`: submitted when its slowest draft lands, started after dispatch
+    // overhead and whatever still occupies the device.
+    let wave_done = |free: f64, j: usize, i: usize| -> f64 {
+        let submit = draft_done_ms[order[i - 1]];
+        let start = (submit + dispatch_overhead_ms).max(free);
+        start + target.forward_pass_ms(width_prefix[i] - width_prefix[j])
+    };
+    let wave_cap = max_waves.min(n);
+    // dp[w][i]: earliest completion of the first `i` sorted sessions in
+    // exactly `w + 1` waves; cut[w][i] reconstructs the last cohort.
+    let mut dp = vec![vec![f64::INFINITY; n + 1]; wave_cap];
+    let mut cut = vec![vec![0usize; n + 1]; wave_cap];
+    for (i, slot) in dp[0].iter_mut().enumerate().skip(1) {
+        *slot = wave_done(device_free_ms, 0, i);
     }
-    match best_split {
-        None => VerifyPlan {
-            waves: vec![order],
-            submit_offsets_ms: vec![d_max],
-            makespan_ms: single_makespan,
-        },
-        Some(cut) => {
-            let wave2 = order.split_off(cut);
-            let wave1_submit = draft_ms[*order.last().expect("cut >= 1")];
-            VerifyPlan {
-                waves: vec![order, wave2],
-                submit_offsets_ms: vec![wave1_submit, d_max],
-                makespan_ms: best_makespan,
+    for w in 1..wave_cap {
+        for i in (w + 1)..=n {
+            for j in w..i {
+                let candidate = wave_done(dp[w - 1][j], j, i);
+                if candidate < dp[w][i] - 1e-9 {
+                    dp[w][i] = candidate;
+                    cut[w][i] = j;
+                }
             }
         }
+    }
+    // Prefer fewer waves unless more are strictly faster.
+    let mut best_w = 0;
+    for w in 1..wave_cap {
+        if dp[w][n] < dp[best_w][n] - 1e-9 {
+            best_w = w;
+        }
+    }
+    // Reconstruct cohort boundaries back to front.
+    let mut bounds = vec![n];
+    let mut at = n;
+    for w in (1..=best_w).rev() {
+        at = cut[w][at];
+        bounds.push(at);
+    }
+    bounds.push(0);
+    bounds.reverse();
+    let mut waves = Vec::with_capacity(best_w + 1);
+    let mut submit_offsets_ms = Vec::with_capacity(best_w + 1);
+    for pair in bounds.windows(2) {
+        let (from, to) = (pair[0], pair[1]);
+        submit_offsets_ms.push(draft_done_ms[order[to - 1]]);
+        waves.push(order[from..to].to_vec());
+    }
+    VerifyPlan {
+        waves,
+        submit_offsets_ms,
+        makespan_ms: dp[best_w][n],
     }
 }
 
@@ -297,5 +367,79 @@ mod tests {
         let plan = plan_verify_waves(&[], &[], &target(), 0.0);
         assert!(plan.waves.is_empty());
         assert_eq!(plan.makespan_ms, 0.0);
+    }
+
+    #[test]
+    fn three_stragglers_earn_three_waves() {
+        // Draft completions spaced far wider than a pass base cost: each
+        // cohort's verification hides completely under the next straggler's
+        // draft, so the N-wave planner splits three ways where the two-wave
+        // planner had to group the first two cohorts.
+        let done = [3.0, 3.0, 100.0, 140.0];
+        let widths = [40usize, 40, 40, 8];
+        let plan = plan_verify_waves_pipelined(&done, &widths, &target(), 0.0, 4, 0.0);
+        assert_eq!(plan.waves.len(), 3);
+        assert_eq!(plan.waves[0], vec![0, 1]);
+        assert_eq!(plan.waves[1], vec![2]);
+        assert_eq!(plan.waves[2], vec![3]);
+        assert_eq!(plan.submit_offsets_ms, vec![3.0, 100.0, 140.0]);
+        // Only the last straggler's own pass remains on the critical path.
+        assert!((plan.makespan_ms - (140.0 + 20.0 + 0.5 * 8.0)).abs() < 1e-12);
+        let two = plan_verify_waves_pipelined(&done, &widths, &target(), 0.0, 2, 0.0);
+        assert!(plan.makespan_ms < two.makespan_ms - 1.0);
+    }
+
+    #[test]
+    fn a_single_wave_cap_forces_the_grouped_batch() {
+        let done = [3.0, 3.0, 100.0, 3.0];
+        let widths = [8usize, 8, 8, 8];
+        let plan = plan_verify_waves_pipelined(&done, &widths, &target(), 0.0, 1, 0.0);
+        assert_eq!(plan.waves.len(), 1);
+        assert!((plan.makespan_ms - (100.0 + 20.0 + 0.5 * 32.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn the_device_backlog_delays_every_wave() {
+        // The device is still busy with the previous tick's waves until
+        // t = 500: no split can win (waves would just queue), and the
+        // makespan is backlog + one grouped pass.
+        let done = [3.0, 3.0, 100.0, 3.0];
+        let widths = [8usize, 8, 8, 8];
+        let plan = plan_verify_waves_pipelined(&done, &widths, &target(), 0.0, 4, 500.0);
+        assert_eq!(plan.waves.len(), 1);
+        assert!((plan.makespan_ms - (500.0 + 20.0 + 0.5 * 32.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn the_two_wave_cap_reproduces_the_legacy_planner() {
+        let cases: [(&[f64], &[usize]); 4] = [
+            (&[1.0], &[4]),
+            (&[10.0, 12.0], &[8, 2]),
+            (&[1.0, 2.0, 3.0, 50.0, 4.0], &[8, 8, 8, 8, 8]),
+            (&[0.0, 0.0, 90.0], &[24, 1, 3]),
+        ];
+        for (done, widths) in cases {
+            for overhead in [0.0, 2.5] {
+                let legacy = plan_verify_waves(done, widths, &target(), overhead);
+                let general =
+                    plan_verify_waves_pipelined(done, widths, &target(), overhead, 2, 0.0);
+                assert_eq!(legacy, general);
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_wave_caps_never_cost_wall_clock() {
+        let done = [1.0, 2.0, 3.0, 50.0, 120.0, 121.0];
+        let widths = [8usize, 4, 8, 2, 8, 1];
+        let mut previous = f64::INFINITY;
+        for cap in 1..=6 {
+            let plan = plan_verify_waves_pipelined(&done, &widths, &target(), 1.5, cap, 10.0);
+            assert!(plan.makespan_ms <= previous + 1e-9);
+            assert!(plan.waves.len() <= cap);
+            let scheduled: usize = plan.waves.iter().map(Vec::len).sum();
+            assert_eq!(scheduled, done.len());
+            previous = plan.makespan_ms;
+        }
     }
 }

@@ -69,6 +69,21 @@ pub struct ServerConfig {
     pub block_size: usize,
     /// Eviction policy when the KV pool is exhausted mid-decode.
     pub preempt_policy: PreemptPolicy,
+    /// Verification-wave pipeline depth.  `1` is the classic drain-per-tick
+    /// schedule: every wave of a tick is submitted and drained before the
+    /// next tick begins.  `2` or more turns the tick submit-ahead /
+    /// complete-behind: the wave planner may split a tick into up to this
+    /// many waves, each session's next draft phase starts at its *own* wave's
+    /// completion (not the tick's), and at most this many verification waves
+    /// may be outstanding on the device at any submission instant.
+    /// Transcripts are byte-identical at every depth — only the timeline
+    /// compresses.
+    pub max_in_flight_waves: usize,
+    /// Modeled draft-device lanes.  `0` leaves per-session draft chains
+    /// unconstrained (a pool of draft-sized accelerators, the historical
+    /// model); `n > 0` serialises draft rounds onto `n` lanes so draft and
+    /// verify work contend for modeled device time like real hardware.
+    pub draft_lanes: usize,
 }
 
 impl ServerConfig {
@@ -117,6 +132,21 @@ impl ServerConfig {
         self
     }
 
+    /// Returns this configuration with a different verification-wave
+    /// pipeline depth (`1` = drain-per-tick, `n ≥ 2` = pipelined with at
+    /// most `n` waves in flight).
+    pub fn with_max_in_flight_waves(mut self, max_in_flight_waves: usize) -> Self {
+        self.max_in_flight_waves = max_in_flight_waves;
+        self
+    }
+
+    /// Returns this configuration with a different draft-device lane count
+    /// (`0` = unconstrained).
+    pub fn with_draft_lanes(mut self, draft_lanes: usize) -> Self {
+        self.draft_lanes = draft_lanes;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
@@ -132,6 +162,10 @@ impl ServerConfig {
         );
         assert!(self.kv_blocks > 0, "kv_blocks must be positive");
         assert!(self.block_size > 0, "block_size must be positive");
+        assert!(
+            self.max_in_flight_waves > 0,
+            "max_in_flight_waves must be positive"
+        );
     }
 }
 
@@ -148,6 +182,8 @@ impl Default for ServerConfig {
             kv_blocks: 4096,
             block_size: 16,
             preempt_policy: PreemptPolicy::NewestAdmitted,
+            max_in_flight_waves: 1,
+            draft_lanes: 0,
         }
     }
 }
@@ -177,6 +213,12 @@ pub struct RouterConfig {
     pub steal_threshold: usize,
     /// Configuration applied to every worker's scheduler.
     pub worker: ServerConfig,
+    /// Run every worker's target model behind a process-boundary
+    /// [`specasr_models::RpcBackend`] (a worker thread driven over the
+    /// serialized wire protocol) instead of the in-process simulated
+    /// backend.  Timing, tickets, and transcripts are identical either way;
+    /// the flag exists to prove it.
+    pub rpc_backend: bool,
 }
 
 impl RouterConfig {
@@ -205,6 +247,13 @@ impl RouterConfig {
         self
     }
 
+    /// Returns this configuration with the process-boundary RPC target
+    /// backend enabled or disabled.
+    pub fn with_rpc_backend(mut self, rpc_backend: bool) -> Self {
+        self.rpc_backend = rpc_backend;
+        self
+    }
+
     /// Validates the configuration (including the per-worker one).
     ///
     /// # Panics
@@ -226,6 +275,7 @@ impl Default for RouterConfig {
             virtual_nodes: 16,
             steal_threshold: 4,
             worker: ServerConfig::default(),
+            rpc_backend: false,
         }
     }
 }
@@ -296,6 +346,36 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_builders_update_the_wave_and_lane_fields() {
+        let config = ServerConfig::default()
+            .with_max_in_flight_waves(4)
+            .with_draft_lanes(2);
+        assert_eq!(config.max_in_flight_waves, 4);
+        assert_eq!(config.draft_lanes, 2);
+        config.validate();
+    }
+
+    #[test]
+    fn the_default_schedule_is_drain_per_tick() {
+        let config = ServerConfig::default();
+        assert_eq!(config.max_in_flight_waves, 1);
+        assert_eq!(config.draft_lanes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_in_flight_waves")]
+    fn zero_in_flight_waves_fails_validation() {
+        ServerConfig::default()
+            .with_max_in_flight_waves(0)
+            .validate();
+    }
+
+    #[test]
+    fn unbounded_draft_lanes_are_allowed() {
+        ServerConfig::default().with_draft_lanes(0).validate();
+    }
+
+    #[test]
     fn router_builder_updates_preserve_other_fields() {
         let config = RouterConfig::default()
             .with_workers(8)
@@ -307,6 +387,12 @@ mod tests {
         assert_eq!(config.steal_threshold, 2);
         assert_eq!(config.worker.max_batch, 2);
         config.validate();
+    }
+
+    #[test]
+    fn the_rpc_backend_flag_defaults_off_and_toggles() {
+        assert!(!RouterConfig::default().rpc_backend);
+        assert!(RouterConfig::default().with_rpc_backend(true).rpc_backend);
     }
 
     #[test]

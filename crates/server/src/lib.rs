@@ -89,7 +89,9 @@ mod session;
 mod stats;
 mod worker;
 
-pub use batch::{grouped_verify_ms, plan_verify_waves, TickCost, VerifyPlan};
+pub use batch::{
+    grouped_verify_ms, plan_verify_waves, plan_verify_waves_pipelined, TickCost, VerifyPlan,
+};
 pub use config::{AdmissionPolicy, PreemptPolicy, RouterConfig, ServerConfig};
 pub use loadgen::{
     run_open_loop, run_open_loop_drafted, run_open_loop_streaming, LoadGen, OpenLoopReport,

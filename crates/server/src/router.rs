@@ -86,7 +86,11 @@ where
 {
     /// Creates a router with `config.workers` schedulers, asking
     /// `make_models` for each worker's draft/target pair (workers model
-    /// independent accelerators, so each gets its own pair).
+    /// independent accelerators, so each gets its own pair).  With
+    /// [`RouterConfig::rpc_backend`] set, every worker's target model moves
+    /// behind an [`RpcBackend`](specasr_models::RpcBackend) process boundary
+    /// (a worker thread speaking the serialized wire format) instead of the
+    /// in-process simulator — transcripts are identical either way.
     ///
     /// # Panics
     ///
@@ -96,22 +100,33 @@ where
         binding: TokenizerBinding,
         encoder: EncoderProfile,
         mut make_models: impl FnMut(WorkerId) -> (D, T),
-    ) -> Self {
+    ) -> Self
+    where
+        T: Send + 'static,
+    {
         config.validate();
         let workers: Vec<Worker<D, T>> = (0..config.workers)
             .map(|index| {
                 let id = WorkerId::new(index);
                 let (draft, target) = make_models(id);
-                Worker::new(
-                    id,
+                let scheduler = if config.rpc_backend {
+                    Scheduler::with_rpc_target(
+                        draft,
+                        target,
+                        binding.clone(),
+                        encoder.clone(),
+                        config.worker,
+                    )
+                } else {
                     Scheduler::new(
                         draft,
                         target,
                         binding.clone(),
                         encoder.clone(),
                         config.worker,
-                    ),
-                )
+                    )
+                };
+                Worker::new(id, scheduler)
             })
             .collect();
         let mut ring: Vec<(u64, usize)> = (0..config.workers)

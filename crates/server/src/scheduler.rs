@@ -8,20 +8,93 @@ use std::sync::Arc;
 use specasr::{DecodeOutcome, Drafter, DrafterKind, Policy};
 use specasr_audio::{chunk_schedule, EncoderProfile, Utterance};
 use specasr_models::{
-    splitmix64, AsrBackend, AsrDecoderModel, BackendBatch, ForwardResult, InFlightSimBackend,
-    SyncBackendAdapter, TokenizerBinding,
+    splitmix64, AsrBackend, AsrDecoderModel, BackendBatch, BackendCounters, DeviceTimeline,
+    ForwardResult, InFlightSimBackend, ModelProfile, RpcBackend, SyncBackendAdapter, Ticket,
+    TokenizerBinding,
 };
 use specasr_runtime::KvPool;
 use specasr_stream::{StreamConfig, StreamingSession};
 use specasr_trace::{FlightRecording, ShedReason, TraceConfig, TraceEvent, Tracer};
 
-use crate::batch::{plan_verify_waves, TickCost};
+use crate::batch::{plan_verify_waves, plan_verify_waves_pipelined, TickCost};
 use crate::config::{AdmissionPolicy, PreemptPolicy, ServerConfig};
 use crate::request::{
     PartialSpan, RequestId, RequestLatency, RequestOutcome, SloClass, SubmitError,
 };
 use crate::session::{QueuedRequest, ServerSession, StreamState};
 use crate::stats::ServerStats;
+
+/// The scheduler's verification backend: the in-process simulated device, or
+/// the same device behind a process boundary.
+///
+/// The two variants are observably identical — same timing, same tickets,
+/// same counters — because the RPC worker prices batches with the same
+/// [`InFlightSimBackend`] timeline.  The enum exists so the choice threads
+/// through [`Scheduler`]/[`crate::Router`]/bench bins as configuration
+/// rather than as a type parameter every caller must name.
+#[derive(Debug)]
+pub enum VerifyBackend<T> {
+    /// The in-process simulated device.
+    Sim(InFlightSimBackend<T>),
+    /// A worker thread behind the serialized wire protocol.
+    Rpc(RpcBackend),
+}
+
+impl<T: AsrDecoderModel> VerifyBackend<T> {
+    /// The per-batch dispatch overhead of the underlying device timeline.
+    pub fn dispatch_overhead_ms(&self) -> f64 {
+        match self {
+            VerifyBackend::Sim(backend) => backend.dispatch_overhead_ms(),
+            VerifyBackend::Rpc(backend) => backend.dispatch_overhead_ms(),
+        }
+    }
+
+    /// The wall time the device backlog drains (the pipelined wave
+    /// planner's cross-tick carry).
+    pub fn device_free_ms(&self) -> f64 {
+        match self {
+            VerifyBackend::Sim(backend) => backend.device_free_ms(),
+            VerifyBackend::Rpc(backend) => backend.device_free_ms(),
+        }
+    }
+}
+
+impl<T: AsrDecoderModel> AsrBackend for VerifyBackend<T> {
+    fn profile(&self) -> &ModelProfile {
+        match self {
+            VerifyBackend::Sim(backend) => backend.profile(),
+            VerifyBackend::Rpc(backend) => backend.profile(),
+        }
+    }
+
+    fn submit(&mut self, batch: BackendBatch, now_ms: f64) -> Vec<Ticket> {
+        match self {
+            VerifyBackend::Sim(backend) => backend.submit(batch, now_ms),
+            VerifyBackend::Rpc(backend) => backend.submit(batch, now_ms),
+        }
+    }
+
+    fn poll(&mut self) -> Vec<ForwardResult> {
+        match self {
+            VerifyBackend::Sim(backend) => backend.poll(),
+            VerifyBackend::Rpc(backend) => backend.poll(),
+        }
+    }
+
+    fn complete(&mut self, ticket: Ticket) -> Option<ForwardResult> {
+        match self {
+            VerifyBackend::Sim(backend) => backend.complete(ticket),
+            VerifyBackend::Rpc(backend) => backend.complete(ticket),
+        }
+    }
+
+    fn counters(&self) -> BackendCounters {
+        match self {
+            VerifyBackend::Sim(backend) => backend.counters(),
+            VerifyBackend::Rpc(backend) => backend.counters(),
+        }
+    }
+}
 
 /// How one in-flight session leaves (or stays in) the batch at tick end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,7 +162,17 @@ pub struct Scheduler<D, T> {
     /// The target backend: cross-session verification batches run through
     /// it.  One serialised device timeline, so verification waves submitted
     /// while straggler draft phases still run genuinely overlap them.
-    target: InFlightSimBackend<T>,
+    target: VerifyBackend<T>,
+    /// The modeled draft-device budget: when `config.draft_lanes > 0`,
+    /// every model-draft session's round reserves a timed span here, so
+    /// draft rounds contend for lanes like real hardware (0 lanes =
+    /// unconstrained, the historical pool-of-accelerators model).
+    draft_timeline: DeviceTimeline,
+    /// Completion times of verification waves submitted but possibly not
+    /// yet drained past, oldest first — the scheduler-owned in-flight
+    /// window.  A new wave may not be submitted while
+    /// `config.max_in_flight_waves` waves are still outstanding.
+    outstanding_waves: VecDeque<f64>,
     binding: TokenizerBinding,
     encoder: EncoderProfile,
     config: ServerConfig,
@@ -133,12 +216,59 @@ where
         encoder: EncoderProfile,
         config: ServerConfig,
     ) -> Self {
+        Self::with_target_backend(
+            draft,
+            VerifyBackend::Sim(InFlightSimBackend::new(target)),
+            binding,
+            encoder,
+            config,
+        )
+    }
+
+    /// Like [`Scheduler::new`], but the target model runs behind a
+    /// process-boundary [`RpcBackend`]: a worker thread owns the device and
+    /// every verification batch crosses the serialized wire protocol.
+    /// Timing, tickets, and transcripts are identical to the in-process
+    /// backend — this constructor exists to prove it (and to smoke the wire
+    /// path in benches and CI).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`ServerConfig::validate`]).
+    pub fn with_rpc_target(
+        draft: D,
+        target: T,
+        binding: TokenizerBinding,
+        encoder: EncoderProfile,
+        config: ServerConfig,
+    ) -> Self
+    where
+        T: Send + 'static,
+    {
+        Self::with_target_backend(
+            draft,
+            VerifyBackend::Rpc(RpcBackend::spawn(target)),
+            binding,
+            encoder,
+            config,
+        )
+    }
+
+    fn with_target_backend(
+        draft: D,
+        target: VerifyBackend<T>,
+        binding: TokenizerBinding,
+        encoder: EncoderProfile,
+        config: ServerConfig,
+    ) -> Self {
         config.validate();
         let mut stats = ServerStats::new();
         stats.set_kv_capacity(2 * config.kv_blocks);
         Scheduler {
             draft: SyncBackendAdapter::new(draft),
-            target: InFlightSimBackend::new(target),
+            target,
+            draft_timeline: DeviceTimeline::new(config.draft_lanes),
+            outstanding_waves: VecDeque::new(),
             binding,
             encoder,
             config,
@@ -217,8 +347,19 @@ where
     }
 
     /// The target model (behind its in-flight backend).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the target runs behind the RPC boundary — the worker
+    /// thread owns the model, and nothing in-process can reference it
+    /// (which is the point of the boundary).
     pub fn target_model(&self) -> &T {
-        self.target.model()
+        match &self.target {
+            VerifyBackend::Sim(backend) => backend.model(),
+            VerifyBackend::Rpc(_) => {
+                panic!("the RPC worker owns the target model; only its profile crosses the wire")
+            }
+        }
     }
 
     /// The backend the per-session draft chains are submitted through.
@@ -228,7 +369,7 @@ where
 
     /// The backend the cross-session verification batches are submitted
     /// through.
-    pub fn target_backend(&self) -> &InFlightSimBackend<T> {
+    pub fn target_backend(&self) -> &VerifyBackend<T> {
         &self.target
     }
 
@@ -540,19 +681,52 @@ where
                 queued,
             });
         }
-        let mut drafted = Vec::with_capacity(self.active.len());
-        let mut draft_ms = Vec::with_capacity(self.active.len());
-        let mut verify_widths = Vec::with_capacity(self.active.len());
-        for session in &mut self.active {
+        // Pipelined scheduling (`max_in_flight_waves ≥ 2`) starts each
+        // session's draft phase at its *own* readiness — the completion of
+        // its previous verification wave, which can precede this tick's
+        // start.  That head start is the cross-tick overlap: the next
+        // round's draft work runs while the previous tick's later waves are
+        // still draining on the device.  Depth 1 is the classic
+        // drain-per-tick schedule (everything starts at `tick_start`).
+        let pipeline_depth = self.config.max_in_flight_waves;
+        let pipelined = pipeline_depth > 1;
+        let sessions = self.active.len();
+        let ready: Vec<f64> = self
+            .active
+            .iter()
+            .map(|session| {
+                if pipelined {
+                    session.ready_ms
+                } else {
+                    tick_start
+                }
+            })
+            .collect();
+        // Draft rounds reserve modeled draft-device time in readiness order
+        // (ties by batch index), so lane contention under a bounded
+        // `draft_lanes` budget is deterministic.
+        let mut order: Vec<usize> = (0..sessions).collect();
+        order.sort_by(|&a, &b| {
+            ready[a]
+                .partial_cmp(&ready[b])
+                .expect("wall clocks are finite")
+                .then(a.cmp(&b))
+        });
+        let mut drafted: Vec<Option<specasr::DraftedRound>> = (0..sessions).map(|_| None).collect();
+        let mut spent_ms = vec![0.0; sessions];
+        let mut draft_done = vec![0.0; sessions];
+        let mut verify_widths = vec![0usize; sessions];
+        for &index in &order {
+            let session = &mut self.active[index];
             let before = session.decode.clock().breakdown().draft_ms;
             // Model-draft sessions run their draft chains through the draft
             // backend; draft-free sessions dispatch to the installed drafter
             // (no backend batches, no draft latency charged — their `spent`
             // stays 0.0 and the verify planner sorts them first).
             let round = match session.decode.drafter() {
-                DrafterKind::ModelDraft => {
-                    session.decode.draft_round_via(&mut self.draft, tick_start)
-                }
+                DrafterKind::ModelDraft => session
+                    .decode
+                    .draft_round_via(&mut self.draft, ready[index]),
                 kind => {
                     let drafter = self
                         .drafters
@@ -564,16 +738,25 @@ where
                 }
             };
             let spent = session.decode.clock().breakdown().draft_ms - before;
+            // Draft rounds occupy the modeled draft device; with bounded
+            // lanes a round queues behind earlier rounds, pushing its
+            // verify submission later exactly like contended hardware.
+            let (draft_start, done) = if spent > 0.0 {
+                self.draft_timeline.occupy(ready[index], spent)
+            } else {
+                (ready[index], ready[index])
+            };
             let request = session.id.value();
             self.tracer.record_with(|| TraceEvent::DraftPhase {
-                start_ms: tick_start,
-                end_ms: tick_start + spent,
+                start_ms: draft_start,
+                end_ms: done,
                 tick,
                 request,
             });
-            draft_ms.push(spent);
-            verify_widths.push(round.verify_tokens());
-            drafted.push(round);
+            spent_ms[index] = spent;
+            draft_done[index] = done;
+            verify_widths[index] = round.verify_tokens();
+            drafted[index] = Some(round);
         }
 
         // Verification schedule: collect every session's verify request into
@@ -583,24 +766,66 @@ where
         // plan keeps the single grouped batch whenever overlap cannot win,
         // so the tick never costs more than the historical
         // wait-for-all-then-verify schedule.
-        let target_latency = self.target.model().profile().latency().clone();
-        let plan = plan_verify_waves(
-            &draft_ms,
-            &verify_widths,
-            &target_latency,
-            self.target.dispatch_overhead_ms(),
-        );
+        let target_latency = self.target.profile().latency().clone();
+        let plan = if pipelined {
+            // Absolute submit times: each cohort's wave goes out the moment
+            // its slowest draft finishes, queueing behind whatever the
+            // device is already running from earlier ticks.
+            plan_verify_waves_pipelined(
+                &draft_done,
+                &verify_widths,
+                &target_latency,
+                self.target.dispatch_overhead_ms(),
+                pipeline_depth,
+                self.target.device_free_ms(),
+            )
+        } else {
+            // Drain-per-tick: the legacy 1–2 wave split over draft times
+            // relative to the tick start.
+            let relative: Vec<f64> = draft_done.iter().map(|done| done - tick_start).collect();
+            plan_verify_waves(
+                &relative,
+                &verify_widths,
+                &target_latency,
+                self.target.dispatch_overhead_ms(),
+            )
+        };
         let mut ticket_owner = Vec::with_capacity(self.active.len());
+        let mut wave_of = vec![0usize; sessions];
         for (wave_index, (wave, offset)) in
             plan.waves.iter().zip(&plan.submit_offsets_ms).enumerate()
         {
             let mut batch = BackendBatch::new();
             for &index in wave {
-                batch.push(self.active[index].decode.verify_request(&drafted[index]));
+                let round = drafted[index]
+                    .as_ref()
+                    .expect("every planned session drafted this tick");
+                batch.push(self.active[index].decode.verify_request(round));
+                wave_of[index] = wave_index;
             }
-            let tickets = self.target.submit(batch, tick_start + offset);
+            // The in-flight window: with `max_in_flight_waves` batches
+            // already outstanding, the next submission stalls until the
+            // oldest one completes — bounded speculation ahead of the
+            // device, not an unbounded queue.
+            let mut submit_at = if pipelined {
+                *offset
+            } else {
+                tick_start + offset
+            };
+            while self.outstanding_waves.len() >= pipeline_depth {
+                let oldest = self
+                    .outstanding_waves
+                    .pop_front()
+                    .expect("the window length was just checked");
+                submit_at = submit_at.max(oldest);
+            }
+            let tickets = self.target.submit(batch, submit_at);
+            if pipelined {
+                self.outstanding_waves
+                    .push_back(self.target.device_free_ms());
+            }
             if self.tracer.is_enabled() {
-                let ts_ms = tick_start + offset;
+                let ts_ms = submit_at;
                 let ticket_ids: Vec<u64> = tickets.iter().map(|t| t.value()).collect();
                 let requests: Vec<u64> = wave
                     .iter()
@@ -623,6 +848,7 @@ where
         }
         let mut results: Vec<Option<ForwardResult>> = self.active.iter().map(|_| None).collect();
         let mut tick_end = tick_start;
+        let mut wave_completed = vec![tick_start; plan.waves.len()];
         // Per-wave device spans for the recorder: every request of a wave
         // shares its batch's (submitted, started, completed) triple.
         let mut wave_spans: Vec<Option<(f64, f64, f64)>> = if self.tracer.is_enabled() {
@@ -636,6 +862,7 @@ where
                 .iter()
                 .find(|(ticket, _, _)| *ticket == result.ticket)
                 .expect("every completion answers a ticket submitted this tick");
+            wave_completed[wave_index] = wave_completed[wave_index].max(result.completed_ms);
             if let Some(span) = wave_spans.get_mut(wave_index) {
                 *span = Some((result.submitted_ms, result.started_ms, result.completed_ms));
             }
@@ -674,12 +901,12 @@ where
         // paid for its draft and its share of the verification pass —
         // evicted speculation is wasted device time, exactly as on real
         // hardware.)
-        let analytic = TickCost::of_round(&draft_ms, &verify_widths, &target_latency);
+        let analytic = TickCost::of_round(&spent_ms, &verify_widths, &target_latency);
         let cost = TickCost {
-            wall_ms: tick_end - tick_start,
+            wall_ms: (tick_end - tick_start).max(0.0),
             sequential_ms: analytic.sequential_ms,
         };
-        self.wall_ms = tick_end;
+        self.wall_ms = self.wall_ms.max(tick_end);
         self.stats.record_tick(cost, self.active.len());
 
         // Commit per session from its pre-scored verification completion
@@ -690,9 +917,10 @@ where
         // preemption policy evicts sessions until the round fits — or, when
         // nothing is left to evict, the triggering request itself is dropped
         // with a memory rejection.
-        let target_profile = self.target.model().profile().clone();
+        let target_profile = self.target.profile().clone();
         let mut removal = vec![Removal::Keep; self.active.len()];
         for (index, round) in drafted.into_iter().enumerate() {
+            let round = round.expect("every active session drafted this tick");
             if removal[index] != Removal::Keep {
                 continue; // evicted by an earlier session's memory pressure
             }
@@ -703,13 +931,23 @@ where
             let result = results[index]
                 .take()
                 .expect("every drafted session was scored by a verification wave");
+            // Commit stamps: under pipelined scheduling each session's
+            // round lands the moment its own wave completes (first tokens
+            // and KV frees carry per-wave timestamps); drain-per-tick
+            // stamps everything at the tick's end, as before.
+            let commit_ms = if pipelined {
+                wave_completed[wave_of[index]].max(tick_start)
+            } else {
+                tick_end
+            };
             let session = &mut self.active[index];
             session
                 .decode
                 .verify_round_from_in(&mut self.kv, &target_profile, &result, round)
                 .expect("headroom was ensured before verification");
+            session.ready_ms = commit_ms;
             if session.first_token_ms.is_none() && !session.decode.tokens().is_empty() {
-                session.first_token_ms = Some(self.wall_ms);
+                session.first_token_ms = Some(commit_ms);
             }
             if session.decode.is_finished() {
                 // A finished session keeps only its position bookkeeping;
@@ -719,14 +957,28 @@ where
                 let blocks = session.decode.kv_blocks_held() as u64;
                 session.decode.release_kv(&mut self.kv);
                 self.tracer.record_with(|| TraceEvent::KvFree {
-                    ts_ms: tick_end,
+                    ts_ms: commit_ms,
                     request,
                     blocks,
                 });
             }
         }
+        // Draft-lane device time lives in the scheduler's modeled timeline
+        // (the draft backend itself only counts batch traffic), so fold it
+        // into the draft counters before publishing the gauges.
+        let mut draft_counters = self.draft.counters();
+        draft_counters.device_busy_ms = self.draft_timeline.busy_ms();
+        draft_counters.device_idle_ms = self.draft_timeline.idle_ms();
+        let target_counters = self.target.counters();
         self.stats
-            .sync_backend_gauges(&self.draft.counters(), &self.target.counters());
+            .sync_backend_gauges(&draft_counters, &target_counters);
+        self.tracer.record_with(|| TraceEvent::DeviceUtilization {
+            ts_ms: tick_end,
+            draft_busy_ms: draft_counters.device_busy_ms,
+            draft_idle_ms: draft_counters.device_idle_ms,
+            target_busy_ms: target_counters.device_busy_ms,
+            target_idle_ms: target_counters.device_idle_ms,
+        });
 
         // Mirror the allocator's exact gauges into the statistics: the
         // per-sub-pool high-water marks catch intra-tick peaks (before
@@ -1260,7 +1512,7 @@ mod tests {
     use specasr::{AdaptiveConfig, SparseTreeConfig, SpeculativeConfig};
     use specasr_audio::Corpus;
     use specasr_audio::Split;
-    use specasr_models::{ModelProfile, SimulatedAsrModel};
+    use specasr_models::{CtcDrafter, ModelProfile, SimulatedAsrModel};
 
     fn scheduler(
         config: ServerConfig,
@@ -1966,5 +2218,170 @@ mod tests {
             "pooled acceptance should be meaningful, got {acceptance:.3}"
         );
         assert!(scheduler.stats().e2e_p99_ms() >= scheduler.stats().e2e_p50_ms());
+    }
+
+    /// Serves a mixed-policy, mixed-drafter workload under `config` and
+    /// returns the transcripts in request-id order plus the final wall
+    /// clock.
+    fn transcripts_under(config: ServerConfig) -> (Vec<String>, f64) {
+        let (mut scheduler, corpus) = scheduler(config);
+        let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 7);
+        scheduler.install_drafter(Arc::new(CtcDrafter::paired(&target)));
+        let policies = [
+            Policy::Autoregressive,
+            Policy::Speculative(SpeculativeConfig::short_single()),
+            Policy::AdaptiveSingleSequence(AdaptiveConfig::paper()),
+            Policy::TwoPassSparseTree(SparseTreeConfig::paper()),
+        ];
+        for split in [Split::TestClean, Split::TestOther] {
+            for (index, utterance) in corpus.split(split).iter().enumerate() {
+                let drafter = if index % 3 == 0 {
+                    DrafterKind::CtcEncoder
+                } else {
+                    DrafterKind::ModelDraft
+                };
+                scheduler
+                    .submit_with_drafter(policies[index % policies.len()], drafter, utterance)
+                    .expect("queue has room");
+            }
+        }
+        let mut outcomes = scheduler.run_until_idle();
+        assert_eq!(outcomes.len(), 24);
+        outcomes.sort_by_key(|outcome| outcome.id.value());
+        let texts = outcomes.into_iter().map(|outcome| outcome.text).collect();
+        (texts, scheduler.wall_ms())
+    }
+
+    #[test]
+    fn pipelined_waves_keep_transcripts_byte_identical() {
+        let base = ServerConfig::default().with_max_batch(8);
+        let (reference, drained_wall) = transcripts_under(base);
+        for depth in [2, 4, 8] {
+            let (texts, wall) = transcripts_under(base.with_max_in_flight_waves(depth));
+            assert_eq!(
+                texts, reference,
+                "an in-flight window of {depth} changed a transcript"
+            );
+            assert!(
+                wall <= drained_wall + 1e-6,
+                "pipelining at depth {depth} must never lose to drain-per-tick \
+                 ({wall:.3} vs {drained_wall:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelining_overlaps_waves_and_finishes_sooner() {
+        let run = |depth: usize| {
+            let (mut scheduler, corpus) = scheduler(
+                ServerConfig::default()
+                    .with_max_batch(8)
+                    .with_max_in_flight_waves(depth),
+            );
+            let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+            for utterance in corpus.split(Split::TestClean) {
+                scheduler.submit(policy, utterance).expect("queue has room");
+            }
+            scheduler.run_until_idle();
+            (
+                scheduler.wall_ms(),
+                scheduler.stats().backend().peak_in_flight(),
+            )
+        };
+        let (drained_wall, drained_depth) = run(1);
+        let (pipelined_wall, pipelined_depth) = run(4);
+        assert!(
+            pipelined_wall < drained_wall,
+            "overlapping waves must shorten the serve ({pipelined_wall:.3} vs {drained_wall:.3})"
+        );
+        assert!(
+            pipelined_depth >= drained_depth,
+            "the in-flight depth cannot shrink under pipelining \
+             ({pipelined_depth} vs {drained_depth})"
+        );
+    }
+
+    #[test]
+    fn a_bounded_draft_budget_only_slows_the_clock() {
+        let run = |lanes: usize| {
+            let (mut scheduler, corpus) = scheduler(
+                ServerConfig::default()
+                    .with_max_batch(8)
+                    .with_max_in_flight_waves(4)
+                    .with_draft_lanes(lanes),
+            );
+            let policy = Policy::Speculative(SpeculativeConfig::short_single());
+            for utterance in corpus.split(Split::TestOther) {
+                scheduler.submit(policy, utterance).expect("queue has room");
+            }
+            let outcomes = scheduler.run_until_idle();
+            let texts: Vec<String> = outcomes.into_iter().map(|o| o.text).collect();
+            (texts, scheduler.wall_ms())
+        };
+        let (unbounded_texts, unbounded_wall) = run(0);
+        let (serialized_texts, serialized_wall) = run(1);
+        assert_eq!(
+            serialized_texts, unbounded_texts,
+            "a draft budget reorders time, never tokens"
+        );
+        assert!(
+            serialized_wall >= unbounded_wall,
+            "a single draft lane cannot beat an unbounded pool \
+             ({serialized_wall:.3} vs {unbounded_wall:.3})"
+        );
+    }
+
+    #[test]
+    fn an_rpc_target_serves_byte_identical_transcripts() {
+        let corpus = Corpus::librispeech_like(88, 12);
+        let binding = TokenizerBinding::for_corpus(&corpus);
+        let make = || {
+            let target = SimulatedAsrModel::target(ModelProfile::whisper_medium_en(), 7);
+            let draft =
+                SimulatedAsrModel::draft_paired(ModelProfile::whisper_tiny_en(), 8, &target);
+            (draft, target)
+        };
+        let config = ServerConfig::default()
+            .with_max_batch(4)
+            .with_max_in_flight_waves(4);
+        let (draft, target) = make();
+        let mut local = Scheduler::new(
+            draft,
+            target,
+            binding.clone(),
+            EncoderProfile::whisper_medium_encoder(),
+            config,
+        );
+        let (draft, target) = make();
+        let mut remote = Scheduler::with_rpc_target(
+            draft,
+            target,
+            binding,
+            EncoderProfile::whisper_medium_encoder(),
+            config,
+        );
+        let policy = Policy::TwoPassSparseTree(SparseTreeConfig::paper());
+        for utterance in corpus.split(Split::DevClean) {
+            local.submit(policy, utterance).expect("queue has room");
+            remote.submit(policy, utterance).expect("queue has room");
+        }
+        let local_outcomes = local.run_until_idle();
+        let remote_outcomes = remote.run_until_idle();
+        assert_eq!(local_outcomes.len(), remote_outcomes.len());
+        for (ours, theirs) in local_outcomes.iter().zip(&remote_outcomes) {
+            assert_eq!(ours.id, theirs.id);
+            assert_eq!(
+                ours.text, theirs.text,
+                "the process boundary must be invisible in the transcript"
+            );
+        }
+        assert!(
+            (local.wall_ms() - remote.wall_ms()).abs() < 1e-9,
+            "the wire mirrors the in-process timing exactly"
+        );
+        assert_eq!(
+            local.stats().backend().peak_in_flight(),
+            remote.stats().backend().peak_in_flight()
+        );
     }
 }

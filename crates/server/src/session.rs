@@ -178,6 +178,7 @@ impl QueuedRequest {
                     encoder_ms: self.encoder_ms,
                     arrival_ms: self.arrival_ms,
                     admitted_ms,
+                    ready_ms: admitted_ms,
                     first_token_ms: None,
                     preemptions: self.preemptions,
                     ttft_budget_ms: self.ttft_budget_ms,
@@ -205,6 +206,12 @@ pub(crate) struct ServerSession {
     pub encoder_ms: f64,
     pub arrival_ms: f64,
     pub admitted_ms: f64,
+    /// Wall time this session's next round may start: its own verification
+    /// wave's completion under pipelined scheduling (which can precede the
+    /// tick's end — that head start is the cross-tick overlap), the tick end
+    /// under drain-per-tick scheduling.  Reset to the admission time on
+    /// every (re-)admission.
+    pub ready_ms: f64,
     /// Wall time at which the first transcript token was committed.
     pub first_token_ms: Option<f64>,
     pub preemptions: usize,

@@ -159,7 +159,7 @@ impl MemoryStats {
 /// gauge is computed over verify batches only — per-session draft chains
 /// are inherently serial single-token requests and would wash the signal
 /// out.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BackendStats {
     /// Summed counters of the draft and target backends, with
     /// `peak_in_flight` normalised to the target backend's depth (the draft
@@ -221,6 +221,17 @@ impl BackendStats {
         self.counters.peak_in_flight
     }
 
+    /// Modeled milliseconds the device timelines spent executing batches.
+    pub fn device_busy_ms(&self) -> f64 {
+        self.counters.device_busy_ms
+    }
+
+    /// Modeled milliseconds the device timelines sat idle between
+    /// consecutive spans — the gap pipelined scheduling exists to close.
+    pub fn device_idle_ms(&self) -> f64 {
+        self.counters.device_idle_ms
+    }
+
     /// Publishes the backend counters and gauges into `registry` under the
     /// `specasr_backend_*` namespace of the Prometheus-style exposition.
     pub fn publish_metrics(&self, registry: &mut MetricsRegistry) {
@@ -265,6 +276,18 @@ impl BackendStats {
             "Peak simultaneous verification requests on the target backend.",
             &[],
             self.peak_in_flight() as f64,
+        );
+        registry.set_counter(
+            "specasr_backend_device_busy_ms_total",
+            "Modeled milliseconds the device timelines spent executing batches.",
+            &[],
+            self.device_busy_ms(),
+        );
+        registry.set_counter(
+            "specasr_backend_device_idle_ms_total",
+            "Modeled milliseconds the device timelines sat idle between spans.",
+            &[],
+            self.device_idle_ms(),
         );
     }
 

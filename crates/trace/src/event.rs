@@ -101,7 +101,10 @@ pub enum TraceEvent {
     },
     /// One session's draft phase within a tick.
     DraftPhase {
-        /// Draft start (== tick start; drafts run in parallel).
+        /// Draft start: the tick start under drain-per-tick scheduling; the
+        /// session's own readiness (its previous wave's completion, possibly
+        /// before the tick start, queued behind the modeled draft-lane
+        /// budget) under pipelined scheduling.
         start_ms: f64,
         /// Draft end.
         end_ms: f64,
@@ -191,6 +194,22 @@ pub enum TraceEvent {
         /// Blocks in use in the target sub-pool.
         target_blocks: u64,
     },
+    /// Cumulative modeled device utilization, sampled once per tick: busy
+    /// time is summed span lengths, idle time the gaps between consecutive
+    /// spans on a used lane — the number the pipelined scheduler drives
+    /// toward zero.
+    DeviceUtilization {
+        /// Sample time (end of the tick).
+        ts_ms: f64,
+        /// Draft-lane device busy time so far.
+        draft_busy_ms: f64,
+        /// Draft-lane gaps between consecutive spans so far.
+        draft_idle_ms: f64,
+        /// Target device busy time so far.
+        target_busy_ms: f64,
+        /// Target device gaps between consecutive spans so far.
+        target_idle_ms: f64,
+    },
     /// A streaming chunk crossed its arrival time and was delivered.
     ChunkArrived {
         /// Chunk arrival time.
@@ -245,6 +264,7 @@ impl TraceEvent {
             TraceEvent::KvRestore { .. } => "kv_restore",
             TraceEvent::CowCopy { .. } => "cow_copy",
             TraceEvent::KvOccupancy { .. } => "kv_occupancy",
+            TraceEvent::DeviceUtilization { .. } => "device_utilization",
             TraceEvent::ChunkArrived { .. } => "chunk_arrived",
             TraceEvent::PartialEmitted { .. } => "partial_emitted",
             TraceEvent::Retraction { .. } => "retraction",
@@ -252,8 +272,8 @@ impl TraceEvent {
     }
 
     /// The event's primary timestamp: when it happened (for spans, when the
-    /// span *ended* — `DraftPhase` reports its start because drafts are
-    /// anchored at tick start).
+    /// span *ended* — `DraftPhase` reports its start, the anchor drafts are
+    /// scheduled from).
     pub fn ts_ms(&self) -> f64 {
         match self {
             TraceEvent::RequestSubmitted { ts_ms, .. }
@@ -269,6 +289,7 @@ impl TraceEvent {
             | TraceEvent::KvRestore { ts_ms, .. }
             | TraceEvent::CowCopy { ts_ms, .. }
             | TraceEvent::KvOccupancy { ts_ms, .. }
+            | TraceEvent::DeviceUtilization { ts_ms, .. }
             | TraceEvent::ChunkArrived { ts_ms, .. }
             | TraceEvent::PartialEmitted { ts_ms, .. }
             | TraceEvent::Retraction { ts_ms, .. } => *ts_ms,
@@ -436,6 +457,19 @@ impl Serialize for TraceEvent {
                 push("ts_ms", Value::Number(*ts_ms));
                 push("draft_blocks", num(*draft_blocks));
                 push("target_blocks", num(*target_blocks));
+            }
+            TraceEvent::DeviceUtilization {
+                ts_ms,
+                draft_busy_ms,
+                draft_idle_ms,
+                target_busy_ms,
+                target_idle_ms,
+            } => {
+                push("ts_ms", Value::Number(*ts_ms));
+                push("draft_busy_ms", Value::Number(*draft_busy_ms));
+                push("draft_idle_ms", Value::Number(*draft_idle_ms));
+                push("target_busy_ms", Value::Number(*target_busy_ms));
+                push("target_idle_ms", Value::Number(*target_idle_ms));
             }
             TraceEvent::ChunkArrived {
                 ts_ms,

@@ -180,6 +180,23 @@ pub fn chrome_trace(lanes: &[(&str, &FlightRecording)]) -> String {
                         ("target", num(*target_blocks)),
                     ]),
                 )),
+                TraceEvent::DeviceUtilization {
+                    ts_ms,
+                    draft_busy_ms,
+                    draft_idle_ms,
+                    target_busy_ms,
+                    target_idle_ms,
+                } => events.push(counter(
+                    "device time (ms)",
+                    *ts_ms,
+                    pid,
+                    object(vec![
+                        ("draft_busy", Value::Number(*draft_busy_ms)),
+                        ("draft_idle", Value::Number(*draft_idle_ms)),
+                        ("target_busy", Value::Number(*target_busy_ms)),
+                        ("target_idle", Value::Number(*target_idle_ms)),
+                    ]),
+                )),
                 TraceEvent::CowCopy { ts_ms, copies } => {
                     cow_total += copies;
                     events.push(counter(

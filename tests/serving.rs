@@ -286,3 +286,110 @@ fn serving_throughput_beats_one_at_a_time_serving() {
         results[0]
     );
 }
+
+/// Builds the token-map drafter the way a deployment would: from the
+/// corpus reference transcripts, EOS-terminated.
+fn token_map_for(audio: &[specasr_models::UtteranceTokens]) -> specasr::TokenMapDrafter {
+    let sequences: Vec<Vec<specasr_tokenizer::TokenId>> = audio
+        .iter()
+        .map(|utt| {
+            let mut seq = utt.reference_tokens().to_vec();
+            seq.push(utt.eos());
+            seq
+        })
+        .collect();
+    let index =
+        specasr_tokenizer::TokenMapIndex::build_default(sequences.iter().map(Vec::as_slice));
+    specasr::TokenMapDrafter::new(std::sync::Arc::new(index))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Pipelined N-wave scheduling is pure reordering of device time.
+    /// Whatever the in-flight window depth (which shuffles when each wave's
+    /// completions are stamped), the modeled draft budget, the
+    /// policy × drafter mix, and the pool pressure (preempting sessions
+    /// whose speculative submissions are then cancelled before commit),
+    /// transcripts and shed sets are byte-identical to drain-per-tick, the
+    /// latency breakdowns reconcile, and the pipelined clock never loses.
+    #[test]
+    fn pipelined_scheduling_matches_drain_per_tick(
+        seed in 0u64..100,
+        kv_blocks in 24usize..96,
+        requests in 2usize..14,
+        depth in 2usize..7,
+        draft_lanes in 0usize..3,
+        salt in 0u64..1_000,
+    ) {
+        let setup = StandardSetup::new(seed, 4);
+        let policies = serving_policies();
+        let kinds = [
+            specasr::DrafterKind::ModelDraft,
+            specasr::DrafterKind::ModelDraft,
+            specasr::DrafterKind::CtcEncoder,
+            specasr::DrafterKind::TokenMap,
+        ];
+        let pool: Vec<&specasr_audio::Utterance> = Split::ALL
+            .iter()
+            .flat_map(|&split| setup.corpus.split(split))
+            .collect();
+        let audio: Vec<specasr_models::UtteranceTokens> =
+            pool.iter().map(|utterance| setup.binding.bind(utterance)).collect();
+        let base = ServerConfig::default()
+            .with_max_batch(4)
+            .with_queue_depth(requests)
+            .with_kv_blocks(kv_blocks);
+        let run = |config: ServerConfig| {
+            let mut scheduler = scheduler_for(&setup, config);
+            scheduler.install_drafter(std::sync::Arc::new(
+                specasr_models::CtcDrafter::paired(&setup.target),
+            ));
+            scheduler.install_drafter(std::sync::Arc::new(token_map_for(&audio)));
+            for index in 0..requests {
+                let policy = policies[(salt as usize + index) % policies.len()];
+                let kind = kinds[(salt as usize / 7 + index) % kinds.len()];
+                let utterance = pool[(index * 3 + salt as usize) % pool.len()];
+                scheduler
+                    .submit_with_drafter(policy, kind, utterance)
+                    .expect("queue has room");
+            }
+            let mut outcomes = scheduler.run_until_idle();
+            outcomes.sort_by_key(|outcome| outcome.id);
+            let shed = scheduler.stats().rejected_memory();
+            let preempted = scheduler.stats().memory().preemptions();
+            let leaked = scheduler.kv_pool().used_blocks();
+            (outcomes, shed, preempted, leaked, scheduler.wall_ms())
+        };
+        // Both runs share the draft-lane budget so the only difference is
+        // the in-flight window: drain-per-tick (depth 1) vs pipelined.
+        let (reference, reference_shed, _, reference_leak, reference_wall) =
+            run(base.with_draft_lanes(draft_lanes));
+        let (served, shed, _preempted, leaked, wall) = run(
+            base.with_max_in_flight_waves(depth)
+                .with_draft_lanes(draft_lanes),
+        );
+
+        prop_assert_eq!(leaked, 0);
+        prop_assert_eq!(reference_leak, 0);
+        prop_assert_eq!(shed, reference_shed, "shed sets must not depend on the window");
+        prop_assert_eq!(served.len(), reference.len());
+        for (outcome, matching) in served.iter().zip(&reference) {
+            prop_assert_eq!(outcome.id, matching.id);
+            prop_assert_eq!(&outcome.text, &matching.text);
+            prop_assert_eq!(&outcome.outcome.tokens, &matching.outcome.tokens);
+            // The latency breakdown reconciles on its own clock: first
+            // tokens commit no later than the final one, and end-to-end is
+            // exactly its parts.
+            let latency = &outcome.latency;
+            prop_assert!(latency.time_to_first_token_ms <= latency.e2e_ms() + 1e-6);
+            prop_assert!(latency.queue_ms >= 0.0 && latency.decode_wall_ms >= 0.0);
+        }
+        prop_assert!(
+            wall <= reference_wall + 1e-6,
+            "pipelining lost to drain-per-tick: {} vs {}",
+            wall,
+            reference_wall
+        );
+    }
+}

@@ -130,6 +130,103 @@ fn a_verify_wave_overlaps_a_straggler_draft_phase_on_the_device_timeline() {
     );
 }
 
+/// Runs one traced pipelined cell (in-flight window `depth`, `lanes` modeled
+/// draft lanes) over the TestClean split at c=8 and returns its recording.
+fn traced_pipelined_run(setup: &StandardSetup, depth: usize, lanes: usize) -> FlightRecording {
+    let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+    let mut scheduler = Scheduler::new(
+        setup.draft.clone(),
+        setup.target.clone(),
+        setup.binding.clone(),
+        EncoderProfile::whisper_medium_encoder(),
+        ServerConfig::default()
+            .with_max_batch(8)
+            .with_max_in_flight_waves(depth)
+            .with_draft_lanes(lanes),
+    );
+    scheduler.set_trace(TraceConfig::enabled().with_capacity(1 << 20));
+    for utterance in setup.corpus.split(Split::TestClean) {
+        scheduler.submit(policy, utterance).expect("queue has room");
+    }
+    scheduler.run_until_idle();
+    scheduler
+        .take_trace_recording()
+        .expect("tracing was enabled")
+}
+
+#[test]
+fn a_single_draft_lane_never_overlaps_draft_phases() {
+    let setup = StandardSetup::new(900, 12);
+    let recording = traced_pipelined_run(&setup, 4, 1);
+    let mut spans: Vec<(f64, f64)> = recording
+        .events()
+        .filter_map(|event| match event {
+            TraceEvent::DraftPhase {
+                start_ms, end_ms, ..
+            } if end_ms > start_ms => Some((*start_ms, *end_ms)),
+            _ => None,
+        })
+        .collect();
+    assert!(spans.len() > 1, "the cell ran real draft phases");
+    spans.sort_by(|a, b| a.partial_cmp(b).expect("span times are finite"));
+    for pair in spans.windows(2) {
+        assert!(
+            pair[1].0 >= pair[0].1 - 1e-9,
+            "draft spans [{:.3}, {:.3}] and [{:.3}, {:.3}] overlap on a single modeled lane",
+            pair[0].0,
+            pair[0].1,
+            pair[1].0,
+            pair[1].1
+        );
+    }
+}
+
+#[test]
+fn pipelining_starts_draft_work_before_the_tick_boundary_and_shrinks_device_idle() {
+    let setup = StandardSetup::new(900, 12);
+    let drained = traced_pipelined_run(&setup, 1, 0);
+    let pipelined = traced_pipelined_run(&setup, 4, 0);
+
+    // Cross-tick overlap witness: some session's draft phase begins before
+    // its own tick's start, hidden under the previous tick's later waves.
+    let tick_starts: Vec<(u64, f64)> = pipelined
+        .events()
+        .filter_map(|event| match event {
+            TraceEvent::TickStart { tick, ts_ms, .. } => Some((*tick, *ts_ms)),
+            _ => None,
+        })
+        .collect();
+    let head_start = pipelined.events().any(|event| match event {
+        TraceEvent::DraftPhase { tick, start_ms, .. } => tick_starts
+            .iter()
+            .any(|(t, ts)| t == tick && *start_ms < ts - 1e-9),
+        _ => false,
+    });
+    assert!(
+        head_start,
+        "no draft phase started ahead of its tick under a depth-4 window"
+    );
+
+    // The whole point of the pipeline: the target device's between-span
+    // gaps shrink (same busy time, earlier submissions).
+    let final_idle = |recording: &FlightRecording| {
+        recording
+            .events()
+            .filter_map(|event| match event {
+                TraceEvent::DeviceUtilization { target_idle_ms, .. } => Some(*target_idle_ms),
+                _ => None,
+            })
+            .last()
+            .expect("every tick samples device utilization")
+    };
+    let drained_idle = final_idle(&drained);
+    let pipelined_idle = final_idle(&pipelined);
+    assert!(
+        pipelined_idle < drained_idle,
+        "pipelining must shrink target idle time ({pipelined_idle:.3} vs {drained_idle:.3})"
+    );
+}
+
 #[test]
 fn perfetto_export_is_schema_valid_and_deterministic() {
     let setup = StandardSetup::new(900, 6);
