@@ -18,6 +18,14 @@
 //!
 //! To intentionally move a baseline, rerun the sweep with
 //! `SPECASR_WRITE_BASELINE=1` and commit the updated `BENCH_*.json`.
+//!
+//! Pass `--attribution <dump.jsonl>` (repeatable) with a flight-recorder
+//! dump from a traced cell (`--trace-out` writes one next to the Perfetto
+//! trace) and a gate breach arrives with *where the time went*: the
+//! critical-path attribution, device-time ledger, and speculation-efficiency
+//! report for that dump is printed under the breach tables, so a drifted
+//! `e2e_p99_ms` or `rejected_draft_device_ms` can be read against the
+//! per-component decomposition instead of re-running the sweep by hand.
 
 use std::process::ExitCode;
 
@@ -26,6 +34,7 @@ use specasr_bench::regression::{
     breach_table, compare_records, Violation, DEFAULT_TOLERANCE, GATED_METRICS,
 };
 use specasr_metrics::ExperimentRecord;
+use specasr_trace::{analyze_events, parse_jsonl, TraceAnalysis};
 
 fn load(path: &str) -> Result<ExperimentRecord, String> {
     let content =
@@ -51,9 +60,16 @@ fn default_pairs() -> Vec<(String, String)> {
         .collect()
 }
 
-fn parse_args() -> Result<(f64, Vec<(String, String)>), String> {
+struct Args {
+    tolerance: f64,
+    pairs: Vec<(String, String)>,
+    attributions: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
     let mut tolerance = DEFAULT_TOLERANCE;
     let mut paths = Vec::new();
+    let mut attributions = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -68,9 +84,16 @@ fn parse_args() -> Result<(f64, Vec<(String, String)>), String> {
                     return Err(format!("tolerance must be non-negative, got {value}"));
                 }
             }
+            "--attribution" => {
+                attributions.push(
+                    args.next()
+                        .ok_or_else(|| "--attribution needs a path".to_owned())?,
+                );
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: bench_check [--tolerance 0.15] [<baseline.json> <fresh.json>]..."
+                    "usage: bench_check [--tolerance 0.15] [--attribution <dump.jsonl>]... \
+                     [<baseline.json> <fresh.json>]..."
                         .to_owned(),
                 )
             }
@@ -88,11 +111,50 @@ fn parse_args() -> Result<(f64, Vec<(String, String)>), String> {
             .map(|pair| (pair[0].clone(), pair[1].clone()))
             .collect()
     };
-    Ok((tolerance, pairs))
+    Ok(Args {
+        tolerance,
+        pairs,
+        attributions,
+    })
+}
+
+/// Prints the attribution report for one flight-recorder dump, indented
+/// under the breach output, so a gate failure carries the per-component
+/// "where the time went" decomposition of the traced cell.
+fn print_attribution(path: &str) {
+    let dump = match std::fs::read_to_string(path) {
+        Ok(dump) => dump,
+        Err(error) => {
+            eprintln!("       (attribution dump {path} unreadable: {error})");
+            return;
+        }
+    };
+    let lanes = match parse_jsonl(&dump) {
+        Ok(lanes) => lanes,
+        Err(error) => {
+            eprintln!("       (attribution dump {path} unparsable: {error})");
+            return;
+        }
+    };
+    let mut analysis = TraceAnalysis::default();
+    for (_, events) in &lanes {
+        analysis.merge(&analyze_events(events));
+    }
+    eprintln!("       where the time went ({path}):");
+    for line in analysis.render_report().lines() {
+        eprintln!("         {line}");
+    }
+    if let Err(message) = analysis.reconcile() {
+        eprintln!("       (attribution dump {path} does not reconcile: {message})");
+    }
 }
 
 fn main() -> ExitCode {
-    let (tolerance, pairs) = match parse_args() {
+    let Args {
+        tolerance,
+        pairs,
+        attributions,
+    } = match parse_args() {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("{message}");
@@ -157,6 +219,11 @@ fn main() -> ExitCode {
     }
 
     if failed {
+        // A breach arrives with the traced cells' attribution so the drift
+        // can be read against where the time actually went.
+        for path in &attributions {
+            print_attribution(path);
+        }
         eprintln!(
             "bench_check: regression gate FAILED — if the change is intentional, regenerate \
              baselines with SPECASR_WRITE_BASELINE=1 and commit them"

@@ -180,6 +180,7 @@ fn main() {
                 .with("throughput_utps", stats.utterances_per_second())
                 .with("tokens_per_s", stats.tokens_per_second())
                 .with("acceptance", stats.mean_acceptance())
+                .with("rejected_draft_device_ms", stats.rejected_draft_device_ms())
                 .with("batch_speedup", stats.batching_speedup())
                 .with("e2e_p50_ms", e2e.percentile(0.50))
                 .with("e2e_p99_ms", e2e.percentile(0.99))

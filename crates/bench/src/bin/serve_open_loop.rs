@@ -167,6 +167,7 @@ fn run_cell(
         .with("e2e_p99_ms", fleet.e2e_p99_ms())
         .with("ttft_p50_ms", fleet.ttft_p50_ms())
         .with("acceptance", fleet.mean_acceptance())
+        .with("rejected_draft_device_ms", fleet.rejected_draft_device_ms())
         .with("stolen", router.stolen() as f64)
         .with("wall_ms", fleet.wall_ms())
         .with("kv_blocks", kv_blocks as f64)
@@ -234,6 +235,7 @@ fn run_drafter_cell(
         .with("e2e_p99_ms", fleet.e2e_p99_ms())
         .with("ttft_p50_ms", fleet.ttft_p50_ms())
         .with("acceptance", fleet.mean_acceptance())
+        .with("rejected_draft_device_ms", fleet.rejected_draft_device_ms())
         .with("wall_ms", fleet.wall_ms())
         .with("peak_kv_blocks", memory.peak_kv_blocks() as f64)
         .with("preemptions", memory.preemptions() as f64)

@@ -130,6 +130,7 @@ fn run_cell(
         .with("final_e2e_p50_ms", stats.e2e_p50_ms())
         .with("final_e2e_p99_ms", stats.e2e_p99_ms())
         .with("acceptance", stats.mean_acceptance())
+        .with("rejected_draft_device_ms", stats.rejected_draft_device_ms())
         .with("peak_kv_blocks", memory.peak_kv_blocks() as f64)
         .with("preemptions", memory.preemptions() as f64)
 }

@@ -1,0 +1,129 @@
+//! `trace_analyze` — attribution report over a flight-recorder JSONL dump.
+//!
+//! Reads the lane-tagged JSONL event dump a serving bin writes next to its
+//! Perfetto trace (`--trace-out foo.json` also writes `foo.jsonl`), runs the
+//! critical-path attribution and device-time ledger analysis over every
+//! lane, and renders the merged report: per-request e2e decomposition into
+//! queue / encoder / draft / draft-lane wait / device backlog / device
+//! service / pipeline bubble / preemption penalty, the fleet device-time
+//! ledger (accepted-token work vs rejected-draft waste vs probe overhead vs
+//! idle), and per-policy × per-drafter speculation efficiency.
+//!
+//! ```text
+//! # render the report for a traced smoke cell:
+//! cargo run -p specasr-bench --release --bin trace_analyze -- \
+//!     target/experiments/serve_open_loop_trace.jsonl
+//!
+//! # CI mode: also verify the exactness contracts (attribution folds land
+//! # bitwise on each recorded e2e; the ledger folds bitwise to busy+idle)
+//! # and write the report to a file for artifact upload:
+//! cargo run -p specasr-bench --release --bin trace_analyze -- \
+//!     target/experiments/serve_open_loop_trace.jsonl \
+//!     --check --report-out target/experiments/serve_open_loop_attribution.txt
+//! ```
+//!
+//! `--check` exits nonzero on any reconciliation mismatch, which is how CI
+//! turns the attribution math itself into a gate: a scheduler change that
+//! breaks the exact decomposition fails the job even when every latency
+//! metric still looks healthy.
+
+use std::process::ExitCode;
+
+use specasr_trace::{analyze_events, parse_jsonl, TraceAnalysis};
+
+struct Args {
+    input: String,
+    check: bool,
+    report_out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut input = None;
+    let mut check = false;
+    let mut report_out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--report-out" => {
+                report_out = Some(
+                    args.next()
+                        .ok_or_else(|| "--report-out needs a path".to_owned())?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: trace_analyze <dump.jsonl> [--check] [--report-out <path>]".to_owned(),
+                )
+            }
+            path if input.is_none() => input = Some(path.to_owned()),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    Ok(Args {
+        input: input.ok_or_else(|| "missing input: trace_analyze <dump.jsonl>".to_owned())?,
+        check,
+        report_out,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dump = match std::fs::read_to_string(&args.input) {
+        Ok(dump) => dump,
+        Err(error) => {
+            eprintln!("trace_analyze: cannot read {}: {error}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let lanes = match parse_jsonl(&dump) {
+        Ok(lanes) => lanes,
+        Err(error) => {
+            eprintln!("trace_analyze: cannot parse {}: {error}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut analysis = TraceAnalysis::default();
+    for (_, events) in &lanes {
+        analysis.merge(&analyze_events(events));
+    }
+    let lane_names: Vec<&str> = lanes.iter().map(|(name, _)| name.as_str()).collect();
+    let report = format!(
+        "trace_analyze: {} ({} lanes: {})\n\n{}",
+        args.input,
+        lanes.len(),
+        lane_names.join(", "),
+        analysis.render_report()
+    );
+    println!("{report}");
+
+    if let Some(path) = &args.report_out {
+        if let Err(error) = std::fs::write(path, format!("{report}\n")) {
+            eprintln!("trace_analyze: cannot write {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+        println!("(report written to {path})");
+    }
+
+    if args.check {
+        match analysis.reconcile() {
+            Ok(()) => println!(
+                "reconciliation OK: {} requests fold bitwise to their recorded e2e; ledger \
+                 folds bitwise to busy+idle",
+                analysis.requests.len()
+            ),
+            Err(message) => {
+                eprintln!("trace_analyze: reconciliation FAILED: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -254,12 +254,14 @@ impl TraceArgs {
     }
 
     /// Validates and writes the Chrome/Perfetto trace of the traced cell's
-    /// recording lanes to the `--trace-out` path.
+    /// recording lanes to the `--trace-out` path, plus a sibling `.jsonl`
+    /// raw-event dump (`specasr_trace::jsonl_with_lanes`) that the
+    /// `trace_analyze` binary re-analyzes bit-exactly.
     ///
     /// # Panics
     ///
     /// Panics when the exporter emits JSON the trace schema rejects (an
-    /// exporter bug, never an input condition) or the file cannot be
+    /// exporter bug, never an input condition) or a file cannot be
     /// written.
     pub fn write(&self, lanes: &[(&str, &specasr_trace::FlightRecording)]) {
         let Some(path) = &self.out else {
@@ -274,15 +276,19 @@ impl TraceArgs {
             }
         }
         std::fs::write(path, &json).expect("trace output path is writable");
+        let dump_path = path.with_extension("jsonl");
+        std::fs::write(&dump_path, specasr_trace::jsonl_with_lanes(lanes))
+            .expect("trace dump path is writable");
         let dropped: u64 = lanes.iter().map(|(_, r)| r.dropped_events()).sum();
         println!(
             "(trace for cell `{}` written to {}: {} events, {} slices, {} counter samples, \
-             {dropped} dropped)",
+             {dropped} dropped; raw events in {})",
             self.cell,
             path.display(),
             summary.events,
             summary.duration_slices,
             summary.counter_samples,
+            dump_path.display(),
         );
     }
 }

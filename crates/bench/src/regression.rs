@@ -39,7 +39,14 @@ use specasr_metrics::{ExperimentRecord, ReportRow};
 /// the batch width means waves stopped overlapping across tick boundaries —
 /// the scheduler silently fell back to drain-per-tick and the device
 /// timeline has idle gaps again.
-pub const GATED_METRICS: [&str; 8] = [
+///
+/// `rejected_draft_device_ms` gates speculation efficiency: the device
+/// milliseconds spent verifying draft tokens the target then rejected,
+/// summed across every (policy, drafter) group.  Throughput can hold while
+/// a drafter change quietly burns more device time on rejected drafts —
+/// the waste only surfaces once the fleet saturates, so the ledger itself
+/// is gated.
+pub const GATED_METRICS: [&str; 9] = [
     "throughput_utps",
     "e2e_p99_ms",
     "peak_kv_blocks",
@@ -48,6 +55,7 @@ pub const GATED_METRICS: [&str; 8] = [
     "retraction_rate",
     "backend_batch_occupancy",
     "in_flight_depth",
+    "rejected_draft_device_ms",
 ];
 
 /// Default relative tolerance band (±15%).
@@ -418,6 +426,34 @@ mod tests {
         assert!(violations[0]
             .to_string()
             .contains("backend_batch_occupancy"));
+    }
+
+    #[test]
+    fn rejected_draft_waste_is_gated_when_present() {
+        let base = ExperimentRecord::new("serve", "t").with_row(
+            ReportRow::new("specasr-asp@c8")
+                .with("throughput_utps", 25.0)
+                .with("rejected_draft_device_ms", 40.0),
+        );
+        let fresh_ok = ExperimentRecord::new("serve", "t").with_row(
+            ReportRow::new("specasr-asp@c8")
+                .with("throughput_utps", 25.0)
+                .with("rejected_draft_device_ms", 43.0),
+        );
+        assert!(compare_records(&base, &fresh_ok, DEFAULT_TOLERANCE).is_empty());
+
+        // A drafter change that burns more device time on rejected drafts
+        // fails the gate even when throughput holds.
+        let wasteful = ExperimentRecord::new("serve", "t").with_row(
+            ReportRow::new("specasr-asp@c8")
+                .with("throughput_utps", 25.0)
+                .with("rejected_draft_device_ms", 60.0),
+        );
+        let violations = compare_records(&base, &wasteful, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0]
+            .to_string()
+            .contains("rejected_draft_device_ms"));
     }
 
     #[test]

@@ -593,6 +593,33 @@ impl<M: AsrDecoderModel> AsrBackend for SyncBackendAdapter<M> {
     }
 }
 
+/// One batch executed on the modeled device, as logged *by the device side*
+/// when device tracing is enabled.
+///
+/// This is the worker-side truth a trace consumer stitches into its flight
+/// recording: [`InFlightSimBackend`] records one `DeviceEvent` per submit,
+/// and the RPC backend ships the log across the wire verbatim, so an
+/// `--rpc` run stitches a digit-for-digit identical device timeline to an
+/// in-process run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceEvent {
+    /// Batch sequence number (0-based, in submit order).
+    pub seq: u64,
+    /// When the batch was submitted.
+    pub submitted_ms: f64,
+    /// When the device started executing it (after dispatch overhead and
+    /// backlog).
+    pub started_ms: f64,
+    /// When it completed.
+    pub completed_ms: f64,
+    /// Forward requests in the batch.
+    pub requests: u64,
+    /// Token width the batch was priced at.
+    pub charge_tokens: u64,
+    /// Whether the batch carried verification requests.
+    pub verify: bool,
+}
+
 /// A simulated backend with *in-flight* semantics: one device timeline,
 /// per-batch dispatch overhead, and queueing behind whatever is already
 /// executing.
@@ -634,6 +661,9 @@ pub struct InFlightSimBackend<M> {
     model: M,
     timeline: DeviceTimeline,
     state: BackendState,
+    device_tracing: bool,
+    device_log: Vec<DeviceEvent>,
+    device_seq: u64,
 }
 
 impl<M: AsrDecoderModel> InFlightSimBackend<M> {
@@ -643,6 +673,9 @@ impl<M: AsrDecoderModel> InFlightSimBackend<M> {
             model,
             timeline: DeviceTimeline::new(1),
             state: BackendState::default(),
+            device_tracing: false,
+            device_log: Vec::new(),
+            device_seq: 0,
         }
     }
 
@@ -676,6 +709,21 @@ impl<M: AsrDecoderModel> InFlightSimBackend<M> {
         self.timeline.free_ms()
     }
 
+    /// Enables or disables the device-side batch log.  Disabling also
+    /// clears any buffered events; the sequence counter keeps running so a
+    /// re-enabled log stays in submit order.
+    pub fn set_device_tracing(&mut self, enabled: bool) {
+        self.device_tracing = enabled;
+        if !enabled {
+            self.device_log.clear();
+        }
+    }
+
+    /// Drains the device-side batch log recorded since the last drain.
+    pub fn take_device_events(&mut self) -> Vec<DeviceEvent> {
+        std::mem::take(&mut self.device_log)
+    }
+
     /// The wrapped model.
     pub fn model(&self) -> &M {
         &self.model
@@ -695,6 +743,21 @@ impl<M: AsrDecoderModel> AsrBackend for InFlightSimBackend<M> {
     fn submit(&mut self, batch: BackendBatch, now_ms: f64) -> Vec<Ticket> {
         let service_ms = batch_service_ms(self.model.profile(), &batch);
         let (start_ms, completed_ms) = self.timeline.occupy(now_ms, service_ms);
+        if self.device_tracing {
+            self.device_log.push(DeviceEvent {
+                seq: self.device_seq,
+                submitted_ms: now_ms,
+                started_ms: start_ms,
+                completed_ms,
+                requests: batch.requests().len() as u64,
+                charge_tokens: batch.charge_tokens() as u64,
+                verify: batch
+                    .requests()
+                    .iter()
+                    .any(|request| request.kind == ForwardKind::Verify),
+            });
+        }
+        self.device_seq += 1;
         self.state
             .score_batch(&self.model, batch, now_ms, start_ms, completed_ms)
     }

@@ -21,7 +21,9 @@
 use std::sync::mpsc::{Receiver, Sender};
 use std::thread::JoinHandle;
 
-use crate::backend::{AsrBackend, BackendBatch, BackendCounters, ForwardResult, Ticket};
+use crate::backend::{
+    AsrBackend, BackendBatch, BackendCounters, DeviceEvent, ForwardResult, Ticket,
+};
 use crate::profiles::ModelProfile;
 use crate::traits::AsrDecoderModel;
 use crate::wire::{
@@ -115,6 +117,23 @@ impl RpcBackend {
         self.device_free_ms
     }
 
+    /// Propagates the trace context to the worker: enables (or disables)
+    /// the device-side batch log behind the wire.
+    pub fn set_device_tracing(&mut self, enabled: bool) {
+        match self.call(&WireCall::SetTracing(enabled)) {
+            WireReply::TracingSet(state) => debug_assert_eq!(state, enabled),
+            other => unreachable!("set tracing answered with {other:?}"),
+        }
+    }
+
+    /// Drains the worker's device batch log across the wire.
+    pub fn take_device_events(&mut self) -> Vec<DeviceEvent> {
+        match self.call(&WireCall::TakeDeviceEvents) {
+            WireReply::DeviceEvents(events) => events,
+            other => unreachable!("take device events answered with {other:?}"),
+        }
+    }
+
     fn call(&self, call: &WireCall) -> WireReply {
         self.calls
             .send(encode_call(call))
@@ -196,6 +215,11 @@ fn worker_loop<M: AsrDecoderModel>(
             WireCall::Poll => WireReply::Results(backend.poll()),
             WireCall::Complete(raw) => WireReply::Completed(backend.complete(Ticket::new(raw))),
             WireCall::Counters => WireReply::Counters(backend.counters()),
+            WireCall::SetTracing(enabled) => {
+                backend.set_device_tracing(enabled);
+                WireReply::TracingSet(enabled)
+            }
+            WireCall::TakeDeviceEvents => WireReply::DeviceEvents(backend.take_device_events()),
             WireCall::Shutdown => {
                 let _ = replies.send(encode_reply(&WireReply::Bye));
                 return;
@@ -252,6 +276,38 @@ mod tests {
         assert!(!remote_results.is_empty());
         assert!(remote_results.iter().all(|r| r.kind == ForwardKind::Verify));
         assert_eq!(remote.counters(), local.counters());
+    }
+
+    #[test]
+    fn the_device_log_crosses_the_wire_identically() {
+        let (target, audio) = setup();
+        let mut local = InFlightSimBackend::new(target.clone()).with_dispatch_overhead_ms(1.5);
+        let mut remote = RpcBackend::spawn_with_overhead(target, 1.5);
+        local.set_device_tracing(true);
+        remote.set_device_tracing(true);
+        for (i, context) in audio.iter().enumerate() {
+            let request =
+                ForwardRequest::verify(context.clone(), Vec::new(), vec![Vec::new()], 3 + i);
+            local.submit(BackendBatch::of(request.clone()), i as f64);
+            remote.submit(BackendBatch::of(request), i as f64);
+        }
+        let local_events = local.take_device_events();
+        let remote_events = remote.take_device_events();
+        assert!(!local_events.is_empty());
+        assert_eq!(local_events, remote_events);
+        assert!(local.take_device_events().is_empty(), "drained");
+        assert!(remote.take_device_events().is_empty(), "drained");
+
+        // Disabling clears the buffered log on both sides.
+        local.set_device_tracing(true);
+        remote.set_device_tracing(true);
+        let request = ForwardRequest::verify(audio[0].clone(), Vec::new(), vec![Vec::new()], 2);
+        local.submit(BackendBatch::of(request.clone()), 99.0);
+        remote.submit(BackendBatch::of(request), 99.0);
+        local.set_device_tracing(false);
+        remote.set_device_tracing(false);
+        assert!(local.take_device_events().is_empty());
+        assert!(remote.take_device_events().is_empty());
     }
 
     #[test]

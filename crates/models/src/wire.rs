@@ -25,7 +25,9 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 use specasr_tokenizer::TokenId;
 
-use crate::backend::{BackendBatch, BackendCounters, ForwardKind, ForwardRequest, ForwardResult};
+use crate::backend::{
+    BackendBatch, BackendCounters, DeviceEvent, ForwardKind, ForwardRequest, ForwardResult,
+};
 use crate::binding::UtteranceTokens;
 
 /// A [`ForwardRequest`] flattened for the wire: the audio context inlined by
@@ -82,6 +84,13 @@ pub enum WireCall {
     Complete(u64),
     /// [`crate::AsrBackend::counters`].
     Counters,
+    /// Propagates the client's trace context: enables (or disables) the
+    /// worker-side device batch log so `+rpc` runs stitch the same device
+    /// timeline as in-process runs.
+    SetTracing(bool),
+    /// Drains the worker's device batch log
+    /// ([`crate::InFlightSimBackend::take_device_events`]).
+    TakeDeviceEvents,
     /// Stop the worker loop (sent once, on drop).
     Shutdown,
 }
@@ -99,6 +108,10 @@ pub enum WireReply {
     Completed(Option<ForwardResult>),
     /// Cumulative lifetime counters.
     Counters(BackendCounters),
+    /// Acknowledges [`WireCall::SetTracing`], echoing the new state.
+    TracingSet(bool),
+    /// The worker's device batch log since the last drain, in submit order.
+    DeviceEvents(Vec<DeviceEvent>),
     /// Acknowledges [`WireCall::Shutdown`]; the worker exits after sending.
     Bye,
 }
@@ -188,6 +201,9 @@ mod tests {
         call_round_trip(WireCall::Poll);
         call_round_trip(WireCall::Complete(42));
         call_round_trip(WireCall::Counters);
+        call_round_trip(WireCall::SetTracing(true));
+        call_round_trip(WireCall::SetTracing(false));
+        call_round_trip(WireCall::TakeDeviceEvents);
         call_round_trip(WireCall::Shutdown);
     }
 
@@ -221,6 +237,17 @@ mod tests {
         reply_round_trip(WireReply::Completed(Some(result)));
         reply_round_trip(WireReply::Completed(None));
         reply_round_trip(WireReply::Counters(counters));
+        reply_round_trip(WireReply::TracingSet(true));
+        reply_round_trip(WireReply::DeviceEvents(vec![DeviceEvent {
+            seq: 2,
+            submitted_ms: 10.0,
+            started_ms: 12.5,
+            completed_ms: 31.25,
+            requests: 3,
+            charge_tokens: 11,
+            verify: true,
+        }]));
+        reply_round_trip(WireReply::DeviceEvents(Vec::new()));
         reply_round_trip(WireReply::Bye);
     }
 

@@ -57,6 +57,24 @@ impl<T: AsrDecoderModel> VerifyBackend<T> {
             VerifyBackend::Rpc(backend) => backend.device_free_ms(),
         }
     }
+
+    /// Enables (or disables) the device-side batch log.  The RPC variant
+    /// propagates the flag across the wire, so both variants log the same
+    /// events — the trace-stitching identity `+rpc` runs rely on.
+    pub fn set_device_tracing(&mut self, enabled: bool) {
+        match self {
+            VerifyBackend::Sim(backend) => backend.set_device_tracing(enabled),
+            VerifyBackend::Rpc(backend) => backend.set_device_tracing(enabled),
+        }
+    }
+
+    /// Drains the device-side batch log accumulated since the last drain.
+    pub fn take_device_events(&mut self) -> Vec<specasr_models::DeviceEvent> {
+        match self {
+            VerifyBackend::Sim(backend) => backend.take_device_events(),
+            VerifyBackend::Rpc(backend) => backend.take_device_events(),
+        }
+    }
 }
 
 impl<T: AsrDecoderModel> AsrBackend for VerifyBackend<T> {
@@ -290,6 +308,7 @@ where
     /// observational: it reads the same simulated clock the scheduler
     /// advances, so enabling it changes no decision, latency, or transcript.
     pub fn set_trace(&mut self, config: TraceConfig) {
+        self.target.set_device_tracing(config.enabled);
         self.tracer = Tracer::new(config);
     }
 
@@ -570,6 +589,8 @@ where
             encoder_ms,
             audio_seconds,
             streaming: true,
+            policy: policy.name(),
+            drafter: DrafterKind::ModelDraft.label().to_string(),
         });
         self.waiting.push(QueuedRequest {
             id,
@@ -603,6 +624,8 @@ where
             encoder_ms: request.encoder_ms,
             audio_seconds: request.audio_seconds,
             streaming: request.stream.is_some(),
+            policy: request.policy.name(),
+            drafter: request.drafter.label().to_string(),
         });
         self.queue.push_back(request);
         Ok(())
@@ -919,6 +942,15 @@ where
         // with a memory rejection.
         let target_profile = self.target.profile().clone();
         let mut removal = vec![Removal::Keep; self.active.len()];
+        // Billed width of each wave (= its backend batch's `charge_tokens`):
+        // the denominator of the per-token device-time share that both the
+        // serving stats and the trace-analysis ledger charge speculation
+        // outcomes at, so the two layers agree digit for digit.
+        let wave_charges: Vec<u64> = plan
+            .waves
+            .iter()
+            .map(|wave| wave.iter().map(|&i| verify_widths[i] as u64).sum())
+            .collect();
         for (index, round) in drafted.into_iter().enumerate() {
             let round = round.expect("every active session drafted this tick");
             if removal[index] != Removal::Keep {
@@ -940,11 +972,45 @@ where
             } else {
                 tick_end
             };
+            let wave_service_ms = (result.completed_ms - result.started_ms).max(0.0);
             let session = &mut self.active[index];
+            let rounds_before = session.decode.stats().rounds_detail.len();
             session
                 .decode
                 .verify_round_from_in(&mut self.kv, &target_profile, &result, round)
                 .expect("headroom was ensured before verification");
+            // Speculation accounting: the round's drafted/accepted counts
+            // (everything the verify pass just recorded) and its share of
+            // the wave's device service time, priced per billed token.
+            let (round_drafted, round_accepted) = session.decode.stats().rounds_detail
+                [rounds_before..]
+                .iter()
+                .fold((0usize, 0usize), |(d, a), r| {
+                    (d + r.predicted, a + r.accepted)
+                });
+            let wave_index = wave_of[index];
+            let per_token_ms = wave_service_ms / wave_charges[wave_index].max(1) as f64;
+            let policy_name = session.policy.name();
+            let drafter_label = session.decode.drafter().label();
+            self.stats.record_verify_outcome(
+                &policy_name,
+                drafter_label,
+                round_drafted,
+                round_accepted,
+                verify_widths[index],
+                per_token_ms,
+            );
+            let request = session.id.value();
+            let charged = verify_widths[index] as u64;
+            self.tracer.record_with(|| TraceEvent::VerifyOutcome {
+                ts_ms: commit_ms,
+                tick,
+                wave: wave_index as u64,
+                request,
+                drafted: round_drafted as u64,
+                accepted: round_accepted as u64,
+                charged,
+            });
             session.ready_ms = commit_ms;
             if session.first_token_ms.is_none() && !session.decode.tokens().is_empty() {
                 session.first_token_ms = Some(commit_ms);
@@ -979,6 +1045,23 @@ where
             target_busy_ms: target_counters.device_busy_ms,
             target_idle_ms: target_counters.device_idle_ms,
         });
+        // Stitch the device-side batch log into the recording.  Both backend
+        // variants produce the same log (the RPC worker ships it over the
+        // wire verbatim), so an `--rpc` trace carries digit-for-digit the
+        // same device timeline as an in-process one.
+        if self.tracer.is_enabled() {
+            for event in self.target.take_device_events() {
+                self.tracer.record_with(|| TraceEvent::DeviceBatch {
+                    ts_ms: event.submitted_ms,
+                    seq: event.seq,
+                    started_ms: event.started_ms,
+                    completed_ms: event.completed_ms,
+                    requests: event.requests,
+                    charge_tokens: event.charge_tokens,
+                    verify: event.verify,
+                });
+            }
+        }
 
         // Mirror the allocator's exact gauges into the statistics: the
         // per-sub-pool high-water marks catch intra-tick peaks (before

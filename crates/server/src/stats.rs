@@ -1,6 +1,8 @@
 //! Aggregate serving statistics: throughput, acceptance, latency percentiles,
 //! and the device time saved by batching.
 
+use std::collections::BTreeMap;
+
 use specasr::DecodeStats;
 use specasr_metrics::Histogram;
 use specasr_models::BackendCounters;
@@ -299,6 +301,94 @@ impl BackendStats {
     }
 }
 
+/// Speculation-efficiency counters of one `(policy, drafter)` group: how
+/// many draft tokens the group proposed, how many survived verification, and
+/// how the group's share of target-device time splits between useful work
+/// and waste.
+///
+/// The aggregate [`ServerStats::mean_acceptance`] averages over *everything*
+/// the server ran; this split answers the per-configuration question — which
+/// policy × drafter combination wastes device time on rejected drafts — and
+/// is the serving-side mirror of the flight-recorder ledger
+/// (`specasr_trace::analysis`), computed from the same per-wave
+/// service-time shares.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpeculationGroupStats {
+    rounds: usize,
+    drafted_tokens: usize,
+    accepted_tokens: usize,
+    charged_tokens: usize,
+    accepted_work_ms: f64,
+    probe_overhead_ms: f64,
+    rejected_draft_ms: f64,
+}
+
+impl SpeculationGroupStats {
+    /// Verify rounds the group committed.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Draft tokens the group proposed.
+    pub fn drafted_tokens(&self) -> usize {
+        self.drafted_tokens
+    }
+
+    /// Draft tokens the target accepted.
+    pub fn accepted_tokens(&self) -> usize {
+        self.accepted_tokens
+    }
+
+    /// Token width the group was billed on the device.
+    pub fn charged_tokens(&self) -> usize {
+        self.charged_tokens
+    }
+
+    /// Acceptance ratio (accepted / drafted; 0.0 before anything drafted).
+    pub fn acceptance(&self) -> f64 {
+        if self.drafted_tokens == 0 {
+            0.0
+        } else {
+            self.accepted_tokens as f64 / self.drafted_tokens as f64
+        }
+    }
+
+    /// Device milliseconds spent producing accepted tokens.
+    pub fn accepted_work_ms(&self) -> f64 {
+        self.accepted_work_ms
+    }
+
+    /// Device milliseconds spent on probe/bonus positions beyond the drafts.
+    pub fn probe_overhead_ms(&self) -> f64 {
+        self.probe_overhead_ms
+    }
+
+    /// Device milliseconds wasted on rejected draft tokens.
+    pub fn rejected_draft_ms(&self) -> f64 {
+        self.rejected_draft_ms
+    }
+
+    /// Wasted device milliseconds per rejected draft token.
+    pub fn wasted_ms_per_rejected_token(&self) -> f64 {
+        let rejected = self.drafted_tokens.saturating_sub(self.accepted_tokens);
+        if rejected == 0 {
+            0.0
+        } else {
+            self.rejected_draft_ms / rejected as f64
+        }
+    }
+
+    fn merge(&mut self, other: &SpeculationGroupStats) {
+        self.rounds += other.rounds;
+        self.drafted_tokens += other.drafted_tokens;
+        self.accepted_tokens += other.accepted_tokens;
+        self.charged_tokens += other.charged_tokens;
+        self.accepted_work_ms += other.accepted_work_ms;
+        self.probe_overhead_ms += other.probe_overhead_ms;
+        self.rejected_draft_ms += other.rejected_draft_ms;
+    }
+}
+
 /// Latency statistics of one SLO class (see [`SloClass`]): completions,
 /// deadline shedding, and the class's own latency histograms, merged
 /// fleet-wide like every other gauge.
@@ -379,6 +469,7 @@ pub struct ServerStats {
     total_tokens: usize,
     total_audio_seconds: f64,
     decode: DecodeStats,
+    speculation: BTreeMap<(String, String), SpeculationGroupStats>,
     e2e_samples: Vec<f64>,
     ttft_samples: Vec<f64>,
     queue_samples: Vec<f64>,
@@ -429,6 +520,32 @@ impl ServerStats {
                     partial.hypothesis_tokens - partial.committed_tokens;
             }
         }
+    }
+
+    /// Records one committed verify round against its `(policy, drafter)`
+    /// group.  `per_token_ms` is the round's wave service time divided by
+    /// the wave's billed width — the same device-time share the trace
+    /// ledger charges, so serving stats and trace analysis agree.
+    pub(crate) fn record_verify_outcome(
+        &mut self,
+        policy: &str,
+        drafter: &str,
+        drafted: usize,
+        accepted: usize,
+        charged: usize,
+        per_token_ms: f64,
+    ) {
+        let group = self
+            .speculation
+            .entry((policy.to_string(), drafter.to_string()))
+            .or_default();
+        group.rounds += 1;
+        group.drafted_tokens += drafted;
+        group.accepted_tokens += accepted;
+        group.charged_tokens += charged;
+        group.accepted_work_ms += per_token_ms * accepted as f64;
+        group.probe_overhead_ms += per_token_ms * charged.saturating_sub(drafted) as f64;
+        group.rejected_draft_ms += per_token_ms * drafted.saturating_sub(accepted) as f64;
     }
 
     /// Records one rejected submission (queue full).
@@ -522,6 +639,12 @@ impl ServerStats {
         self.total_tokens += other.total_tokens;
         self.total_audio_seconds += other.total_audio_seconds;
         self.decode.merge(&other.decode);
+        for (key, group) in &other.speculation {
+            self.speculation
+                .entry(key.clone())
+                .or_default()
+                .merge(group);
+        }
         self.e2e_samples.extend_from_slice(&other.e2e_samples);
         self.ttft_samples.extend_from_slice(&other.ttft_samples);
         self.queue_samples.extend_from_slice(&other.queue_samples);
@@ -650,6 +773,27 @@ impl ServerStats {
     /// Mean draft-token acceptance ratio across completed requests.
     pub fn mean_acceptance(&self) -> f64 {
         self.decode.acceptance_ratio()
+    }
+
+    /// Per `(policy, drafter)` speculation-efficiency groups, label-ordered.
+    pub fn speculation_groups(&self) -> &BTreeMap<(String, String), SpeculationGroupStats> {
+        &self.speculation
+    }
+
+    /// One group's acceptance ratio, if the combination ran.
+    pub fn acceptance_for(&self, policy: &str, drafter: &str) -> Option<f64> {
+        self.speculation
+            .get(&(policy.to_string(), drafter.to_string()))
+            .map(SpeculationGroupStats::acceptance)
+    }
+
+    /// Total device milliseconds wasted on rejected draft tokens across all
+    /// groups — the bench-gated speculation-waste scalar.
+    pub fn rejected_draft_device_ms(&self) -> f64 {
+        self.speculation
+            .values()
+            .map(SpeculationGroupStats::rejected_draft_ms)
+            .sum()
     }
 
     /// Device time saved by batching: sequential-equivalent milliseconds
@@ -817,6 +961,45 @@ impl ServerStats {
             &[],
             self.mean_acceptance(),
         );
+        registry.set_counter(
+            "specasr_rejected_draft_device_ms_total",
+            "Device milliseconds wasted on rejected draft tokens.",
+            &[],
+            self.rejected_draft_device_ms(),
+        );
+        for ((policy, drafter), group) in &self.speculation {
+            let labels = [("policy", policy.as_str()), ("drafter", drafter.as_str())];
+            registry.set_gauge(
+                "specasr_speculation_acceptance",
+                "Acceptance ratio per policy and drafter.",
+                &labels,
+                group.acceptance(),
+            );
+            registry.set_counter(
+                "specasr_speculation_rounds_total",
+                "Committed verify rounds per policy and drafter.",
+                &labels,
+                group.rounds() as f64,
+            );
+            registry.set_counter(
+                "specasr_speculation_drafted_tokens_total",
+                "Draft tokens proposed per policy and drafter.",
+                &labels,
+                group.drafted_tokens() as f64,
+            );
+            registry.set_counter(
+                "specasr_speculation_accepted_tokens_total",
+                "Draft tokens accepted per policy and drafter.",
+                &labels,
+                group.accepted_tokens() as f64,
+            );
+            registry.set_counter(
+                "specasr_speculation_rejected_draft_ms_total",
+                "Device ms wasted on rejected drafts per policy and drafter.",
+                &labels,
+                group.rejected_draft_ms(),
+            );
+        }
         registry.set_gauge(
             "specasr_batching_speedup",
             "Sequential device time divided by batched wall time.",

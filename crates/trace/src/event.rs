@@ -5,7 +5,7 @@
 //! per seed: two runs with the same seed produce the same clock and therefore
 //! the same event stream.
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// Why a request was shed instead of admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +25,20 @@ impl ShedReason {
             ShedReason::QueueFull => "queue_full",
             ShedReason::Deadline => "deadline",
             ShedReason::Memory => "memory",
+        }
+    }
+
+    /// Inverse of [`ShedReason::label`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown label.
+    pub fn from_label(label: &str) -> Result<Self, Error> {
+        match label {
+            "queue_full" => Ok(ShedReason::QueueFull),
+            "deadline" => Ok(ShedReason::Deadline),
+            "memory" => Ok(ShedReason::Memory),
+            other => Err(Error::custom(format!("unknown shed reason `{other}`"))),
         }
     }
 }
@@ -49,6 +63,10 @@ pub enum TraceEvent {
         audio_seconds: f64,
         /// Whether the request is a streaming session.
         streaming: bool,
+        /// Stable decode-policy label (`Policy::name()`).
+        policy: String,
+        /// Stable drafter label (`DrafterKind::label()`).
+        drafter: String,
     },
     /// A request was admitted into the in-flight batch.
     RequestAdmitted {
@@ -142,6 +160,49 @@ pub enum TraceEvent {
         tickets: Vec<u64>,
         /// Request ids verified by the wave.
         requests: Vec<u64>,
+    },
+    /// One request's verification outcome within a wave: how many tokens the
+    /// drafter proposed, how many the target accepted, and the token width
+    /// the verify pass was billed at on the device.
+    VerifyOutcome {
+        /// Commit time (the wave's completion, clamped to the tick start
+        /// under pipelined scheduling).
+        ts_ms: f64,
+        /// Tick sequence number.
+        tick: u64,
+        /// Wave index within the tick (0-based).
+        wave: u64,
+        /// Request id.
+        request: u64,
+        /// Draft tokens proposed this round.
+        drafted: u64,
+        /// Draft tokens the target accepted this round.
+        accepted: u64,
+        /// Token width the request's verify pass was billed at (probe/tree
+        /// width plus the bonus position — never less than `drafted`'s
+        /// accounting share of the wave).
+        charged: u64,
+    },
+    /// One batch executed on the target device, as logged *by the device
+    /// side* (`DeviceEvent` in `specasr-models`) and drained into the client
+    /// recording — across the RPC wire for `+rpc` runs, so both backends
+    /// stitch an identical device timeline.
+    DeviceBatch {
+        /// Submission time (the device-side log's own stamp).
+        ts_ms: f64,
+        /// Device-side batch sequence number (0-based, in submit order).
+        seq: u64,
+        /// When the device started executing the batch.
+        started_ms: f64,
+        /// When the batch completed.
+        completed_ms: f64,
+        /// Forward requests in the batch.
+        requests: u64,
+        /// Token width the batch was priced at.
+        charge_tokens: u64,
+        /// Whether the batch carried verification requests (`false` = pure
+        /// draft steps).
+        verify: bool,
     },
     /// KV blocks were allocated for a request's prefill.
     KvAlloc {
@@ -258,6 +319,8 @@ impl TraceEvent {
             TraceEvent::DraftPhase { .. } => "draft_phase",
             TraceEvent::VerifyWaveSubmitted { .. } => "verify_wave_submitted",
             TraceEvent::VerifyWaveCompleted { .. } => "verify_wave_completed",
+            TraceEvent::VerifyOutcome { .. } => "verify_outcome",
+            TraceEvent::DeviceBatch { .. } => "device_batch",
             TraceEvent::KvAlloc { .. } => "kv_alloc",
             TraceEvent::KvFree { .. } => "kv_free",
             TraceEvent::KvPreempt { .. } => "kv_preempt",
@@ -283,6 +346,8 @@ impl TraceEvent {
             | TraceEvent::TickStart { ts_ms, .. }
             | TraceEvent::TickEnd { ts_ms, .. }
             | TraceEvent::VerifyWaveSubmitted { ts_ms, .. }
+            | TraceEvent::VerifyOutcome { ts_ms, .. }
+            | TraceEvent::DeviceBatch { ts_ms, .. }
             | TraceEvent::KvAlloc { ts_ms, .. }
             | TraceEvent::KvFree { ts_ms, .. }
             | TraceEvent::KvPreempt { ts_ms, .. }
@@ -319,12 +384,16 @@ impl Serialize for TraceEvent {
                 encoder_ms,
                 audio_seconds,
                 streaming,
+                policy,
+                drafter,
             } => {
                 push("ts_ms", Value::Number(*ts_ms));
                 push("request", num(*request));
                 push("encoder_ms", Value::Number(*encoder_ms));
                 push("audio_seconds", Value::Number(*audio_seconds));
                 push("streaming", Value::Bool(*streaming));
+                push("policy", Value::String(policy.clone()));
+                push("drafter", Value::String(drafter.clone()));
             }
             TraceEvent::RequestAdmitted {
                 ts_ms,
@@ -422,6 +491,40 @@ impl Serialize for TraceEvent {
                 push("tickets", ids(tickets));
                 push("requests", ids(requests));
             }
+            TraceEvent::VerifyOutcome {
+                ts_ms,
+                tick,
+                wave,
+                request,
+                drafted,
+                accepted,
+                charged,
+            } => {
+                push("ts_ms", Value::Number(*ts_ms));
+                push("tick", num(*tick));
+                push("wave", num(*wave));
+                push("request", num(*request));
+                push("drafted", num(*drafted));
+                push("accepted", num(*accepted));
+                push("charged", num(*charged));
+            }
+            TraceEvent::DeviceBatch {
+                ts_ms,
+                seq,
+                started_ms,
+                completed_ms,
+                requests,
+                charge_tokens,
+                verify,
+            } => {
+                push("ts_ms", Value::Number(*ts_ms));
+                push("seq", num(*seq));
+                push("started_ms", Value::Number(*started_ms));
+                push("completed_ms", Value::Number(*completed_ms));
+                push("requests", num(*requests));
+                push("charge_tokens", num(*charge_tokens));
+                push("verify", Value::Bool(*verify));
+            }
             TraceEvent::KvAlloc {
                 ts_ms,
                 request,
@@ -509,6 +612,154 @@ impl Serialize for TraceEvent {
     }
 }
 
+impl Deserialize for TraceEvent {
+    /// Inverse of the [`Serialize`] impl: rebuilds the event from its tagged
+    /// object form.  Unknown fields are ignored (a dump may carry extra
+    /// annotations, e.g. the lane tag of a JSONL export); unknown type tags
+    /// are an error — the analysis layer refuses to silently skip events it
+    /// does not understand.
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let f = |name: &str| value.field(name).and_then(f64::from_value);
+        let n = |name: &str| value.field(name).and_then(u64::from_value);
+        let b = |name: &str| value.field(name).and_then(bool::from_value);
+        let s = |name: &str| value.field(name).and_then(String::from_value);
+        let v = |name: &str| value.field(name).and_then(Vec::<u64>::from_value);
+        let tag = s("type")?;
+        match tag.as_str() {
+            "request_submitted" => Ok(TraceEvent::RequestSubmitted {
+                ts_ms: f("ts_ms")?,
+                request: n("request")?,
+                encoder_ms: f("encoder_ms")?,
+                audio_seconds: f("audio_seconds")?,
+                streaming: b("streaming")?,
+                policy: s("policy")?,
+                drafter: s("drafter")?,
+            }),
+            "request_admitted" => Ok(TraceEvent::RequestAdmitted {
+                ts_ms: f("ts_ms")?,
+                request: n("request")?,
+                kv_blocks: n("kv_blocks")?,
+                restored: b("restored")?,
+            }),
+            "request_shed" => Ok(TraceEvent::RequestShed {
+                ts_ms: f("ts_ms")?,
+                request: value.field("request").and_then(Option::<u64>::from_value)?,
+                reason: ShedReason::from_label(&s("reason")?)?,
+            }),
+            "request_completed" => Ok(TraceEvent::RequestCompleted {
+                ts_ms: f("ts_ms")?,
+                request: n("request")?,
+                tokens: n("tokens")?,
+            }),
+            "tick_start" => Ok(TraceEvent::TickStart {
+                ts_ms: f("ts_ms")?,
+                tick: n("tick")?,
+                active: n("active")?,
+                queued: n("queued")?,
+            }),
+            "tick_end" => Ok(TraceEvent::TickEnd {
+                ts_ms: f("ts_ms")?,
+                tick: n("tick")?,
+                completed: n("completed")?,
+            }),
+            "draft_phase" => Ok(TraceEvent::DraftPhase {
+                start_ms: f("start_ms")?,
+                end_ms: f("end_ms")?,
+                tick: n("tick")?,
+                request: n("request")?,
+            }),
+            "verify_wave_submitted" => Ok(TraceEvent::VerifyWaveSubmitted {
+                ts_ms: f("ts_ms")?,
+                tick: n("tick")?,
+                wave: n("wave")?,
+                tickets: v("tickets")?,
+                requests: v("requests")?,
+            }),
+            "verify_wave_completed" => Ok(TraceEvent::VerifyWaveCompleted {
+                tick: n("tick")?,
+                wave: n("wave")?,
+                submitted_ms: f("submitted_ms")?,
+                started_ms: f("started_ms")?,
+                completed_ms: f("completed_ms")?,
+                tickets: v("tickets")?,
+                requests: v("requests")?,
+            }),
+            "verify_outcome" => Ok(TraceEvent::VerifyOutcome {
+                ts_ms: f("ts_ms")?,
+                tick: n("tick")?,
+                wave: n("wave")?,
+                request: n("request")?,
+                drafted: n("drafted")?,
+                accepted: n("accepted")?,
+                charged: n("charged")?,
+            }),
+            "device_batch" => Ok(TraceEvent::DeviceBatch {
+                ts_ms: f("ts_ms")?,
+                seq: n("seq")?,
+                started_ms: f("started_ms")?,
+                completed_ms: f("completed_ms")?,
+                requests: n("requests")?,
+                charge_tokens: n("charge_tokens")?,
+                verify: b("verify")?,
+            }),
+            "kv_alloc" => Ok(TraceEvent::KvAlloc {
+                ts_ms: f("ts_ms")?,
+                request: n("request")?,
+                blocks: n("blocks")?,
+            }),
+            "kv_free" => Ok(TraceEvent::KvFree {
+                ts_ms: f("ts_ms")?,
+                request: n("request")?,
+                blocks: n("blocks")?,
+            }),
+            "kv_preempt" => Ok(TraceEvent::KvPreempt {
+                ts_ms: f("ts_ms")?,
+                request: n("request")?,
+                blocks: n("blocks")?,
+            }),
+            "kv_restore" => Ok(TraceEvent::KvRestore {
+                ts_ms: f("ts_ms")?,
+                request: n("request")?,
+            }),
+            "cow_copy" => Ok(TraceEvent::CowCopy {
+                ts_ms: f("ts_ms")?,
+                copies: n("copies")?,
+            }),
+            "kv_occupancy" => Ok(TraceEvent::KvOccupancy {
+                ts_ms: f("ts_ms")?,
+                draft_blocks: n("draft_blocks")?,
+                target_blocks: n("target_blocks")?,
+            }),
+            "device_utilization" => Ok(TraceEvent::DeviceUtilization {
+                ts_ms: f("ts_ms")?,
+                draft_busy_ms: f("draft_busy_ms")?,
+                draft_idle_ms: f("draft_idle_ms")?,
+                target_busy_ms: f("target_busy_ms")?,
+                target_idle_ms: f("target_idle_ms")?,
+            }),
+            "chunk_arrived" => Ok(TraceEvent::ChunkArrived {
+                ts_ms: f("ts_ms")?,
+                request: n("request")?,
+                chunk: n("chunk")?,
+            }),
+            "partial_emitted" => Ok(TraceEvent::PartialEmitted {
+                ts_ms: f("ts_ms")?,
+                request: n("request")?,
+                partial: n("partial")?,
+                committed: n("committed")?,
+                hypothesis: n("hypothesis")?,
+                is_final: b("is_final")?,
+            }),
+            "retraction" => Ok(TraceEvent::Retraction {
+                ts_ms: f("ts_ms")?,
+                request: n("request")?,
+                tokens: n("tokens")?,
+            }),
+            other => Err(Error::custom(format!("unknown trace event `{other}`"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -539,6 +790,167 @@ mod tests {
         let json = serde_json::to_string(&event).expect("serializes");
         assert!(json.contains("\"request\":null"), "{json}");
         assert!(json.contains("\"reason\":\"queue_full\""), "{json}");
+    }
+
+    #[test]
+    fn every_event_round_trips_through_json() {
+        let events = vec![
+            TraceEvent::RequestSubmitted {
+                ts_ms: 0.5,
+                request: 1,
+                encoder_ms: 80.25,
+                audio_seconds: 4.5,
+                streaming: false,
+                policy: "specasr-asp".to_string(),
+                drafter: "ctc".to_string(),
+            },
+            TraceEvent::RequestAdmitted {
+                ts_ms: 1.0,
+                request: 1,
+                kv_blocks: 8,
+                restored: true,
+            },
+            TraceEvent::RequestShed {
+                ts_ms: 2.0,
+                request: None,
+                reason: ShedReason::Deadline,
+            },
+            TraceEvent::RequestShed {
+                ts_ms: 2.5,
+                request: Some(9),
+                reason: ShedReason::Memory,
+            },
+            TraceEvent::RequestCompleted {
+                ts_ms: 3.0,
+                request: 1,
+                tokens: 42,
+            },
+            TraceEvent::TickStart {
+                ts_ms: 4.0,
+                tick: 1,
+                active: 3,
+                queued: 2,
+            },
+            TraceEvent::TickEnd {
+                ts_ms: 5.0,
+                tick: 1,
+                completed: 1,
+            },
+            TraceEvent::DraftPhase {
+                start_ms: 4.0,
+                end_ms: 4.5,
+                tick: 1,
+                request: 1,
+            },
+            TraceEvent::VerifyWaveSubmitted {
+                ts_ms: 4.5,
+                tick: 1,
+                wave: 0,
+                tickets: vec![7, 8],
+                requests: vec![1, 2],
+            },
+            TraceEvent::VerifyWaveCompleted {
+                tick: 1,
+                wave: 0,
+                submitted_ms: 4.5,
+                started_ms: 4.75,
+                completed_ms: 6.125,
+                tickets: vec![7, 8],
+                requests: vec![1, 2],
+            },
+            TraceEvent::VerifyOutcome {
+                ts_ms: 6.125,
+                tick: 1,
+                wave: 0,
+                request: 1,
+                drafted: 4,
+                accepted: 3,
+                charged: 5,
+            },
+            TraceEvent::DeviceBatch {
+                ts_ms: 4.5,
+                seq: 0,
+                started_ms: 4.75,
+                completed_ms: 6.125,
+                requests: 2,
+                charge_tokens: 10,
+                verify: true,
+            },
+            TraceEvent::KvAlloc {
+                ts_ms: 1.0,
+                request: 1,
+                blocks: 4,
+            },
+            TraceEvent::KvFree {
+                ts_ms: 3.0,
+                request: 1,
+                blocks: 4,
+            },
+            TraceEvent::KvPreempt {
+                ts_ms: 2.0,
+                request: 2,
+                blocks: 6,
+            },
+            TraceEvent::KvRestore {
+                ts_ms: 2.5,
+                request: 2,
+            },
+            TraceEvent::CowCopy {
+                ts_ms: 5.0,
+                copies: 3,
+            },
+            TraceEvent::KvOccupancy {
+                ts_ms: 5.0,
+                draft_blocks: 10,
+                target_blocks: 20,
+            },
+            TraceEvent::DeviceUtilization {
+                ts_ms: 5.0,
+                draft_busy_ms: 1.5,
+                draft_idle_ms: 0.25,
+                target_busy_ms: 3.75,
+                target_idle_ms: 0.125,
+            },
+            TraceEvent::ChunkArrived {
+                ts_ms: 6.0,
+                request: 3,
+                chunk: 1,
+            },
+            TraceEvent::PartialEmitted {
+                ts_ms: 6.5,
+                request: 3,
+                partial: 0,
+                committed: 5,
+                hypothesis: 2,
+                is_final: false,
+            },
+            TraceEvent::Retraction {
+                ts_ms: 7.0,
+                request: 3,
+                tokens: 1,
+            },
+        ];
+        for event in events {
+            let json = serde_json::to_string(&event).expect("serializes");
+            let back: TraceEvent = serde_json::from_str(&json).expect("deserializes");
+            assert_eq!(back, event, "round trip of {json}");
+        }
+    }
+
+    #[test]
+    fn decoding_ignores_unknown_fields_and_rejects_unknown_tags() {
+        let annotated = "{\"type\":\"cow_copy\",\"lane\":\"worker-0\",\"ts_ms\":5,\"copies\":3}";
+        let event: TraceEvent = serde_json::from_str(annotated).expect("extra fields are fine");
+        assert_eq!(
+            event,
+            TraceEvent::CowCopy {
+                ts_ms: 5.0,
+                copies: 3
+            }
+        );
+        let unknown = "{\"type\":\"warp_drive\",\"ts_ms\":1}";
+        assert!(serde_json::from_str::<TraceEvent>(unknown).is_err());
+        assert!(ShedReason::from_label("warp").is_err());
     }
 
     #[test]

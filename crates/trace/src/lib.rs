@@ -16,6 +16,12 @@
 //!   timelines (queue → encoder → per-round draft/verify → commit) whose
 //!   components reconcile exactly with the `RequestLatency` breakdown the
 //!   scheduler reports.
+//! * [`analysis`] — the query/attribution engine: per-request critical-path
+//!   decomposition whose components fold bitwise to the recorded e2e, a
+//!   device-time ledger splitting busy ms into accepted work / probe
+//!   overhead / rejected-draft waste, and per-policy × per-drafter
+//!   speculation-efficiency groups, all reconstructible digit-for-digit
+//!   from a JSONL dump ([`parse_jsonl`]).
 //! * [`chrome_trace`] — a Chrome/Perfetto trace-event JSON exporter: one
 //!   process lane per worker with tick, draft, and device-timeline tracks
 //!   plus a per-sub-pool KV occupancy counter track.  Load the output in
@@ -29,12 +35,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 mod event;
 mod perfetto;
 mod prom;
 mod recorder;
 mod span;
 
+pub use analysis::{
+    analyze, analyze_events, analyze_lanes, jsonl_with_lanes, parse_jsonl, DeviceLedger,
+    RequestAttribution, SpeculationEfficiency, TraceAnalysis, ATTRIBUTION_COMPONENTS, LEDGER_PARTS,
+};
 pub use event::{ShedReason, TraceEvent};
 pub use perfetto::{chrome_trace, validate_chrome_trace, TraceSummary};
 pub use prom::MetricsRegistry;

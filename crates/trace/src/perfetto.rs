@@ -297,9 +297,28 @@ pub fn chrome_trace(lanes: &[(&str, &FlightRecording)]) -> String {
                     TID_TICKS,
                     object(vec![("request", num(*request)), ("tokens", num(*tokens))]),
                 )),
-                // Lifecycle bookkeeping that has no visual track of its own.
+                TraceEvent::VerifyOutcome {
+                    ts_ms,
+                    request,
+                    drafted,
+                    accepted,
+                    ..
+                } => events.push(instant(
+                    &format!("accept {accepted}/{drafted} req-{request}"),
+                    *ts_ms,
+                    pid,
+                    TID_DEVICE,
+                    object(vec![
+                        ("request", num(*request)),
+                        ("drafted", num(*drafted)),
+                        ("accepted", num(*accepted)),
+                    ]),
+                )),
+                // Lifecycle bookkeeping that has no visual track of its own
+                // (device batches already render as verify-wave slices).
                 TraceEvent::RequestSubmitted { .. }
                 | TraceEvent::RequestCompleted { .. }
+                | TraceEvent::DeviceBatch { .. }
                 | TraceEvent::KvAlloc { .. }
                 | TraceEvent::KvFree { .. }
                 | TraceEvent::KvRestore { .. } => {}

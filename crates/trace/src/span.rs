@@ -52,6 +52,12 @@ pub struct RequestSpans {
     pub encoder_ms: f64,
     /// Whether the request was streaming.
     pub streaming: bool,
+    /// Decode-policy label carried by the submission event (empty when the
+    /// submission fell outside the recording window).
+    pub policy: String,
+    /// Drafter label carried by the submission event (empty when the
+    /// submission fell outside the recording window).
+    pub drafter: String,
     /// Every admission time, in order (more than one after preemption).
     pub admissions: Vec<f64>,
     /// How many admissions were preemption restores.
@@ -69,6 +75,8 @@ impl RequestSpans {
             submitted_ms: None,
             encoder_ms: 0.0,
             streaming: false,
+            policy: String::new(),
+            drafter: String::new(),
             admissions: Vec::new(),
             restores: 0,
             completed_ms: None,
@@ -132,6 +140,8 @@ pub fn assemble_spans<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> V
                 request,
                 encoder_ms,
                 streaming,
+                policy,
+                drafter,
                 ..
             } => {
                 entry(&mut spans, *request);
@@ -142,6 +152,8 @@ pub fn assemble_spans<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> V
                     span.submitted_ms = Some(*ts_ms);
                     span.encoder_ms = *encoder_ms;
                     span.streaming = *streaming;
+                    span.policy = policy.clone();
+                    span.drafter = drafter.clone();
                 }
             }
             TraceEvent::RequestAdmitted {
@@ -230,6 +242,8 @@ mod tests {
                 encoder_ms: 40.0,
                 audio_seconds: 4.0,
                 streaming: false,
+                policy: "specasr-asp".to_string(),
+                drafter: "model".to_string(),
             },
             TraceEvent::RequestAdmitted {
                 ts_ms: 10.0,
@@ -282,6 +296,8 @@ mod tests {
         assert_eq!(span.request, 7);
         assert_eq!(span.admissions, vec![10.0, 50.0]);
         assert_eq!(span.restores, 1);
+        assert_eq!(span.policy, "specasr-asp");
+        assert_eq!(span.drafter, "model");
         // Offline anchor is the LAST admission: queue 50, decode 40.
         assert_eq!(span.queue_ms(), Some(50.0));
         assert_eq!(span.decode_wall_ms(), Some(40.0));
@@ -302,6 +318,8 @@ mod tests {
                 encoder_ms: 0.0,
                 audio_seconds: 2.0,
                 streaming: true,
+                policy: "specasr-asp".to_string(),
+                drafter: "model".to_string(),
             },
             TraceEvent::RequestAdmitted {
                 ts_ms: 9.0,
