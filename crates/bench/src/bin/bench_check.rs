@@ -4,11 +4,13 @@
 //! against the committed `BENCH_*.json` baselines, failing (exit code 1)
 //! when any gated metric (see [`GATED_METRICS`]: throughput, P99 latency,
 //! KV-pool peaks/preemptions, streaming first-partial P99 and retraction
-//! rate, decoder-backend verification batch occupancy) drifts outside the
-//! tolerance band in either direction.
+//! rate, decoder-backend verification batch occupancy, live-migration
+//! counts and in-budget goodput) drifts outside the tolerance band in
+//! either direction.
 //!
 //! ```text
-//! # default pairs (serve_load + serve_open_loop + serve_streaming), ±15% tolerance:
+//! # default pairs (serve_load + serve_open_loop + serve_streaming +
+//! # serve_elastic), ±15% tolerance:
 //! cargo run -p specasr-bench --release --bin bench_check
 //!
 //! # explicit pairs and tolerance:
@@ -44,20 +46,26 @@ fn load(path: &str) -> Result<ExperimentRecord, String> {
 
 fn default_pairs() -> Vec<(String, String)> {
     let experiments = experiments_dir();
-    ["serve_load", "serve_open_loop", "serve_streaming"]
-        .into_iter()
-        .map(|id| {
-            let baseline = match id {
-                "serve_load" => "BENCH_serve.json",
-                "serve_streaming" => "BENCH_stream.json",
-                _ => "BENCH_serve_open.json",
-            };
-            (
-                baseline.to_owned(),
-                experiments.join(format!("{id}.json")).display().to_string(),
-            )
-        })
-        .collect()
+    [
+        "serve_load",
+        "serve_open_loop",
+        "serve_streaming",
+        "serve_elastic",
+    ]
+    .into_iter()
+    .map(|id| {
+        let baseline = match id {
+            "serve_load" => "BENCH_serve.json",
+            "serve_streaming" => "BENCH_stream.json",
+            "serve_elastic" => "BENCH_serve_elastic.json",
+            _ => "BENCH_serve_open.json",
+        };
+        (
+            baseline.to_owned(),
+            experiments.join(format!("{id}.json")).display().to_string(),
+        )
+    })
+    .collect()
 }
 
 struct Args {

@@ -9,14 +9,18 @@
 //! time while the offered rate is below the fleet's saturation QPS, then
 //! grows by an order of magnitude once arrivals outpace service.
 //!
-//! Four companion studies ride along: a KV-budget sweep, a shallow-queue
+//! Five companion studies ride along: a KV-budget sweep, a shallow-queue
 //! shedding study, a drafter comparison (`w2-fifo+ctc@q50` /
 //! `w2-fifo+token-map@q50`) that re-serves the 2-worker FIFO operating point
 //! with draft-free speculation via [`specasr_server::Router::install_drafter`],
-//! and a process-boundary comparison (`w2-fifo+rpc@q50`, also reachable with
+//! a process-boundary comparison (`w2-fifo+rpc@q50`, also reachable with
 //! the `--rpc` flag) that re-serves it with every worker's target model
-//! behind the `RpcBackend` worker thread.  All cells run under a depth-4
-//! in-flight window (`max_in_flight_waves`).
+//! behind the `RpcBackend` worker thread, and an admission-ordering study
+//! (`w1-{fifo,saf,edf}-b@q*-shallow4`) that re-serves the overload cells
+//! with mixed TTFT budgets under FIFO, aged shortest-audio-first, and
+//! earliest-deadline-first order, recording the in-budget goodput each
+//! achieves.  All cells run under a depth-4 in-flight window
+//! (`max_in_flight_waves`).
 //!
 //! The run is deterministic (seeded arrivals over a seeded corpus and model
 //! pair), so the emitted record doubles as a perf baseline: it is always
@@ -42,8 +46,8 @@ use specasr_bench::{emit, ExperimentContext, TraceArgs, EXPERIMENT_SEED};
 use specasr_metrics::{ExperimentRecord, ReportRow};
 use specasr_models::CtcDrafter;
 use specasr_server::{
-    run_open_loop, run_open_loop_drafted, AdmissionPolicy, LoadGen, Router, RouterConfig,
-    ServerConfig,
+    run_open_loop, run_open_loop_budgeted, run_open_loop_drafted, AdmissionOrdering,
+    AdmissionPolicy, LoadGen, Router, RouterConfig, ServerConfig, SloClass,
 };
 use specasr_tokenizer::TokenMapIndex;
 
@@ -78,6 +82,23 @@ const SHALLOW_QUEUE_DEPTH: usize = 4;
 /// Offered rates of the shedding study (1 worker saturates in the low tens
 /// of QPS; both cells sit at or past the knee where shedding engages).
 const SHED_QPS_LEVELS: [f64; 3] = [25.0, 50.0, 200.0];
+
+/// TTFT budgets cycled by request index in the ordering study: one
+/// Interactive, one Standard, one Relaxed request per cycle, so every
+/// overload cell carries a deadline mix the admission order can exploit.
+const TTFT_BUDGETS_MS: [f64; 3] = [500.0, 2_000.0, 8_000.0];
+
+/// The budget a completed request was submitted with, recovered from its
+/// SLO class (the classes are keyed exactly on the budget boundaries the
+/// cycle uses).
+fn budget_of(slo: SloClass) -> f64 {
+    match slo {
+        SloClass::Interactive => 500.0,
+        SloClass::Standard => 2_000.0,
+        SloClass::Relaxed => 8_000.0,
+        SloClass::BestEffort => f64::INFINITY,
+    }
+}
 
 /// In-flight window every cell serves under (`max_in_flight_waves`):
 /// submit-ahead/complete-behind across tick boundaries, byte-identical
@@ -290,6 +311,78 @@ fn run_shed_cell(context: &ExperimentContext, pool: &[&Utterance], qps: f64) -> 
         .with("rejected", report.rejected as f64)
 }
 
+/// One ordering cell: the shedding study's single shallow-queue worker
+/// under overload, re-served with mixed TTFT budgets under one admission
+/// order (FIFO arrival, aged shortest-audio-first, or earliest-deadline-
+/// first).  The row's product metric is `goodput_utps` — completions that
+/// arrived *within their budget*, per second of the drain window — next to
+/// the raw rejection rate; EDF trades a little raw throughput for serving
+/// urgent work while its deadline is still alive.
+fn run_ordering_shed_cell(
+    context: &ExperimentContext,
+    pool: &[&Utterance],
+    name: &str,
+    admission: AdmissionPolicy,
+    ordering: AdmissionOrdering,
+    qps: f64,
+) -> ReportRow {
+    let policy = Policy::AdaptiveSingleSequence(AdaptiveConfig::paper());
+    let mut router = Router::new(
+        RouterConfig::default().with_workers(1).with_worker_config(
+            ServerConfig::default()
+                .with_admission(admission)
+                .with_ordering(ordering)
+                .with_max_in_flight_waves(PIPELINE_DEPTH)
+                .with_queue_depth(SHALLOW_QUEUE_DEPTH),
+        ),
+        context.binding.clone(),
+        EncoderProfile::whisper_medium_encoder(),
+        |_| context.whisper_pair(),
+    );
+    let mut loadgen = LoadGen::new(EXPERIMENT_SEED, qps);
+    let workload = (0..REQUESTS_PER_CELL).map(|index| {
+        (
+            policy,
+            pool[index % pool.len()],
+            Some(TTFT_BUDGETS_MS[index % TTFT_BUDGETS_MS.len()]),
+        )
+    });
+    let report = run_open_loop_budgeted(&mut router, &mut loadgen, workload);
+    let fleet = router.fleet_stats();
+    let offered = report.submitted + report.rejected;
+    let in_budget = report
+        .outcomes
+        .iter()
+        .filter(|outcome| outcome.latency.time_to_first_token_ms <= budget_of(outcome.slo))
+        .count();
+    let goodput_utps = if report.drained_ms > 0.0 {
+        in_budget as f64 * 1_000.0 / report.drained_ms
+    } else {
+        0.0
+    };
+    ReportRow::new(format!(
+        "w1-{name}-b@q{qps:.0}-shallow{SHALLOW_QUEUE_DEPTH}"
+    ))
+    .with("target_qps", qps)
+    .with("offered_qps", report.offered_qps())
+    .with("queue_depth", SHALLOW_QUEUE_DEPTH as f64)
+    .with("rejection_rate", report.rejected as f64 / offered as f64)
+    .with("goodput_utps", goodput_utps)
+    .with("throughput_utps", report.completed_qps())
+    .with("e2e_p50_ms", fleet.e2e_p50_ms())
+    .with("e2e_p99_ms", fleet.e2e_p99_ms())
+    .with("completed", report.outcomes.len() as f64)
+    .with("in_budget", in_budget as f64)
+    .with("rejected", report.rejected as f64)
+    .with(
+        "rejected_deadline",
+        SloClass::ALL
+            .iter()
+            .map(|&class| fleet.slo_class(class).rejected_deadline())
+            .sum::<usize>() as f64,
+    )
+}
+
 fn main() {
     // `--rpc` moves every worker's target model behind the RpcBackend
     // process boundary; the CI smoke job runs both ways.
@@ -386,6 +479,46 @@ fn main() {
     for qps in SHED_QPS_LEVELS {
         record.push_row(run_shed_cell(&context, &pool, qps));
     }
+    // Ordering study: the same overload cells with mixed TTFT budgets under
+    // three admission orders.  FIFO serves arrival order, aged SAF the
+    // shortest audio, EDF the most urgent deadline — goodput (in-budget
+    // completions per second) is what moves.
+    for (name, admission, ordering) in [
+        ("fifo", AdmissionPolicy::Fifo, AdmissionOrdering::Queue),
+        (
+            "saf",
+            AdmissionPolicy::ShortestAudioFirst,
+            AdmissionOrdering::Queue,
+        ),
+        (
+            "edf",
+            AdmissionPolicy::Fifo,
+            AdmissionOrdering::EarliestDeadlineFirst,
+        ),
+    ] {
+        for qps in SHED_QPS_LEVELS {
+            record.push_row(run_ordering_shed_cell(
+                &context, &pool, name, admission, ordering, qps,
+            ));
+        }
+    }
+    // The ordering study's headline claim is structural, not a tolerance
+    // band: deadline-aware admission must win on goodput at every overload
+    // level, or the sweep stopped measuring what it exists to show.
+    for qps in SHED_QPS_LEVELS {
+        let goodput = |name: &str| {
+            record
+                .row(&format!(
+                    "w1-{name}-b@q{qps:.0}-shallow{SHALLOW_QUEUE_DEPTH}"
+                ))
+                .and_then(|row| row.value("goodput_utps"))
+                .expect("ordering rows carry goodput")
+        };
+        assert!(
+            goodput("edf") > goodput("fifo"),
+            "EDF must beat FIFO on in-budget goodput at {qps} QPS"
+        );
+    }
 
     emit(&record);
     if std::env::var_os("SPECASR_WRITE_BASELINE").is_some() {
@@ -403,6 +536,9 @@ fn main() {
          grows) while the prefix hit rate stays put — sharing depends on the workload, \
          not the budget.  In the shallow-queue shedding rows, overload converts the \
          deep-queue P99 blow-up into a rising rejection rate while goodput plateaus \
-         at the worker's service capacity."
+         at the worker's service capacity.  In the ordering study, EDF beats FIFO \
+         and aged-SAF on in-budget goodput at every overload level: serving the \
+         most urgent deadline first converts the same completions into more \
+         within-budget ones."
     );
 }

@@ -46,7 +46,20 @@ use specasr_metrics::{ExperimentRecord, ReportRow};
 /// a drafter change quietly burns more device time on rejected drafts —
 /// the waste only surfaces once the fleet saturates, so the ledger itself
 /// is gated.
-pub const GATED_METRICS: [&str; 9] = [
+///
+/// `migrations` gates the elastic-fleet drain path (`serve_elastic`): the
+/// sessions moved off draining workers.  A drop to zero means drains
+/// quietly stopped finding live sessions to migrate (the cell lost its
+/// bite); growth means scale decisions or placement changed shape.  Either
+/// way the behaviour the subsystem exists for moved, even if throughput
+/// held.
+///
+/// `goodput_utps` gates what overload serving is *for*: completions that
+/// still matter — within their TTFT budget in the ordering cells, per
+/// second of the drain window in the elastic cells.  Raw throughput can
+/// hold while an ordering or scaling change silently converts in-budget
+/// completions into late ones; goodput is the metric that catches it.
+pub const GATED_METRICS: [&str; 11] = [
     "throughput_utps",
     "e2e_p99_ms",
     "peak_kv_blocks",
@@ -56,6 +69,8 @@ pub const GATED_METRICS: [&str; 9] = [
     "backend_batch_occupancy",
     "in_flight_depth",
     "rejected_draft_device_ms",
+    "migrations",
+    "goodput_utps",
 ];
 
 /// Default relative tolerance band (±15%).
@@ -454,6 +469,38 @@ mod tests {
         assert!(violations[0]
             .to_string()
             .contains("rejected_draft_device_ms"));
+    }
+
+    #[test]
+    fn migrations_and_goodput_are_gated_when_present() {
+        let base = ExperimentRecord::new("serve_elastic", "t").with_row(
+            ReportRow::new("drain-migrate@q60")
+                .with("throughput_utps", 55.0)
+                .with("migrations", 8.0)
+                .with("goodput_utps", 55.0),
+        );
+        let fresh_ok = ExperimentRecord::new("serve_elastic", "t").with_row(
+            ReportRow::new("drain-migrate@q60")
+                .with("throughput_utps", 55.0)
+                .with("migrations", 8.0)
+                .with("goodput_utps", 54.0),
+        );
+        assert!(compare_records(&base, &fresh_ok, DEFAULT_TOLERANCE).is_empty());
+
+        // A drain that silently stops migrating live sessions fails the
+        // gate even when throughput holds, and so does a scaling change
+        // that converts in-budget completions into late ones.
+        let degraded = ExperimentRecord::new("serve_elastic", "t").with_row(
+            ReportRow::new("drain-migrate@q60")
+                .with("throughput_utps", 55.0)
+                .with("migrations", 0.0)
+                .with("goodput_utps", 30.0),
+        );
+        let violations = compare_records(&base, &degraded, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 2);
+        let rendered: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+        assert!(rendered.iter().any(|line| line.contains("migrations")));
+        assert!(rendered.iter().any(|line| line.contains("goodput_utps")));
     }
 
     #[test]

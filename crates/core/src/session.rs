@@ -996,6 +996,31 @@ impl DecodeSession {
         }
     }
 
+    /// Moves a pooled session's KV blocks from `source` to `dest` without
+    /// re-prefill — the same-machine block-table hand-off fast path of a
+    /// live migration between two workers' pools (see
+    /// [`KvPool::hand_off`]).  After a successful move the session must be
+    /// stepped against `dest`.
+    ///
+    /// All-or-nothing: on [`PoolError::OutOfBlocks`] (the destination pool
+    /// cannot hold the session) nothing moved and the session still
+    /// allocates from `source` — the caller falls back to the
+    /// preempt/restore slow path ([`DecodeSession::release_kv`] plus a
+    /// deterministic re-prefill + re-decode on the destination).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a standalone session (whose private pool dies with it) or
+    /// when the pools page at different block sizes.
+    pub fn migrate_kv(&mut self, source: &mut KvPool, dest: &mut KvPool) -> Result<(), PoolError> {
+        match &mut self.kv {
+            SessionKv::Pooled { draft, target } => source.hand_off(dest, draft, target),
+            SessionKv::Private { .. } => {
+                panic!("a standalone session owns its pool and cannot migrate")
+            }
+        }
+    }
+
     /// Appends this round's positions to both block tables, against either
     /// the private or the shared pool.
     ///

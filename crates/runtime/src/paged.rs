@@ -416,6 +416,44 @@ impl BlockPool {
         }
     }
 
+    /// Moves the blocks backing `table` from this pool into `dest` — the
+    /// same-machine hand-off fast path of a live session migration.  The
+    /// position bookkeeping is untouched (no re-prefill, no rollback
+    /// counters), the table is re-backed by freshly allocated private blocks
+    /// in `dest`, and the source references are dropped.  Prefix sharing
+    /// does not survive the move: the destination copies are never published
+    /// to the prefix index (their content diverges from any prefill hash the
+    /// moment the session appends).
+    ///
+    /// The operation is atomic: on [`PoolError::OutOfBlocks`] (the
+    /// destination cannot hold the table) neither pool nor the table
+    /// changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two pools page at different block sizes — a hand-off
+    /// models moving physical cache pages, which only makes sense between
+    /// pools of identical geometry.
+    pub fn transfer(
+        &mut self,
+        dest: &mut BlockPool,
+        table: &mut BlockTable,
+    ) -> Result<(), PoolError> {
+        assert_eq!(
+            self.block_size, dest.block_size,
+            "a block-table hand-off requires matching block geometry"
+        );
+        dest.ensure_available(table.blocks.len())?;
+        let moved = std::mem::take(&mut table.blocks);
+        for _ in 0..moved.len() {
+            table.blocks.push(dest.allocate(None));
+        }
+        for id in moved {
+            self.unref(id);
+        }
+        Ok(())
+    }
+
     fn ensure_available(&self, fresh: usize) -> Result<(), PoolError> {
         let Some(capacity) = self.capacity else {
             return Ok(());
@@ -593,6 +631,35 @@ impl KvPool {
     pub fn counters(&self) -> PoolCounters {
         self.draft.counters().merged(self.target.counters())
     }
+
+    /// Moves one session's draft and target block tables from this pool into
+    /// `dest` without re-prefill (see [`BlockPool::transfer`]) — the
+    /// same-machine hand-off fast path of a live session migration between
+    /// two workers' pools.
+    ///
+    /// All-or-nothing across both sub-pools: on [`PoolError::OutOfBlocks`]
+    /// neither pool nor either table changed, and the caller falls back to
+    /// the preempt/restore slow path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pools page at different block sizes.
+    pub fn hand_off(
+        &mut self,
+        dest: &mut KvPool,
+        draft: &mut BlockTable,
+        target: &mut BlockTable,
+    ) -> Result<(), PoolError> {
+        dest.draft.ensure_available(draft.block_count())?;
+        dest.target.ensure_available(target.block_count())?;
+        self.draft
+            .transfer(&mut dest.draft, draft)
+            .expect("draft headroom was checked");
+        self.target
+            .transfer(&mut dest.target, target)
+            .expect("target headroom was checked");
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -659,6 +726,105 @@ mod tests {
         assert!(matches!(error, PoolError::OutOfBlocks { requested: 1, .. }));
         assert_eq!(a.len(), 16, "failed append must not record positions");
         assert!(error.to_string().contains("free"));
+    }
+
+    #[test]
+    fn transfer_moves_a_table_between_pools_without_reprefill() {
+        let mut source = BlockPool::bounded(8, 16);
+        let mut dest = BlockPool::bounded(8, 16);
+        let mut table = BlockTable::new();
+        source.prefill(&mut table, 40, Some(0xfeed)).unwrap();
+        source.append(&mut table, 10).unwrap(); // 50 positions → 4 blocks
+        let positions_before = *table.positions();
+        source.transfer(&mut dest, &mut table).unwrap();
+        assert_eq!(source.used_blocks(), 0);
+        assert_eq!(source.free_blocks(), 8);
+        assert_eq!(dest.used_blocks(), 4);
+        assert_eq!(table.block_count(), 4);
+        // No re-prefill: the position bookkeeping is byte-identical.
+        assert_eq!(*table.positions(), positions_before);
+        assert_eq!(table.len(), 50);
+        // The moved table keeps working against the destination pool.
+        dest.append(&mut table, 20).unwrap();
+        assert_eq!(table.block_count(), 5);
+        dest.release(&mut table);
+        assert_eq!(dest.free_blocks(), 8);
+    }
+
+    #[test]
+    fn transfer_is_atomic_when_the_destination_is_full() {
+        let mut source = BlockPool::bounded(4, 8);
+        let mut dest = BlockPool::bounded(2, 8);
+        let mut hog = BlockTable::new();
+        dest.prefill(&mut hog, 16, None).unwrap(); // fills the destination
+        let mut table = BlockTable::new();
+        source.prefill(&mut table, 24, None).unwrap(); // 3 blocks
+        let error = source.transfer(&mut dest, &mut table).unwrap_err();
+        assert!(matches!(error, PoolError::OutOfBlocks { requested: 3, .. }));
+        assert_eq!(source.used_blocks(), 3, "failed hand-off must not free");
+        assert_eq!(table.block_count(), 3);
+        assert_eq!(table.len(), 24);
+    }
+
+    #[test]
+    fn transfer_of_a_shared_table_leaves_the_other_owner_resident() {
+        let mut source = BlockPool::bounded(8, 16);
+        let mut dest = BlockPool::bounded(8, 16);
+        let mut a = BlockTable::new();
+        let mut b = BlockTable::new();
+        source.prefill(&mut a, 32, Some(9)).unwrap();
+        source.prefill(&mut b, 32, Some(9)).unwrap(); // shares both blocks
+        assert_eq!(source.used_blocks(), 2);
+        source.transfer(&mut dest, &mut a).unwrap();
+        // `b` still owns the shared originals; `a` got private copies.
+        assert_eq!(source.used_blocks(), 2);
+        assert_eq!(dest.used_blocks(), 2);
+        let mut c = BlockTable::new();
+        source.prefill(&mut c, 32, Some(9)).unwrap();
+        assert_eq!(
+            source.used_blocks(),
+            2,
+            "the prefix stays shareable at the source after a hand-off"
+        );
+        source.release(&mut b);
+        source.release(&mut c);
+        dest.release(&mut a);
+        assert_eq!(source.free_blocks(), 8);
+        assert_eq!(dest.free_blocks(), 8);
+    }
+
+    #[test]
+    fn kv_pool_hand_off_is_atomic_across_sub_pools() {
+        let mut source = KvPool::bounded(4, 8);
+        let mut dest = KvPool::bounded(4, 8);
+        let mut draft = BlockTable::new();
+        let mut target = BlockTable::new();
+        source.draft_mut().prefill(&mut draft, 16, None).unwrap();
+        source.target_mut().prefill(&mut target, 24, None).unwrap();
+        // Fill the destination's *target* sub-pool so only the second half
+        // of the hand-off would fail: the first half must not commit.
+        let mut hog = BlockTable::new();
+        dest.target_mut().prefill(&mut hog, 32, None).unwrap();
+        let error = source
+            .hand_off(&mut dest, &mut draft, &mut target)
+            .unwrap_err();
+        assert!(matches!(error, PoolError::OutOfBlocks { .. }));
+        assert_eq!(source.used_blocks(), 5);
+        assert_eq!(dest.draft().used_blocks(), 0);
+        dest.target_mut().release(&mut hog);
+        source.hand_off(&mut dest, &mut draft, &mut target).unwrap();
+        assert_eq!(source.used_blocks(), 0);
+        assert_eq!(dest.used_blocks(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching block geometry")]
+    fn transfer_between_mismatched_geometries_panics() {
+        let mut source = BlockPool::bounded(4, 8);
+        let mut dest = BlockPool::bounded(4, 16);
+        let mut table = BlockTable::new();
+        source.prefill(&mut table, 8, None).unwrap();
+        let _ = source.transfer(&mut dest, &mut table);
     }
 
     #[test]

@@ -17,6 +17,26 @@ pub enum AdmissionPolicy {
     ShortestAudioFirst,
 }
 
+/// Deadline-awareness of the admission order (`ServerConfig::ordering`).
+///
+/// [`AdmissionPolicy`] decides how requests compete on *workload* shape
+/// (arrival order, audio length); this layer decides whether time-to-first-
+/// token budgets override that competition.  With budgets the scheduler
+/// already *sheds* requests whose wait blew their budget — ordering is the
+/// other half: admit the request closest to its deadline first, so fewer
+/// requests expire in the queue at all (goodput under overload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionOrdering {
+    /// Deadline-blind: defer entirely to the configured
+    /// [`AdmissionPolicy`] (the historical behavior, and the default).
+    Queue,
+    /// Earliest deadline first: requests are admitted by absolute deadline
+    /// (`arrival + ttft_budget`); budget-less requests order after every
+    /// deadline-bearing request, by arrival.  Ties break on arrival time,
+    /// then request id, so the order is deterministic.
+    EarliestDeadlineFirst,
+}
+
 /// Which in-flight session a memory-exhausted scheduler evicts to free KV
 /// blocks (the victim releases its blocks, re-queues, and restores
 /// deterministically by re-prefilling on re-admission).
@@ -54,6 +74,9 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Queue discipline used at admission time.
     pub admission: AdmissionPolicy,
+    /// Whether time-to-first-token budgets override the queue discipline at
+    /// admission time (earliest-deadline-first); see [`AdmissionOrdering`].
+    pub ordering: AdmissionOrdering,
     /// Aging credit for [`AdmissionPolicy::ShortestAudioFirst`], in audio
     /// seconds of priority per millisecond spent queued.  `0.0` restores the
     /// starvation-prone pure shortest-audio-first ordering; the default of
@@ -102,6 +125,13 @@ impl ServerConfig {
     /// Returns this configuration with a different admission policy.
     pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
         self.admission = admission;
+        self
+    }
+
+    /// Returns this configuration with a different deadline-awareness of
+    /// the admission order.
+    pub fn with_ordering(mut self, ordering: AdmissionOrdering) -> Self {
+        self.ordering = ordering;
         self
     }
 
@@ -175,6 +205,7 @@ impl Default for ServerConfig {
             max_batch: 8,
             queue_depth: 64,
             admission: AdmissionPolicy::Fifo,
+            ordering: AdmissionOrdering::Queue,
             aging_rate: 0.005,
             // 4096 blocks × 16 positions = 65 536 positions per model — far
             // beyond what a default batch of 8 can hold, so the pool is
@@ -276,6 +307,104 @@ impl Default for RouterConfig {
             steal_threshold: 4,
             worker: ServerConfig::default(),
             rpc_backend: false,
+        }
+    }
+}
+
+/// Capacity description of one worker in a heterogeneous fleet.
+///
+/// A uniform fleet leaves every field at its default and behaves exactly
+/// like the profile-less router.  A mixed fleet (say one big-batch worker
+/// next to several small ones) sets `speed` to the worker's relative serving
+/// capacity: the consistent-hash ring gives the worker proportionally more
+/// virtual nodes (so placement routes more traffic where it runs fastest)
+/// and work stealing compares *speed-normalized* queue depths (a queue of 8
+/// on a 4× worker is as deep as a queue of 2 on a 1× worker).
+///
+/// `speed` is a routing hint; the worker's actual capacity comes from its
+/// models and its scheduler overrides (`max_batch`, `kv_blocks`).
+///
+/// # Example
+///
+/// ```
+/// use specasr_server::WorkerProfile;
+///
+/// let fast = WorkerProfile::default().with_speed(4.0).with_max_batch(16);
+/// assert_eq!(fast.max_batch, Some(16));
+/// fast.validate();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkerProfile {
+    /// Relative serving speed (`1.0` = a standard worker).  Scales the
+    /// worker's virtual-node count on the ring and normalizes its queue
+    /// depth in the steal comparison.
+    pub speed: f64,
+    /// Overrides [`ServerConfig::max_batch`] for this worker when set.
+    pub max_batch: Option<usize>,
+    /// Overrides [`ServerConfig::kv_blocks`] for this worker when set.
+    pub kv_blocks: Option<usize>,
+}
+
+impl WorkerProfile {
+    /// Returns this profile with a different relative speed.
+    pub fn with_speed(mut self, speed: f64) -> Self {
+        self.speed = speed;
+        self
+    }
+
+    /// Returns this profile with a per-worker batch-size override.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = Some(max_batch);
+        self
+    }
+
+    /// Returns this profile with a per-worker KV-block budget override.
+    pub fn with_kv_blocks(mut self, kv_blocks: usize) -> Self {
+        self.kv_blocks = Some(kv_blocks);
+        self
+    }
+
+    /// The worker's scheduler configuration: the fleet-wide `base` with this
+    /// profile's overrides applied.
+    pub fn apply(&self, base: ServerConfig) -> ServerConfig {
+        let mut config = base;
+        if let Some(max_batch) = self.max_batch {
+            config = config.with_max_batch(max_batch);
+        }
+        if let Some(kv_blocks) = self.kv_blocks {
+            config = config.with_kv_blocks(kv_blocks);
+        }
+        config
+    }
+
+    /// Validates the profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is non-finite or non-positive, or an override is
+    /// zero.
+    pub fn validate(&self) {
+        assert!(
+            self.speed.is_finite() && self.speed > 0.0,
+            "speed must be finite and positive"
+        );
+        assert!(
+            self.max_batch != Some(0),
+            "max_batch override must be positive"
+        );
+        assert!(
+            self.kv_blocks != Some(0),
+            "kv_blocks override must be positive"
+        );
+    }
+}
+
+impl Default for WorkerProfile {
+    fn default() -> Self {
+        WorkerProfile {
+            speed: 1.0,
+            max_batch: None,
+            kv_blocks: None,
         }
     }
 }
@@ -419,5 +548,47 @@ mod tests {
         RouterConfig::default()
             .with_worker_config(ServerConfig::default().with_max_batch(0))
             .validate();
+    }
+
+    #[test]
+    fn the_default_ordering_is_deadline_blind() {
+        let config = ServerConfig::default();
+        assert_eq!(config.ordering, AdmissionOrdering::Queue);
+        let edf = config.with_ordering(AdmissionOrdering::EarliestDeadlineFirst);
+        assert_eq!(edf.ordering, AdmissionOrdering::EarliestDeadlineFirst);
+        assert_eq!(
+            edf.admission, config.admission,
+            "ordering leaves the policy alone"
+        );
+        edf.validate();
+    }
+
+    #[test]
+    fn worker_profile_overrides_apply_onto_the_base_config() {
+        let base = ServerConfig::default().with_max_batch(8).with_kv_blocks(64);
+        let uniform = WorkerProfile::default();
+        assert_eq!(uniform.apply(base), base);
+        uniform.validate();
+        let fast = WorkerProfile::default()
+            .with_speed(4.0)
+            .with_max_batch(32)
+            .with_kv_blocks(512);
+        let applied = fast.apply(base);
+        assert_eq!(applied.max_batch, 32);
+        assert_eq!(applied.kv_blocks, 512);
+        assert_eq!(applied.queue_depth, base.queue_depth);
+        fast.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "speed")]
+    fn zero_speed_fails_profile_validation() {
+        WorkerProfile::default().with_speed(0.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch override")]
+    fn zero_batch_override_fails_profile_validation() {
+        WorkerProfile::default().with_max_batch(0).validate();
     }
 }

@@ -92,15 +92,18 @@ mod worker;
 pub use batch::{
     grouped_verify_ms, plan_verify_waves, plan_verify_waves_pipelined, TickCost, VerifyPlan,
 };
-pub use config::{AdmissionPolicy, PreemptPolicy, RouterConfig, ServerConfig};
+pub use config::{
+    AdmissionOrdering, AdmissionPolicy, PreemptPolicy, RouterConfig, ServerConfig, WorkerProfile,
+};
 pub use loadgen::{
-    run_open_loop, run_open_loop_drafted, run_open_loop_streaming, LoadGen, OpenLoopReport,
+    run_open_loop, run_open_loop_budgeted, run_open_loop_drafted, run_open_loop_streaming, LoadGen,
+    OpenLoopReport,
 };
 pub use request::{PartialSpan, RequestId, RequestLatency, RequestOutcome, SloClass, SubmitError};
 pub use router::Router;
 pub use scheduler::Scheduler;
 pub use stats::{BackendStats, MemoryStats, ServerStats, SloClassStats};
-pub use worker::{Worker, WorkerId};
+pub use worker::{Worker, WorkerId, WorkerState};
 
 // Serving code configures and inspects the paged KV pool directly; re-export
 // its runtime types so downstream users don't need the runtime crate.

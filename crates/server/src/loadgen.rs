@@ -208,6 +208,42 @@ where
     }
 }
 
+/// [`run_open_loop`] with a per-request time-to-first-token budget: each
+/// workload item carries an optional TTFT budget that classes the request
+/// into its latency SLO, arms deadline shedding, and — under
+/// [`crate::AdmissionOrdering::EarliestDeadlineFirst`] — orders admission.
+/// This is the goodput-under-overload driver: completions that blew their
+/// budget still count as completed, but not as goodput.
+pub fn run_open_loop_budgeted<'a, D, T>(
+    router: &mut Router<D, T>,
+    loadgen: &mut LoadGen,
+    workload: impl IntoIterator<Item = (Policy, &'a Utterance, Option<f64>)>,
+) -> OpenLoopReport
+where
+    D: AsrDecoderModel,
+    T: AsrDecoderModel,
+{
+    let mut outcomes = Vec::new();
+    let mut submitted = 0;
+    let mut rejected = 0;
+    for (policy, utterance, ttft_budget_ms) in workload {
+        let arrival_ms = loadgen.next_arrival_ms();
+        outcomes.extend(router.advance_to(arrival_ms));
+        match router.submit_with_budget(policy, utterance, ttft_budget_ms) {
+            Ok(_) => submitted += 1,
+            Err(_) => rejected += 1,
+        }
+    }
+    outcomes.extend(router.run_until_idle());
+    OpenLoopReport {
+        outcomes,
+        submitted,
+        rejected,
+        last_arrival_ms: loadgen.clock_ms(),
+        drained_ms: router.fleet_stats().wall_ms(),
+    }
+}
+
 /// Plays an open-loop *streaming* workload against one scheduler: each
 /// request arrives at its [`LoadGen`] timestamp as a chunked stream with its
 /// own cadence (drawn via [`LoadGen::next_chunk_seconds`]), the scheduler

@@ -28,13 +28,13 @@ use specasr_audio::{EncoderProfile, Utterance};
 use specasr_metrics::Histogram;
 use specasr_models::{splitmix64, AsrDecoderModel, TokenizerBinding};
 
-use crate::config::RouterConfig;
+use crate::config::{RouterConfig, WorkerProfile};
 use crate::request::{RequestId, RequestOutcome, SubmitError};
 use crate::scheduler::Scheduler;
 use crate::session::QueuedRequest;
 use crate::stats::ServerStats;
-use crate::worker::{Worker, WorkerId};
-use specasr_trace::{FlightRecording, MetricsRegistry, TraceConfig};
+use crate::worker::{Worker, WorkerId, WorkerState};
+use specasr_trace::{FlightRecording, MetricsRegistry, TraceConfig, TraceEvent, Tracer};
 
 /// A multi-worker sharded serving router.
 ///
@@ -71,12 +71,50 @@ pub struct Router<D, T> {
     binding: TokenizerBinding,
     encoder: EncoderProfile,
     workers: Vec<Worker<D, T>>,
-    /// Sorted `(hash point, worker index)` ring for consistent placement.
+    /// Sorted `(hash point, worker slot)` ring for consistent placement.
+    /// Points derive from each worker's *stable id* (so membership changes
+    /// only remap the departed/arrived worker's arc); slots index the
+    /// current `workers` vector and the ring is rebuilt on every membership
+    /// change.  Draining workers hold no points.
     ring: Vec<(u64, usize)>,
-    /// Drafter kinds installed fleet-wide (submission-time validation).
-    installed: Vec<DrafterKind>,
+    /// Drafters installed fleet-wide (submission-time validation, and
+    /// replayed onto workers that join later).
+    installed: Vec<Arc<dyn Drafter + Send + Sync>>,
     next_id: u64,
+    /// Next worker ordinal: ids are never reused, even after removal.
+    next_ordinal: usize,
     now_ms: f64,
+    /// The trace configuration applied fleet-wide (late joiners inherit it).
+    trace: TraceConfig,
+    /// Fleet-lifecycle lane: membership and migration events that belong to
+    /// the router, not to any single worker.
+    fleet_tracer: Tracer,
+    /// Merged statistics of workers that drained and left the fleet.
+    retired_stats: ServerStats,
+    /// Per-worker e2e histograms of removed workers (the mergeable-sketch
+    /// aggregation path keeps one sketch per worker that ever served).
+    retired_histograms: Vec<Histogram>,
+    /// Flight recordings of removed workers, kept until taken.
+    retired_recordings: Vec<(String, FlightRecording)>,
+    retired_stolen_in: usize,
+    retired_stolen_out: usize,
+}
+
+/// Mutably borrows two distinct workers at once (the migration fast path
+/// moves KV blocks from one worker's pool straight into another's).
+fn two_mut<D, T>(
+    workers: &mut [Worker<D, T>],
+    a: usize,
+    b: usize,
+) -> (&mut Worker<D, T>, &mut Worker<D, T>) {
+    assert_ne!(a, b, "cannot borrow one worker twice");
+    if a < b {
+        let (left, right) = workers.split_at_mut(b);
+        (&mut left[a], &mut right[0])
+    } else {
+        let (left, right) = workers.split_at_mut(a);
+        (&mut right[0], &mut left[b])
+    }
 }
 
 impl<D, T> Router<D, T>
@@ -99,23 +137,58 @@ where
         config: RouterConfig,
         binding: TokenizerBinding,
         encoder: EncoderProfile,
+        make_models: impl FnMut(WorkerId) -> (D, T),
+    ) -> Self
+    where
+        T: Send + 'static,
+    {
+        let profiles = vec![WorkerProfile::default(); config.workers];
+        Router::with_profiles(config, binding, encoder, &profiles, make_models)
+    }
+
+    /// [`Router::new`] for a heterogeneous fleet: one [`WorkerProfile`] per
+    /// worker.  A profile's `speed` weights the worker's share of the
+    /// consistent-hash ring and normalizes its queue depth in the steal
+    /// comparison; its overrides reshape that worker's scheduler
+    /// configuration.  All-default profiles reproduce [`Router::new`]
+    /// exactly — placement, stealing, and transcripts are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` or any profile is invalid, or if the profile count
+    /// does not match `config.workers`.
+    pub fn with_profiles(
+        config: RouterConfig,
+        binding: TokenizerBinding,
+        encoder: EncoderProfile,
+        profiles: &[WorkerProfile],
         mut make_models: impl FnMut(WorkerId) -> (D, T),
     ) -> Self
     where
         T: Send + 'static,
     {
         config.validate();
-        let workers: Vec<Worker<D, T>> = (0..config.workers)
-            .map(|index| {
+        assert_eq!(
+            profiles.len(),
+            config.workers,
+            "heterogeneous fleets need exactly one profile per worker"
+        );
+        let workers: Vec<Worker<D, T>> = profiles
+            .iter()
+            .enumerate()
+            .map(|(index, profile)| {
+                profile.validate();
                 let id = WorkerId::new(index);
                 let (draft, target) = make_models(id);
+                let worker_config = profile.apply(config.worker);
+                worker_config.validate();
                 let scheduler = if config.rpc_backend {
                     Scheduler::with_rpc_target(
                         draft,
                         target,
                         binding.clone(),
                         encoder.clone(),
-                        config.worker,
+                        worker_config,
                     )
                 } else {
                     Scheduler::new(
@@ -123,33 +196,59 @@ where
                         target,
                         binding.clone(),
                         encoder.clone(),
-                        config.worker,
+                        worker_config,
                     )
                 };
-                Worker::new(id, scheduler)
+                Worker::new(id, *profile, scheduler)
             })
             .collect();
-        let mut ring: Vec<(u64, usize)> = (0..config.workers)
-            .flat_map(|worker| {
-                (0..config.virtual_nodes).map(move |node| {
-                    let point = splitmix64(
-                        splitmix64(worker as u64 ^ 0xace1_5ba7ed).wrapping_add(node as u64),
-                    );
-                    (point, worker)
-                })
-            })
-            .collect();
-        ring.sort_unstable();
-        Router {
+        let mut router = Router {
             config,
             binding,
             encoder,
             workers,
-            ring,
+            ring: Vec::new(),
             installed: Vec::new(),
             next_id: 0,
+            next_ordinal: config.workers,
             now_ms: 0.0,
-        }
+            trace: TraceConfig::disabled(),
+            fleet_tracer: Tracer::disabled(),
+            retired_stats: ServerStats::new(),
+            retired_histograms: Vec::new(),
+            retired_recordings: Vec::new(),
+            retired_stolen_in: 0,
+            retired_stolen_out: 0,
+        };
+        router.rebuild_ring();
+        router
+    }
+
+    /// Rebuilds the placement ring from the current membership: every
+    /// *active* worker contributes `virtual_nodes × speed` points (at least
+    /// one), each derived from its stable id.  Because points depend only on
+    /// the id, a membership change remaps only the arcs the departed or
+    /// arrived worker owned — roughly `1/N` of the key space — and every
+    /// other placement stays put.
+    fn rebuild_ring(&mut self) {
+        let virtual_nodes = self.config.virtual_nodes;
+        let mut ring: Vec<(u64, usize)> = self
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, worker)| worker.state() == WorkerState::Active)
+            .flat_map(|(slot, worker)| {
+                let nodes =
+                    ((virtual_nodes as f64 * worker.profile().speed).round() as usize).max(1);
+                let ordinal = worker.id().index() as u64;
+                (0..nodes as u64).map(move |node| {
+                    let point = splitmix64(splitmix64(ordinal ^ 0xace1_5ba7ed).wrapping_add(node));
+                    (point, slot)
+                })
+            })
+            .collect();
+        ring.sort_unstable();
+        self.ring = ring;
     }
 
     /// The router configuration.
@@ -183,20 +282,30 @@ where
         self.workers.iter().all(Worker::is_idle)
     }
 
-    /// Total requests moved between workers by stealing.
+    /// Total requests moved between workers by stealing (including by
+    /// workers that have since left the fleet).
     pub fn stolen(&self) -> usize {
-        self.workers.iter().map(Worker::stolen_in).sum()
+        self.workers.iter().map(Worker::stolen_in).sum::<usize>() + self.retired_stolen_in
     }
 
-    /// The worker index the consistent-hash ring assigns to `id`.
+    /// The worker the consistent-hash ring assigns to `id`.
     pub fn placement(&self, id: RequestId) -> WorkerId {
+        self.workers[self.placement_slot(id)].id()
+    }
+
+    /// The `workers` slot the ring assigns to `id`.
+    fn placement_slot(&self, id: RequestId) -> usize {
+        assert!(
+            !self.ring.is_empty(),
+            "placement requires at least one active worker"
+        );
         let hash = splitmix64(id.value());
         let index = match self.ring.binary_search(&(hash, usize::MAX)) {
             Ok(at) | Err(at) => at,
         };
         // Past the last point, wrap to the ring's first node.
-        let (_, worker) = self.ring[index % self.ring.len()];
-        WorkerId::new(worker)
+        let (_, slot) = self.ring[index % self.ring.len()];
+        slot
     }
 
     /// Submits one utterance, arriving now on the global timeline.
@@ -225,17 +334,41 @@ where
         drafter: DrafterKind,
         utterance: &Utterance,
     ) -> Result<RequestId, SubmitError> {
+        self.submit_request(policy, drafter, utterance, None)
+    }
+
+    /// [`Router::submit`] with a time-to-first-token budget: requests whose
+    /// queue wait exceeds the budget are shed at admission time, and the
+    /// budget is the deadline [`crate::AdmissionOrdering::EarliestDeadlineFirst`]
+    /// orders by.
+    pub fn submit_with_budget(
+        &mut self,
+        policy: Policy,
+        utterance: &Utterance,
+        ttft_budget_ms: Option<f64>,
+    ) -> Result<RequestId, SubmitError> {
+        self.submit_request(policy, DrafterKind::ModelDraft, utterance, ttft_budget_ms)
+    }
+
+    fn submit_request(
+        &mut self,
+        policy: Policy,
+        drafter: DrafterKind,
+        utterance: &Utterance,
+        ttft_budget_ms: Option<f64>,
+    ) -> Result<RequestId, SubmitError> {
         assert!(
-            drafter == DrafterKind::ModelDraft || self.installed.contains(&drafter),
+            drafter == DrafterKind::ModelDraft
+                || self.installed.iter().any(|d| d.kind() == drafter),
             "no {} drafter installed; call install_drafter first",
             drafter.label()
         );
         let id = RequestId::new(self.next_id);
-        let primary = self.placement(id).index();
+        let primary = self.placement_slot(id);
         let candidate = if self.workers[primary].queue_depth() < self.config.worker.queue_depth {
             primary
         } else {
-            self.shallowest_queue()
+            self.shallowest_active_queue()
         };
         if self.workers[candidate].queue_depth() >= self.config.worker.queue_depth {
             // Every queue is full: reject before tokenizing (the rejection
@@ -254,7 +387,7 @@ where
                 .latency_ms_for_audio(utterance.duration_seconds()),
             arrival_ms: self.now_ms,
             preemptions: 0,
-            ttft_budget_ms: None,
+            ttft_budget_ms,
             first_output_emitted: false,
             stream: None,
         };
@@ -326,10 +459,228 @@ where
         outcomes
     }
 
+    /// Adds a worker to the fleet at the current timeline instant, with
+    /// capacity `profile`, and returns its (never reused) id.
+    ///
+    /// The joiner starts on the fleet's *current* clock — not at zero — so
+    /// the first requests it serves see correct queueing spans; it inherits
+    /// the fleet's trace configuration and every drafter installed so far,
+    /// and immediately takes its share of the placement ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profile` (or the worker configuration it produces) is
+    /// invalid.
+    pub fn add_worker(
+        &mut self,
+        profile: WorkerProfile,
+        make_models: impl FnOnce(WorkerId) -> (D, T),
+    ) -> WorkerId
+    where
+        T: Send + 'static,
+    {
+        profile.validate();
+        let id = WorkerId::new(self.next_ordinal);
+        self.next_ordinal += 1;
+        let (draft, target) = make_models(id);
+        let worker_config = profile.apply(self.config.worker);
+        worker_config.validate();
+        let mut scheduler = if self.config.rpc_backend {
+            Scheduler::with_rpc_target(
+                draft,
+                target,
+                self.binding.clone(),
+                self.encoder.clone(),
+                worker_config,
+            )
+        } else {
+            Scheduler::new(
+                draft,
+                target,
+                self.binding.clone(),
+                self.encoder.clone(),
+                worker_config,
+            )
+        };
+        // A late joiner must start on the fleet timeline: left at zero, its
+        // first arrivals would be stamped in its future and every latency
+        // span would clamp to nothing.
+        scheduler.sync_wall_to(self.now_ms);
+        scheduler.set_trace(self.trace);
+        for drafter in &self.installed {
+            scheduler.install_drafter(Arc::clone(drafter));
+        }
+        self.workers.push(Worker::new(id, profile, scheduler));
+        self.rebuild_ring();
+        let ts_ms = self.now_ms;
+        self.fleet_tracer.record_with(|| TraceEvent::WorkerAdded {
+            ts_ms,
+            worker: id.index() as u64,
+        });
+        id
+    }
+
+    /// Moves worker `id` from `Active` to `Draining`: it leaves the
+    /// placement ring, its queued requests re-route through the ring, and
+    /// its migratable in-flight sessions move to their new placements —
+    /// via the same-machine block-table hand-off when the destination has
+    /// batch and KV headroom (no re-prefill), via preempt-and-restore
+    /// otherwise.  Streaming sessions finish on the draining worker (their
+    /// chunk timetables are anchored to it); once it has nothing left,
+    /// [`Router::reap_drained`] removes it.
+    ///
+    /// Returns the number of in-flight sessions migrated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the fleet, is already draining, or is the
+    /// last active worker.
+    pub fn drain_worker(&mut self, id: WorkerId) -> usize {
+        let slot = self
+            .workers
+            .iter()
+            .position(|worker| worker.id() == id)
+            .expect("cannot drain a worker that is not in the fleet");
+        assert!(
+            !self.workers[slot].is_draining(),
+            "{id} is already draining"
+        );
+        let active = self
+            .workers
+            .iter()
+            .filter(|worker| !worker.is_draining())
+            .count();
+        assert!(
+            active > 1,
+            "draining the last active worker would strand the fleet"
+        );
+        self.workers[slot].set_draining();
+        self.rebuild_ring();
+        let ts_ms = self.now_ms;
+        self.fleet_tracer
+            .record_with(|| TraceEvent::WorkerDraining {
+                ts_ms,
+                worker: id.index() as u64,
+            });
+
+        // Queued requests re-route through the (rebuilt) ring.  Migration
+        // never drops a request, so re-admission bypasses the queue-depth
+        // check — a transiently over-deep destination sheds load through
+        // the ordinary admission path afterwards.
+        let queued = self.workers[slot].scheduler.drain_queue();
+        for request in queued {
+            let dest = self.placement_slot(request.id);
+            debug_assert_ne!(dest, slot, "a draining worker holds no ring points");
+            if self.workers[dest].is_idle() && self.workers[dest].wall_ms() < request.arrival_ms {
+                self.workers[dest]
+                    .scheduler
+                    .sync_wall_to(request.arrival_ms);
+            }
+            self.workers[dest].scheduler.enqueue_migrated(request);
+        }
+
+        // In-flight offline sessions migrate live.
+        let sessions = self.workers[slot].scheduler.extract_migratable();
+        let mut migrated = 0;
+        for mut session in sessions {
+            let dest = self.placement_slot(session.id);
+            let request = session.id.value();
+            if self.workers[dest].is_idle() && self.workers[dest].wall_ms() < self.now_ms {
+                self.workers[dest].scheduler.sync_wall_to(self.now_ms);
+            }
+            // Fast path: hand the session's block tables to the destination
+            // pool directly — decode state survives, no re-prefill.  Falls
+            // back to preempt-and-restore when the destination lacks batch
+            // room or KV headroom.
+            let handoff = self.workers[dest].scheduler.has_batch_room() && {
+                let (source, destination) = two_mut(&mut self.workers, slot, dest);
+                session
+                    .decode
+                    .migrate_kv(
+                        source.scheduler.kv_pool_mut(),
+                        destination.scheduler.kv_pool_mut(),
+                    )
+                    .is_ok()
+            };
+            if handoff {
+                self.workers[dest].scheduler.adopt_session(session);
+            } else {
+                session
+                    .decode
+                    .release_kv(self.workers[slot].scheduler.kv_pool_mut());
+                let requeued = session.into_requeued(true);
+                self.workers[dest].scheduler.enqueue_migrated(requeued);
+            }
+            self.workers[dest].scheduler.record_migration_in(handoff);
+            migrated += 1;
+            let to_worker = self.workers[dest].id().index() as u64;
+            self.fleet_tracer
+                .record_with(|| TraceEvent::SessionMigrated {
+                    ts_ms,
+                    request,
+                    from_worker: id.index() as u64,
+                    to_worker,
+                    handoff,
+                });
+        }
+        migrated
+    }
+
+    /// Removes every draining worker that has gone fully idle, preserving
+    /// its statistics, latency sketch, and flight recording in the fleet
+    /// aggregates.  Returns the removed ids (in fleet order).
+    pub fn reap_drained(&mut self) -> Vec<WorkerId> {
+        let mut removed = Vec::new();
+        let mut slot = 0;
+        while slot < self.workers.len() {
+            if self.workers[slot].is_draining() && self.workers[slot].is_idle() {
+                let mut worker = self.workers.remove(slot);
+                self.retired_stats.merge(worker.stats());
+                self.retired_histograms.push(worker.stats().e2e_histogram());
+                self.retired_stolen_in += worker.stolen_in();
+                self.retired_stolen_out += worker.stolen_out();
+                if let Some(recording) = worker.scheduler.take_trace_recording() {
+                    self.retired_recordings
+                        .push((worker.id().to_string(), recording));
+                }
+                let ts_ms = self.now_ms;
+                let ordinal = worker.id().index() as u64;
+                self.fleet_tracer.record_with(|| TraceEvent::WorkerRemoved {
+                    ts_ms,
+                    worker: ordinal,
+                });
+                removed.push(worker.id());
+            } else {
+                slot += 1;
+            }
+        }
+        if !removed.is_empty() {
+            self.rebuild_ring();
+        }
+        removed
+    }
+
+    /// Workers currently serving (on the ring).
+    pub fn active_workers(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|worker| !worker.is_draining())
+            .count()
+    }
+
+    /// Workers winding down (off the ring, finishing local work).
+    pub fn draining_workers(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|worker| worker.is_draining())
+            .count()
+    }
+
     /// Fleet-wide statistics: every worker's [`ServerStats`] merged with
-    /// parallel-fleet semantics (see [`ServerStats::merge`]).
+    /// parallel-fleet semantics (see [`ServerStats::merge`]), including
+    /// workers that have since drained and left the fleet.
     pub fn fleet_stats(&self) -> ServerStats {
-        let mut merged = ServerStats::new();
+        let mut merged = self.retired_stats.clone();
         for worker in &self.workers {
             merged.merge(worker.stats());
         }
@@ -351,6 +702,7 @@ where
         self.workers
             .iter()
             .map(|worker| worker.stats().e2e_histogram())
+            .chain(self.retired_histograms.iter().cloned())
             .reduce(|a, b| a.merge(&b))
             .expect("a router always has at least one worker")
     }
@@ -360,15 +712,27 @@ where
     /// with the matching [`DrafterKind`] — stealing and spilling can land a
     /// request on any worker, so installation is fleet-wide by construction.
     pub fn install_drafter(&mut self, drafter: Arc<dyn Drafter + Send + Sync>) {
-        self.installed.push(drafter.kind());
         for worker in &mut self.workers {
             worker.scheduler.install_drafter(Arc::clone(&drafter));
+        }
+        // Kept for submission-time validation and replayed onto late
+        // joiners; re-installing a kind replaces it.
+        if let Some(slot) = self
+            .installed
+            .iter_mut()
+            .find(|installed| installed.kind() == drafter.kind())
+        {
+            *slot = drafter;
+        } else {
+            self.installed.push(drafter);
         }
     }
 
     /// Applies `config` to every worker's flight recorder.  Enabling starts
     /// a fresh ring on each worker; disabling drops any recorded events.
     pub fn set_trace(&mut self, config: TraceConfig) {
+        self.trace = config;
+        self.fleet_tracer = Tracer::new(config);
         for worker in &mut self.workers {
             worker.scheduler.set_trace(config);
         }
@@ -378,13 +742,21 @@ where
     /// Perfetto exporter's lane list).  Workers without tracing enabled are
     /// skipped; each enabled worker restarts with an empty ring.
     pub fn take_recordings(&mut self) -> Vec<(String, FlightRecording)> {
-        self.workers
-            .iter_mut()
-            .filter_map(|worker| {
-                let recording = worker.scheduler.take_trace_recording()?;
-                Some((worker.id().to_string(), recording))
-            })
-            .collect()
+        let mut recordings = Vec::new();
+        // The fleet lane (membership and migration events) leads, so the
+        // Perfetto export shows lanes appearing and disappearing next to
+        // the lifecycle instants that explain them.
+        if let Some(recording) = self.fleet_tracer.take_recording() {
+            if !recording.is_empty() {
+                recordings.push(("fleet".to_string(), recording));
+            }
+        }
+        recordings.append(&mut self.retired_recordings);
+        recordings.extend(self.workers.iter_mut().filter_map(|worker| {
+            let recording = worker.scheduler.take_trace_recording()?;
+            Some((worker.id().to_string(), recording))
+        }));
+        recordings
     }
 
     /// Fleet-wide metrics registry: [`Self::fleet_stats`] published into a
@@ -409,19 +781,24 @@ where
             .map(|(index, _)| index)
     }
 
-    /// The worker with the shallowest queue (ties break to the lowest
-    /// index, keeping the fleet deterministic).
-    fn shallowest_queue(&self) -> usize {
+    /// The *active* worker with the shallowest queue (ties break to the
+    /// lowest slot, keeping the fleet deterministic).  Draining workers
+    /// never receive spilled or stolen requests.
+    fn shallowest_active_queue(&self) -> usize {
         self.workers
             .iter()
             .enumerate()
+            .filter(|(_, worker)| !worker.is_draining())
             .min_by_key(|(index, worker)| (worker.queue_depth(), *index))
             .map(|(index, _)| index)
-            .expect("a router always has at least one worker")
+            .expect("a router always has at least one active worker")
     }
 
-    /// Work stealing: while the deepest queue exceeds the shallowest by more
-    /// than the steal threshold, move the newest half of the imbalance over.
+    /// Work stealing: while the deepest queue exceeds the shallowest active
+    /// queue by more than the steal threshold — both *speed-normalized*, so
+    /// a 4× worker looks a quarter as deep as its raw count — move the
+    /// newest half of the raw imbalance over.  With all-default profiles
+    /// this is exactly the unweighted integer comparison.
     fn rebalance(&mut self) {
         if self.workers.len() < 2 {
             return;
@@ -431,17 +808,25 @@ where
                 .workers
                 .iter()
                 .enumerate()
-                .max_by_key(|(index, worker)| (worker.queue_depth(), usize::MAX - *index))
+                .max_by(|(slot_a, a), (slot_b, b)| {
+                    a.normalized_depth()
+                        .partial_cmp(&b.normalized_depth())
+                        .expect("queue depths are finite")
+                        .then(slot_b.cmp(slot_a))
+                })
                 .map(|(index, _)| index)
                 .expect("fleet is non-empty");
-            let shallow = self.shallowest_queue();
-            let deep_depth = self.workers[deep].queue_depth();
-            let shallow_depth = self.workers[shallow].queue_depth();
-            if deep == shallow || deep_depth <= shallow_depth + self.config.steal_threshold {
+            let shallow = self.shallowest_active_queue();
+            if deep == shallow
+                || self.workers[deep].normalized_depth()
+                    <= self.workers[shallow].normalized_depth() + self.config.steal_threshold as f64
+            {
                 return;
             }
-            let room = self.config.worker.queue_depth - shallow_depth;
-            let transfer = ((deep_depth - shallow_depth) / 2).min(room);
+            let deep_depth = self.workers[deep].queue_depth();
+            let shallow_depth = self.workers[shallow].queue_depth();
+            let room = self.config.worker.queue_depth.saturating_sub(shallow_depth);
+            let transfer = (deep_depth.saturating_sub(shallow_depth) / 2).min(room);
             if transfer == 0 {
                 return;
             }

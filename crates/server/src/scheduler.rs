@@ -17,7 +17,7 @@ use specasr_stream::{StreamConfig, StreamingSession};
 use specasr_trace::{FlightRecording, ShedReason, TraceConfig, TraceEvent, Tracer};
 
 use crate::batch::{plan_verify_waves, plan_verify_waves_pipelined, TickCost};
-use crate::config::{AdmissionPolicy, PreemptPolicy, ServerConfig};
+use crate::config::{AdmissionOrdering, AdmissionPolicy, PreemptPolicy, ServerConfig};
 use crate::request::{
     PartialSpan, RequestId, RequestLatency, RequestOutcome, SloClass, SubmitError,
 };
@@ -663,6 +663,71 @@ where
     /// scheduler's clock only moves while it ticks).
     pub(crate) fn sync_wall_to(&mut self, ms: f64) {
         self.wall_ms = self.wall_ms.max(ms);
+    }
+
+    /// Drains every waiting request out of the admission queue — a worker
+    /// entering `Draining` stops admitting, and the router re-routes its
+    /// queue through the ring.  Parked streams (in `waiting`) stay: their
+    /// chunk timetable and committed prefix live on this worker until the
+    /// stream finishes.
+    pub(crate) fn drain_queue(&mut self) -> Vec<QueuedRequest> {
+        self.queue.drain(..).collect()
+    }
+
+    /// Extracts the in-flight sessions a draining worker can migrate:
+    /// offline sessions between ticks.  Streaming sessions stay and finish
+    /// on the draining worker (their per-chunk state does not move).
+    pub(crate) fn extract_migratable(&mut self) -> Vec<ServerSession> {
+        let mut migrated = Vec::new();
+        let mut index = 0;
+        while index < self.active.len() {
+            if self.active[index].stream.is_none() {
+                migrated.push(self.active.remove(index));
+            } else {
+                index += 1;
+            }
+        }
+        migrated
+    }
+
+    /// Admits a migrated session whose KV blocks already live in this
+    /// worker's pool (the hand-off fast path; see
+    /// [`specasr::DecodeSession::migrate_kv`]).  The caller checked
+    /// [`Scheduler::has_batch_room`] and moved the blocks first.
+    pub(crate) fn adopt_session(&mut self, mut session: ServerSession) {
+        debug_assert!(self.active.len() < self.config.max_batch);
+        // The migrated session resumes on this worker's clock: its next
+        // round starts no earlier than now (clocks never run backwards) and
+        // no earlier than its own outstanding wave's completion.
+        session.ready_ms = session.ready_ms.max(self.wall_ms);
+        self.active.push(session);
+    }
+
+    /// Enqueues a request displaced by a drain, bypassing the queue-depth
+    /// check: a migration must never drop a request, so a destination under
+    /// backpressure absorbs the transient overflow instead of shedding it.
+    /// No submission event is recorded — the request already was submitted
+    /// once, on the worker it is leaving.
+    pub(crate) fn enqueue_migrated(&mut self, request: QueuedRequest) {
+        self.queue.push_back(request);
+    }
+
+    /// Whether the batch has room for one more in-flight session.
+    pub(crate) fn has_batch_room(&self) -> bool {
+        self.active.len() < self.config.max_batch
+    }
+
+    /// The paged KV pool, mutably — the router moves block tables between
+    /// two workers' pools during a hand-off migration.
+    pub(crate) fn kv_pool_mut(&mut self) -> &mut KvPool {
+        &mut self.kv
+    }
+
+    /// Records a migrated-in session on this worker's statistics (the
+    /// destination side counts, so fleet-merged totals count each migration
+    /// exactly once).
+    pub(crate) fn record_migration_in(&mut self, handoff: bool) {
+        self.stats.record_migration(handoff);
     }
 
     /// Runs one scheduler iteration: deliver due stream chunks → admit →
@@ -1432,26 +1497,55 @@ where
     /// dropped with a memory rejection instead of deadlocking the queue.
     fn admit(&mut self) {
         while self.active.len() < self.config.max_batch && !self.queue.is_empty() {
-            let index = match self.config.admission {
-                AdmissionPolicy::Fifo => 0,
-                AdmissionPolicy::ShortestAudioFirst => {
-                    let wall_ms = self.wall_ms;
-                    let aging_rate = self.config.aging_rate;
-                    self.queue
-                        .iter()
-                        .enumerate()
-                        .min_by(|(_, a), (_, b)| {
-                            let priority = |request: &QueuedRequest| {
-                                let age_ms = (wall_ms - request.arrival_ms).max(0.0);
-                                request.audio_seconds - age_ms * aging_rate
-                            };
-                            priority(a)
-                                .partial_cmp(&priority(b))
-                                .expect("durations and ages are finite")
-                        })
-                        .map(|(index, _)| index)
-                        .expect("queue is non-empty")
-                }
+            let index = match self.config.ordering {
+                // Budget-aware ordering overrides the queue discipline:
+                // admit the request closest to its absolute deadline, so
+                // urgent requests stop expiring behind patient ones (the
+                // deadline *shedding* in the loop below then fires far less
+                // often — that gap is the goodput gain under overload).
+                AdmissionOrdering::EarliestDeadlineFirst => self
+                    .queue
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        let deadline = |request: &QueuedRequest| {
+                            request
+                                .ttft_budget_ms
+                                .map_or(f64::INFINITY, |budget| request.arrival_ms + budget)
+                        };
+                        deadline(a)
+                            .partial_cmp(&deadline(b))
+                            .expect("deadlines are finite or +inf")
+                            .then(
+                                a.arrival_ms
+                                    .partial_cmp(&b.arrival_ms)
+                                    .expect("arrivals are finite"),
+                            )
+                            .then(a.id.value().cmp(&b.id.value()))
+                    })
+                    .map(|(index, _)| index)
+                    .expect("queue is non-empty"),
+                AdmissionOrdering::Queue => match self.config.admission {
+                    AdmissionPolicy::Fifo => 0,
+                    AdmissionPolicy::ShortestAudioFirst => {
+                        let wall_ms = self.wall_ms;
+                        let aging_rate = self.config.aging_rate;
+                        self.queue
+                            .iter()
+                            .enumerate()
+                            .min_by(|(_, a), (_, b)| {
+                                let priority = |request: &QueuedRequest| {
+                                    let age_ms = (wall_ms - request.arrival_ms).max(0.0);
+                                    request.audio_seconds - age_ms * aging_rate
+                                };
+                                priority(a)
+                                    .partial_cmp(&priority(b))
+                                    .expect("durations and ages are finite")
+                            })
+                            .map(|(index, _)| index)
+                            .expect("queue is non-empty")
+                    }
+                },
             };
             let request = self.queue.remove(index).expect("index is in range");
             // Latency-SLO shedding: a request whose queue wait already blew

@@ -459,6 +459,8 @@ pub struct ServerStats {
     partials_emitted: usize,
     retracted_tokens: usize,
     shown_hypothesis_tokens: usize,
+    migrated_in_handoff: usize,
+    migrated_in_restore: usize,
     memory: MemoryStats,
     backend: BackendStats,
     slo: [SloClassStats; 4],
@@ -570,6 +572,18 @@ impl ServerStats {
         self.memory.preemptions += 1;
     }
 
+    /// Records one session migrated *into* this worker by a fleet drain —
+    /// via the same-machine block-table hand-off (`handoff`) or the
+    /// preempt/restore slow path.  Counted on the destination only, so
+    /// fleet-merged totals count each migration exactly once.
+    pub(crate) fn record_migration(&mut self, handoff: bool) {
+        if handoff {
+            self.migrated_in_handoff += 1;
+        } else {
+            self.migrated_in_restore += 1;
+        }
+    }
+
     /// Records this tick's sampled pool occupancy (for the average gauge).
     pub(crate) fn record_kv_occupancy(&mut self, used_blocks: usize) {
         self.memory.occupancy_block_ticks += used_blocks as f64;
@@ -627,6 +641,8 @@ impl ServerStats {
         self.partials_emitted += other.partials_emitted;
         self.retracted_tokens += other.retracted_tokens;
         self.shown_hypothesis_tokens += other.shown_hypothesis_tokens;
+        self.migrated_in_handoff += other.migrated_in_handoff;
+        self.migrated_in_restore += other.migrated_in_restore;
         self.memory.merge(&other.memory);
         self.backend.merge(&other.backend);
         for (class, other_class) in self.slo.iter_mut().zip(&other.slo) {
@@ -712,6 +728,25 @@ impl ServerStats {
         } else {
             self.retracted_tokens as f64 / self.shown_hypothesis_tokens as f64
         }
+    }
+
+    /// Sessions migrated into this worker (or, fleet-merged, across the
+    /// fleet) via the same-machine block-table hand-off fast path — no
+    /// re-prefill, the block tables moved between pools.
+    pub fn migrated_in_handoff(&self) -> usize {
+        self.migrated_in_handoff
+    }
+
+    /// Sessions migrated into this worker (or, fleet-merged, across the
+    /// fleet) via the preempt/restore slow path — blocks released at the
+    /// source, deterministic re-prefill + re-decode here.
+    pub fn migrated_in_restore(&self) -> usize {
+        self.migrated_in_restore
+    }
+
+    /// All live-migrated sessions, whatever the path.
+    pub fn migrations(&self) -> usize {
+        self.migrated_in_handoff + self.migrated_in_restore
     }
 
     /// Paged KV-pool memory statistics.
@@ -900,6 +935,18 @@ impl ServerStats {
             "Requests shed, by reason.",
             &[("reason", "deadline")],
             self.rejected_deadline as f64,
+        );
+        registry.set_counter(
+            "specasr_migrations_total",
+            "Sessions live-migrated between workers, by path.",
+            &[("path", "handoff")],
+            self.migrated_in_handoff as f64,
+        );
+        registry.set_counter(
+            "specasr_migrations_total",
+            "Sessions live-migrated between workers, by path.",
+            &[("path", "restore")],
+            self.migrated_in_restore as f64,
         );
         registry.set_counter(
             "specasr_streaming_completed_total",

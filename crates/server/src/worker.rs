@@ -1,22 +1,29 @@
-//! One shard of a sharded serving fleet: a [`Scheduler`] plus its identity
-//! and work-stealing accounting.
+//! One shard of a sharded serving fleet: a [`Scheduler`] plus its identity,
+//! capacity profile, lifecycle state, and work-stealing accounting.
 
 use specasr_models::AsrDecoderModel;
 
+use crate::config::WorkerProfile;
 use crate::scheduler::Scheduler;
 use crate::stats::ServerStats;
 
 /// Identity of one worker within a [`crate::Router`] fleet.
+///
+/// Ids are *stable*: they name the worker for its whole lifetime and are
+/// never reused, even after the worker drains and leaves the fleet.  The
+/// consistent-hash ring derives its points from this id (not from the
+/// worker's current position in the fleet vector), which is what keeps
+/// placement minimally disturbed across membership changes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct WorkerId(usize);
 
 impl WorkerId {
-    /// Builds an id from the worker's fleet index.
+    /// Builds an id from the worker's fleet ordinal.
     pub const fn new(index: usize) -> Self {
         WorkerId(index)
     }
 
-    /// The worker's index in the fleet (0-based).
+    /// The worker's fleet ordinal (0-based, never reused).
     pub const fn index(self) -> usize {
         self.0
     }
@@ -28,6 +35,22 @@ impl std::fmt::Display for WorkerId {
     }
 }
 
+/// Lifecycle state of a worker within the fleet.
+///
+/// `Active → Draining → removed` is the only legal progression.  A draining
+/// worker holds no ring points, admits nothing new, and hands its queued and
+/// migratable in-flight work to the active workers; it stays in the fleet
+/// only until whatever *must* finish locally (streaming sessions bound to
+/// their chunk timetable) has completed, then [`crate::Router::reap_drained`]
+/// removes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkerState {
+    /// Serving normally: on the ring, admitting, stealing.
+    Active,
+    /// Winding down: off the ring, finishing local-only work.
+    Draining,
+}
+
 /// One scheduler shard owned by a [`crate::Router`].
 ///
 /// The router places requests onto workers (consistent hashing, then work
@@ -37,6 +60,8 @@ impl std::fmt::Display for WorkerId {
 #[derive(Debug)]
 pub struct Worker<D, T> {
     id: WorkerId,
+    profile: WorkerProfile,
+    state: WorkerState,
     pub(crate) scheduler: Scheduler<D, T>,
     pub(crate) stolen_in: usize,
     pub(crate) stolen_out: usize,
@@ -47,10 +72,12 @@ where
     D: AsrDecoderModel,
     T: AsrDecoderModel,
 {
-    /// Wraps a scheduler as fleet worker `id`.
-    pub(crate) fn new(id: WorkerId, scheduler: Scheduler<D, T>) -> Self {
+    /// Wraps a scheduler as fleet worker `id` with capacity `profile`.
+    pub(crate) fn new(id: WorkerId, profile: WorkerProfile, scheduler: Scheduler<D, T>) -> Self {
         Worker {
             id,
+            profile,
+            state: WorkerState::Active,
             scheduler,
             stolen_in: 0,
             stolen_out: 0,
@@ -60,6 +87,25 @@ where
     /// The worker's fleet identity.
     pub fn id(&self) -> WorkerId {
         self.id
+    }
+
+    /// The worker's capacity profile (ring weight and scheduler overrides).
+    pub fn profile(&self) -> &WorkerProfile {
+        &self.profile
+    }
+
+    /// The worker's lifecycle state.
+    pub fn state(&self) -> WorkerState {
+        self.state
+    }
+
+    /// `true` once the worker has been told to drain.
+    pub fn is_draining(&self) -> bool {
+        self.state == WorkerState::Draining
+    }
+
+    pub(crate) fn set_draining(&mut self) {
+        self.state = WorkerState::Draining;
     }
 
     /// Number of requests waiting in this worker's queue.
@@ -75,6 +121,13 @@ where
     /// Queued plus in-flight requests — the router's load signal.
     pub fn load(&self) -> usize {
         self.queue_depth() + self.in_flight()
+    }
+
+    /// The worker's queue depth normalized by its relative speed: the load
+    /// signal heterogeneous work stealing compares (a queue of 8 on a 4×
+    /// worker is as deep as a queue of 2 on a 1× one).
+    pub fn normalized_depth(&self) -> f64 {
+        self.queue_depth() as f64 / self.profile.speed
     }
 
     /// `true` when the worker has nothing queued or in flight.

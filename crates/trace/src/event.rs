@@ -304,6 +304,44 @@ pub enum TraceEvent {
         /// Tokens retracted.
         tokens: u64,
     },
+    /// A worker joined the fleet (elastic scale-up); its Perfetto lane
+    /// starts here.
+    WorkerAdded {
+        /// Join time on the fleet timeline.
+        ts_ms: f64,
+        /// The worker's fleet id.
+        worker: u64,
+    },
+    /// A worker entered `Draining`: it stopped admitting, its queue
+    /// re-routed through the ring, and its migratable sessions moved.
+    WorkerDraining {
+        /// Drain time.
+        ts_ms: f64,
+        /// The worker's fleet id.
+        worker: u64,
+    },
+    /// A drained worker went idle and left the fleet; its Perfetto lane
+    /// ends here.
+    WorkerRemoved {
+        /// Removal time.
+        ts_ms: f64,
+        /// The worker's fleet id.
+        worker: u64,
+    },
+    /// An in-flight session moved between workers during a drain.
+    SessionMigrated {
+        /// Migration time.
+        ts_ms: f64,
+        /// Request id of the migrated session.
+        request: u64,
+        /// Source worker id.
+        from_worker: u64,
+        /// Destination worker id.
+        to_worker: u64,
+        /// `true` for the same-machine block-table hand-off fast path,
+        /// `false` for the preempt/restore slow path.
+        handoff: bool,
+    },
 }
 
 impl TraceEvent {
@@ -331,6 +369,10 @@ impl TraceEvent {
             TraceEvent::ChunkArrived { .. } => "chunk_arrived",
             TraceEvent::PartialEmitted { .. } => "partial_emitted",
             TraceEvent::Retraction { .. } => "retraction",
+            TraceEvent::WorkerAdded { .. } => "worker_added",
+            TraceEvent::WorkerDraining { .. } => "worker_draining",
+            TraceEvent::WorkerRemoved { .. } => "worker_removed",
+            TraceEvent::SessionMigrated { .. } => "session_migrated",
         }
     }
 
@@ -357,7 +399,11 @@ impl TraceEvent {
             | TraceEvent::DeviceUtilization { ts_ms, .. }
             | TraceEvent::ChunkArrived { ts_ms, .. }
             | TraceEvent::PartialEmitted { ts_ms, .. }
-            | TraceEvent::Retraction { ts_ms, .. } => *ts_ms,
+            | TraceEvent::Retraction { ts_ms, .. }
+            | TraceEvent::WorkerAdded { ts_ms, .. }
+            | TraceEvent::WorkerDraining { ts_ms, .. }
+            | TraceEvent::WorkerRemoved { ts_ms, .. }
+            | TraceEvent::SessionMigrated { ts_ms, .. } => *ts_ms,
             TraceEvent::DraftPhase { start_ms, .. } => *start_ms,
             TraceEvent::VerifyWaveCompleted { completed_ms, .. } => *completed_ms,
         }
@@ -607,6 +653,25 @@ impl Serialize for TraceEvent {
                 push("request", num(*request));
                 push("tokens", num(*tokens));
             }
+            TraceEvent::WorkerAdded { ts_ms, worker }
+            | TraceEvent::WorkerDraining { ts_ms, worker }
+            | TraceEvent::WorkerRemoved { ts_ms, worker } => {
+                push("ts_ms", Value::Number(*ts_ms));
+                push("worker", num(*worker));
+            }
+            TraceEvent::SessionMigrated {
+                ts_ms,
+                request,
+                from_worker,
+                to_worker,
+                handoff,
+            } => {
+                push("ts_ms", Value::Number(*ts_ms));
+                push("request", num(*request));
+                push("from_worker", num(*from_worker));
+                push("to_worker", num(*to_worker));
+                push("handoff", Value::Bool(*handoff));
+            }
         }
         Value::Object(fields)
     }
@@ -754,6 +819,25 @@ impl Deserialize for TraceEvent {
                 ts_ms: f("ts_ms")?,
                 request: n("request")?,
                 tokens: n("tokens")?,
+            }),
+            "worker_added" => Ok(TraceEvent::WorkerAdded {
+                ts_ms: f("ts_ms")?,
+                worker: n("worker")?,
+            }),
+            "worker_draining" => Ok(TraceEvent::WorkerDraining {
+                ts_ms: f("ts_ms")?,
+                worker: n("worker")?,
+            }),
+            "worker_removed" => Ok(TraceEvent::WorkerRemoved {
+                ts_ms: f("ts_ms")?,
+                worker: n("worker")?,
+            }),
+            "session_migrated" => Ok(TraceEvent::SessionMigrated {
+                ts_ms: f("ts_ms")?,
+                request: n("request")?,
+                from_worker: n("from_worker")?,
+                to_worker: n("to_worker")?,
+                handoff: b("handoff")?,
             }),
             other => Err(Error::custom(format!("unknown trace event `{other}`"))),
         }
@@ -928,6 +1012,25 @@ mod tests {
                 ts_ms: 7.0,
                 request: 3,
                 tokens: 1,
+            },
+            TraceEvent::WorkerAdded {
+                ts_ms: 8.0,
+                worker: 2,
+            },
+            TraceEvent::WorkerDraining {
+                ts_ms: 9.0,
+                worker: 2,
+            },
+            TraceEvent::WorkerRemoved {
+                ts_ms: 10.0,
+                worker: 2,
+            },
+            TraceEvent::SessionMigrated {
+                ts_ms: 9.5,
+                request: 3,
+                from_worker: 2,
+                to_worker: 0,
+                handoff: true,
             },
         ];
         for event in events {

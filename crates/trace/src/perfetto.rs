@@ -314,6 +314,48 @@ pub fn chrome_trace(lanes: &[(&str, &FlightRecording)]) -> String {
                         ("accepted", num(*accepted)),
                     ]),
                 )),
+                TraceEvent::WorkerAdded { ts_ms, worker } => events.push(instant(
+                    &format!("worker-{worker} joined"),
+                    *ts_ms,
+                    pid,
+                    TID_TICKS,
+                    object(vec![("worker", num(*worker))]),
+                )),
+                TraceEvent::WorkerDraining { ts_ms, worker } => events.push(instant(
+                    &format!("worker-{worker} draining"),
+                    *ts_ms,
+                    pid,
+                    TID_TICKS,
+                    object(vec![("worker", num(*worker))]),
+                )),
+                TraceEvent::WorkerRemoved { ts_ms, worker } => events.push(instant(
+                    &format!("worker-{worker} removed"),
+                    *ts_ms,
+                    pid,
+                    TID_TICKS,
+                    object(vec![("worker", num(*worker))]),
+                )),
+                TraceEvent::SessionMigrated {
+                    ts_ms,
+                    request,
+                    from_worker,
+                    to_worker,
+                    handoff,
+                } => events.push(instant(
+                    &format!(
+                        "migrate req-{request} ({})",
+                        if *handoff { "handoff" } else { "restore" }
+                    ),
+                    *ts_ms,
+                    pid,
+                    TID_TICKS,
+                    object(vec![
+                        ("request", num(*request)),
+                        ("from_worker", num(*from_worker)),
+                        ("to_worker", num(*to_worker)),
+                        ("handoff", Value::Bool(*handoff)),
+                    ]),
+                )),
                 // Lifecycle bookkeeping that has no visual track of its own
                 // (device batches already render as verify-wave slices).
                 TraceEvent::RequestSubmitted { .. }

@@ -14,6 +14,7 @@ pub mod prelude {
         SparseTreeDecoder, SpeculativeConfig, SpeculativeDecoder, TokenMapDrafter,
     };
     pub use specasr_audio::{Corpus, EncoderProfile, Split, Utterance};
+    pub use specasr_fleet::{FleetConfig, FleetController, FleetCounters};
     pub use specasr_metrics::{wer_between, ExperimentRecord, Histogram, ReportRow};
     pub use specasr_models::{
         AsrBackend, AsrDecoderModel, BackendBatch, CtcDrafter, ForwardRequest, ForwardResult,
@@ -21,9 +22,10 @@ pub mod prelude {
         UtteranceTokens,
     };
     pub use specasr_server::{
-        run_open_loop, run_open_loop_drafted, AdmissionPolicy, BackendStats, KvPool, LoadGen,
-        MemoryStats, OpenLoopReport, PreemptPolicy, RequestOutcome, Router, RouterConfig,
-        Scheduler, ServerConfig, ServerStats, SloClass, Worker, WorkerId,
+        run_open_loop, run_open_loop_budgeted, run_open_loop_drafted, AdmissionOrdering,
+        AdmissionPolicy, BackendStats, KvPool, LoadGen, MemoryStats, OpenLoopReport, PreemptPolicy,
+        RequestOutcome, Router, RouterConfig, Scheduler, ServerConfig, ServerStats, SloClass,
+        Worker, WorkerId, WorkerProfile,
     };
     pub use specasr_tokenizer::{TokenId, TokenMapIndex, Tokenizer};
 }
